@@ -1,0 +1,56 @@
+"""Bench: the DESIGN.md §5 design-decision ablations.
+
+Not a paper figure — these quantify why the model is built the way it
+is (four-column PVT, super-linear clock-modulation penalty,
+representative calibration module, variation-aware placement).
+"""
+
+from conftest import run_once
+
+from repro.experiments.ablations import (
+    ablate_calibration_module,
+    ablate_duty_model,
+    ablate_placement,
+    ablate_pvt_columns,
+)
+
+
+def test_ablation_pvt_columns(benchmark):
+    rows = run_once(benchmark, ablate_pvt_columns)
+    for r in rows:
+        assert r.four_column_mean_error < r.scalar_mean_error
+    print()
+    for r in rows:
+        print(
+            f"{r.app}: 4-col {r.four_column_mean_error:.1%} vs "
+            f"scalar {r.scalar_mean_error:.1%}"
+        )
+
+
+def test_ablation_duty_model(benchmark):
+    res = run_once(benchmark, ablate_duty_model)
+    assert res.speedup_superlinear > res.speedup_linear * 1.5
+    print(
+        f"\n{res.app}@{res.cm_w}W VaFs speedup: cliff {res.speedup_superlinear:.2f}x"
+        f" vs linear {res.speedup_linear:.2f}x"
+    )
+
+
+def test_ablation_calibration_lottery(benchmark):
+    res = run_once(benchmark, ablate_calibration_module)
+    assert res.speedup_min > 1.0
+    print(
+        f"\n{res.app}@{res.cm_w}W over {res.n_samples} calibration modules: "
+        f"speedup {res.speedup_min:.2f}-{res.speedup_max:.2f}x, "
+        f"{res.violation_fraction:.0%} violate, worst overshoot "
+        f"{res.overshoot_max:+.1%}"
+    )
+
+
+def test_ablation_placement(benchmark):
+    res = run_once(benchmark, ablate_placement)
+    assert res.best_policy == "efficient-first"
+    print(
+        "\nplacement: "
+        + ", ".join(f"{k}={v:.1f}s" for k, v in res.makespan_s.items())
+    )

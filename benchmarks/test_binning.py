@@ -1,0 +1,18 @@
+"""Bench: the §2.1 binning counterfactual, fab to budgeting."""
+
+from conftest import run_once
+
+from repro.experiments.binning import format_binning, run_binning
+
+
+def test_binning(benchmark):
+    s = run_once(benchmark, run_binning)
+    # Frequency binning leaves the paper's power spread in place...
+    assert s.vp_frequency_binned > 1.15
+    # ...power binning would remove it, at a yield cost...
+    assert s.vp_power_binned <= 1.06
+    assert s.power_bin_yield < s.bin_yield
+    # ...and with it much of the variation-aware opportunity.
+    assert s.vafs_gain_power_binned < s.vafs_gain_frequency_binned
+    print()
+    print(format_binning(s))

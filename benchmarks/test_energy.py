@@ -1,0 +1,15 @@
+"""Bench: energy-to-solution vs budget under the validated linear model."""
+
+from conftest import run_once
+
+from repro.experiments.energy import energy_optimal, format_energy, run_energy
+
+
+def test_energy(benchmark):
+    points = run_once(benchmark, run_energy)
+    # Fig 5's linearity implies race-to-fmax minimises time AND energy.
+    assert energy_optimal(points) is points[0]
+    energies = [p.energy_mj for p in points]
+    assert energies == sorted(energies)
+    print()
+    print(format_energy(points))

@@ -1,0 +1,25 @@
+"""Bench: every example script runs end to end (the user's first mile)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+from conftest import run_once
+
+EXAMPLES = sorted((Path(__file__).parent.parent / "examples").glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example(benchmark, script):
+    def run():
+        return subprocess.run(
+            [sys.executable, str(script)],
+            capture_output=True,
+            text=True,
+            timeout=600,
+        )
+
+    proc = run_once(benchmark, run)
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert proc.stdout.strip(), "examples must narrate what they show"

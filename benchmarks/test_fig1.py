@@ -1,0 +1,38 @@
+"""Bench: regenerate Fig 1 (power/performance variation on 3 systems).
+
+Paper bands: Cab up to 23% power (no perf variation), Vulcan 11%,
+Teller 21% power + 17% performance with negative slowdown-power
+correlation.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments.fig1 import format_fig1, run_fig1
+
+
+def test_fig1(benchmark):
+    series = run_once(benchmark, run_fig1)
+
+    cab = series["cab"]
+    assert cab.n_units == 2386
+    assert 18.0 <= cab.max_power_variation_pct <= 30.0  # paper: 23%
+    assert cab.max_perf_variation_pct < 1.0  # frequency-binned
+
+    vulcan = series["vulcan"]
+    assert vulcan.n_units == 48  # node boards
+    assert 6.0 <= vulcan.max_power_variation_pct <= 18.0  # paper: 11%
+    assert vulcan.max_perf_variation_pct < 1.0
+
+    teller = series["teller"]
+    assert teller.n_units == 64
+    assert 14.0 <= teller.max_power_variation_pct <= 30.0  # paper: 21%
+    assert 10.0 <= teller.max_perf_variation_pct <= 26.0  # paper: 17%
+
+    # Teller: faster parts draw more power, so slowdown anti-correlates
+    # with power increase across the performance-sorted series.
+    corr = np.corrcoef(teller.slowdown_pct[1:], teller.power_increase_pct[1:])[0, 1]
+    assert corr < 0.0
+
+    print()
+    print(format_fig1(series))

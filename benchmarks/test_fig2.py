@@ -1,0 +1,45 @@
+"""Bench: regenerate Fig 2 (module power & performance variation, HA8K).
+
+Paper bands: (i) DGEMM CPU 100.8 W / module 112.8 W / DRAM Vp 2.84,
+MHD CPU 83.9 W / module 96.4 W; (ii) Vf grows as Cm tightens (MHD up to
+1.76 @60 W); (iii) DGEMM Vt up to 1.64 while MHD Vt stays ≈1.
+"""
+
+from conftest import run_once
+
+from repro.experiments.fig2 import format_fig2, run_fig2
+
+
+def test_fig2(benchmark):
+    result = run_once(benchmark, run_fig2)
+
+    dgemm = result.power_panels["dgemm"]
+    assert abs(dgemm.cpu.mean - 100.8) < 3.0
+    assert abs(dgemm.module.mean - 112.8) < 3.5
+    assert 2.2 <= dgemm.dram.worst_case <= 3.4  # paper: 2.84
+    assert 1.2 <= dgemm.module.worst_case <= 1.5  # paper: 1.30
+
+    mhd = result.power_panels["mhd"]
+    assert abs(mhd.cpu.mean - 83.9) < 3.0
+    assert abs(mhd.module.mean - 96.4) < 3.5
+
+    # (ii) Vf grows monotonically as the cap tightens, for both apps.
+    for app, pts in result.cap_points.items():
+        vfs = [p.vf for p in pts]
+        assert all(b >= a - 0.02 for a, b in zip(vfs, vfs[1:])), (app, vfs)
+    mhd_60 = result.cap_points["mhd"][-1]
+    assert mhd_60.cm_w == 60
+    assert 1.5 <= mhd_60.vf <= 2.1  # paper: 1.76
+
+    # (iii) DGEMM spreads, MHD synchronises.
+    dgemm_70 = result.cap_points["dgemm"][-1]
+    assert dgemm_70.vt > 1.4  # paper: 1.64
+    assert all(p.vt < 1.12 for p in result.cap_points["mhd"])  # paper ~1.0
+
+    # Published Ccpu pairs: MHD 90->77.3, 60->50.3; DGEMM 70->60.1.
+    assert abs(result.cap_points["mhd"][0].ccpu_w - 77.3) < 2.5
+    assert abs(result.cap_points["mhd"][-1].ccpu_w - 50.3) < 2.5
+    assert abs(dgemm_70.ccpu_w - 60.1) < 2.5
+
+    print()
+    print(format_fig2(result))

@@ -1,0 +1,19 @@
+"""Bench: execute the Fig 4 workflow end-to-end (the framework diagram)."""
+
+from conftest import run_once
+
+from repro.experiments.fig4 import format_fig4, run_fig4
+
+
+def test_fig4(benchmark):
+    w = run_once(benchmark, run_fig4)
+    # The derived allocations must spend the whole budget (Eq 5 binding)...
+    assert w.solution.total_allocated_w <= w.budget_w * (1 + 1e-9)
+    assert w.solution.total_allocated_w >= w.budget_w * 0.999
+    # ...per-module allocations vary (variation-aware)...
+    assert w.solution.pmodule_w.max() > w.solution.pmodule_w.min() * 1.1
+    # ...and the final run honours the constraint.
+    assert w.result.within_budget
+    assert w.pmt_mean_error < 0.05
+    print()
+    print(format_fig4(w))

@@ -1,0 +1,22 @@
+"""Bench: regenerate Fig 5 (power linear in CPU frequency, R^2 >= 0.99)."""
+
+from conftest import run_once
+
+from repro.experiments.fig5 import format_fig5, run_fig5
+
+
+def test_fig5(benchmark):
+    fits = run_once(benchmark, run_fig5)
+    assert set(fits) == {"dgemm", "mhd"}
+    for fit in fits.values():
+        # Paper: R^2 0.999 (module), 0.999 (CPU), 0.991-0.996 (DRAM).
+        assert fit.module_fit.r2 >= 0.99
+        assert fit.cpu_fit.r2 >= 0.99
+        assert fit.dram_fit.r2 >= 0.99
+        # Positive slopes: power rises with frequency.
+        assert fit.module_fit.slope > 0
+        assert fit.dram_fit.slope > 0
+        # 16 ladder points on the IVB ladder.
+        assert len(fit.freqs_ghz) == 16
+    print()
+    print(format_fig5(fits))

@@ -1,0 +1,50 @@
+"""Bench: regenerate Fig 7 (speedup over the Naive budgeting scheme).
+
+Paper headlines: VaFs max 5.40X / mean 1.86X; VaPc max 4.03X / mean
+1.72X; the variation-aware schemes beat Pc except *STREAM; VaPc trails
+VaPcOr most for NPB-BT; the largest gains land at the tightest (96 kW)
+constraints.
+"""
+
+from conftest import run_once
+
+from repro.experiments.fig7 import format_fig7, run_fig7, summarize_fig7
+
+
+def test_fig7(benchmark):
+    cells = run_once(benchmark, run_fig7)
+    assert len(cells) == 23  # the X cells of Table 4
+    summary = summarize_fig7(cells)
+
+    # Headline magnitudes (paper: 5.40 / 1.86 / 4.03 / 1.72).
+    assert 4.0 <= summary.max["vafs"] <= 7.0
+    assert 1.6 <= summary.mean["vafs"] <= 2.6
+    assert 3.0 <= summary.max["vapc"] <= 6.0
+    assert 1.5 <= summary.mean["vapc"] <= 2.4
+
+    # The maximum lands at a 96 kW (Cm = 50 W) NPB multizone scenario.
+    assert summary.max_cell["vafs"][0] in ("bt", "sp")
+    assert summary.max_cell["vafs"][1] == 50
+
+    by_cell = {(c.app, c.cm_w): c for c in cells}
+
+    # Variation-aware beats variation-unaware Pc everywhere.
+    for c in cells:
+        assert c.speedup["vapc"] >= c.speedup["pc"] - 0.05, (c.app, c.cm_w)
+
+    # VaFs >= VaPc "almost always" (paper found exactly two exceptions).
+    exceptions = [
+        (c.app, c.cm_w) for c in cells if c.speedup["vafs"] < c.speedup["vapc"] - 1e-6
+    ]
+    assert len(exceptions) <= 4, exceptions
+
+    # VaPc visibly trails its oracle for the worst-calibrated app (BT).
+    bt50 = by_cell[("bt", 50)]
+    assert bt50.speedup["vapcor"] > bt50.speedup["vapc"] * 1.1
+
+    # Tightening the constraint increases the variation-aware advantage.
+    assert by_cell[("bt", 50)].speedup["vafs"] > by_cell[("bt", 80)].speedup["vafs"]
+    assert by_cell[("dgemm", 70)].speedup["vafs"] > by_cell[("dgemm", 110)].speedup["vafs"]
+
+    print()
+    print(format_fig7(cells))

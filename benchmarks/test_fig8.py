@@ -1,0 +1,37 @@
+"""Bench: regenerate Fig 8 (detailed VaFs behaviour).
+
+Paper shape: VaFs swaps execution-time variation for power variation
+(panel i) and collapses the MHD synchronisation-time blowup of Fig 3
+back to near-uncapped levels (panel ii).
+"""
+
+from conftest import run_once
+
+from repro.experiments.fig2 import run_fig2
+from repro.experiments.fig8 import format_fig8, run_fig8
+
+
+def test_fig8(benchmark):
+    result = run_once(benchmark, run_fig8)
+
+    # Panel (i): Vt ~ 1 everywhere; Vp grows as the budget tightens.
+    for app, pts in result.power_perf.items():
+        for p in pts:
+            assert p.vt < 1.1, (app, p.cm_w, p.vt)
+        vps = [p.vp for p in pts]
+        assert vps[-1] > vps[0], (app, vps)
+
+    # Cross-check against Fig 2(iii): at DGEMM Cm=70 uniform capping gave
+    # (high Vt, low Vp); VaFs inverts that.
+    fig2 = run_fig2(n_iters=5)
+    uni = next(p for p in fig2.cap_points["dgemm"] if p.cm_w == 70)
+    vafs = next(p for p in result.power_perf["dgemm"] if p.cm_w == 70)
+    assert vafs.vt < uni.vt
+    assert vafs.vp > uni.vp_module
+
+    # Panel (ii): sync-time variation collapses to near-uncapped levels.
+    for p in result.sync:
+        assert p.sync_vt < 3.0, (p.cm_w, p.sync_vt)  # Fig 3 had 16-57+
+
+    print()
+    print(format_fig8(result))

@@ -1,0 +1,30 @@
+"""Bench: regenerate Fig 9 (total power of every scheme vs constraint).
+
+Paper: every scheme adheres to the constraint except Naive on *STREAM,
+whose application-independent PMT underestimates DRAM power.
+"""
+
+from conftest import run_once
+
+from repro.experiments.fig9 import format_fig9, run_fig9, violations
+
+
+def test_fig9(benchmark):
+    cells = run_once(benchmark, run_fig9)
+    v = violations(cells)
+
+    # Violations exist, and all of them are Naive on *STREAM.
+    assert v, "expected Naive/*STREAM to overshoot"
+    assert all(app == "stream" and scheme == "naive" for app, _, scheme, _ in v)
+    # The overshoot is material (paper's bars sit visibly above the line).
+    assert max(over for *_, over in v) > 0.03
+
+    # Every scheme's realised power approaches the budget from below on
+    # the app-aware schemes (power is actually being used, not wasted).
+    for c in cells:
+        for scheme in ("vapc", "vafs"):
+            assert c.total_kw[scheme] <= c.budget_kw * 1.0001
+            assert c.total_kw[scheme] >= c.budget_kw * 0.80
+
+    print()
+    print(format_fig9(cells))

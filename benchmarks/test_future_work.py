@@ -1,0 +1,141 @@
+"""Bench: the paper's Section 7 future-work extensions.
+
+Multi-application power partitioning under a system-level constraint
+and dynamic reallocation at job-finish events — implemented on top of
+the same variation-aware machinery the paper evaluates.
+"""
+
+from conftest import run_once
+
+from repro.apps import get_app
+from repro.cluster import JobScheduler
+from repro.core import Job, generate_pvt, run_dynamic, run_multiapp
+from repro.experiments.common import ha8k, ha8k_pvt
+
+
+def _jobs(system):
+    sched = JobScheduler(system)
+    return [
+        Job("mhd", get_app("mhd"), sched.allocate("mhd", 960)),
+        Job("bt", get_app("bt"), sched.allocate("bt", 480)),
+        Job("mvmc", get_app("mvmc"), sched.allocate("mvmc", 480)),
+    ]
+
+
+def test_multiapp_throughput_policy(benchmark):
+    system = ha8k(1920)
+    pvt = ha8k_pvt(1920)
+    jobs = _jobs(system)
+    total = 65.0 * 1920
+
+    def run():
+        uni = run_multiapp(system, jobs, total, policy="uniform", pvt=pvt, n_iters=20)
+        thr = run_multiapp(
+            system, jobs, total, policy="throughput", pvt=pvt, n_iters=20
+        )
+        return uni, thr
+
+    uni, thr = run_once(benchmark, run)
+    assert uni.within_budget and thr.within_budget
+    assert thr.throughput >= uni.throughput
+    print(
+        f"\nuniform {uni.throughput:.1f} ranks/s vs throughput-greedy "
+        f"{thr.throughput:.1f} ranks/s under {total / 1e3:.0f} kW"
+    )
+
+
+def test_phase_aware_budgeting(benchmark):
+    from repro.apps.phases import GMRES_LIKE
+    from repro.core.phase_budget import run_phase_aware
+
+    system = ha8k(1920)
+    pvt = ha8k_pvt(1920)
+    res = run_once(
+        benchmark,
+        run_phase_aware,
+        system,
+        GMRES_LIKE,
+        75.0 * 1920,
+        pvt=pvt,
+        n_iters=30,
+    )
+    assert res.aggregate_violates  # single-alpha planning breaks the budget
+    assert res.phased_within_budget
+    assert res.speedup_vs_conservative > 1.02
+    print(
+        f"\nphase-aware vs conservative static: {res.speedup_vs_conservative:.3f}x; "
+        f"peaks [kW]: aggregate {res.aggregate_peak_power_w / 1e3:.1f} (VIOLATES), "
+        f"conservative {res.conservative_peak_power_w / 1e3:.1f}, "
+        f"phased {res.phased_peak_power_w / 1e3:.1f} "
+        f"(budget {res.budget_w / 1e3:.1f})"
+    )
+
+
+def test_hetero_frequency_baseline(benchmark):
+    """The §2.2 trade-off, measured: LP-optimal heterogeneous frequencies
+    (Totoni-style) vs the paper's common frequency."""
+    from repro.core.hetero import compare_hetero_vs_common
+
+    system = ha8k(1920)
+    pvt = ha8k_pvt(1920)
+    res = run_once(
+        benchmark,
+        compare_hetero_vs_common,
+        system,
+        get_app("mhd"),
+        70.0 * 1920,
+        pvt=pvt,
+        n_iters=20,
+    )
+    assert res.no_rebalance_slowdown_vs_vafs > 1.1
+    assert res.rebalanced_speedup_over_vafs < 1.05
+    print(
+        f"\nheterogeneous LP: +{(res.hetero_rate_gain - 1) * 100:.1f}% total rate, "
+        f"but {res.no_rebalance_slowdown_vs_vafs:.2f}x SLOWER without runtime "
+        f"rebalancing and {res.rebalanced_speedup_over_vafs:.3f}x vs VaFs at 95% "
+        f"migration efficiency — the paper's case for a common frequency"
+    )
+
+
+def test_power_aware_resource_manager(benchmark):
+    """§7: RMAP-style power-aware admission (overprovisioning) vs
+    worst-case provisioning on a power-scarce machine."""
+    from repro.core.resource_manager import JobRequest, PowerAwareRM
+
+    system = ha8k(1920)
+    pvt = ha8k_pvt(1920)
+    reqs = [
+        JobRequest("mhd", get_app("mhd"), 480, arrival_s=0.0),
+        JobRequest("bt", get_app("bt"), 480, arrival_s=2.0),
+        JobRequest("sp", get_app("sp"), 480, arrival_s=4.0),
+        JobRequest("mvmc", get_app("mvmc"), 480, arrival_s=6.0),
+    ]
+    total = 62.0 * 1920
+
+    def run():
+        aware = PowerAwareRM(system, pvt, total, admission="power-aware").run(reqs)
+        worst = PowerAwareRM(system, pvt, total, admission="worst-case").run(reqs)
+        return aware, worst
+
+    aware, worst = run_once(benchmark, run)
+    assert aware.makespan_s < worst.makespan_s
+    print(
+        f"\npower-aware admission: makespan {aware.makespan_s:.0f}s, "
+        f"mean wait {aware.mean_wait_s:.0f}s | worst-case provisioning: "
+        f"{worst.makespan_s:.0f}s, {worst.mean_wait_s:.0f}s"
+    )
+
+
+def test_dynamic_reallocation(benchmark):
+    system = ha8k(1920)
+    pvt = ha8k_pvt(1920)
+    sched = JobScheduler(system)
+    jobs = [
+        Job("short", get_app("bt").with_(default_iters=80), sched.allocate("s", 960)),
+        Job("long", get_app("mhd").with_(default_iters=400), sched.allocate("l", 960)),
+    ]
+    res = run_once(
+        benchmark, run_dynamic, system, jobs, 65.0 * 1920, pvt=pvt
+    )
+    assert res.makespan_speedup >= 1.0
+    print(f"\nmakespan speedup from finish-event reallocation: {res.makespan_speedup:.2f}x")

@@ -1,0 +1,26 @@
+"""Bench: the overprovisioning trade-off under a facility power bound.
+
+Context for the paper's Section 2.2: overprovisioned systems choose
+width vs per-module power; variation-aware budgeting applies at every
+width.
+"""
+
+from conftest import run_once
+
+from repro.experiments.overprovisioning import (
+    best_point,
+    format_overprovisioning,
+    run_overprovisioning,
+)
+
+
+def test_overprovisioning(benchmark):
+    points = run_once(benchmark, run_overprovisioning)
+    best = best_point(points)
+    feasible = [p for p in points if p.feasible]
+    # Overprovisioning beats worst-case (TDP) provisioning...
+    assert best.makespan_s < feasible[0].makespan_s
+    # ...but unbounded width is infeasible (fmin floor).
+    assert any(not p.feasible for p in points)
+    print()
+    print(format_overprovisioning(points))

@@ -1,0 +1,13 @@
+"""Bench: regenerate Table 1 (measurement-technique matrix)."""
+
+from conftest import run_once
+
+from repro.experiments.table1 import format_table1, run_table1
+
+
+def test_table1(benchmark):
+    specs = run_once(benchmark, run_table1)
+    assert [s.technique for s in specs] == ["RAPL", "PowerInsight", "BGQ EMON"]
+    assert [s.supports_capping for s in specs] == [True, False, False]
+    print()
+    print(format_table1(specs))

@@ -1,0 +1,17 @@
+"""Bench: regenerate Table 2 (architectures under consideration)."""
+
+from conftest import run_once
+
+from repro.experiments.table2 import format_table2, run_table2
+
+
+def test_table2(benchmark):
+    rows = run_once(benchmark, run_table2)
+    assert len(rows) == 4
+    by_site = {r.site.split()[0].lower(): r for r in rows}
+    assert by_site["cab"].total_nodes == 1296
+    assert by_site["bg/q"].total_nodes == 24576
+    assert by_site["teller"].total_nodes == 104
+    assert by_site["ha8k"].total_nodes == 960
+    print()
+    print(format_table2(rows))

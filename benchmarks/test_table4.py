@@ -1,0 +1,15 @@
+"""Bench: regenerate Table 4 (constraint feasibility matrix).
+
+The regenerated matrix must match the paper's cell-for-cell.
+"""
+
+from conftest import run_once
+
+from repro.experiments.table4 import format_table4, run_table4
+
+
+def test_table4(benchmark):
+    result = run_once(benchmark, run_table4)
+    assert result.matches_paper, result.mismatches
+    print()
+    print(format_table4(result))

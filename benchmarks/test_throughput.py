@@ -1,0 +1,19 @@
+"""Bench: job-stream throughput under power-aware vs worst-case admission.
+
+The §7 end-state: RMAP-style overprovisioned admission on a
+power-scarce machine cuts queue wait; the gap appears under load.
+"""
+
+from conftest import run_once
+
+from repro.experiments.throughput import format_throughput, run_throughput
+
+
+def test_throughput(benchmark):
+    points = run_once(benchmark, run_throughput)
+    for p in points:
+        assert p.wait_aware_s <= p.wait_worst_s + 1e-9
+        assert p.turnaround_gain >= 0.9
+    assert points[-1].wait_worst_s > points[-1].wait_aware_s
+    print()
+    print(format_throughput(points))

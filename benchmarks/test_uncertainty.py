@@ -1,0 +1,15 @@
+"""Bench: headline speedups across independent variation draws."""
+
+from conftest import run_once
+
+from repro.experiments.uncertainty import format_uncertainty, run_uncertainty
+
+
+def test_uncertainty(benchmark):
+    rows = run_once(benchmark, run_uncertainty)
+    # Every cell's advantage holds at its worst draw.
+    for r in rows:
+        assert r.vmin > 1.5, (r.app, r.scheme, r.vmin)
+        assert r.n_seeds >= 4
+    print()
+    print(format_uncertainty(rows))

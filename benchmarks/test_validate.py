@@ -1,0 +1,15 @@
+"""Bench: the full validation sweep — every headline claim, paper vs
+measured, at published scale."""
+
+from conftest import run_once
+
+from repro.experiments.validate import format_validation, run_validation
+
+
+def test_validate(benchmark):
+    checks = run_once(benchmark, run_validation)
+    failed = [c.name for c in checks if not c.passed]
+    assert not failed, f"failed checks: {failed}"
+    assert len(checks) >= 15
+    print()
+    print(format_validation(checks))

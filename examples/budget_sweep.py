@@ -1,0 +1,43 @@
+#!/usr/bin/env python
+"""Sweep power budgets across all six allocation schemes (mini Fig 7+9).
+
+For NPB-BT on a 384-module HA8K slice, sweep the module-average budget
+from comfortable (80 W) to starvation (50 W) and print, per scheme, the
+speedup over Naïve and the realised total power vs the constraint.
+
+Run:  python examples/budget_sweep.py
+"""
+
+from repro.apps import get_app
+from repro.cluster import build_system
+from repro.core import generate_pvt, run_budgeted, list_schemes
+from repro.util import render_table
+
+N_MODULES = 384
+system = build_system("ha8k", n_modules=N_MODULES, seed=2015)
+pvt = generate_pvt(system)
+app = get_app("bt")
+
+rows = []
+for cm in (80, 70, 60, 50):
+    budget_w = float(cm) * N_MODULES
+    naive = run_budgeted(system, app, "naive", budget_w, pvt=pvt, n_iters=40)
+    row: list[object] = [f"{cm} W", f"{budget_w / 1e3:.1f} kW"]
+    for scheme in list_schemes():
+        r = run_budgeted(system, app, scheme, budget_w, pvt=pvt, n_iters=40)
+        flag = "" if r.within_budget else "!"
+        row.append(f"{r.speedup_over(naive):.2f}x/{r.total_power_w / 1e3:.1f}kW{flag}")
+    rows.append(row)
+
+print(
+    render_table(
+        ["Cm", "Budget"] + list_schemes(),
+        rows,
+        title=f"NPB-BT on {N_MODULES} modules: speedup over Naive / realised power",
+    )
+)
+print(
+    "\nReading: speedups grow as the budget tightens; the oracle-calibrated"
+    "\nschemes (VaPcOr/VaFsOr) bound what the PVT calibration (VaPc/VaFs)"
+    "\ncan achieve; no scheme exceeds its budget ('!' would flag it)."
+)

@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Multiple applications under one system power budget (paper §7).
+
+The paper's future work: "analyzing multiple applications under a
+system-level power constraint and optimizing for overall system
+throughput" and "dynamic reallocation of power within and between HPC
+applications".  Both are implemented as extensions here:
+
+1. partition one system budget across jobs (uniform / demand /
+   throughput policies), budget each job variation-aware;
+2. when a job finishes, re-budget the survivors with the freed power.
+
+Run:  python examples/multi_application.py
+"""
+
+from repro.apps import get_app
+from repro.cluster import JobScheduler, build_system
+from repro.core import (
+    Job,
+    generate_pvt,
+    run_dynamic,
+    run_multiapp,
+)
+
+system = build_system("ha8k", n_modules=512, seed=2015)
+pvt = generate_pvt(system)
+sched = JobScheduler(system)
+
+jobs = [
+    Job("weather-mhd", get_app("mhd"), sched.allocate("weather-mhd", 256)),
+    Job("cfd-bt", get_app("bt"), sched.allocate("cfd-bt", 128)),
+    Job("qmc-mvmc", get_app("mvmc"), sched.allocate("qmc-mvmc", 128)),
+]
+total_budget = 65.0 * 512  # 33.3 kW for the whole machine
+
+print(f"system budget: {total_budget / 1e3:.1f} kW, {len(jobs)} jobs\n")
+
+# --- static partitioning policies -------------------------------------------
+for policy in ("uniform", "demand", "throughput"):
+    res = run_multiapp(
+        system, jobs, total_budget, policy=policy, pvt=pvt, n_iters=40
+    )
+    shares = ", ".join(
+        f"{name}={w / 1e3:.1f}kW" for name, w in res.partition.job_budget_w.items()
+    )
+    print(f"{policy:>11}: {shares}")
+    print(
+        f"{'':>11}  throughput={res.throughput:.1f} ranks/s, "
+        f"power {res.total_power_w / 1e3:.1f} kW, "
+        f"within budget: {res.within_budget}"
+    )
+
+# --- dynamic reallocation at job-finish events --------------------------------
+short_long = [
+    Job("short-bt", get_app("bt").with_(default_iters=80), jobs[1].allocation),
+    Job("long-mhd", get_app("mhd").with_(default_iters=400), jobs[0].allocation),
+]
+dyn = run_dynamic(system, short_long, 65.0 * 384, pvt=pvt)
+print("\ndynamic reallocation (short BT + long MHD):")
+for name, tl in dyn.dynamic.items():
+    path = " -> ".join(f"{b / 1e3:.1f}kW" for _, b, _ in tl.epochs)
+    print(
+        f"  {name}: budgets {path}; finish {tl.finish_s:.0f}s "
+        f"(static: {dyn.static_finish_s[name]:.0f}s)"
+    )
+print(f"  makespan speedup from reallocation: {dyn.makespan_speedup:.2f}x")

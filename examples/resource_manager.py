@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""A day in the life of a power-aware resource manager (paper §7).
+
+A stream of jobs arrives at a power-constrained, overprovisioned
+machine.  The RMAP-style manager admits a job when its modules are free
+and its *fmin power floor* fits, then re-partitions the system budget
+across the running jobs at every arrival/completion; each job's share
+is turned into module-level allocations by the variation-aware
+machinery.  The worst-case manager reserves every job's uncapped draw —
+the TDP-era policy — and leaves power stranded.
+
+Run:  python examples/resource_manager.py
+"""
+
+from repro.cluster import build_system
+from repro.cluster.workloads import WorkloadSpec, generate_workload
+from repro.core import PowerAwareRM, generate_pvt
+
+system = build_system("ha8k", n_modules=512, seed=2015)
+pvt = generate_pvt(system)
+
+spec = WorkloadSpec(
+    n_jobs=10,
+    mean_interarrival_s=8.0,
+    min_modules=64,
+    max_modules=192,
+    width_quantum=32,
+)
+requests = generate_workload(spec, system.rng.rng("demo-workload"))
+total_kw = 62.0 * system.n_modules / 1e3
+print(f"machine: {system.n_modules} modules, budget {total_kw:.1f} kW")
+print(f"workload: {len(requests)} jobs, widths "
+      f"{min(r.n_modules for r in requests)}-{max(r.n_modules for r in requests)} modules\n")
+
+for admission in ("power-aware", "worst-case"):
+    rm = PowerAwareRM(
+        system, pvt, total_kw * 1e3, admission=admission, partition_policy="demand"
+    )
+    result = rm.run(requests)
+    print(f"{admission} admission:")
+    print(
+        f"  makespan {result.makespan_s:.0f} s, mean queue wait "
+        f"{result.mean_wait_s:.0f} s, mean turnaround "
+        f"{result.mean_turnaround_s:.0f} s"
+    )
+    timeline = sorted(result.outcomes.values(), key=lambda o: o.start_s)[:4]
+    for o in timeline:
+        print(
+            f"    {o.name}: arrived {o.arrival_s:5.0f}  started {o.start_s:5.0f}"
+            f"  finished {o.finish_s:5.0f}"
+        )
+    print()
+
+print(
+    "Power-aware admission starts jobs sooner by running the machine wide\n"
+    "and slow — exactly the overprovisioning argument the paper builds on."
+)

@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Survey manufacturing variability across four production systems.
+
+Reproduces the Section 4.1 study (Fig 1) interactively: runs the
+single-socket EP probe on Cab, Vulcan, Teller and HA8K, measures power
+with each site's native technique (RAPL / EMON / PowerInsight), and
+prints the variation statistics — including the MSR-level view of the
+RAPL systems.
+
+Run:  python examples/variability_survey.py
+"""
+
+import numpy as np
+
+from repro.apps import get_app
+from repro.cluster import build_system
+from repro.hardware import OperatingPoint
+from repro.measurement.msr import MSR_PKG_ENERGY_STATUS
+from repro.util import variation_summary
+
+SIZES = {"cab": 512, "vulcan": 512, "teller": 64, "ha8k": 512}
+
+ep = get_app("ep")
+
+for name, n in SIZES.items():
+    system = build_system(name, n_modules=n, seed=2015)
+    truth = ep.specialize(system.modules, system.rng.rng("app-residual/ep"))
+    op = OperatingPoint.uniform(n, system.arch.fmax, ep.signature)
+
+    meter = system.meter()
+    duration = 1.0 if system.meter_kind == "rapl" else None
+    reading = meter.read(op, duration_s=duration)
+
+    cpu = variation_summary(reading.cpu_w)
+    unit = "board" if system.meter_kind == "emon" else "socket"
+    print(f"\n{name} ({system.arch.vendor} {system.arch.model}, {system.meter_kind})")
+    print(f"  CPU power per {unit}: {cpu}")
+
+    # Performance side: EP run time per module.
+    rates = truth.work_rate(np.full(n, system.arch.fmax))
+    perf = variation_summary(1.0 / rates)
+    print(f"  EP time per socket : {perf}")
+
+    # On RAPL systems, peek at the raw energy counter the reading used.
+    if system.meter_kind == "rapl":
+        raw = meter.msr.read(0, MSR_PKG_ENERGY_STATUS)
+        joules = meter.msr.energy_joules(MSR_PKG_ENERGY_STATUS)[0]
+        print(f"  MSR 0x611 (module 0): raw={raw:#x} -> {joules:.2f} J accumulated")
+
+print(
+    "\npaper: Cab up to 23% CPU-power variation, Vulcan 11%, Teller 21% "
+    "power + 17% performance; performance flat on frequency-binned parts"
+)

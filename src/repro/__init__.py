@@ -1,0 +1,121 @@
+"""repro — variation-aware power budgeting for power-constrained HPC.
+
+A from-scratch reproduction of *"Analyzing and Mitigating the Impact of
+Manufacturing Variability in Power-Constrained Supercomputing"*
+(Inadomi et al., SC '15), including every substrate the paper relies on:
+
+* a manufacturing-variability and power model for four production
+  microarchitectures (:mod:`repro.hardware`),
+* emulated power measurement — RAPL on MSRs, BG/Q EMON, PowerInsight
+  (:mod:`repro.measurement`) — and actuation — RAPL capping,
+  cpufrequtils (:mod:`repro.control`),
+* cluster configurations, topology and job scheduling
+  (:mod:`repro.cluster`),
+* a vectorised bulk-synchronous MPI application simulator
+  (:mod:`repro.simmpi`) with the paper's seven benchmarks
+  (:mod:`repro.apps`),
+* the variation-aware budgeting framework itself — PVT, PMT
+  calibration, the α-solve, six allocation schemes, and an end-to-end
+  runner (:mod:`repro.core`),
+* an experiment harness regenerating every table and figure
+  (:mod:`repro.experiments`).
+
+Quickstart::
+
+    from repro import build_system, generate_pvt, get_app, run_budgeted
+
+    system = build_system("ha8k", n_modules=256, seed=2015)
+    pvt = generate_pvt(system)
+    result = run_budgeted(system, get_app("mhd"), "vafs",
+                          70.0 * system.n_modules, pvt=pvt)
+    print(result.makespan_s, result.total_power_w, result.within_budget)
+"""
+
+from repro.apps import APPS, AppModel, get_app, list_apps
+from repro.cluster import JobScheduler, System, build_system
+from repro.core import (
+    ALL_SCHEMES,
+    BudgetSolution,
+    LinearPowerModel,
+    PowerModelTable,
+    PowerVariationTable,
+    RunResult,
+    Scheme,
+    calibrate_pmt,
+    classify_constraint,
+    generate_pvt,
+    get_scheme,
+    instrument,
+    list_schemes,
+    naive_pmt,
+    oracle_pmt,
+    run_budgeted,
+    run_uncapped,
+    single_module_test_run,
+    solve_alpha,
+)
+from repro.errors import (
+    CappingUnsupportedError,
+    ConfigurationError,
+    InfeasibleBudgetError,
+    MeasurementError,
+    ReproError,
+)
+from repro.hardware import (
+    Microarchitecture,
+    Module,
+    ModuleArray,
+    OperatingPoint,
+    PowerSignature,
+    get_microarch,
+    list_microarchs,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # apps
+    "APPS",
+    "AppModel",
+    "get_app",
+    "list_apps",
+    # cluster
+    "System",
+    "build_system",
+    "JobScheduler",
+    # core
+    "ALL_SCHEMES",
+    "BudgetSolution",
+    "LinearPowerModel",
+    "PowerModelTable",
+    "PowerVariationTable",
+    "RunResult",
+    "Scheme",
+    "calibrate_pmt",
+    "classify_constraint",
+    "generate_pvt",
+    "get_scheme",
+    "instrument",
+    "list_schemes",
+    "naive_pmt",
+    "oracle_pmt",
+    "run_budgeted",
+    "run_uncapped",
+    "single_module_test_run",
+    "solve_alpha",
+    # hardware
+    "Microarchitecture",
+    "Module",
+    "ModuleArray",
+    "OperatingPoint",
+    "PowerSignature",
+    "get_microarch",
+    "list_microarchs",
+    # errors
+    "ReproError",
+    "ConfigurationError",
+    "InfeasibleBudgetError",
+    "MeasurementError",
+    "CappingUnsupportedError",
+]

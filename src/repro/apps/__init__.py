@@ -1,0 +1,22 @@
+"""Benchmark application models (paper Section 3.3).
+
+Each application is characterised along the four axes that drive every
+per-app difference in the paper's results:
+
+1. **Power signature** — how hard it drives the CPU and DRAM domains
+   (and how strongly DRAM traffic couples to CPU frequency);
+2. **CPU-boundedness** — the fraction of compute time that scales with
+   clock frequency;
+3. **Communication pattern** — none (*DGEMM, *STREAM), a final reduction
+   (EP), per-iteration halo exchanges (BT, SP, MHD), or per-iteration
+   reductions (mVMC);
+4. **Calibration residual** — how well the *STREAM-derived PVT predicts
+   this app's per-module power (worst for NPB-BT: ~10 %, Section 5.3).
+
+The registry exposes all seven benchmarks from the paper.
+"""
+
+from repro.apps.base import AppModel, CommSpec
+from repro.apps.registry import APPS, get_app, list_apps
+
+__all__ = ["AppModel", "CommSpec", "APPS", "get_app", "list_apps"]

@@ -1,0 +1,37 @@
+"""NPB BT-MZ — Block Tri-diagonal multizone solver (Class E, MPI+OpenMP).
+
+Two properties of BT matter for the paper's results:
+
+* per-iteration zone-boundary exchanges synchronise neighbouring ranks,
+  so under a cap its completion time tracks the slowest module (like
+  MHD, unlike *DGEMM);
+* it is the *worst-predicted* application: its per-module power
+  expression deviates most from the *STREAM-derived PVT (~10 % error,
+  Section 5.3), which is why VaPc visibly trails the oracle VaPcOr for
+  BT in Fig 7.  We give it the largest expression residual.
+
+Its moderate power draw (module ≈82 W at fmax, ≈49 W at fmin) keeps it
+operable down to Cm = 50 W — the 96 kW column of Table 4 where the
+paper's headline 5.4X VaFs speedup occurs.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import AppModel, CommSpec
+from repro.hardware.power_model import PowerSignature
+
+__all__ = ["BT"]
+
+BT = AppModel(
+    name="bt",
+    signature=PowerSignature(
+        cpu_activity=0.60, dram_activity=0.21, dram_freq_coupling=1.0
+    ),
+    cpu_bound_fraction=0.80,
+    iter_seconds_fmax=0.4,
+    default_iters=200,
+    comm=CommSpec(kind="neighbor", ndim=2, message_bytes=256 * 1024),
+    residual_sigma_dyn=0.055,
+    residual_sigma_dram=0.045,
+    description="NPB BT-MZ Class E, hybrid MPI+OpenMP",
+)

@@ -1,0 +1,34 @@
+"""*DGEMM — compute-bound matrix multiply (HPC Challenge / HPL kernel).
+
+The paper runs the thread-parallelised Intel MKL DGEMM with a
+12,288×12,288 matrix per module.  Characteristics that matter here:
+
+* near-peak CPU activity (calibrated so a nominal HA8K module draws
+  ≈100.8 W CPU / ≈112.8 W module at fmax, matching Fig 2(i));
+* almost fully CPU-bound (κ = 0.97) — capping translates nearly 1:1
+  into slowdown;
+* embarrassingly parallel across MPI ranks: *no* synchronisation, so
+  per-rank times diverge freely and Vt reaches 1.64 at Cm = 70 W
+  (Fig 2(iii)).
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import AppModel, CommSpec
+from repro.hardware.power_model import PowerSignature
+
+__all__ = ["DGEMM"]
+
+DGEMM = AppModel(
+    name="dgemm",
+    signature=PowerSignature(
+        cpu_activity=0.941, dram_activity=0.25, dram_freq_coupling=1.0
+    ),
+    cpu_bound_fraction=0.97,
+    iter_seconds_fmax=4.0,
+    default_iters=20,
+    comm=CommSpec(kind="none"),
+    residual_sigma_dyn=0.012,
+    residual_sigma_dram=0.012,
+    description="HPCC *DGEMM, MKL thread-parallel, 12288x12288 per module",
+)

@@ -1,0 +1,29 @@
+"""NPB EP — Embarrassingly Parallel Gaussian-variate generation (Class D).
+
+The paper's probe workload for the Fig 1 variability study, chosen
+because it is CPU-bound with a cache-resident working set, has no
+communication until the final tally reduction, and shows <0.5 % per-run
+noise — so any measured spread is manufacturing variability, nothing
+else.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import AppModel, CommSpec
+from repro.hardware.power_model import PowerSignature
+
+__all__ = ["EP"]
+
+EP = AppModel(
+    name="ep",
+    signature=PowerSignature(
+        cpu_activity=0.85, dram_activity=0.05, dram_freq_coupling=1.0
+    ),
+    cpu_bound_fraction=0.985,
+    iter_seconds_fmax=3.0,
+    default_iters=10,
+    comm=CommSpec(kind="none", final_allreduce=True),
+    residual_sigma_dyn=0.010,
+    residual_sigma_dram=0.010,
+    description="NPB EP Class D, MPI, Marsaglia polar method",
+)

@@ -1,0 +1,30 @@
+"""mVMC-mini — many-variable variational Monte Carlo (FIBER suite).
+
+RIKEN AICS's strongly-correlated-electron mini-app, middle-scale
+setting.  Monte Carlo sampling with per-iteration parameter reductions:
+the allreduce synchronises all ranks every optimisation step, so — like
+MHD and the NPB multizone codes — variation manifests as wait time
+rather than completion-time spread ("NPB-BT, NPB-SP and mVMC are more
+similar to MHD", Section 4.3).
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import AppModel, CommSpec
+from repro.hardware.power_model import PowerSignature
+
+__all__ = ["MVMC"]
+
+MVMC = AppModel(
+    name="mvmc",
+    signature=PowerSignature(
+        cpu_activity=0.68, dram_activity=0.20, dram_freq_coupling=1.0
+    ),
+    cpu_bound_fraction=0.82,
+    iter_seconds_fmax=0.8,
+    default_iters=100,
+    comm=CommSpec(kind="allreduce", message_bytes=64 * 1024),
+    residual_sigma_dyn=0.02,
+    residual_sigma_dram=0.02,
+    description="mVMC-mini (FIBER), middle-scale, MPI Monte Carlo",
+)

@@ -1,0 +1,35 @@
+"""Registry of the paper's seven benchmarks."""
+
+from __future__ import annotations
+
+from repro.apps.base import AppModel
+from repro.apps.bt import BT
+from repro.apps.dgemm import DGEMM
+from repro.apps.ep import EP
+from repro.apps.mhd import MHD
+from repro.apps.mvmc import MVMC
+from repro.apps.sp import SP
+from repro.apps.stream import STREAM
+from repro.errors import ConfigurationError
+
+__all__ = ["APPS", "get_app", "list_apps"]
+
+#: All benchmarks, keyed by name.
+APPS: dict[str, AppModel] = {
+    app.name: app for app in (DGEMM, STREAM, EP, BT, SP, MHD, MVMC)
+}
+
+
+def get_app(name: str) -> AppModel:
+    """Look up a benchmark by name (case-insensitive, '*' prefix ignored)."""
+    key = name.lower().lstrip("*")
+    try:
+        return APPS[key]
+    except KeyError:
+        known = ", ".join(sorted(APPS))
+        raise ConfigurationError(f"unknown application {name!r}; known: {known}") from None
+
+
+def list_apps() -> list[str]:
+    """Names of all registered benchmarks, sorted."""
+    return sorted(APPS)

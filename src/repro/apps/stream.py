@@ -1,0 +1,40 @@
+"""*STREAM — sustainable memory bandwidth (HPC Challenge).
+
+The paper's AVX-optimised, OpenMP+MPI *STREAM with 24 GB vectors.  Two
+roles in the study:
+
+1. It is the microbenchmark used to generate the system PVT, because it
+   "exhibited both memory and CPU boundedness" — its expression residual
+   is zero by construction (the PVT sees the system through *STREAM's
+   eyes).
+2. Its DRAM power is large (≈33 W at fmax on a nominal module) and only
+   weakly coupled to CPU frequency (bandwidth saturation), which is why
+   the Naïve scheme — whose PMT assumes TDP-proportioned DRAM power —
+   underestimates *STREAM's DRAM draw and overshoots the global budget
+   (Fig 9, the one constraint violation in the evaluation).
+
+Under CPU power caps *STREAM still slows down (uncore/issue-rate
+effects), which the paper observes as "trends similar to *DGEMM"; we use
+κ = 0.60.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import AppModel, CommSpec
+from repro.hardware.power_model import PowerSignature
+
+__all__ = ["STREAM"]
+
+STREAM = AppModel(
+    name="stream",
+    signature=PowerSignature(
+        cpu_activity=0.66, dram_activity=1.0, dram_freq_coupling=0.25
+    ),
+    cpu_bound_fraction=0.60,
+    iter_seconds_fmax=1.5,
+    default_iters=50,
+    comm=CommSpec(kind="none"),
+    residual_sigma_dyn=0.0,
+    residual_sigma_dram=0.0,
+    description="HPCC *STREAM, AVX + OpenMP, 24 GB vectors per module",
+)

@@ -1,0 +1,100 @@
+"""Command-line entry point: ``python -m repro <experiment>``.
+
+Lists and runs the paper's tables/figures and the ablation studies::
+
+    python -m repro list
+    python -m repro fig7
+    python -m repro table4 --modules 512
+    python -m repro all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Callable
+
+__all__ = ["main", "EXPERIMENTS"]
+
+
+def _lazy(module: str) -> Callable[[], None]:
+    def runner() -> None:
+        import importlib
+
+        importlib.import_module(f"repro.experiments.{module}").main()
+
+    return runner
+
+
+#: Experiment name -> (description, runner).
+EXPERIMENTS: dict[str, tuple[str, Callable[[], None]]] = {
+    "table1": ("power measurement techniques", _lazy("table1")),
+    "table2": ("architectures under consideration", _lazy("table2")),
+    "table4": ("constraint feasibility matrix", _lazy("table4")),
+    "fig1": ("power/perf variation on Cab, Vulcan, Teller", _lazy("fig1")),
+    "fig2": ("HA8K module power & performance variation", _lazy("fig2")),
+    "fig3": ("MHD synchronisation overhead under caps", _lazy("fig3")),
+    "fig4": ("the budgeting workflow, executed end to end", _lazy("fig4")),
+    "fig5": ("power vs frequency linearity", _lazy("fig5")),
+    "fig6": ("PMT calibration accuracy", _lazy("fig6_calibration")),
+    "fig7": ("speedup over the Naive scheme", _lazy("fig7")),
+    "fig8": ("VaFs detailed behaviour", _lazy("fig8")),
+    "fig9": ("total power vs constraint", _lazy("fig9")),
+    "ablations": ("DESIGN.md §5 design-decision ablations", _lazy("ablations")),
+    "validate": ("headline claims vs measured, PASS/FAIL", _lazy("validate")),
+    "sensitivity": ("headline robustness to model knobs", _lazy("sensitivity")),
+    "overprovisioning": (
+        "width vs per-module power under a facility bound",
+        _lazy("overprovisioning"),
+    ),
+    "throughput": (
+        "job-stream throughput: power-aware vs worst-case admission",
+        _lazy("throughput"),
+    ),
+    "binning": ("frequency vs power binning counterfactual", _lazy("binning")),
+    "energy": ("energy-to-solution vs budget (race-to-fmax)", _lazy("energy")),
+    "report": ("write reproduction_report.md", _lazy("report")),
+    "uncertainty": ("headline speedups across variation draws", _lazy("uncertainty")),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the tables and figures of the SC'15 "
+        "manufacturing-variability paper.",
+    )
+    parser.add_argument(
+        "experiment",
+        help="experiment name, 'list' to enumerate, or 'all' to run everything",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Run the CLI; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    name = args.experiment.lower()
+
+    if name == "list":
+        width = max(len(k) for k in EXPERIMENTS)
+        for key, (desc, _) in EXPERIMENTS.items():
+            print(f"{key.ljust(width)}  {desc}")
+        return 0
+
+    if name == "all":
+        for key, (_, runner) in EXPERIMENTS.items():
+            print(f"######## {key}")
+            runner()
+            print()
+        return 0
+
+    try:
+        _, runner = EXPERIMENTS[name]
+    except KeyError:
+        known = ", ".join(EXPERIMENTS)
+        print(f"unknown experiment {name!r}; known: list, all, {known}", file=sys.stderr)
+        return 2
+    runner()
+    return 0

@@ -1,0 +1,127 @@
+"""Factories for the paper's four systems (Table 2).
+
+=========  =========================  =======  ======  ===========  ========
+System     Microarchitecture          Nodes    Procs   Measurement  Capping
+=========  =========================  =======  ======  ===========  ========
+Cab        Intel Sandy Bridge         1,296    2/node  RAPL         yes*
+Vulcan     IBM BG/Q PowerPC A2        24,576   1/node  EMON         no
+Teller     AMD Piledriver             104      1/node  PowerInsight no
+HA8K       Intel Ivy Bridge           960      2/node  RAPL         yes
+=========  =========================  =======  ======  ===========  ========
+
+(*) Cab supports RAPL but DRAM measurement is unavailable there due to
+BIOS restrictions, and the paper enforced no caps on Cab.
+
+``n_modules`` defaults to the full machine but can be overridden for the
+subset sizes the paper actually measured (2,386 sockets on Cab, 48 node
+boards = 1,536 chips on Vulcan, 64 sockets on Teller, 1,920 modules on
+HA8K).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.cluster.system import System
+from repro.errors import ConfigurationError
+from repro.hardware.microarch import (
+    BGQ_POWERPC_A2,
+    IVY_BRIDGE_E5_2697V2,
+    PILEDRIVER_A10_5800K,
+    SANDY_BRIDGE_E5_2670,
+)
+
+__all__ = ["build_system", "SYSTEM_FACTORIES"]
+
+
+def _cab(n_modules: int | None, seed: int) -> System:
+    return System.create(
+        "cab",
+        SANDY_BRIDGE_E5_2670,
+        n_modules if n_modules is not None else 1296 * 2,
+        procs_per_node=2,
+        meter_kind="rapl",
+        seed=seed,
+        dram_measurable=False,
+    )
+
+
+def _vulcan(n_modules: int | None, seed: int) -> System:
+    return System.create(
+        "vulcan",
+        BGQ_POWERPC_A2,
+        n_modules if n_modules is not None else 24576,
+        procs_per_node=1,
+        meter_kind="emon",
+        seed=seed,
+        # The 32 compute cards of a node board share DCAs and a thermal
+        # environment, so part of their variation is board-correlated —
+        # the component EMON's board-level measurement can actually see.
+        variation_group_size=32,
+    )
+
+
+def _teller(n_modules: int | None, seed: int) -> System:
+    return System.create(
+        "teller",
+        PILEDRIVER_A10_5800K,
+        n_modules if n_modules is not None else 104,
+        procs_per_node=1,
+        meter_kind="powerinsight",
+        seed=seed,
+    )
+
+
+def _ha8k(n_modules: int | None, seed: int) -> System:
+    return System.create(
+        "ha8k",
+        IVY_BRIDGE_E5_2697V2,
+        n_modules if n_modules is not None else 960 * 2,
+        procs_per_node=2,
+        meter_kind="rapl",
+        seed=seed,
+    )
+
+
+#: Registered system factories, keyed by lowercase site name.
+SYSTEM_FACTORIES: dict[str, Callable[[int | None, int], System]] = {
+    "cab": _cab,
+    "vulcan": _vulcan,
+    "teller": _teller,
+    "ha8k": _ha8k,
+}
+
+#: Module counts the paper's measurements actually covered.
+PAPER_STUDY_SIZES: dict[str, int] = {
+    "cab": 2386,
+    "vulcan": 1536,
+    "teller": 64,
+    "ha8k": 1920,
+}
+
+
+def build_system(
+    name: str, *, n_modules: int | None = None, seed: int = 2015
+) -> System:
+    """Instantiate one of the paper's systems.
+
+    Parameters
+    ----------
+    name:
+        ``"cab"``, ``"vulcan"``, ``"teller"`` or ``"ha8k"``
+        (case-insensitive).
+    n_modules:
+        Override the machine size; ``None`` builds the full system.  Use
+        ``PAPER_STUDY_SIZES[name]`` for the subset each figure used.
+    seed:
+        Root seed for the manufacturing-variation draw and all
+        measurement/control noise.
+    """
+    try:
+        factory = SYSTEM_FACTORIES[name.lower()]
+    except KeyError:
+        known = ", ".join(sorted(SYSTEM_FACTORIES))
+        raise ConfigurationError(f"unknown system {name!r}; known: {known}") from None
+    if n_modules is not None and n_modules <= 0:
+        raise ConfigurationError("n_modules must be positive")
+    return factory(n_modules, seed)

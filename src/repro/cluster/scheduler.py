@@ -1,0 +1,113 @@
+"""Job scheduler — produces the module allocations the budgeting framework
+takes as input.
+
+Fig 4 of the paper lists "Module Allocation (Scheduler)" as an input to
+the variation-aware budgeting algorithm: the scheduler decides *which*
+physical processors a job gets, the budgeting algorithm decides how much
+power each of them receives.  The paper argues its approach "can work in
+conjunction with existing as well as future resource managers", so the
+scheduler here is deliberately simple and pluggable.
+
+Policies
+--------
+``contiguous``
+    First-fit over consecutive free module ids (typical production
+    default, preserves network locality).
+``random``
+    Uniformly random free modules — what a fragmented machine hands you.
+``efficient-first``
+    Variation-aware placement: prefer the most power-efficient modules
+    (lowest module power at fmax for a reference signature).  Not part
+    of the paper's evaluation, but the natural scheduler-side complement
+    it hints at; exposed for ablation studies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.system import System
+from repro.errors import SchedulerError
+from repro.hardware.power_model import PowerSignature
+
+__all__ = ["JobScheduler", "Allocation"]
+
+_POLICIES = ("contiguous", "random", "efficient-first")
+
+#: Reference signature used to rank modules under ``efficient-first``.
+_REFERENCE_SIG = PowerSignature(cpu_activity=0.7, dram_activity=0.5)
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """A granted job allocation."""
+
+    job_id: str
+    module_ids: np.ndarray
+
+    @property
+    def n_modules(self) -> int:
+        """Number of modules granted."""
+        return int(self.module_ids.size)
+
+
+class JobScheduler:
+    """Tracks module occupancy of one system and grants allocations."""
+
+    def __init__(self, system: System):
+        self.system = system
+        self._free = np.ones(system.n_modules, dtype=bool)
+        self._jobs: dict[str, Allocation] = {}
+
+    @property
+    def n_free(self) -> int:
+        """Modules currently unallocated."""
+        return int(self._free.sum())
+
+    def jobs(self) -> list[str]:
+        """Ids of currently running jobs."""
+        return sorted(self._jobs)
+
+    def allocate(
+        self, job_id: str, n_modules: int, *, policy: str = "contiguous"
+    ) -> Allocation:
+        """Grant ``n_modules`` to ``job_id`` under the given policy."""
+        if job_id in self._jobs:
+            raise SchedulerError(f"job {job_id!r} already has an allocation")
+        if n_modules <= 0:
+            raise SchedulerError("n_modules must be positive")
+        if policy not in _POLICIES:
+            raise SchedulerError(
+                f"unknown policy {policy!r}; available: {', '.join(_POLICIES)}"
+            )
+        free_ids = np.flatnonzero(self._free)
+        if free_ids.size < n_modules:
+            raise SchedulerError(
+                f"cannot allocate {n_modules} modules; only {free_ids.size} free"
+            )
+
+        if policy == "contiguous":
+            chosen = free_ids[:n_modules]
+        elif policy == "random":
+            rng = self.system.rng.rng(f"scheduler/{job_id}")
+            chosen = np.sort(rng.choice(free_ids, size=n_modules, replace=False))
+        else:  # efficient-first
+            power = self.system.modules.module_power(
+                self.system.arch.fmax, _REFERENCE_SIG
+            )[free_ids]
+            chosen = np.sort(free_ids[np.argsort(power, kind="stable")[:n_modules]])
+
+        self._free[chosen] = False
+        alloc = Allocation(job_id=job_id, module_ids=chosen)
+        self._jobs[job_id] = alloc
+        return alloc
+
+    def release(self, job_id: str) -> None:
+        """Return a job's modules to the free pool."""
+        try:
+            alloc = self._jobs.pop(job_id)
+        except KeyError:
+            raise SchedulerError(f"job {job_id!r} has no allocation") from None
+        self._free[alloc.module_ids] = True

@@ -1,0 +1,175 @@
+"""The :class:`System` — one production machine from the paper's Table 2.
+
+A system bundles:
+
+* the hardware ground truth (a :class:`~repro.hardware.ModuleArray` with
+  sampled manufacturing variation);
+* its power measurement capability (RAPL / PowerInsight / EMON);
+* its actuation capability (RAPL capping, cpufreq), where supported;
+* a namespaced :class:`~repro.util.RngFactory` so every stochastic
+  element is reproducible from the system's seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import CappingUnsupportedError, ConfigurationError
+from repro.control.cpufreq import CpuFreq
+from repro.control.rapl_cap import RaplCapController
+from repro.hardware.microarch import Microarchitecture
+from repro.hardware.module import ModuleArray
+from repro.hardware.variability import sample_variation
+from repro.measurement.base import PowerMeter
+from repro.measurement.emon import EmonMeter
+from repro.measurement.powerinsight import PowerInsightMeter
+from repro.measurement.rapl import RaplMeter
+from repro.util.rng import RngFactory
+
+__all__ = ["System"]
+
+_METER_KINDS = ("rapl", "powerinsight", "emon")
+
+
+@dataclass
+class System:
+    """One supercomputer: hardware, measurement, control, determinism.
+
+    Build instances through :func:`repro.cluster.build_system` for the
+    paper's four machines, or construct directly for synthetic studies.
+
+    Attributes
+    ----------
+    name:
+        Site/system name ("cab", "vulcan", "teller", "ha8k", ...).
+    arch:
+        The shared microarchitecture.
+    modules:
+        Ground-truth module array (variation already sampled).
+    procs_per_node:
+        Sockets per node (Table 2 "Procs. Per Node").
+    meter_kind:
+        Which Table 1 technique the site supports.
+    rng:
+        Factory namespaced to this system.
+    dram_measurable:
+        False on Cab, where "DRAM power measurement was not available
+        due to BIOS restrictions".
+    """
+
+    name: str
+    arch: Microarchitecture
+    modules: ModuleArray
+    procs_per_node: int
+    meter_kind: str
+    rng: RngFactory
+    dram_measurable: bool = True
+
+    def __post_init__(self) -> None:
+        if self.meter_kind not in _METER_KINDS:
+            raise ConfigurationError(
+                f"meter_kind must be one of {_METER_KINDS}, got {self.meter_kind!r}"
+            )
+        if self.procs_per_node <= 0:
+            raise ConfigurationError("procs_per_node must be positive")
+
+    # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def create(
+        cls,
+        name: str,
+        arch: Microarchitecture,
+        n_modules: int,
+        *,
+        procs_per_node: int = 1,
+        meter_kind: str = "rapl",
+        seed: int = 0,
+        dram_measurable: bool = True,
+        variation_group_size: int | None = None,
+    ) -> "System":
+        """Sample manufacturing variation and assemble a system.
+
+        ``variation_group_size`` sets how many modules share the
+        correlated part of their leakage draw (defaults to
+        ``procs_per_node``; BG/Q uses 32 — the compute cards of one node
+        board share DCAs and a thermal environment).
+        """
+        rng = RngFactory(seed).child(f"system/{name}")
+        variation = sample_variation(
+            arch.variation,
+            n_modules,
+            rng.rng("variability"),
+            procs_per_node=(
+                variation_group_size
+                if variation_group_size is not None
+                else procs_per_node
+            ),
+        )
+        return cls(
+            name=name,
+            arch=arch,
+            modules=ModuleArray(arch, variation),
+            procs_per_node=procs_per_node,
+            meter_kind=meter_kind,
+            rng=rng,
+            dram_measurable=dram_measurable,
+        )
+
+    # -- introspection ----------------------------------------------------------
+
+    @property
+    def n_modules(self) -> int:
+        """Total modules (CPU socket + DRAM) in the system."""
+        return self.modules.n_modules
+
+    @property
+    def n_nodes(self) -> int:
+        """Total nodes."""
+        return self.n_modules // self.procs_per_node
+
+    @property
+    def supports_capping(self) -> bool:
+        """Whether hardware power caps can be enforced here."""
+        return self.arch.supports_capping and self.meter_kind == "rapl"
+
+    def subset(self, indices: np.ndarray | list[int]) -> "System":
+        """A system view restricted to the given modules (a job allocation)."""
+        return System(
+            name=self.name,
+            arch=self.arch,
+            modules=self.modules.take(indices),
+            procs_per_node=self.procs_per_node,
+            meter_kind=self.meter_kind,
+            rng=self.rng,
+            dram_measurable=self.dram_measurable,
+        )
+
+    # -- capability factories ----------------------------------------------------
+
+    def meter(self, *, noisy: bool = True) -> PowerMeter:
+        """Instantiate this system's power meter (Table 1 technique)."""
+        rng = self.rng.rng("meter") if noisy else None
+        if self.meter_kind == "rapl":
+            return RaplMeter(self.modules, rng=rng)
+        if self.meter_kind == "powerinsight":
+            return PowerInsightMeter(self.modules, rng=rng)
+        return EmonMeter(self.modules, rng=rng)
+
+    def cap_controller(self, *, ideal: bool = False) -> RaplCapController:
+        """RAPL capping controller (raises on non-capping systems)."""
+        if not self.supports_capping:
+            raise CappingUnsupportedError(
+                f"system {self.name!r} cannot enforce power caps"
+            )
+        if ideal:
+            return RaplCapController(
+                self.modules, rng=None, dither_loss_frac=0.0, guardband_frac=0.0
+            )
+        return RaplCapController(self.modules, rng=self.rng.rng("rapl-dither"))
+
+    def cpufreq(self) -> CpuFreq:
+        """Frequency-selection interface (cpufrequtils)."""
+        return CpuFreq(self.modules)

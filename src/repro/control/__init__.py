@@ -1,0 +1,17 @@
+"""Power actuation: the paper's two management strategies.
+
+* :mod:`repro.control.rapl_cap` — **PC** (Power Capping): write a CPU
+  power limit per module; RAPL's firmware loop converges on an operating
+  point whose average power honours it.  Guaranteed never to exceed the
+  cap, but the dynamic dithering makes realised performance slightly
+  inhomogeneous.
+* :mod:`repro.control.cpufreq` — **FS** (Frequency Selection): pin a
+  P-state with the userspace governor, as cpufrequtils does.  Guarantees
+  homogeneous performance but only *indirectly* manages power — it may
+  exceed the derived cap (paper Section 5.3).
+"""
+
+from repro.control.cpufreq import CpuFreq
+from repro.control.rapl_cap import CapEnforcement, RaplCapController
+
+__all__ = ["CpuFreq", "RaplCapController", "CapEnforcement"]

@@ -1,0 +1,91 @@
+"""cpufrequtils emulation — the paper's FS actuation strategy.
+
+Frequency Selection pins every module to the statically derived common
+frequency (paper Eq 1) with the ``userspace`` governor.  Because the
+request is a P-state, it is quantised onto the ladder; because nothing
+enforces power, realised power is whatever the workload draws at that
+frequency — FS "has the potential to violate the derived CPU power cap"
+(Section 5.3), which is exactly what makes it slightly faster than PC.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.hardware.module import ModuleArray, OperatingPoint
+from repro.hardware.power_model import PowerSignature
+
+__all__ = ["CpuFreq", "GOVERNORS"]
+
+#: Governors cpufrequtils exposes that we model.
+GOVERNORS = ("performance", "powersave", "userspace")
+
+
+class CpuFreq:
+    """Per-module CPU frequency control in the style of cpufrequtils.
+
+    The ``performance`` governor pins fmax, ``powersave`` pins fmin, and
+    ``userspace`` honours :meth:`set_speed` requests (quantised down to
+    the ladder so a request can never draw more power than intended).
+    """
+
+    def __init__(self, modules: ModuleArray):
+        self.modules = modules
+        self._governor = "performance"
+        self._speed = np.full(modules.n_modules, modules.arch.fmax)
+
+    @property
+    def governor(self) -> str:
+        """Currently selected governor."""
+        return self._governor
+
+    def available_frequencies(self) -> tuple[float, ...]:
+        """The ladder, as ``cpufreq-info`` would report it."""
+        return self.modules.arch.ladder.frequencies
+
+    def set_governor(self, name: str) -> None:
+        """Select a governor; resets pinned speeds to the governor's policy."""
+        if name not in GOVERNORS:
+            raise ConfigurationError(
+                f"unknown governor {name!r}; available: {', '.join(GOVERNORS)}"
+            )
+        self._governor = name
+        arch = self.modules.arch
+        if name == "performance":
+            self._speed[:] = arch.fmax
+        elif name == "powersave":
+            self._speed[:] = arch.fmin
+
+    def set_speed(self, freq_ghz: np.ndarray | float) -> np.ndarray:
+        """Pin per-module frequencies (userspace governor only).
+
+        Requests are rounded *down* to the nearest ladder frequency and
+        the realised values are returned.
+        """
+        if self._governor != "userspace":
+            raise ConfigurationError(
+                "set_speed requires the userspace governor "
+                f"(current: {self._governor!r})"
+            )
+        n = self.modules.n_modules
+        req = np.broadcast_to(np.asarray(freq_ghz, dtype=float), (n,))
+        if np.any(~np.isfinite(req)) or np.any(req <= 0):
+            raise ConfigurationError("requested frequencies must be positive")
+        self._speed = np.asarray(self.modules.arch.ladder.quantize_down(req))
+        return self._speed.copy()
+
+    def current_speed(self) -> np.ndarray:
+        """Per-module pinned frequency in GHz."""
+        return self._speed.copy()
+
+    def operating_point(self, sig: PowerSignature) -> OperatingPoint:
+        """The operating point the current settings realise for ``sig``.
+
+        FS never engages clock modulation — duty is always 1.0.
+        """
+        return OperatingPoint(
+            freq_ghz=self._speed.copy(),
+            duty=np.ones(self.modules.n_modules),
+            signature=sig,
+        )

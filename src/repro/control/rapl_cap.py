@@ -1,0 +1,162 @@
+"""RAPL power capping — the paper's PC actuation strategy.
+
+RAPL enforces an *average* power limit over a (typically 1 ms) window by
+dithering between adjacent P-states, and by clock modulation when even
+the lowest P-state draws too much.  Two consequences the paper leans on:
+
+* PC strictly honours the CPU power cap (Fig 9: every PC-based scheme is
+  under the red line);
+* the dynamic control loop does not land every module on exactly the
+  intended frequency, so "this dynamic behavior does not guarantee
+  consistent performance across modules" (Section 5.3) — the residual
+  inhomogeneity that motivates the FS variant.
+
+We model the converged operating point analytically
+(:meth:`~repro.hardware.ModuleArray.resolve_cpu_cap`) and superimpose a
+small, module-persistent efficiency loss for the dither, plus an optional
+window-by-window trace generator for studies that need the oscillation
+itself (Fig 2(ii) plots the *average* frequency across RAPL time steps).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import CappingUnsupportedError, ConfigurationError
+from repro.hardware.module import ModuleArray, OperatingPoint
+from repro.hardware.power_model import PowerSignature
+
+__all__ = ["RaplCapController", "CapEnforcement"]
+
+
+@dataclass(frozen=True)
+class CapEnforcement:
+    """Converged result of enforcing per-module CPU power caps via RAPL.
+
+    Attributes
+    ----------
+    op:
+        The realised operating point (DVFS frequency + duty per module).
+    effective_freq_ghz:
+        Work rate per module as an equivalent frequency, including the
+        duty penalty and the dither efficiency loss.
+    cpu_power_w:
+        Realised average CPU power per module (≤ cap wherever
+        ``cap_met``).
+    cap_w:
+        The caps that were enforced.
+    cap_met:
+        False where the cap lies below the module's static floor.
+    """
+
+    op: OperatingPoint
+    effective_freq_ghz: np.ndarray
+    cpu_power_w: np.ndarray
+    cap_w: np.ndarray
+    cap_met: np.ndarray
+
+
+class RaplCapController:
+    """Enforces CPU power caps the way RAPL's firmware loop does.
+
+    Parameters
+    ----------
+    modules:
+        Hardware under control; its architecture must support capping
+        (Table 1 — only RAPL-class parts do).
+    rng:
+        Source for the module-persistent dither efficiency loss.
+        ``None`` yields an ideal controller (useful for unit tests and
+        for isolating the algorithmic effects from controller noise).
+    dither_loss_frac:
+        1-σ of the per-module relative work-rate loss due to P-state
+        dithering (≈1 %: the loop spends part of each window above and
+        below the target point).
+    guardband_frac:
+        Fraction by which firmware undershoots the programmed limit to
+        guarantee the average never exceeds it.
+    """
+
+    def __init__(
+        self,
+        modules: ModuleArray,
+        rng: np.random.Generator | None = None,
+        *,
+        dither_loss_frac: float = 0.02,
+        guardband_frac: float = 0.01,
+    ):
+        if not modules.arch.supports_capping:
+            raise CappingUnsupportedError(
+                f"{modules.arch.name} does not support hardware power capping"
+            )
+        if not (0.0 <= guardband_frac < 0.5):
+            raise ConfigurationError("guardband_frac must be in [0, 0.5)")
+        if dither_loss_frac < 0.0:
+            raise ConfigurationError("dither_loss_frac must be non-negative")
+        self.modules = modules
+        self._rng = rng
+        self._dither_loss_frac = float(dither_loss_frac)
+        self._guardband_frac = float(guardband_frac)
+
+    def enforce(
+        self, cap_w: np.ndarray | float, sig: PowerSignature
+    ) -> CapEnforcement:
+        """Converge each module onto its cap and return the operating point."""
+        n = self.modules.n_modules
+        cap = np.broadcast_to(np.asarray(cap_w, dtype=float), (n,)).copy()
+        if np.any(cap <= 0):
+            raise ConfigurationError("power caps must be positive")
+
+        target = cap * (1.0 - self._guardband_frac)
+        res = self.modules.resolve_cpu_cap(target, sig)
+
+        effective = res.effective_freq_ghz
+        if self._rng is not None and self._dither_loss_frac > 0.0:
+            # Only modules whose cap is binding dither; an uncapped module
+            # sits at fmax all window long.
+            binding = res.freq_ghz < self.modules.arch.fmax - 1e-12
+            loss = np.abs(self._rng.normal(0.0, self._dither_loss_frac, n))
+            effective = effective * np.where(binding, 1.0 - np.clip(loss, 0.0, 0.05), 1.0)
+
+        op = OperatingPoint(freq_ghz=res.freq_ghz, duty=res.duty, signature=sig)
+        return CapEnforcement(
+            op=op,
+            effective_freq_ghz=effective,
+            cpu_power_w=res.cpu_power_w,
+            cap_w=cap,
+            cap_met=res.cap_met,
+        )
+
+    def frequency_trace(
+        self,
+        cap_w: np.ndarray | float,
+        sig: PowerSignature,
+        n_windows: int,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Window-by-window P-state trace, shape ``(n_windows, n_modules)``.
+
+        Each RAPL window the firmware picks the ladder frequency just
+        below or just above the continuous target so the *average*
+        frequency (and hence average power) converges on the target —
+        this is the "average CPU frequency for a module across all RAPL
+        time steps" plotted on the x-axis of Fig 2(ii).
+        """
+        if n_windows <= 0:
+            raise ConfigurationError("n_windows must be positive")
+        arch = self.modules.arch
+        enforced = self.enforce(cap_w, sig)
+        target = np.clip(enforced.effective_freq_ghz, arch.fmin, arch.fmax)
+
+        ladder = np.asarray(arch.ladder.frequencies)
+        lo_idx = np.searchsorted(ladder, target + 1e-9, side="right") - 1
+        lo_idx = np.clip(lo_idx, 0, len(ladder) - 1)
+        hi_idx = np.clip(lo_idx + 1, 0, len(ladder) - 1)
+        f_lo, f_hi = ladder[lo_idx], ladder[hi_idx]
+        span = np.where(f_hi > f_lo, f_hi - f_lo, 1.0)
+        p_hi = np.where(f_hi > f_lo, (target - f_lo) / span, 0.0)
+
+        picks = rng.random((n_windows, self.modules.n_modules)) < p_hi
+        return np.where(picks, f_hi, f_lo)

@@ -1,0 +1,118 @@
+"""The paper's primary contribution: variation-aware power budgeting.
+
+Workflow (paper Fig 4):
+
+1. :mod:`repro.core.pmmd` — instrument the application with Power
+   Measurement & Management Directives (region of interest between
+   MPI_Init and MPI_Finalize).
+2. :mod:`repro.core.pvt` — the once-per-system Power Variation Table,
+   generated from a microbenchmark (*STREAM) run on every module.
+3. :mod:`repro.core.pmt` — two single-module test runs (fmax, fmin)
+   calibrate an application-dependent Power Model Table covering *all*
+   modules.
+4. :mod:`repro.core.model` / :mod:`repro.core.budget` — the linear power
+   model (Eq 1–4) and the α-solve (Eq 5–9) that yields module-level
+   power allocations maximising the common frequency under the budget.
+5. :mod:`repro.core.schemes` / :mod:`repro.core.runner` — the six
+   evaluated allocation schemes (Naïve, Pc, VaPc, VaPcOr, VaFs, VaFsOr)
+   and the end-to-end run orchestration.
+"""
+
+from repro.core.budget import BudgetSolution, classify_constraint, solve_alpha
+from repro.core.dynamic import DynamicResult, run_dynamic
+from repro.core.hetero import (
+    HeteroAssignment,
+    HeteroComparison,
+    compare_hetero_vs_common,
+    solve_hetero_frequencies,
+)
+from repro.core.model_fit import fit_power_model, sweep_module
+from repro.core.multiapp import (
+    Job,
+    MultiAppResult,
+    PowerPartition,
+    partition_power,
+    run_multiapp,
+)
+from repro.core.model import LinearPowerModel
+from repro.core.phase_budget import (
+    PhaseAwareResult,
+    PhasePlan,
+    plan_phase_budgets,
+    run_phase_aware,
+)
+from repro.core.pmmd import PMMDRegion, instrument
+from repro.core.pmt import PowerModelTable, calibrate_pmt, naive_pmt, oracle_pmt
+from repro.core.pvt import PowerVariationTable, generate_pvt
+from repro.core.resource_manager import (
+    JobOutcome,
+    JobRequest,
+    PowerAwareRM,
+    ScheduleResult,
+)
+from repro.core.pvt_selection import (
+    PVTSuite,
+    SelectionResult,
+    calibrate_with_selection,
+    generate_pvt_suite,
+    select_pvt,
+)
+from repro.core.runner import RunResult, run_budgeted, run_uncapped
+from repro.core.schemes import (
+    ALL_SCHEMES,
+    Scheme,
+    get_scheme,
+    list_schemes,
+)
+from repro.core.test_run import SingleModuleProfile, single_module_test_run
+
+__all__ = [
+    "LinearPowerModel",
+    "PowerVariationTable",
+    "generate_pvt",
+    "PowerModelTable",
+    "calibrate_pmt",
+    "oracle_pmt",
+    "naive_pmt",
+    "SingleModuleProfile",
+    "single_module_test_run",
+    "BudgetSolution",
+    "solve_alpha",
+    "classify_constraint",
+    "Scheme",
+    "ALL_SCHEMES",
+    "get_scheme",
+    "list_schemes",
+    "PMMDRegion",
+    "instrument",
+    "RunResult",
+    "run_budgeted",
+    "run_uncapped",
+    # extensions (paper Sections 6.1 and 7)
+    "Job",
+    "MultiAppResult",
+    "PowerPartition",
+    "partition_power",
+    "run_multiapp",
+    "DynamicResult",
+    "run_dynamic",
+    "PVTSuite",
+    "SelectionResult",
+    "generate_pvt_suite",
+    "select_pvt",
+    "calibrate_with_selection",
+    "PhasePlan",
+    "PhaseAwareResult",
+    "plan_phase_budgets",
+    "run_phase_aware",
+    "HeteroAssignment",
+    "HeteroComparison",
+    "solve_hetero_frequencies",
+    "compare_hetero_vs_common",
+    "fit_power_model",
+    "sweep_module",
+    "JobRequest",
+    "JobOutcome",
+    "PowerAwareRM",
+    "ScheduleResult",
+]

@@ -1,0 +1,120 @@
+"""The α-solve and module-level power allocation — Equations (5)–(9).
+
+Objective (paper Section 5.1.2): find the *maximum* application-specific
+coefficient α, common to all modules, such that total predicted power
+stays within the application-level budget::
+
+    Σᵢ ( α (P_module_max,i − P_module_min,i) + P_module_min,i ) ≤ P_budget   (5)
+
+    α ≤ (P_budget − Σᵢ P_module_min,i) / Σᵢ (P_module_max,i − P_module_min,i)  (6)
+
+Each module then receives its own allocation (Eq 7) and CPU cap
+(Eq 8/9)::
+
+    P_module_i = α (P_module_max,i − P_module_min,i) + P_module_min,i   (7)
+    P_cpu_i    = P_module_i − P_dram_i                                  (8,9)
+
+α is clamped to 1.0 when the budget is not binding ("α is set to 1.0
+when we do not have any power constraints"); a negative α means the
+modules cannot be operated even at fmin (Table 4's "–" entries).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.model import LinearPowerModel
+from repro.errors import InfeasibleBudgetError
+
+__all__ = ["BudgetSolution", "solve_alpha", "classify_constraint"]
+
+
+@dataclass(frozen=True)
+class BudgetSolution:
+    """Result of the α-solve for one (application, budget) pair.
+
+    Attributes
+    ----------
+    alpha:
+        The clamped control coefficient ∈ [0, 1].
+    raw_alpha:
+        Eq (6)'s right-hand side before clamping (>1 means the budget is
+        not binding; <0 would mean infeasible).
+    constrained:
+        Whether the budget actually binds (raw_alpha < 1) — Table 4's
+        "X" vs "•" distinction.
+    freq_ghz:
+        The common target frequency, Eq (1).
+    pmodule_w / pcpu_w / pdram_w:
+        Per-module allocations, Eq (7)–(9).
+    budget_w:
+        The application-level power constraint this solves for.
+    """
+
+    alpha: float
+    raw_alpha: float
+    constrained: bool
+    freq_ghz: float
+    pmodule_w: np.ndarray
+    pcpu_w: np.ndarray
+    pdram_w: np.ndarray
+    budget_w: float
+
+    @property
+    def total_allocated_w(self) -> float:
+        """Σᵢ P_module_i — must not exceed the budget (Eq 5)."""
+        return float(self.pmodule_w.sum())
+
+
+def solve_alpha(model: LinearPowerModel, budget_w: float) -> BudgetSolution:
+    """Solve Eq (6) and derive the per-module allocations (Eq 7–9).
+
+    Raises
+    ------
+    InfeasibleBudgetError
+        If the budget lies below the fmin power floor (Table 4 "–").
+    """
+    if not np.isfinite(budget_w) or budget_w <= 0:
+        raise InfeasibleBudgetError(budget_w, model.total_min_w())
+    floor = model.total_min_w()
+    span = model.total_span_w()
+
+    if span <= 0.0:
+        # Degenerate model (single-frequency parts, e.g. BG/Q): power is
+        # fixed; the budget either accommodates it or nothing runs.
+        raw = 1.0 if budget_w >= floor else -1.0
+    else:
+        raw = (budget_w - floor) / span
+
+    if raw < 0.0:
+        raise InfeasibleBudgetError(budget_w, floor)
+    alpha = min(raw, 1.0)
+
+    pcpu = model.cpu_power_at(alpha)
+    pdram = model.dram_power_at(alpha)
+    return BudgetSolution(
+        alpha=alpha,
+        raw_alpha=raw,
+        constrained=raw < 1.0,
+        freq_ghz=model.freq_at(alpha),
+        pmodule_w=pcpu + pdram,
+        pcpu_w=pcpu,
+        pdram_w=pdram,
+        budget_w=float(budget_w),
+    )
+
+
+def classify_constraint(model: LinearPowerModel, budget_w: float) -> str:
+    """Table 4 cell for one (application, budget) pair.
+
+    Returns ``"X"`` (meaningfully constrained), ``"•"`` (not sufficiently
+    power constrained — no capping required), or ``"--"`` (too limited to
+    operate even at fmin).
+    """
+    if budget_w < model.total_min_w():
+        return "--"
+    if budget_w >= model.total_max_w():
+        return "•"
+    return "X"

@@ -1,0 +1,187 @@
+"""Heterogeneous frequency assignment — the Totoni-style alternative.
+
+The paper's related work (§2.2) discusses Totoni et al.'s
+variation-aware scheduling, which solves an ILP to give every chip its
+*own* frequency and relies on the runtime (Charm++ object migration) to
+rebalance work onto the heterogeneous speeds.  The paper argues its
+common-frequency approach is cheaper and deployment-friendly; this
+module implements the heterogeneous alternative so the trade-off can be
+measured instead of argued.
+
+Formulation: with the PMT's linear per-module power model
+``P_i(f) = a_i + b_i f``, choosing frequencies to maximise total work
+rate under the budget is a *linear program*::
+
+    maximise   Σ f_i
+    subject to Σ (a_i + b_i f_i) ≤ P_budget,  fmin ≤ f_i ≤ fmax
+
+(Totoni's ILP is integral over P-states; the LP relaxation is the
+natural upper bound and is what we solve, via scipy.)  The optimum is a
+bang-bang assignment: power-efficient modules get fmax, expensive ones
+get fmin, one module lands in between.
+
+Two execution models are compared against VaFs:
+
+* **no rebalancing** — a bulk-synchronous app keeps uniform work, so
+  the slowest (fmin) module drags the makespan: heterogeneous
+  frequencies are a *disaster* without runtime support;
+* **rebalanced** — work redistributed proportionally to speed
+  (Charm++-style), discounted by a migration-efficiency factor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.optimize import linprog
+
+from repro.apps.base import AppModel
+from repro.cluster.system import System
+from repro.core.budget import solve_alpha
+from repro.core.pvt import PowerVariationTable
+from repro.core.schemes import get_scheme
+from repro.errors import ConfigurationError, InfeasibleBudgetError
+from repro.core.model import LinearPowerModel
+
+__all__ = ["HeteroAssignment", "solve_hetero_frequencies", "HeteroComparison", "compare_hetero_vs_common"]
+
+
+@dataclass(frozen=True)
+class HeteroAssignment:
+    """LP-optimal per-module frequencies under a power budget."""
+
+    freq_ghz: np.ndarray
+    predicted_power_w: np.ndarray
+    total_rate_ghz: float
+    budget_w: float
+
+    @property
+    def n_modules(self) -> int:
+        """Number of modules assigned."""
+        return int(self.freq_ghz.size)
+
+
+def solve_hetero_frequencies(
+    model: LinearPowerModel, budget_w: float
+) -> HeteroAssignment:
+    """Solve the throughput-maximising frequency LP.
+
+    Raises :class:`InfeasibleBudgetError` when even all-fmin exceeds the
+    budget (same feasibility boundary as the common-frequency solve).
+    """
+    floor = model.total_min_w()
+    if budget_w < floor:
+        raise InfeasibleBudgetError(budget_w, floor)
+    n = model.n_modules
+    span_f = model.fmax - model.fmin
+    if span_f <= 0:
+        raise ConfigurationError("heterogeneous assignment needs a DVFS range")
+
+    # P_i(f) = a_i + b_i f from the endpoint parameters.
+    p_min = model.module_power_at(0.0)
+    p_max = model.module_power_at(1.0)
+    b = (p_max - p_min) / span_f
+    a = p_min - b * model.fmin
+
+    res = linprog(
+        c=-np.ones(n),  # maximise sum of f
+        A_ub=b.reshape(1, -1),
+        b_ub=np.array([budget_w - a.sum()]),
+        bounds=[(model.fmin, model.fmax)] * n,
+        method="highs",
+    )
+    if not res.success:  # pragma: no cover - LP is always feasible here
+        raise InfeasibleBudgetError(budget_w, floor, message=res.message)
+    freqs = np.asarray(res.x)
+    power = a + b * freqs
+    return HeteroAssignment(
+        freq_ghz=freqs,
+        predicted_power_w=power,
+        total_rate_ghz=float(freqs.sum()),
+        budget_w=float(budget_w),
+    )
+
+
+@dataclass(frozen=True)
+class HeteroComparison:
+    """VaFs common frequency vs LP heterogeneous frequencies."""
+
+    budget_w: float
+    vafs_freq_ghz: float
+    vafs_makespan_s: float
+    hetero_rate_gain: float  # Σf_hetero / Σf_common (the LP's upside)
+    hetero_makespan_no_rebalance_s: float
+    hetero_makespan_rebalanced_s: float
+    rebalance_efficiency: float
+
+    @property
+    def rebalanced_speedup_over_vafs(self) -> float:
+        """Speedup of hetero + perfect-runtime rebalancing over VaFs."""
+        return self.vafs_makespan_s / self.hetero_makespan_rebalanced_s
+
+    @property
+    def no_rebalance_slowdown_vs_vafs(self) -> float:
+        """How much heterogeneous frequencies *hurt* a BSP app without
+        runtime support (>1 = slower than VaFs)."""
+        return self.hetero_makespan_no_rebalance_s / self.vafs_makespan_s
+
+
+def compare_hetero_vs_common(
+    system: System,
+    app: AppModel,
+    budget_w: float,
+    *,
+    pvt: PowerVariationTable,
+    test_module: int = 0,
+    n_iters: int | None = None,
+    rebalance_efficiency: float = 0.95,
+    noisy: bool = True,
+) -> HeteroComparison:
+    """Measure the common-vs-heterogeneous frequency trade-off.
+
+    ``rebalance_efficiency`` discounts the rebalanced execution for
+    migration/imbalance overhead (1.0 = the Charm++ ideal).
+    """
+    if not (0.0 < rebalance_efficiency <= 1.0):
+        raise ConfigurationError("rebalance_efficiency must be in (0, 1]")
+    scheme = get_scheme("vafs")
+    pmt = scheme.build_pmt(system, app, pvt=pvt, test_module=test_module, noisy=noisy)
+    arch = system.arch
+    truth = app.specialize(system.modules, system.rng.rng(f"app-residual/{app.name}"))
+    n = system.n_modules
+
+    # Common frequency (VaFs, no guardband for an apples-to-apples LP bound).
+    common = solve_alpha(pmt.model, budget_w)
+    f_common = float(arch.ladder.quantize_down(common.freq_ghz))
+    rates_common = truth.work_rate(np.full(n, f_common))
+    vafs_trace = app.run(rates_common, arch.fmax, n_iters=n_iters)
+
+    # Heterogeneous LP assignment.
+    hetero = solve_hetero_frequencies(pmt.model, budget_w)
+    f_het = np.asarray(arch.ladder.quantize_down(hetero.freq_ghz))
+    rates_het = truth.work_rate(f_het)
+
+    # Without rebalancing: uniform work on heterogeneous speeds.
+    no_rebal = app.run(rates_het, arch.fmax, n_iters=n_iters)
+
+    # With rebalancing: work proportional to speed (equalised finish);
+    # the migration-efficiency factor inflates every rank's effective
+    # work (object migration and residual imbalance are overhead).
+    weights = rates_het / rates_het.mean()
+    rebal = app.run(
+        rates_het,
+        arch.fmax,
+        n_iters=n_iters,
+        work_imbalance=weights / rebalance_efficiency,
+    )
+
+    return HeteroComparison(
+        budget_w=float(budget_w),
+        vafs_freq_ghz=f_common,
+        vafs_makespan_s=vafs_trace.makespan_s,
+        hetero_rate_gain=float(f_het.sum() / (f_common * n)),
+        hetero_makespan_no_rebalance_s=no_rebal.makespan_s,
+        hetero_makespan_rebalanced_s=rebal.makespan_s,
+        rebalance_efficiency=rebalance_efficiency,
+    )

@@ -1,0 +1,112 @@
+"""The paper's linear power model — Equations (1) through (4).
+
+Both CPU and DRAM power are assumed (and in Fig 5, validated with
+R² ≥ 0.99) to be linear in CPU frequency.  With the two endpoint
+measurements ``P_max`` (at fmax) and ``P_min`` (at fmin), the model for a
+control coefficient α ∈ [0, 1] is::
+
+    f       = α (fmax − fmin) + fmin                     (1)
+    P_cpu   = α (P_cpu_max  − P_cpu_min)  + P_cpu_min    (2)
+    P_dram  = α (P_dram_max − P_dram_min) + P_dram_min   (3)
+    P_module = P_cpu + P_dram                            (4)
+
+α is the single knob trading power for performance, shared by every
+module so all modules run the same frequency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["LinearPowerModel"]
+
+
+@dataclass(frozen=True)
+class LinearPowerModel:
+    """Per-module endpoint powers, vectorised over modules.
+
+    All four arrays have shape ``(n_modules,)`` (scalars broadcast).
+    ``fmin``/``fmax`` are the architecture's frequency range in GHz.
+    """
+
+    fmin: float
+    fmax: float
+    p_cpu_max: np.ndarray
+    p_cpu_min: np.ndarray
+    p_dram_max: np.ndarray
+    p_dram_min: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.fmin > self.fmax:
+            raise ConfigurationError("fmin must not exceed fmax")
+        arrs = {}
+        n = None
+        for name in ("p_cpu_max", "p_cpu_min", "p_dram_max", "p_dram_min"):
+            a = np.atleast_1d(np.asarray(getattr(self, name), dtype=float))
+            arrs[name] = a
+            n = a.shape[0] if n is None else n
+        n = max(a.shape[0] for a in arrs.values())
+        for name, a in arrs.items():
+            if a.shape[0] == 1 and n > 1:
+                a = np.full(n, a[0])
+            if a.shape != (n,):
+                raise ConfigurationError(
+                    f"{name} has shape {a.shape}, expected ({n},)"
+                )
+            if np.any(a < 0) or not np.all(np.isfinite(a)):
+                raise ConfigurationError(f"{name} must be finite and non-negative")
+            object.__setattr__(self, name, a)
+        if np.any(self.p_cpu_max < self.p_cpu_min) or np.any(
+            self.p_dram_max < self.p_dram_min
+        ):
+            raise ConfigurationError(
+                "endpoint powers must satisfy P_max >= P_min per component"
+            )
+
+    @property
+    def n_modules(self) -> int:
+        """Number of modules the model covers."""
+        return int(self.p_cpu_max.shape[0])
+
+    # -- Equations (1)-(4) -------------------------------------------------------
+
+    def freq_at(self, alpha: float) -> float:
+        """Eq (1): the common frequency realised by coefficient α."""
+        return float(alpha * (self.fmax - self.fmin) + self.fmin)
+
+    def alpha_for_freq(self, freq_ghz: float) -> float:
+        """Inverse of Eq (1)."""
+        span = self.fmax - self.fmin
+        if span == 0.0:
+            return 1.0
+        return (float(freq_ghz) - self.fmin) / span
+
+    def cpu_power_at(self, alpha: float) -> np.ndarray:
+        """Eq (2): predicted per-module CPU power at α."""
+        return alpha * (self.p_cpu_max - self.p_cpu_min) + self.p_cpu_min
+
+    def dram_power_at(self, alpha: float) -> np.ndarray:
+        """Eq (3): predicted per-module DRAM power at α."""
+        return alpha * (self.p_dram_max - self.p_dram_min) + self.p_dram_min
+
+    def module_power_at(self, alpha: float) -> np.ndarray:
+        """Eq (4): predicted per-module total power at α."""
+        return self.cpu_power_at(alpha) + self.dram_power_at(alpha)
+
+    # -- aggregates used by the α-solve ----------------------------------------
+
+    def total_min_w(self) -> float:
+        """System power floor: Σᵢ P_module_min,i."""
+        return float((self.p_cpu_min + self.p_dram_min).sum())
+
+    def total_max_w(self) -> float:
+        """System power ceiling: Σᵢ P_module_max,i."""
+        return float((self.p_cpu_max + self.p_dram_max).sum())
+
+    def total_span_w(self) -> float:
+        """Σᵢ (P_module_max,i − P_module_min,i) — Eq (6)'s denominator."""
+        return self.total_max_w() - self.total_min_w()

@@ -1,0 +1,146 @@
+"""Multi-point power-model fitting — a robustness refinement of the
+paper's two-point calibration.
+
+The paper measures each application at exactly fmax and fmin (Eq 1–4
+interpolate linearly between).  That is optimal when measurements are
+noise-free; with real sensor noise, each endpoint error propagates
+straight into the α-solve.  Fitting the same linear model through a
+*sweep* of frequencies (least squares per component) averages the noise
+down by √n, and the fit's R² doubles as a health check of the linearity
+assumption Fig 5 validates (R² ≥ 0.99 on real hardware).
+
+:func:`sweep_module` collects an n-point single-module sweep;
+:func:`fit_power_model` turns sweeps into the endpoint parameters the
+rest of the framework consumes (so everything downstream — PVT
+calibration, α-solve, schemes — is unchanged).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.apps.base import AppModel
+from repro.cluster.system import System
+from repro.core.test_run import SingleModuleProfile
+from repro.errors import ConfigurationError, MeasurementError
+from repro.hardware.module import OperatingPoint
+from repro.measurement.rapl import RaplMeter
+from repro.util.stats import LinearFit, linear_fit
+
+__all__ = ["ModuleSweep", "sweep_module", "fit_power_model", "FittedProfile"]
+
+
+@dataclass(frozen=True)
+class ModuleSweep:
+    """RAPL measurements of one app on one module across frequencies."""
+
+    app_name: str
+    module_index: int
+    freqs_ghz: np.ndarray
+    cpu_w: np.ndarray
+    dram_w: np.ndarray
+
+    def __post_init__(self) -> None:
+        if not (
+            self.freqs_ghz.shape == self.cpu_w.shape == self.dram_w.shape
+        ) or self.freqs_ghz.ndim != 1:
+            raise ConfigurationError("sweep arrays must be 1-D and congruent")
+        if self.freqs_ghz.size < 2:
+            raise ConfigurationError("a sweep needs at least two frequencies")
+
+
+def sweep_module(
+    system: System,
+    app: AppModel,
+    module_index: int = 0,
+    *,
+    n_points: int | None = None,
+    noisy: bool = True,
+    duration_s: float = 0.2,
+) -> ModuleSweep:
+    """Measure one module at ``n_points`` ladder frequencies (default: all).
+
+    Cost: proportional to ``n_points × duration_s`` of test-run time,
+    still a single module — negligible next to a production run.
+    """
+    if not (0 <= module_index < system.n_modules):
+        raise ConfigurationError(
+            f"module_index {module_index} out of range [0, {system.n_modules})"
+        )
+    ladder = np.asarray(system.arch.ladder.frequencies)
+    if n_points is not None:
+        if n_points < 2:
+            raise ConfigurationError("n_points must be at least 2")
+        idx = np.linspace(0, len(ladder) - 1, min(n_points, len(ladder)))
+        ladder = ladder[np.unique(idx.round().astype(int))]
+    truth = app.specialize(
+        system.modules, system.rng.rng(f"app-residual/{app.name}")
+    ).take([module_index])
+    rng = (
+        system.rng.rng(f"sweep/{app.name}/{module_index}") if noisy else None
+    )
+    meter = RaplMeter(truth, rng=rng)
+    cpu, dram = [], []
+    for f in ladder:
+        reading = meter.read(
+            OperatingPoint.uniform(1, float(f), app.signature),
+            duration_s=duration_s,
+        )
+        cpu.append(float(reading.cpu_w[0]))
+        dram.append(float(reading.dram_w[0]))
+    return ModuleSweep(
+        app_name=app.name,
+        module_index=int(module_index),
+        freqs_ghz=ladder.astype(float),
+        cpu_w=np.asarray(cpu),
+        dram_w=np.asarray(dram),
+    )
+
+
+@dataclass(frozen=True)
+class FittedProfile:
+    """A fitted single-module profile plus linearity diagnostics."""
+
+    profile: SingleModuleProfile
+    cpu_fit: LinearFit
+    dram_fit: LinearFit
+
+    @property
+    def min_r2(self) -> float:
+        """Worst component R² — the linearity health check."""
+        return min(self.cpu_fit.r2, self.dram_fit.r2)
+
+
+def fit_power_model(
+    sweep: ModuleSweep,
+    *,
+    fmin: float,
+    fmax: float,
+    min_r2: float = 0.97,
+) -> FittedProfile:
+    """Least-squares fit of the linear model through a frequency sweep.
+
+    Returns the endpoint profile the standard calibration consumes, with
+    per-component fits.  Raises :class:`MeasurementError` when the data
+    are not linear enough (``min_r2``) — the guard the two-point method
+    cannot provide.
+    """
+    cpu_fit = linear_fit(sweep.freqs_ghz, sweep.cpu_w)
+    dram_fit = linear_fit(sweep.freqs_ghz, sweep.dram_w)
+    worst = min(cpu_fit.r2, dram_fit.r2)
+    if worst < min_r2:
+        raise MeasurementError(
+            f"power not linear in frequency (R^2={worst:.3f} < {min_r2}); "
+            "the Eq 1-4 model does not apply to this sweep"
+        )
+    profile = SingleModuleProfile(
+        app_name=sweep.app_name,
+        module_index=sweep.module_index,
+        p_cpu_max=float(cpu_fit.predict(fmax)),
+        p_cpu_min=float(cpu_fit.predict(fmin)),
+        p_dram_max=float(dram_fit.predict(fmax)),
+        p_dram_min=float(dram_fit.predict(fmin)),
+    )
+    return FittedProfile(profile=profile, cpu_fit=cpu_fit, dram_fit=dram_fit)

@@ -1,0 +1,210 @@
+"""Phase-aware power budgeting — intra-application reallocation (§7).
+
+A static planner sees one *aggregate* power profile: a single α, a
+single frequency, held through compute-bound and memory-bound phases
+alike.  For a phase-structured application that is wrong in one of two
+ways:
+
+* budgeting for the *time-averaged* profile ("aggregate" plan) violates
+  the constraint *instantaneously* during the compute-heavy phases —
+  average adherence is not what a hardware power limit means;
+* budgeting for the *hungriest phase* ("conservative" plan) adheres,
+  but then the memory-bound phases run needlessly slowly — their power
+  headroom is wasted.
+
+The phase-aware planner re-solves Eq (6) per phase with that phase's
+calibrated PMT under the same budget: every phase adheres on its own,
+and every phase runs as fast as its own power profile allows.  It is
+never slower than the conservative plan and never violates like the
+aggregate one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.apps.phases import PhasedApp
+from repro.cluster.system import System
+from repro.core.budget import BudgetSolution, solve_alpha
+from repro.core.pmt import calibrate_pmt
+from repro.core.pvt import PowerVariationTable
+from repro.core.test_run import single_module_test_run
+from repro.errors import ConfigurationError
+from repro.simmpi.tracing import RankTrace
+
+__all__ = ["PhasePlan", "plan_phase_budgets", "PhaseAwareResult", "run_phase_aware"]
+
+
+@dataclass(frozen=True)
+class PhasePlan:
+    """Per-phase α-solutions for one (app, budget) pair."""
+
+    app_name: str
+    budget_w: float
+    static: BudgetSolution
+    per_phase: dict[str, BudgetSolution]
+
+    @property
+    def phase_frequencies(self) -> dict[str, float]:
+        """Target common frequency per phase."""
+        return {name: sol.freq_ghz for name, sol in self.per_phase.items()}
+
+
+def plan_phase_budgets(
+    system: System,
+    app: PhasedApp,
+    budget_w: float,
+    *,
+    pvt: PowerVariationTable,
+    test_module: int = 0,
+    noisy: bool = True,
+) -> PhasePlan:
+    """Calibrate per-phase PMTs and solve α for each phase and statically.
+
+    Calibration cost: two single-module test runs per phase (the phase
+    boundaries are PMMD-instrumented in a real deployment), plus the
+    usual two for the aggregate profile.
+    """
+    if budget_w <= 0:
+        raise ConfigurationError("budget must be positive")
+    arch = system.arch
+    static_pmt_model = _calibrated_model(
+        system, app.as_static_app(), pvt, test_module, noisy
+    )
+    static = solve_alpha(static_pmt_model, budget_w)
+    per_phase = {}
+    for phase in app.phases:
+        model = _calibrated_model(
+            system, app.phase_model(phase), pvt, test_module, noisy
+        )
+        per_phase[phase.name] = solve_alpha(model, budget_w)
+    return PhasePlan(
+        app_name=app.name, budget_w=float(budget_w), static=static, per_phase=per_phase
+    )
+
+
+def _calibrated_model(system, app_model, pvt, test_module, noisy):
+    profile = single_module_test_run(system, app_model, test_module, noisy=noisy)
+    arch = system.arch
+    return calibrate_pmt(pvt, profile, fmin=arch.fmin, fmax=arch.fmax).model
+
+
+@dataclass(frozen=True)
+class PhaseAwareResult:
+    """Aggregate / conservative / phase-aware execution of one phased app.
+
+    * ``aggregate`` — one α solved on the time-averaged profile: fastest
+      static plan but violates the budget during hungry phases;
+    * ``conservative`` — one α solved on the hungriest phase: adheres
+      but wastes memory-phase headroom;
+    * ``phased`` — per-phase α: adheres instantaneously and reclaims the
+      headroom.
+    """
+
+    plan: PhasePlan
+    budget_w: float
+    aggregate_trace: RankTrace
+    conservative_trace: RankTrace
+    phased_trace: RankTrace
+    aggregate_peak_power_w: float
+    conservative_peak_power_w: float
+    phased_peak_power_w: float
+
+    @property
+    def speedup_vs_conservative(self) -> float:
+        """Phase-aware speedup over the adhering static plan."""
+        return self.conservative_trace.makespan_s / self.phased_trace.makespan_s
+
+    @property
+    def aggregate_violates(self) -> bool:
+        """Whether the aggregate static plan breaks the instantaneous budget."""
+        return self.aggregate_peak_power_w > self.budget_w * (1 + 1e-9)
+
+    @property
+    def phased_within_budget(self) -> bool:
+        """Whether the phase-aware plan adheres in every phase."""
+        return self.phased_peak_power_w <= self.budget_w * (1 + 1e-9)
+
+
+def run_phase_aware(
+    system: System,
+    app: PhasedApp,
+    budget_w: float,
+    *,
+    pvt: PowerVariationTable,
+    test_module: int = 0,
+    n_iters: int | None = None,
+    noisy: bool = True,
+    instrumentation=None,
+) -> PhaseAwareResult:
+    """Execute the aggregate, conservative, and phase-aware plans.
+
+    All plans actuate with frequency selection (FS), quantised down; the
+    phase-aware one re-pins the frequency at every phase boundary.  Peak
+    power is the highest instantaneous (per-phase) total draw.
+
+    ``instrumentation`` (a
+    :class:`~repro.core.pmmd.PhasedInstrumentation`) receives one record
+    per phase of the phase-aware run: duration, mean power, energy.
+    """
+    plan = plan_phase_budgets(
+        system, app, budget_w, pvt=pvt, test_module=test_module, noisy=noisy
+    )
+    arch = system.arch
+    n = system.n_modules
+    rng = system.rng.rng(f"app-residual/{app.name}")
+    truth = app.as_static_app().specialize(system.modules, rng)
+    n_phases = len(app.phases)
+
+    def run_at(freqs: list[float]) -> RankTrace:
+        rates = np.stack([truth.work_rate(np.full(n, f)) for f in freqs])
+        return app.run(rates, arch.fmax, n_iters=n_iters)
+
+    def peak_power(freqs: list[float]) -> float:
+        peaks = []
+        for phase, f in zip(app.phases, freqs):
+            cpu = truth.cpu_power(f, phase.signature)
+            dram = truth.dram_power(f, phase.signature)
+            peaks.append(float((cpu + dram).sum()))
+        return max(peaks)
+
+    f_aggregate = float(arch.ladder.quantize_down(plan.static.freq_ghz))
+    f_conservative = float(
+        arch.ladder.quantize_down(
+            min(sol.freq_ghz for sol in plan.per_phase.values())
+        )
+    )
+    phase_freqs = [
+        float(arch.ladder.quantize_down(plan.per_phase[p.name].freq_ghz))
+        for p in app.phases
+    ]
+
+    result = PhaseAwareResult(
+        plan=plan,
+        budget_w=float(budget_w),
+        aggregate_trace=run_at([f_aggregate] * n_phases),
+        conservative_trace=run_at([f_conservative] * n_phases),
+        phased_trace=run_at(phase_freqs),
+        aggregate_peak_power_w=peak_power([f_aggregate] * n_phases),
+        conservative_peak_power_w=peak_power([f_conservative] * n_phases),
+        phased_peak_power_w=peak_power(phase_freqs),
+    )
+    if instrumentation is not None:
+        iters = app.default_iters if n_iters is None else int(n_iters)
+        for phase, f in zip(app.phases, phase_freqs):
+            t_phase = iters * phase.seconds_fmax * (
+                phase.cpu_bound_fraction * arch.fmax / f
+                + (1.0 - phase.cpu_bound_fraction)
+            )
+            p_phase = float(
+                (
+                    truth.cpu_power(f, phase.signature)
+                    + truth.dram_power(f, phase.signature)
+                ).sum()
+            )
+            instrumentation.record_phase(
+                phase.name, t_phase, p_phase, plan="phase-aware-vafs"
+            )
+    return result

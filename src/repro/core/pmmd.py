@@ -1,0 +1,150 @@
+"""Power Measurement and Management Directives (paper step 1, Fig 4).
+
+The paper inserts PMMDs via TAU's compiler instrumentation "just after
+MPI_Init and just before MPI_Finalize", delimiting the region of
+interest inside which power is measured and the derived allocations are
+applied.  Here an :class:`InstrumentedApp` carries that region
+definition; the runner executes the directives (apply plan on region
+entry, measure, release on exit) and the instrumentation records what
+happened per region.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.apps.base import AppModel
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "PMMDRegion",
+    "RegionRecord",
+    "InstrumentedApp",
+    "instrument",
+    "PhasedInstrumentation",
+    "instrument_phases",
+]
+
+
+@dataclass(frozen=True)
+class PMMDRegion:
+    """A named measurement/management region.
+
+    ``begin_marker`` / ``end_marker`` name the program points the
+    directives were inserted at (the paper's defaults delimit the whole
+    MPI execution).
+    """
+
+    name: str = "roi"
+    begin_marker: str = "after:MPI_Init"
+    end_marker: str = "before:MPI_Finalize"
+
+
+@dataclass(frozen=True)
+class RegionRecord:
+    """What one execution of a region observed.
+
+    ``duration_s`` is the region's wall-clock (slowest rank);
+    ``mean_power_w`` the average total power across the region;
+    ``energy_j`` their product; ``plan`` names the power plan applied on
+    entry (``None`` when the region ran unmanaged).
+    """
+
+    region: str
+    duration_s: float
+    mean_power_w: float
+    energy_j: float
+    plan: str | None
+
+    def __post_init__(self) -> None:
+        if self.duration_s < 0 or self.mean_power_w < 0:
+            raise ConfigurationError("region records require non-negative values")
+
+
+@dataclass
+class InstrumentedApp:
+    """An application annotated with one PMMD region.
+
+    The runner calls :meth:`record` when the region completes; the
+    accumulated :attr:`records` are the data a production deployment
+    would ship to its monitoring backend.
+    """
+
+    app: AppModel
+    region: PMMDRegion = field(default_factory=PMMDRegion)
+    records: list[RegionRecord] = field(default_factory=list)
+
+    @property
+    def name(self) -> str:
+        """Name of the wrapped application."""
+        return self.app.name
+
+    def record(
+        self, duration_s: float, mean_power_w: float, plan: str | None
+    ) -> RegionRecord:
+        """Append and return the record of one region execution."""
+        rec = RegionRecord(
+            region=self.region.name,
+            duration_s=float(duration_s),
+            mean_power_w=float(mean_power_w),
+            energy_j=float(duration_s) * float(mean_power_w),
+            plan=plan,
+        )
+        self.records.append(rec)
+        return rec
+
+
+def instrument(app: AppModel, region_name: str = "roi") -> InstrumentedApp:
+    """Insert the paper's default PMMDs around an application."""
+    return InstrumentedApp(app=app, region=PMMDRegion(name=region_name))
+
+
+@dataclass
+class PhasedInstrumentation:
+    """Per-phase PMMD regions for a phase-structured application.
+
+    The phase-aware planner (paper §7 direction) needs power measured
+    *per phase*; a real deployment gets that by inserting one PMMD
+    region around each phase's kernel.  This wrapper carries those
+    regions and collects their records.
+    """
+
+    app: "object"  # PhasedApp (kept loose to avoid a circular import)
+    regions: dict[str, PMMDRegion] = field(default_factory=dict)
+    records: list[RegionRecord] = field(default_factory=list)
+
+    def record_phase(
+        self, phase: str, duration_s: float, mean_power_w: float, plan: str | None
+    ) -> RegionRecord:
+        """Append one phase execution record."""
+        if phase not in self.regions:
+            raise ConfigurationError(f"unknown phase region {phase!r}")
+        rec = RegionRecord(
+            region=phase,
+            duration_s=float(duration_s),
+            mean_power_w=float(mean_power_w),
+            energy_j=float(duration_s) * float(mean_power_w),
+            plan=plan,
+        )
+        self.records.append(rec)
+        return rec
+
+    def phase_energy_j(self, phase: str) -> float:
+        """Total recorded energy of one phase across executions."""
+        return sum(r.energy_j for r in self.records if r.region == phase)
+
+
+def instrument_phases(phased_app) -> PhasedInstrumentation:
+    """One PMMD region per phase of a :class:`~repro.apps.phases.PhasedApp`.
+
+    Markers delimit each phase kernel rather than the whole MPI region.
+    """
+    regions = {
+        p.name: PMMDRegion(
+            name=p.name,
+            begin_marker=f"before:{p.name}",
+            end_marker=f"after:{p.name}",
+        )
+        for p in phased_app.phases
+    }
+    return PhasedInstrumentation(app=phased_app, regions=regions)

@@ -1,0 +1,146 @@
+"""Multi-PVT calibration (the improvement the paper proposes in §6.1).
+
+"In this paper we used only one microbenchmark (*STREAM) to generate
+the application-independent PVT.  An approach to improve the prediction
+accuracy is to use micro-benchmarks with different characteristics to
+generate several PVTs, and then choose a suitable PVT based on the test
+runs."
+
+Implementation: generate one PVT per microbenchmark in a small suite
+spanning the CPU-bound ↔ memory-bound spectrum.  At calibration time,
+profile the target application on *two* modules instead of one; for
+each candidate PVT, calibrate from the first module and score the
+prediction of the second (held-out) module.  The PVT with the smallest
+held-out error wins.  The extra cost is one more single-module test run
+— still negligible next to a production execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps.base import AppModel
+from repro.apps.dgemm import DGEMM
+from repro.apps.ep import EP
+from repro.apps.stream import STREAM
+from repro.cluster.system import System
+from repro.core.pmt import PowerModelTable, calibrate_pmt
+from repro.core.pvt import PowerVariationTable, generate_pvt
+from repro.core.test_run import SingleModuleProfile, single_module_test_run
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "DEFAULT_MICROBENCHMARKS",
+    "PVTSuite",
+    "generate_pvt_suite",
+    "select_pvt",
+    "calibrate_with_selection",
+    "SelectionResult",
+]
+
+#: Microbenchmarks spanning the boundedness spectrum: memory-saturated,
+#: balanced compute, and cache-resident CPU-only.
+DEFAULT_MICROBENCHMARKS: tuple[AppModel, ...] = (STREAM, DGEMM, EP)
+
+
+@dataclass(frozen=True)
+class PVTSuite:
+    """Several PVTs of one system, keyed by microbenchmark name."""
+
+    system_name: str
+    tables: dict[str, PowerVariationTable]
+
+    def __post_init__(self) -> None:
+        if not self.tables:
+            raise ConfigurationError("a PVT suite needs at least one table")
+
+    def names(self) -> list[str]:
+        """Microbenchmark names, sorted."""
+        return sorted(self.tables)
+
+
+def generate_pvt_suite(
+    system: System,
+    microbenchmarks: tuple[AppModel, ...] = DEFAULT_MICROBENCHMARKS,
+    *,
+    noisy: bool = True,
+) -> PVTSuite:
+    """Build one PVT per microbenchmark (install-time, once per system)."""
+    tables = {
+        mb.name: generate_pvt(system, mb, noisy=noisy) for mb in microbenchmarks
+    }
+    return PVTSuite(system_name=system.name, tables=tables)
+
+
+def _holdout_error(
+    pvt: PowerVariationTable,
+    calib: SingleModuleProfile,
+    holdout: SingleModuleProfile,
+    *,
+    fmin: float,
+    fmax: float,
+) -> float:
+    """Relative error predicting the held-out module from the calibration
+    module through one PVT (averaged over the four endpoint powers)."""
+    pmt = calibrate_pmt(pvt, calib, fmin=fmin, fmax=fmax)
+    k = holdout.module_index
+    pairs = (
+        (pmt.model.p_cpu_max[k], holdout.p_cpu_max),
+        (pmt.model.p_cpu_min[k], holdout.p_cpu_min),
+        (pmt.model.p_dram_max[k], holdout.p_dram_max),
+        (pmt.model.p_dram_min[k], holdout.p_dram_min),
+    )
+    return sum(abs(pred - meas) / meas for pred, meas in pairs) / len(pairs)
+
+
+@dataclass(frozen=True)
+class SelectionResult:
+    """Outcome of a multi-PVT calibration."""
+
+    chosen: str
+    scores: dict[str, float]  # microbenchmark -> held-out error
+    pmt: PowerModelTable
+
+
+def select_pvt(
+    suite: PVTSuite,
+    system: System,
+    app: AppModel,
+    *,
+    calib_module: int = 0,
+    holdout_module: int | None = None,
+    noisy: bool = True,
+) -> SelectionResult:
+    """Pick the PVT that best predicts a held-out module for this app.
+
+    ``holdout_module`` defaults to a module distinct from the
+    calibration module (the next index).
+    """
+    if holdout_module is None:
+        holdout_module = (calib_module + 1) % system.n_modules
+    if holdout_module == calib_module:
+        raise ConfigurationError("hold-out module must differ from the calibration module")
+    arch = system.arch
+    calib = single_module_test_run(system, app, calib_module, noisy=noisy)
+    holdout = single_module_test_run(system, app, holdout_module, noisy=noisy)
+    scores = {
+        name: _holdout_error(pvt, calib, holdout, fmin=arch.fmin, fmax=arch.fmax)
+        for name, pvt in suite.tables.items()
+    }
+    chosen = min(scores, key=scores.get)
+    pmt = calibrate_pmt(
+        suite.tables[chosen], calib, fmin=arch.fmin, fmax=arch.fmax
+    )
+    return SelectionResult(chosen=chosen, scores=scores, pmt=pmt)
+
+
+def calibrate_with_selection(
+    system: System,
+    app: AppModel,
+    suite: PVTSuite | None = None,
+    **kwargs,
+) -> PowerModelTable:
+    """One-call variant: build (or accept) a suite, select, calibrate."""
+    if suite is None:
+        suite = generate_pvt_suite(system)
+    return select_pvt(suite, system, app, **kwargs).pmt

@@ -1,0 +1,268 @@
+"""End-to-end orchestration: plan → actuate → run → measure.
+
+:func:`run_budgeted` executes the paper's full workflow (Fig 4) for one
+(system, application, scheme, budget) combination:
+
+1. build the scheme's PMT (PVT + single-module test runs, oracle, or
+   TDP defaults);
+2. solve for α and the module-level allocations (Eq 5–9);
+3. actuate — RAPL caps (PC) or a pinned common frequency (FS);
+4. simulate the application on the realised per-module work rates;
+5. measure realised power and collect the Vp/Vf/Vt statistics.
+
+:func:`run_uncapped` provides the unconstrained reference execution the
+paper normalises against ("Cm = No" in Fig 2/3/8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.apps.base import AppModel
+from repro.cluster.system import System
+from repro.control.rapl_cap import RaplCapController
+from repro.core.budget import BudgetSolution, solve_alpha
+from repro.core.pmmd import InstrumentedApp
+from repro.core.pvt import PowerVariationTable
+from repro.core.schemes import Scheme, get_scheme
+from repro.hardware.module import ModuleArray, OperatingPoint
+from repro.simmpi.tracing import RankTrace
+from repro.util.stats import worst_case_variation
+
+__all__ = ["RunResult", "run_budgeted", "run_uncapped"]
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Everything observed from one managed application execution.
+
+    Power arrays are per-module, realised (not predicted) values.
+    """
+
+    app_name: str
+    scheme_name: str | None
+    budget_w: float | None
+    solution: BudgetSolution | None
+    effective_freq_ghz: np.ndarray
+    cpu_power_w: np.ndarray
+    dram_power_w: np.ndarray
+    cap_met: np.ndarray
+    trace: RankTrace
+
+    @property
+    def module_power_w(self) -> np.ndarray:
+        """Realised per-module (CPU + DRAM) power."""
+        return self.cpu_power_w + self.dram_power_w
+
+    @property
+    def total_power_w(self) -> float:
+        """Realised system power during the run."""
+        return float(self.module_power_w.sum())
+
+    @property
+    def makespan_s(self) -> float:
+        """Application completion time (slowest rank)."""
+        return self.trace.makespan_s
+
+    @property
+    def vp(self) -> float:
+        """Worst-case module power variation."""
+        return worst_case_variation(self.module_power_w)
+
+    @property
+    def vf(self) -> float:
+        """Worst-case effective-frequency variation."""
+        return worst_case_variation(self.effective_freq_ghz)
+
+    @property
+    def vt(self) -> float:
+        """Worst-case per-rank execution-time variation."""
+        return self.trace.vt
+
+    @property
+    def within_budget(self) -> bool | None:
+        """Whether realised total power stayed within the budget
+        (None for uncapped runs)."""
+        if self.budget_w is None:
+            return None
+        return self.total_power_w <= self.budget_w * (1.0 + 1e-9)
+
+    def speedup_over(self, baseline: "RunResult") -> float:
+        """Speedup of this run relative to ``baseline`` (>1 = faster)."""
+        return baseline.makespan_s / self.makespan_s
+
+
+def _truth_view(system: System, app: AppModel) -> ModuleArray:
+    return app.specialize(system.modules, system.rng.rng(f"app-residual/{app.name}"))
+
+
+def _unwrap(app: AppModel | InstrumentedApp) -> tuple[AppModel, InstrumentedApp | None]:
+    if isinstance(app, InstrumentedApp):
+        return app.app, app
+    return app, None
+
+
+def run_uncapped(
+    system: System,
+    app: AppModel | InstrumentedApp,
+    *,
+    n_iters: int | None = None,
+    turbo: bool = False,
+) -> RunResult:
+    """Reference execution with no power management.
+
+    ``turbo=False`` (the default everywhere the evaluation normalises
+    against) pins every module at fmax.  ``turbo=True`` lets each module
+    climb to its TDP-limited Turbo point — heterogeneous for
+    power-hungry workloads, uniform for light ones (see
+    :meth:`~repro.hardware.ModuleArray.turbo_frequency`).
+    """
+    model, pmmd = _unwrap(app)
+    truth = _truth_view(system, model)
+    n = truth.n_modules
+    if turbo:
+        eff = truth.turbo_frequency(model.signature)
+        op = OperatingPoint(
+            freq_ghz=eff, duty=np.ones(n), signature=model.signature
+        )
+    else:
+        op = OperatingPoint.uniform(n, system.arch.fmax, model.signature)
+        eff = np.full(n, system.arch.fmax)
+    rates = truth.work_rate(eff)
+    trace = model.run(rates, system.arch.fmax, n_iters=n_iters)
+    result = RunResult(
+        app_name=model.name,
+        scheme_name=None,
+        budget_w=None,
+        solution=None,
+        effective_freq_ghz=eff,
+        cpu_power_w=truth.cpu_power_at(op),
+        dram_power_w=truth.dram_power_at(op),
+        cap_met=np.ones(n, dtype=bool),
+        trace=trace,
+    )
+    if pmmd is not None:
+        pmmd.record(result.makespan_s, result.total_power_w, plan=None)
+    return result
+
+
+def run_budgeted(
+    system: System,
+    app: AppModel | InstrumentedApp,
+    scheme: Scheme | str,
+    budget_w: float,
+    *,
+    pvt: PowerVariationTable | None = None,
+    test_module: int = 0,
+    n_iters: int | None = None,
+    noisy: bool = True,
+    fs_guardband_frac: float = 0.02,
+) -> RunResult:
+    """Run ``app`` on ``system`` under ``budget_w`` with one scheme.
+
+    Parameters
+    ----------
+    pvt:
+        The system's Power Variation Table (required by the Pc / VaPc /
+        VaFs schemes; generate once and share across calls).
+    test_module:
+        Which module hosts the single-module calibration runs.
+    n_iters:
+        Override the app's standard iteration count (shorter runs for
+        sweeps; timing statistics are iteration-count invariant for the
+        synchronised codes after convergence).
+    noisy:
+        Disable to remove all measurement/controller noise (pure
+        algorithmic behaviour — useful for tests and ablations).
+    fs_guardband_frac:
+        Planning margin applied by the FS schemes: because frequency
+        selection cannot *enforce* power (Section 5.3), the α-solve runs
+        against a slightly derated budget so calibration error does not
+        push realised power past the constraint.  PC schemes need no
+        planning margin — RAPL enforces the caps in hardware.
+
+    Raises
+    ------
+    InfeasibleBudgetError
+        If the scheme's PMT says the budget cannot be met at fmin
+        (Table 4's "–" cells).
+    """
+    model, pmmd = _unwrap(app)
+    if isinstance(scheme, str):
+        scheme = get_scheme(scheme)
+    truth = _truth_view(system, model)
+    arch = system.arch
+    n = truth.n_modules
+
+    pmt = scheme.build_pmt(
+        system, model, pvt=pvt, test_module=test_module, noisy=noisy
+    )
+    if scheme.actuation == "fs" and fs_guardband_frac > 0.0:
+        # Derate the planning budget, but never below the fmin floor: the
+        # guardband must not turn a feasible budget infeasible (it would
+        # just mean "run at fmin").  A genuinely infeasible budget still
+        # raises via the probe solve below.
+        derated = budget_w * (1.0 - fs_guardband_frac)
+        floor = pmt.model.total_min_w()
+        if budget_w >= floor:
+            derated = max(derated, floor)
+        sol = solve_alpha(pmt.model, derated)
+        sol = BudgetSolution(
+            alpha=sol.alpha,
+            raw_alpha=sol.raw_alpha,
+            constrained=sol.constrained,
+            freq_ghz=sol.freq_ghz,
+            pmodule_w=sol.pmodule_w,
+            pcpu_w=sol.pcpu_w,
+            pdram_w=sol.pdram_w,
+            budget_w=float(budget_w),
+        )
+    else:
+        sol = solve_alpha(pmt.model, budget_w)
+
+    if scheme.actuation == "pc":
+        rng = (
+            system.rng.rng(f"rapl/{model.name}/{scheme.name}/{budget_w:.0f}")
+            if noisy
+            else None
+        )
+        controller = RaplCapController(
+            truth,
+            rng=rng,
+            dither_loss_frac=0.02 if noisy else 0.0,
+            guardband_frac=0.01 if noisy else 0.0,
+        )
+        enf = controller.enforce(sol.pcpu_w, model.signature)
+        op = enf.op
+        eff = enf.effective_freq_ghz
+        cpu_power = enf.cpu_power_w
+        cap_met = enf.cap_met
+    else:  # fs
+        # Round the common frequency *down* onto the ladder: requesting
+        # the next P-state up could push total power past the budget.
+        f_common = float(arch.ladder.quantize_down(sol.freq_ghz))
+        op = OperatingPoint.uniform(n, f_common, model.signature)
+        eff = np.full(n, f_common)
+        cpu_power = truth.cpu_power_at(op)
+        # FS never throttles, so the *derived* CPU cap may be exceeded on
+        # leaky modules (paper Section 5.3) — report it honestly.
+        cap_met = cpu_power <= sol.pcpu_w + 1e-9
+
+    rates = truth.work_rate(eff)
+    trace = model.run(rates, arch.fmax, n_iters=n_iters)
+    result = RunResult(
+        app_name=model.name,
+        scheme_name=scheme.name,
+        budget_w=float(budget_w),
+        solution=sol,
+        effective_freq_ghz=np.asarray(eff, dtype=float),
+        cpu_power_w=cpu_power,
+        dram_power_w=truth.dram_power_at(op),
+        cap_met=np.asarray(cap_met, dtype=bool),
+        trace=trace,
+    )
+    if pmmd is not None:
+        pmmd.record(result.makespan_s, result.total_power_w, plan=scheme.name)
+    return result

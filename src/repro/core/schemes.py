@@ -1,0 +1,136 @@
+"""The six power-allocation schemes of the paper's evaluation (Section 6).
+
+==========  ================  ===============  ===========
+Scheme      App-dependent?    Variation-aware  Actuation
+==========  ================  ===============  ===========
+Naïve       no (TDP-based)    no               PC (RAPL)
+Pc          yes               no               PC (RAPL)
+VaPc        yes               yes (PVT)        PC (RAPL)
+VaPcOr      yes               oracle           PC (RAPL)
+VaFs        yes               yes (PVT)        FS (cpufreq)
+VaFsOr      yes               oracle           FS (cpufreq)
+==========  ================  ===============  ===========
+
+A scheme is *how the PMT is obtained* plus *how the allocation is
+actuated*; everything downstream (α-solve, allocation, run) is shared.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps.base import AppModel
+from repro.cluster.system import System
+from repro.core.pmt import (
+    PowerModelTable,
+    calibrate_pmt,
+    naive_pmt,
+    oracle_pmt,
+    uniform_pmt,
+)
+from repro.core.pvt import PowerVariationTable
+from repro.core.test_run import single_module_test_run
+from repro.errors import ConfigurationError
+
+__all__ = ["Scheme", "ALL_SCHEMES", "get_scheme", "list_schemes"]
+
+_PMT_KINDS = ("naive", "uniform", "calibrated", "oracle")
+_ACTUATIONS = ("pc", "fs")
+
+
+@dataclass(frozen=True)
+class Scheme:
+    """One evaluated power-allocation scheme.
+
+    Attributes
+    ----------
+    name:
+        Registry key ("naive", "pc", "vapc", "vapcor", "vafs", "vafsor").
+    label:
+        Display name matching the paper's figures.
+    pmt_kind:
+        How the Power Model Table is obtained.
+    actuation:
+        "pc" (RAPL power capping) or "fs" (frequency selection).
+    """
+
+    name: str
+    label: str
+    pmt_kind: str
+    actuation: str
+
+    def __post_init__(self) -> None:
+        if self.pmt_kind not in _PMT_KINDS:
+            raise ConfigurationError(f"pmt_kind must be one of {_PMT_KINDS}")
+        if self.actuation not in _ACTUATIONS:
+            raise ConfigurationError(f"actuation must be one of {_ACTUATIONS}")
+
+    @property
+    def variation_aware(self) -> bool:
+        """Whether per-module variation informs the allocation."""
+        return self.pmt_kind in ("calibrated", "oracle")
+
+    @property
+    def app_dependent(self) -> bool:
+        """Whether the application's power profile informs the allocation."""
+        return self.pmt_kind != "naive"
+
+    def build_pmt(
+        self,
+        system: System,
+        app: AppModel,
+        *,
+        pvt: PowerVariationTable | None = None,
+        test_module: int = 0,
+        noisy: bool = True,
+    ) -> PowerModelTable:
+        """Produce this scheme's PMT for (system, app).
+
+        ``pvt`` is required for the PVT-calibrated kinds ("uniform" and
+        "calibrated"); generate it once per system with
+        :func:`repro.core.generate_pvt` and reuse it across apps.
+        """
+        arch = system.arch
+        if self.pmt_kind == "naive":
+            return naive_pmt(arch, system.n_modules)
+        if self.pmt_kind == "oracle":
+            return oracle_pmt(system, app, noisy=False)
+        if pvt is None:
+            raise ConfigurationError(
+                f"scheme {self.name!r} needs a PowerVariationTable"
+            )
+        if pvt.n_modules != system.n_modules:
+            raise ConfigurationError(
+                f"PVT covers {pvt.n_modules} modules, system has {system.n_modules}"
+            )
+        profile = single_module_test_run(system, app, test_module, noisy=noisy)
+        builder = calibrate_pmt if self.pmt_kind == "calibrated" else uniform_pmt
+        return builder(pvt, profile, fmin=arch.fmin, fmax=arch.fmax)
+
+
+#: Schemes in the paper's Fig 7 legend order.
+ALL_SCHEMES: dict[str, Scheme] = {
+    s.name: s
+    for s in (
+        Scheme("naive", "Naive", "naive", "pc"),
+        Scheme("pc", "Pc", "uniform", "pc"),
+        Scheme("vapcor", "VaPcOr", "oracle", "pc"),
+        Scheme("vapc", "VaPc", "calibrated", "pc"),
+        Scheme("vafsor", "VaFsOr", "oracle", "fs"),
+        Scheme("vafs", "VaFs", "calibrated", "fs"),
+    )
+}
+
+
+def get_scheme(name: str) -> Scheme:
+    """Look up a scheme by name (case-insensitive)."""
+    try:
+        return ALL_SCHEMES[name.lower()]
+    except KeyError:
+        known = ", ".join(ALL_SCHEMES)
+        raise ConfigurationError(f"unknown scheme {name!r}; known: {known}") from None
+
+
+def list_schemes() -> list[str]:
+    """Scheme names in the paper's legend order."""
+    return list(ALL_SCHEMES)

@@ -1,0 +1,93 @@
+"""Single-module application test runs (step 2 of the paper's workflow).
+
+"We conduct two low-cost, single-module test runs of the application,
+one at the maximum CPU frequency and the other at the minimum CPU
+frequency, and measure the CPU and DRAM power."  The resulting four
+numbers, combined with the PVT, calibrate the application's Power Model
+Table for every module in the system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps.base import AppModel
+from repro.cluster.system import System
+from repro.errors import ConfigurationError
+from repro.hardware.module import OperatingPoint
+from repro.measurement.rapl import RaplMeter
+
+__all__ = ["SingleModuleProfile", "single_module_test_run"]
+
+
+@dataclass(frozen=True)
+class SingleModuleProfile:
+    """Measured power of one application on one module at fmax and fmin."""
+
+    app_name: str
+    module_index: int
+    p_cpu_max: float
+    p_cpu_min: float
+    p_dram_max: float
+    p_dram_min: float
+
+    def __post_init__(self) -> None:
+        for name in ("p_cpu_max", "p_cpu_min", "p_dram_max", "p_dram_min"):
+            v = getattr(self, name)
+            if v <= 0:
+                raise ConfigurationError(f"{name} must be positive, got {v}")
+
+    @property
+    def p_module_max(self) -> float:
+        """Module power at fmax."""
+        return self.p_cpu_max + self.p_dram_max
+
+    @property
+    def p_module_min(self) -> float:
+        """Module power at fmin."""
+        return self.p_cpu_min + self.p_dram_min
+
+
+def single_module_test_run(
+    system: System,
+    app: AppModel,
+    module_index: int = 0,
+    *,
+    noisy: bool = True,
+    duration_s: float = 1.0,
+) -> SingleModuleProfile:
+    """Profile ``app`` on one module of ``system`` at fmax and fmin.
+
+    Uses RAPL average-power measurement over ``duration_s`` per
+    frequency.  The module's ground-truth power is the app-specialised
+    view (the same silicon expresses variation differently per app), so
+    the profile carries the app's calibration residual exactly as a real
+    test run would.
+    """
+    if not (0 <= module_index < system.n_modules):
+        raise ConfigurationError(
+            f"module_index {module_index} out of range [0, {system.n_modules})"
+        )
+    specialized = app.specialize(
+        system.modules, system.rng.rng(f"app-residual/{app.name}")
+    )
+    sub = specialized.take([module_index])
+    meter_rng = (
+        system.rng.rng(f"test-run/{app.name}/{module_index}") if noisy else None
+    )
+    meter = RaplMeter(sub, rng=meter_rng)
+    arch = system.arch
+
+    readings = {}
+    for label, freq in (("max", arch.fmax), ("min", arch.fmin)):
+        op = OperatingPoint.uniform(1, freq, app.signature)
+        readings[label] = meter.read(op, duration_s=duration_s)
+
+    return SingleModuleProfile(
+        app_name=app.name,
+        module_index=int(module_index),
+        p_cpu_max=float(readings["max"].cpu_w[0]),
+        p_cpu_min=float(readings["min"].cpu_w[0]),
+        p_dram_max=float(readings["max"].dram_w[0]),
+        p_dram_min=float(readings["min"].dram_w[0]),
+    )

@@ -1,0 +1,59 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library errors derive from :class:`ReproError` so callers can catch
+everything raised by this package with a single ``except`` clause while
+still being able to discriminate specific failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by :mod:`repro`."""
+
+
+class ConfigurationError(ReproError):
+    """A system, application, or scheme was configured inconsistently."""
+
+
+class InfeasibleBudgetError(ReproError):
+    """The requested power budget cannot be met even at minimum frequency.
+
+    Corresponds to the "--" entries of Table 4 in the paper: the modules
+    under consideration cannot be operated even with the minimum CPU
+    frequency under the given system-level power constraint.
+    """
+
+    def __init__(self, budget_w: float, floor_w: float, message: str | None = None):
+        self.budget_w = float(budget_w)
+        self.floor_w = float(floor_w)
+        if message is None:
+            message = (
+                f"power budget {budget_w:.1f} W is below the minimum-frequency "
+                f"floor {floor_w:.1f} W; modules cannot be operated (Table 4 '--')"
+            )
+        super().__init__(message)
+
+
+class MeasurementError(ReproError):
+    """A power-measurement interface was used outside its capabilities."""
+
+
+class CappingUnsupportedError(MeasurementError):
+    """Power capping was requested on a meter that cannot enforce caps.
+
+    Of the three techniques in Table 1 of the paper, only RAPL supports
+    capping; EMON and PowerInsight are measurement-only.
+    """
+
+
+class MSRAccessError(ReproError):
+    """An MSR address was read or written that the emulated CPU lacks."""
+
+
+class SchedulerError(ReproError):
+    """The job scheduler could not satisfy an allocation request."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event application simulator reached an invalid state."""

@@ -1,0 +1,23 @@
+"""Experiment harness: one module per table/figure of the paper.
+
+Each ``repro.experiments.figN`` / ``tableN`` module exposes
+
+* ``run_*`` — execute the experiment and return a structured result;
+* ``format_*`` — render the result as the rows/series the paper reports;
+* ``main()`` — run and print (each module is executable:
+  ``python -m repro.experiments.fig7``).
+
+The benchmark suite (``benchmarks/``) wraps these same entry points, so
+``pytest benchmarks/ --benchmark-only`` regenerates every table and
+figure.
+"""
+
+from repro.experiments.common import (
+    CM_GRID_W,
+    CS_GRID_KW,
+    PAPER_TABLE4,
+    ha8k,
+    paper_system,
+)
+
+__all__ = ["ha8k", "paper_system", "CS_GRID_KW", "CM_GRID_W", "PAPER_TABLE4"]

@@ -1,0 +1,103 @@
+"""Export experiment results to CSV/JSON for external plotting.
+
+Every figure/table runner returns structured dataclasses; this module
+flattens them into records (lists of flat dicts) and writes them out.
+Use from code or via the converters registry::
+
+    from repro.experiments.export import to_records, write_csv
+    from repro.experiments.fig7 import run_fig7
+
+    write_csv(to_records(run_fig7()), "fig7.csv")
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from dataclasses import asdict, is_dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["to_records", "write_csv", "write_json"]
+
+
+def _flatten(record: dict) -> dict:
+    """Expand dict-valued fields into dotted keys; drop array fields."""
+    out: dict[str, object] = {}
+    for key, value in record.items():
+        if isinstance(value, dict):
+            for sub, v in value.items():
+                out[f"{key}.{sub}"] = v
+        elif isinstance(value, np.ndarray):
+            continue  # raw scatter arrays are not tabular
+        elif isinstance(value, (np.floating, np.integer)):
+            out[key] = value.item()
+        else:
+            out[key] = value
+    return out
+
+
+def to_records(result: object) -> list[dict]:
+    """Flatten an experiment result into a list of plain-dict records.
+
+    Accepts a dataclass, a list of dataclasses, or a dict of either;
+    nested per-scheme dicts become dotted columns, numpy arrays are
+    dropped (export the summary, not the raw scatter).
+    """
+    if is_dataclass(result) and not isinstance(result, type):
+        return [_flatten(asdict(result))]
+    if isinstance(result, (list, tuple)):
+        records: list[dict] = []
+        for item in result:
+            records.extend(to_records(item))
+        return records
+    if isinstance(result, dict):
+        records = []
+        for key, item in result.items():
+            for rec in to_records(item):
+                records.append({"group": key, **rec})
+        return records
+    raise ConfigurationError(
+        f"cannot export object of type {type(result).__name__}"
+    )
+
+
+def write_csv(records: list[dict], path: str | Path) -> Path:
+    """Write records as CSV (union of keys as the header)."""
+    if not records:
+        raise ConfigurationError("no records to write")
+    path = Path(path)
+    fields: list[str] = []
+    for rec in records:
+        for key in rec:
+            if key not in fields:
+                fields.append(key)
+    with path.open("w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=fields)
+        writer.writeheader()
+        writer.writerows(records)
+    return path
+
+
+def _jsonable(value: object) -> object:
+    if isinstance(value, (np.floating, np.integer)):
+        return value.item()
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, dict):
+        return {k: _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    return value
+
+
+def write_json(records: list[dict], path: str | Path) -> Path:
+    """Write records as a JSON array."""
+    if not records:
+        raise ConfigurationError("no records to write")
+    path = Path(path)
+    path.write_text(json.dumps([_jsonable(r) for r in records], indent=1))
+    return path

@@ -1,0 +1,142 @@
+"""Fig 1 — processor power and performance variation on Cab, Vulcan, Teller.
+
+Single-socket NPB-EP, uncapped, measured with each site's native
+technique (RAPL / EMON / PowerInsight).  For every socket (node board on
+Vulcan) the figure plots
+
+* slowdown [%] compared to the fastest unit, and
+* power increase [%] compared to the most efficient unit,
+
+with units sorted by performance.  Published headline spreads: up to
+23 % power variation on Cab, 11 % on Vulcan, 21 % power + 17 %
+performance on Teller — and essentially no performance variation on the
+frequency-binned Intel/IBM parts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.apps.registry import get_app
+from repro.experiments.common import paper_system
+from repro.hardware.module import OperatingPoint
+from repro.util.tables import render_table
+
+__all__ = ["Fig1Series", "run_fig1", "format_fig1", "main"]
+
+
+@dataclass(frozen=True)
+class Fig1Series:
+    """One panel of Fig 1 (one system)."""
+
+    system: str
+    n_units: int
+    unit: str  # "socket" or "node board"
+    slowdown_pct: np.ndarray  # sorted by performance, best first
+    power_increase_pct: np.ndarray  # same ordering
+    max_power_variation_pct: float
+    max_perf_variation_pct: float
+
+
+def _run_system(name: str, unit: str) -> Fig1Series:
+    system = paper_system(name)
+    app = get_app("ep")
+    truth = app.specialize(system.modules, system.rng.rng("app-residual/ep"))
+    arch = system.arch
+    n = system.n_modules
+
+    # Performance: single-socket EP time ∝ 1 / (fmax · perf factor).
+    rates = truth.work_rate(np.full(n, arch.fmax))
+    times = 1.0 / rates
+
+    # Power: each site's native meter, at the uncapped operating point.
+    # On Cab only CPU power is available (DRAM blocked by the BIOS);
+    # Fig 1 uses CPU power on every system anyway.
+    op = OperatingPoint.uniform(n, arch.fmax, app.signature)
+    meter = system.meter()
+    duration = 1.0 if system.meter_kind == "rapl" else None
+    reading = meter.read(op, duration_s=duration)
+    power = reading.cpu_w
+    if unit == "node board":
+        # EMON reports per node board; aggregate times the same way.
+        times = times.reshape(power.shape[0], -1).mean(axis=1)
+
+    order = np.argsort(times)  # fastest first, as the paper sorts
+    times = times[order]
+    power = power[order]
+
+    slowdown = (times / times.min() - 1.0) * 100.0
+    increase = (power / power.min() - 1.0) * 100.0
+    return Fig1Series(
+        system=name,
+        n_units=len(times),
+        unit=unit,
+        slowdown_pct=slowdown,
+        power_increase_pct=increase,
+        max_power_variation_pct=float(increase.max()),
+        max_perf_variation_pct=float(slowdown.max()),
+    )
+
+
+def run_fig1() -> dict[str, Fig1Series]:
+    """All three panels: Cab (A), Vulcan (B), Teller (C)."""
+    return {
+        "cab": _run_system("cab", "socket"),
+        "vulcan": _run_system("vulcan", "node board"),
+        "teller": _run_system("teller", "socket"),
+    }
+
+
+def format_fig1(series: dict[str, Fig1Series]) -> str:
+    """Summary rows: the per-system headline variation percentages."""
+    rows = [
+        [
+            s.system,
+            f"{s.n_units} {s.unit}s",
+            f"{s.max_power_variation_pct:.1f}%",
+            f"{s.max_perf_variation_pct:.1f}%",
+        ]
+        for s in series.values()
+    ]
+    table = render_table(
+        ["System", "Units", "Max power variation", "Max perf variation"],
+        rows,
+        title="Fig 1: CPU power & performance variation (single-socket EP)",
+    )
+    paper = "paper: cab 23%/~0%, vulcan 11%/~0%, teller 21%/17%"
+    return f"{table}\n-- {paper}"
+
+
+def plot_fig1(series: dict[str, Fig1Series]) -> str:
+    """ASCII rendition: one panel per system, sorted by performance."""
+    from repro.util.ascii_plot import scatter_plot
+
+    panels = []
+    for s in series.values():
+        ids = np.arange(s.n_units, dtype=float)
+        panels.append(
+            scatter_plot(
+                {
+                    "slowdown %": (ids, s.slowdown_pct),
+                    "power increase %": (ids, s.power_increase_pct),
+                },
+                xlabel=f"{s.unit} ids (sorted by performance)",
+                ylabel="%",
+                title=f"Fig 1 — {s.system}",
+                height=14,
+            )
+        )
+    return "\n\n".join(panels)
+
+
+def main() -> None:  # pragma: no cover
+    series = run_fig1()
+    print(format_fig1(series))
+    print()
+    print(plot_fig1(series))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

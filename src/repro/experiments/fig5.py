@@ -1,0 +1,116 @@
+"""Fig 5 — power is linear in CPU frequency (the model's core assumption).
+
+On 64 HA8K modules, sweep the DVFS ladder and fit module / CPU / DRAM
+power (averaged across modules) against frequency.  The paper reports
+R² = 0.999 (module), 0.999 (CPU) and 0.991–0.996 (DRAM) for *DGEMM and
+MHD — this linearity is what licenses the two-point (fmax, fmin)
+calibration of the PMT.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.apps.registry import get_app
+from repro.experiments.common import ha8k
+from repro.hardware.module import OperatingPoint
+from repro.measurement.rapl import RaplMeter
+from repro.util.stats import LinearFit, linear_fit
+from repro.util.tables import render_table
+
+__all__ = ["Fig5Fit", "run_fig5", "format_fig5", "main"]
+
+
+@dataclass(frozen=True)
+class Fig5Fit:
+    """Linear fits of one application's power vs frequency sweep."""
+
+    app: str
+    freqs_ghz: np.ndarray
+    cpu_w: np.ndarray  # mean across modules per frequency
+    dram_w: np.ndarray
+    module_w: np.ndarray
+    cpu_fit: LinearFit
+    dram_fit: LinearFit
+    module_fit: LinearFit
+
+
+def run_fig5(n_modules: int = 64, apps: tuple[str, ...] = ("dgemm", "mhd")) -> dict[str, Fig5Fit]:
+    """Frequency sweep with RAPL measurement on 64 modules."""
+    system = ha8k(1920).subset(np.arange(n_modules))
+    arch = system.arch
+    out: dict[str, Fig5Fit] = {}
+    for name in apps:
+        app = get_app(name)
+        truth = app.specialize(system.modules, system.rng.rng(f"app-residual/{name}"))
+        meter = RaplMeter(truth, rng=system.rng.rng(f"fig5/{name}"))
+        freqs = np.asarray(arch.ladder.frequencies)
+        cpu, dram = [], []
+        for f in freqs:
+            reading = meter.read(
+                OperatingPoint.uniform(n_modules, float(f), app.signature),
+                duration_s=1.0,
+            )
+            cpu.append(reading.cpu_w.mean())
+            dram.append(reading.dram_w.mean())
+        cpu = np.asarray(cpu)
+        dram = np.asarray(dram)
+        module = cpu + dram
+        out[name] = Fig5Fit(
+            app=name,
+            freqs_ghz=freqs,
+            cpu_w=cpu,
+            dram_w=dram,
+            module_w=module,
+            cpu_fit=linear_fit(freqs, cpu),
+            dram_fit=linear_fit(freqs, dram),
+            module_fit=linear_fit(freqs, module),
+        )
+    return out
+
+
+def format_fig5(fits: dict[str, Fig5Fit]) -> str:
+    """R² per component, as annotated on the figure."""
+    rows = []
+    for f in fits.values():
+        rows.append([f.app, "Module", f"{f.module_fit.r2:.4f}", f"{f.module_fit.slope:.1f}"])
+        rows.append([f.app, "CPU", f"{f.cpu_fit.r2:.4f}", f"{f.cpu_fit.slope:.1f}"])
+        rows.append([f.app, "DRAM", f"{f.dram_fit.r2:.4f}", f"{f.dram_fit.slope:.1f}"])
+    table = render_table(
+        ["App", "Component", "R^2", "Slope [W/GHz]"],
+        rows,
+        title="Fig 5: Power vs CPU frequency, 64 HA8K modules",
+    )
+    return f"{table}\n-- paper: R^2 >= 0.991 for every component of both apps"
+
+
+def plot_fig5(fits: dict[str, Fig5Fit]) -> str:
+    """ASCII rendition of the power-vs-frequency sweeps."""
+    from repro.util.ascii_plot import series_plot
+
+    panels = []
+    for f in fits.values():
+        panels.append(
+            series_plot(
+                f.freqs_ghz,
+                {"module": f.module_w, "cpu": f.cpu_w, "dram": f.dram_w},
+                xlabel="CPU frequency [GHz]",
+                ylabel="power [W]",
+                title=f"Fig 5 — {f.app} power vs frequency (64-module mean)",
+                height=14,
+            )
+        )
+    return "\n\n".join(panels)
+
+
+def main() -> None:  # pragma: no cover
+    fits = run_fig5()
+    print(format_fig5(fits))
+    print()
+    print(plot_fig5(fits))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,84 @@
+"""Fig 6 / Section 5.3 — accuracy of the PVT-based power model calibration.
+
+For every benchmark, build the VaPc PMT (install-time *STREAM PVT + two
+single-module test runs) and compare its per-module power predictions
+against ground truth.  The paper reports prediction error "under 5 %"
+for most benchmarks, with NPB-BT the exception at "about 10 %".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps.registry import get_app, list_apps
+from repro.core.pmt import prediction_error
+from repro.core.schemes import get_scheme
+from repro.experiments.common import ha8k, ha8k_pvt
+from repro.util.tables import render_table
+
+__all__ = ["CalibrationAccuracy", "run_fig6", "format_fig6", "main"]
+
+
+@dataclass(frozen=True)
+class CalibrationAccuracy:
+    """Prediction-error statistics of one application's PMT."""
+
+    app: str
+    mean_error: float
+    max_error: float
+    mean_error_fmax: float
+    mean_error_fmin: float
+
+
+def run_fig6(
+    n_modules: int = 1920, apps: tuple[str, ...] | None = None
+) -> list[CalibrationAccuracy]:
+    """Calibrate every app's PMT and score it against ground truth."""
+    system = ha8k(n_modules)
+    pvt = ha8k_pvt(n_modules)
+    scheme = get_scheme("vapc")
+    out: list[CalibrationAccuracy] = []
+    for name in apps if apps is not None else tuple(list_apps()):
+        app = get_app(name)
+        pmt = scheme.build_pmt(system, app, pvt=pvt)
+        truth = app.specialize(
+            system.modules, system.rng.rng(f"app-residual/{app.name}")
+        )
+        err = prediction_error(pmt, truth, app)
+        out.append(
+            CalibrationAccuracy(
+                app=name,
+                mean_error=err["mean"],
+                max_error=err["max"],
+                mean_error_fmax=err["mean_fmax"],
+                mean_error_fmin=err["mean_fmin"],
+            )
+        )
+    return sorted(out, key=lambda a: a.max_error, reverse=True)
+
+
+def format_fig6(rows: list[CalibrationAccuracy]) -> str:
+    """Per-app error table, worst first."""
+    table = render_table(
+        ["App", "Mean error", "Max error", "Mean @fmax", "Mean @fmin"],
+        [
+            [
+                r.app,
+                f"{r.mean_error:.1%}",
+                f"{r.max_error:.1%}",
+                f"{r.mean_error_fmax:.1%}",
+                f"{r.mean_error_fmin:.1%}",
+            ]
+            for r in rows
+        ],
+        title="Fig 6 / Sec 5.3: PMT prediction accuracy (PVT calibration)",
+    )
+    return f"{table}\n-- paper: under 5% for most benchmarks; NPB-BT about 10%"
+
+
+def main() -> None:  # pragma: no cover
+    print(format_fig6(run_fig6()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,153 @@
+"""Fig 7 — speedup of every budgeting scheme over the Naïve baseline.
+
+For each benchmark and each meaningfully constrained scenario (the "X"
+cells of Table 4), run all six schemes on the 1,920-module HA8K and
+report the speedup relative to Naïve.
+
+Paper headlines: VaFs max 5.40X (NPB-BT @ 96 kW), VaFs mean 1.86X;
+VaPc max 4.03X (NPB-SP @ 96 kW), VaPc mean 1.72X; VaFs ≥ VaPc except
+*STREAM @154 kW and mVMC @115 kW; VaPc trails the oracle VaPcOr most
+visibly for NPB-BT (worst calibration accuracy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.apps.registry import get_app
+from repro.core.runner import run_budgeted
+from repro.core.schemes import list_schemes
+from repro.experiments.common import PAPER_TABLE4, ha8k, ha8k_pvt
+from repro.util.tables import render_table
+
+__all__ = ["Fig7Cell", "Fig7Summary", "run_fig7", "summarize_fig7", "format_fig7", "main"]
+
+_APP_ORDER = ("dgemm", "stream", "mhd", "bt", "sp", "mvmc")
+
+
+@dataclass(frozen=True)
+class Fig7Cell:
+    """One (application, constraint) group of bars."""
+
+    app: str
+    cm_w: int
+    cs_kw: float
+    speedup: dict[str, float]  # scheme -> speedup over naive
+    within_budget: dict[str, bool]
+
+
+@dataclass(frozen=True)
+class Fig7Summary:
+    """Aggregate speedup statistics across all evaluated cells."""
+
+    mean: dict[str, float]
+    max: dict[str, float]
+    max_cell: dict[str, tuple[str, int]]  # scheme -> (app, cm) of its max
+
+
+def evaluated_cells(apps: tuple[str, ...] = _APP_ORDER) -> list[tuple[str, int]]:
+    """The (app, Cm) pairs the paper marks 'X' in Table 4."""
+    return [
+        (app, cm)
+        for app in apps
+        for cm, cell in PAPER_TABLE4[app].items()
+        if cell == "X"
+    ]
+
+
+def run_fig7(
+    n_modules: int = 1920,
+    n_iters: int | None = None,
+    apps: tuple[str, ...] = _APP_ORDER,
+) -> list[Fig7Cell]:
+    """Execute the full scheme-comparison sweep."""
+    system = ha8k(n_modules)
+    pvt = ha8k_pvt(n_modules)
+    cells: list[Fig7Cell] = []
+    for app_name, cm in evaluated_cells(apps):
+        app = get_app(app_name)
+        budget = float(cm) * n_modules
+        naive = run_budgeted(system, app, "naive", budget, pvt=pvt, n_iters=n_iters)
+        speedup = {"naive": 1.0}
+        within = {"naive": bool(naive.within_budget)}
+        for scheme in list_schemes():
+            if scheme == "naive":
+                continue
+            r = run_budgeted(system, app, scheme, budget, pvt=pvt, n_iters=n_iters)
+            speedup[scheme] = r.speedup_over(naive)
+            within[scheme] = bool(r.within_budget)
+        cells.append(
+            Fig7Cell(
+                app=app_name,
+                cm_w=cm,
+                cs_kw=budget / 1e3,
+                speedup=speedup,
+                within_budget=within,
+            )
+        )
+    return cells
+
+
+def summarize_fig7(cells: list[Fig7Cell]) -> Fig7Summary:
+    """The headline aggregates the paper quotes."""
+    schemes = [s for s in list_schemes() if s != "naive"]
+    mean: dict[str, float] = {}
+    mx: dict[str, float] = {}
+    mx_cell: dict[str, tuple[str, int]] = {}
+    for s in schemes:
+        vals = np.array([c.speedup[s] for c in cells])
+        mean[s] = float(vals.mean())
+        best = int(vals.argmax())
+        mx[s] = float(vals[best])
+        mx_cell[s] = (cells[best].app, cells[best].cm_w)
+    return Fig7Summary(mean=mean, max=mx, max_cell=mx_cell)
+
+
+def format_fig7(cells: list[Fig7Cell]) -> str:
+    """Render the bar groups plus the aggregate summary."""
+    schemes = list_schemes()
+    rows = [
+        [c.app, f"{c.cs_kw:.0f}", c.cm_w]
+        + [f"{c.speedup[s]:.2f}" for s in schemes]
+        for c in cells
+    ]
+    table = render_table(
+        ["App", "Cs [kW]", "Cm [W]"] + [s for s in schemes],
+        rows,
+        title="Fig 7: Speedup over the Naive budgeting scheme",
+    )
+    s = summarize_fig7(cells)
+    summary = (
+        f"-- VaFs: max {s.max['vafs']:.2f}X at {s.max_cell['vafs']}, "
+        f"mean {s.mean['vafs']:.2f}X (paper: 5.40X, 1.86X)\n"
+        f"-- VaPc: max {s.max['vapc']:.2f}X at {s.max_cell['vapc']}, "
+        f"mean {s.mean['vapc']:.2f}X (paper: 4.03X, 1.72X)"
+    )
+    return f"{table}\n{summary}"
+
+
+def plot_fig7(cells: list[Fig7Cell], apps: tuple[str, ...] = ("bt", "dgemm")) -> str:
+    """ASCII bar groups for a subset of applications (Fig 7's shape)."""
+    from repro.util.ascii_plot import bar_groups
+
+    groups = {
+        f"{c.app} @{c.cs_kw:.0f} kW": {s: c.speedup[s] for s in list_schemes()}
+        for c in cells
+        if c.app in apps
+    }
+    return bar_groups(
+        groups, title="Fig 7: speedup over Naive", reference=1.0, unit="x"
+    )
+
+
+def main() -> None:  # pragma: no cover
+    cells = run_fig7()
+    print(format_fig7(cells))
+    print()
+    print(plot_fig7(cells))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,137 @@
+"""Fig 9 — total power consumption of every scheme vs the constraint.
+
+For every evaluated (application, Cs) scenario, measure the realised
+total system power under each scheme and compare it with the enforced
+constraint (Fig 9's red line).  The paper "confirmed that all schemes
+adhere to the power constraint ... except the Naïve scheme for *STREAM":
+Naïve's application-independent PMT underestimates *STREAM's DRAM power
+— DRAM is uncapped hardware-wise, so the spare CPU allocation plus the
+real DRAM draw pushes the total past the budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps.registry import get_app
+from repro.core.runner import run_budgeted
+from repro.core.schemes import list_schemes
+from repro.experiments.common import ha8k, ha8k_pvt
+from repro.experiments.fig7 import evaluated_cells
+from repro.util.tables import render_table
+
+__all__ = ["Fig9Cell", "run_fig9", "format_fig9", "main", "violations"]
+
+
+@dataclass(frozen=True)
+class Fig9Cell:
+    """Total power of all schemes for one (app, Cs)."""
+
+    app: str
+    cm_w: int
+    budget_kw: float
+    total_kw: dict[str, float]
+    within_budget: dict[str, bool]
+
+
+def run_fig9(n_modules: int = 1920, n_iters: int | None = 5) -> list[Fig9Cell]:
+    """Measure realised total power for every scheme on every X cell.
+
+    Power statistics converge in very few iterations (the operating
+    point is stationary), so ``n_iters`` defaults low.
+    """
+    system = ha8k(n_modules)
+    pvt = ha8k_pvt(n_modules)
+    cells: list[Fig9Cell] = []
+    for app_name, cm in evaluated_cells():
+        app = get_app(app_name)
+        budget = float(cm) * n_modules
+        totals: dict[str, float] = {}
+        within: dict[str, bool] = {}
+        for scheme in list_schemes():
+            r = run_budgeted(system, app, scheme, budget, pvt=pvt, n_iters=n_iters)
+            totals[scheme] = r.total_power_w / 1e3
+            within[scheme] = bool(r.within_budget)
+        cells.append(
+            Fig9Cell(
+                app=app_name,
+                cm_w=cm,
+                budget_kw=budget / 1e3,
+                total_kw=totals,
+                within_budget=within,
+            )
+        )
+    return cells
+
+
+def violations(cells: list[Fig9Cell]) -> list[tuple[str, int, str, float]]:
+    """All (app, Cm, scheme, overshoot-fraction) constraint violations."""
+    out = []
+    for c in cells:
+        for scheme, ok in c.within_budget.items():
+            if not ok:
+                out.append(
+                    (c.app, c.cm_w, scheme, c.total_kw[scheme] / c.budget_kw - 1.0)
+                )
+    return out
+
+
+def format_fig9(cells: list[Fig9Cell]) -> str:
+    """Render realised power per scheme, flagging violations with '!'."""
+    schemes = list_schemes()
+
+    def cell_str(c: Fig9Cell, s: str) -> str:
+        mark = "" if c.within_budget[s] else "!"
+        return f"{c.total_kw[s]:.0f}{mark}"
+
+    rows = [
+        [c.app, f"{c.budget_kw:.0f}"] + [cell_str(c, s) for s in schemes]
+        for c in cells
+    ]
+    table = render_table(
+        ["App", "Cs [kW]"] + schemes,
+        rows,
+        title="Fig 9: Total power consumption [kW] ('!' = over constraint)",
+    )
+    v = violations(cells)
+    only_stream = all(app == "stream" and scheme == "naive" for app, _, scheme, _ in v)
+    verdict = (
+        "only Naive/*STREAM violates the constraint — matches the paper"
+        if v and only_stream
+        else ("no violations at all" if not v else f"unexpected violations: {v}")
+    )
+    return f"{table}\n-- {verdict}"
+
+
+def plot_fig9(cells: list[Fig9Cell], app: str = "stream") -> str:
+    """ASCII bars for one application, with the constraint as Fig 9's
+    red line (rendered '|')."""
+    from repro.util.ascii_plot import bar_groups
+
+    mine = [c for c in cells if c.app == app]
+    if not mine:
+        raise ValueError(f"no cells for app {app!r}")
+    # Normalise each group to its own constraint so one reference works.
+    groups = {
+        f"{c.app} @{c.budget_kw:.0f} kW (x budget)": {
+            s: c.total_kw[s] / c.budget_kw for s in c.total_kw
+        }
+        for c in mine
+    }
+    return bar_groups(
+        groups,
+        title=f"Fig 9 ({app}): realised power relative to the constraint",
+        reference=1.0,
+        unit="x",
+    )
+
+
+def main() -> None:  # pragma: no cover
+    cells = run_fig9()
+    print(format_fig9(cells))
+    print()
+    print(plot_fig9(cells, "stream"))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,136 @@
+"""Hardware overprovisioning under a facility power bound (§2.2 context).
+
+The paper situates itself in the overprovisioning literature (Patki et
+al., Sarood et al.): buy more nodes than the facility can power at TDP,
+then choose, per job, how many to run and how hard to power each.  This
+experiment reproduces the canonical trade-off on our substrate: with a
+*fixed facility power*, sweep the module count — more modules each get
+less power (lower frequency) but share the work; fewer modules run
+faster each but do more work apiece.
+
+Strong scaling: total application work is fixed, so per-rank work
+scales as ``n_ref / n``.  The optimum is interior whenever the
+application is not perfectly CPU-bound: the frequency-insensitive
+fraction favours wide-and-slow, the α floor caps how slow a module may
+go, and communication pushes back against width.
+
+Variation-awareness composes with overprovisioning: at every width the
+per-module allocations come from the VaFs machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.apps.registry import get_app
+from repro.core.runner import run_budgeted
+from repro.errors import InfeasibleBudgetError
+from repro.experiments.common import ha8k, ha8k_pvt
+from repro.util.tables import render_table
+
+__all__ = ["OverprovisionPoint", "run_overprovisioning", "format_overprovisioning", "main"]
+
+
+@dataclass(frozen=True)
+class OverprovisionPoint:
+    """Outcome at one module count under the fixed facility power."""
+
+    n_modules: int
+    cm_w: float  # facility power / modules
+    feasible: bool
+    makespan_s: float | None
+    freq_ghz: float | None
+
+
+def run_overprovisioning(
+    app_name: str = "mhd",
+    facility_kw: float = 60.0,
+    module_grid: tuple[int, ...] = (512, 640, 768, 896, 1024, 1280, 1536, 1792, 1920),
+    *,
+    ref_modules: int = 1024,
+    n_iters: int = 40,
+) -> list[OverprovisionPoint]:
+    """Sweep module count at fixed facility power with VaFs budgeting.
+
+    ``ref_modules`` anchors the strong-scaling work: at any width n the
+    per-rank work is scaled by ``ref_modules / n``.
+    """
+    app_base = get_app(app_name)
+    budget_w = facility_kw * 1e3
+    points: list[OverprovisionPoint] = []
+    for n in module_grid:
+        system = ha8k(1920).subset(np.arange(n))
+        pvt = ha8k_pvt(1920).take(np.arange(n))
+        # Strong scaling: fixed total work split across n ranks.
+        app = app_base.with_(
+            iter_seconds_fmax=app_base.iter_seconds_fmax * ref_modules / n
+        )
+        try:
+            r = run_budgeted(system, app, "vafs", budget_w, pvt=pvt, n_iters=n_iters)
+        except InfeasibleBudgetError:
+            points.append(
+                OverprovisionPoint(
+                    n_modules=n,
+                    cm_w=budget_w / n,
+                    feasible=False,
+                    makespan_s=None,
+                    freq_ghz=None,
+                )
+            )
+            continue
+        points.append(
+            OverprovisionPoint(
+                n_modules=n,
+                cm_w=budget_w / n,
+                feasible=True,
+                makespan_s=r.makespan_s,
+                freq_ghz=r.solution.freq_ghz,
+            )
+        )
+    return points
+
+
+def best_point(points: list[OverprovisionPoint]) -> OverprovisionPoint:
+    """The width with the smallest makespan."""
+    feasible = [p for p in points if p.feasible]
+    if not feasible:
+        raise InfeasibleBudgetError(0.0, 0.0, message="no feasible width")
+    return min(feasible, key=lambda p: p.makespan_s)
+
+
+def format_overprovisioning(
+    points: list[OverprovisionPoint], app_name: str = "mhd"
+) -> str:
+    """Render the trade-off curve."""
+    rows = []
+    for p in points:
+        rows.append(
+            [
+                p.n_modules,
+                f"{p.cm_w:.1f}",
+                f"{p.freq_ghz:.2f}" if p.feasible else "--",
+                f"{p.makespan_s:.1f}" if p.feasible else "infeasible",
+            ]
+        )
+    table = render_table(
+        ["Modules", "W/module", "freq [GHz]", "makespan [s]"],
+        rows,
+        title=f"Overprovisioning: {app_name} under a fixed facility budget",
+    )
+    best = best_point(points)
+    note = (
+        f"-- optimum at {best.n_modules} modules "
+        f"({best.cm_w:.0f} W each, {best.freq_ghz:.2f} GHz)"
+    )
+    return f"{table}\n{note}"
+
+
+def main() -> None:  # pragma: no cover
+    points = run_overprovisioning()
+    print(format_overprovisioning(points))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

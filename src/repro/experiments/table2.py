@@ -1,0 +1,94 @@
+"""Table 2 — architectures under consideration.
+
+Regenerates the system-description table from the cluster registry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.configs import SYSTEM_FACTORIES, build_system
+from repro.util.tables import render_table
+
+__all__ = ["run_table2", "format_table2", "main"]
+
+_SITES = {
+    "cab": "Cab (LLNL)",
+    "vulcan": "BG/Q Vulcan (LLNL)",
+    "teller": "Teller (SNL)",
+    "ha8k": "HA8K (Quartetto) Kyushu Univ.",
+}
+
+_METER_LABEL = {"rapl": "RAPL", "powerinsight": "PI", "emon": "EMON"}
+
+
+@dataclass(frozen=True)
+class Table2Row:
+    """One system's specification row."""
+
+    site: str
+    microarchitecture: str
+    total_nodes: int
+    procs_per_node: int
+    cores_per_proc: int
+    cpu_frequency_ghz: float
+    tdp_w: float
+    power_measurement: str
+
+
+def run_table2() -> list[Table2Row]:
+    """Build every registered system (tiny instances) and read its specs."""
+    rows = []
+    for name in ("cab", "vulcan", "teller", "ha8k"):
+        full = build_system(name, n_modules=SYSTEM_FACTORIES[name](None, 0).n_modules)
+        rows.append(
+            Table2Row(
+                site=_SITES[name],
+                microarchitecture=f"{full.arch.vendor} {full.arch.model}",
+                total_nodes=full.n_nodes,
+                procs_per_node=full.procs_per_node,
+                cores_per_proc=full.arch.cores_per_proc,
+                cpu_frequency_ghz=full.arch.fmax,
+                tdp_w=full.arch.tdp_w,
+                power_measurement=_METER_LABEL[full.meter_kind],
+            )
+        )
+    return rows
+
+
+def format_table2(rows: list[Table2Row]) -> str:
+    """Render Table 2."""
+    return render_table(
+        [
+            "Site",
+            "Microarchitecture",
+            "Total Nodes",
+            "Procs/Node",
+            "Cores/Proc",
+            "CPU Freq [GHz]",
+            "TDP [W]",
+            "Power Msrmt.",
+        ],
+        [
+            [
+                r.site,
+                r.microarchitecture,
+                r.total_nodes,
+                r.procs_per_node,
+                r.cores_per_proc,
+                r.cpu_frequency_ghz,
+                r.tdp_w,
+                r.power_measurement,
+            ]
+            for r in rows
+        ],
+        title="Table 2: Architectures Under Consideration",
+    )
+
+
+def main() -> None:  # pragma: no cover
+    print(format_table2(run_table2()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

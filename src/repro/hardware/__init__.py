@@ -1,0 +1,43 @@
+"""Hardware substrate: microarchitectures, DVFS, manufacturing variability.
+
+This subpackage models everything below the software stack:
+
+* :mod:`repro.hardware.microarch` — the four microarchitectures of
+  Table 2 (Sandy Bridge, BG/Q PowerPC A2, Piledriver, Ivy Bridge) with
+  their frequency ranges, TDPs and variation parameters.
+* :mod:`repro.hardware.dvfs` — discrete P-state frequency ladders.
+* :mod:`repro.hardware.variability` — the manufacturing-variation model
+  (die-to-die leakage, dynamic-power spread, DRAM spread, and the
+  frequency-bin spread seen on Teller).
+* :mod:`repro.hardware.power_model` — linear-in-frequency component power
+  models (validated by the paper's Fig 5, R² ≥ 0.99).
+* :mod:`repro.hardware.module` — the vectorised ``ModuleArray`` (the
+  workhorse for 1,920-module experiments) and the scalar ``Module`` view.
+"""
+
+from repro.hardware.dvfs import FrequencyLadder
+from repro.hardware.microarch import (
+    Microarchitecture,
+    get_microarch,
+    list_microarchs,
+    register_microarch,
+)
+from repro.hardware.module import CapResolution, Module, ModuleArray, OperatingPoint
+from repro.hardware.power_model import PowerSignature
+from repro.hardware.variability import ModuleVariation, VariationModel, sample_variation
+
+__all__ = [
+    "FrequencyLadder",
+    "Microarchitecture",
+    "get_microarch",
+    "list_microarchs",
+    "register_microarch",
+    "Module",
+    "ModuleArray",
+    "OperatingPoint",
+    "CapResolution",
+    "PowerSignature",
+    "ModuleVariation",
+    "VariationModel",
+    "sample_variation",
+]

@@ -1,0 +1,175 @@
+"""Die binning — why power varies on machines whose performance doesn't.
+
+Paper §2.1: "Most vendors address variation in CPU frequency by using
+frequency binning — processors with the same performance characteristics
+are placed in the same bin (typically, HPC systems obtain all their
+processors from the same bin).  Currently, vendors do not deploy power
+binning, which is why we observe power inhomogeneity in existing
+large-scale supercomputers."
+
+This module simulates that supply chain: a raw die population with
+correlated frequency capability and leakage, sorted into frequency bins.
+Within one bin the *performance* spread collapses (every die runs the
+bin frequency) while the *power* spread survives — the paper's Fig 1A/1B
+pattern.  The what-if — vendors binning by **power** instead — is the
+natural ablation: it would shrink within-bin power variation and with it
+the head-room the variation-aware budgeting algorithm exploits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.hardware.variability import ModuleVariation
+
+__all__ = ["DiePopulation", "sample_die_population", "frequency_bin", "power_bin", "BinnedLot"]
+
+
+@dataclass(frozen=True)
+class DiePopulation:
+    """Raw fab output before binning.
+
+    ``fmax_capability_ghz`` is the highest frequency each die validates
+    at; ``leak``/``dyn``/``dram`` are the usual power variation factors.
+    Capability and leakage are *negatively* correlated in the draw
+    (fast silicon is leaky silicon — the classic speed/leakage trade).
+    """
+
+    fmax_capability_ghz: np.ndarray
+    leak: np.ndarray
+    dyn: np.ndarray
+    dram: np.ndarray
+
+    def __post_init__(self) -> None:
+        n = self.fmax_capability_ghz.shape[0]
+        for name in ("leak", "dyn", "dram"):
+            if getattr(self, name).shape != (n,):
+                raise ConfigurationError(f"{name} must match population size {n}")
+
+    @property
+    def n_dies(self) -> int:
+        """Number of dies in the population."""
+        return int(self.fmax_capability_ghz.size)
+
+
+def sample_die_population(
+    n_dies: int,
+    rng: np.random.Generator,
+    *,
+    nominal_fmax_ghz: float = 2.7,
+    sigma_fmax: float = 0.05,
+    sigma_leak: float = 0.115,
+    sigma_dyn: float = 0.035,
+    sigma_dram: float = 0.155,
+    speed_leak_rho: float = -0.6,
+) -> DiePopulation:
+    """Draw a raw die population with the speed/leakage correlation.
+
+    ``speed_leak_rho`` < 0: dies that validate at higher frequency tend
+    to have *higher* leakage (lower threshold voltage) — note the sign
+    convention: the correlation couples the *capability* z-draw with the
+    *leakage* z-draw as ``z_leak = -ρ·z_f + √(1-ρ²)·z'`` so ρ=-0.6 makes
+    fast dies leaky.
+    """
+    if n_dies <= 0:
+        raise ConfigurationError("n_dies must be positive")
+    if not (-1.0 <= speed_leak_rho <= 1.0):
+        raise ConfigurationError("speed_leak_rho must be in [-1, 1]")
+    z_f = np.clip(rng.standard_normal(n_dies), -3.5, 3.5)
+    z_ind = np.clip(rng.standard_normal(n_dies), -3.5, 3.5)
+    z_leak = -speed_leak_rho * z_f + np.sqrt(1 - speed_leak_rho**2) * z_ind
+    return DiePopulation(
+        fmax_capability_ghz=nominal_fmax_ghz * np.exp(sigma_fmax * z_f),
+        leak=np.exp(sigma_leak * z_leak),
+        dyn=np.exp(sigma_dyn * np.clip(rng.standard_normal(n_dies), -3.5, 3.5)),
+        dram=np.exp(sigma_dram * np.clip(rng.standard_normal(n_dies), -3.5, 3.5)),
+    )
+
+
+@dataclass(frozen=True)
+class BinnedLot:
+    """One bin's worth of dies, ready to populate a system."""
+
+    bin_label: str
+    bin_frequency_ghz: float
+    variation: ModuleVariation
+    yield_fraction: float
+
+    @property
+    def n_dies(self) -> int:
+        """Dies in this lot."""
+        return self.variation.n_modules
+
+
+def frequency_bin(
+    population: DiePopulation,
+    bin_frequency_ghz: float,
+    *,
+    next_bin_ghz: float | None = None,
+) -> BinnedLot:
+    """Select the dies sold at ``bin_frequency_ghz``.
+
+    A die lands in this bin if it validates at the bin frequency but not
+    at the next bin up (dies above ``next_bin_ghz`` are sold as the
+    faster, pricier part).  Performance within the lot is uniform — every
+    die ships locked to the bin frequency — but leakage is whatever the
+    silicon happened to be: the power spread survives binning.
+    """
+    ok = population.fmax_capability_ghz >= bin_frequency_ghz
+    if next_bin_ghz is not None:
+        if next_bin_ghz <= bin_frequency_ghz:
+            raise ConfigurationError("next_bin_ghz must exceed bin_frequency_ghz")
+        ok &= population.fmax_capability_ghz < next_bin_ghz
+    idx = np.flatnonzero(ok)
+    if idx.size == 0:
+        raise ConfigurationError(
+            f"no dies validate in the {bin_frequency_ghz} GHz bin"
+        )
+    return BinnedLot(
+        bin_label=f"{bin_frequency_ghz:.1f}GHz",
+        bin_frequency_ghz=float(bin_frequency_ghz),
+        variation=ModuleVariation(
+            leak=population.leak[idx],
+            dyn=population.dyn[idx],
+            dram=population.dram[idx],
+            perf=np.ones(idx.size),  # locked to the bin frequency
+        ),
+        yield_fraction=idx.size / population.n_dies,
+    )
+
+
+def power_bin(
+    lot: BinnedLot,
+    max_power_spread: float,
+    *,
+    reference_static_w: float = 18.0,
+    reference_dynamic_w: float = 88.0,
+) -> BinnedLot:
+    """The vendor practice that does *not* exist: bin by power too.
+
+    Keeps only dies whose fmax power falls within ``max_power_spread``
+    (max/min ratio) around the lot median — the counterfactual that
+    would remove the inhomogeneity the paper measures.  The price is
+    yield: the rejected tail must be sold elsewhere or scrapped.
+    """
+    if max_power_spread < 1.0:
+        raise ConfigurationError("max_power_spread is a max/min ratio (>= 1)")
+    power = (
+        lot.variation.leak * reference_static_w
+        + lot.variation.dyn * reference_dynamic_w
+    )
+    median = np.median(power)
+    half = np.sqrt(max_power_spread)
+    keep = (power >= median / half) & (power <= median * half)
+    idx = np.flatnonzero(keep)
+    if idx.size == 0:
+        raise ConfigurationError("power bin rejected every die")
+    return BinnedLot(
+        bin_label=f"{lot.bin_label}/power-binned",
+        bin_frequency_ghz=lot.bin_frequency_ghz,
+        variation=lot.variation.take(idx),
+        yield_fraction=lot.yield_fraction * idx.size / lot.n_dies,
+    )

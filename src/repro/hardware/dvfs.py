@@ -1,0 +1,113 @@
+"""Discrete DVFS frequency ladders (P-states).
+
+Real processors expose a ladder of discrete operating points; both of the
+paper's actuation strategies quantise onto it:
+
+* **FS** (frequency selection with cpufrequtils) can only request ladder
+  frequencies, so the common frequency derived from the budgeting
+  algorithm is rounded *down* to the next available P-state (rounding up
+  could violate the power budget).
+* **PC** (RAPL power capping) effectively dithers between two adjacent
+  P-states so that the *average* power meets the cap, which is why RAPL
+  realises a continuous effective frequency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["FrequencyLadder"]
+
+
+@dataclass(frozen=True)
+class FrequencyLadder:
+    """An ordered set of available CPU frequencies in GHz.
+
+    Parameters
+    ----------
+    fmin, fmax:
+        Lowest / highest sustained operating frequency in GHz.  ``fmax``
+        is the all-core sustained frequency (Turbo is modelled as power
+        headroom on top of this, see ``Microarchitecture.turbo_headroom``).
+    step:
+        Spacing of the ladder in GHz (typically 0.1 on Intel parts).
+    """
+
+    fmin: float
+    fmax: float
+    step: float = 0.1
+    _freqs: tuple[float, ...] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.fmin <= 0 or self.fmax <= 0:
+            raise ConfigurationError("frequencies must be positive")
+        if self.fmin > self.fmax:
+            raise ConfigurationError(
+                f"fmin ({self.fmin}) must not exceed fmax ({self.fmax})"
+            )
+        if self.step <= 0:
+            raise ConfigurationError("frequency step must be positive")
+        n = int(round((self.fmax - self.fmin) / self.step)) + 1
+        freqs = tuple(
+            float(round(self.fmin + i * self.step, 6)) for i in range(max(n, 1))
+        )
+        # Guard against floating point drift past fmax.
+        freqs = tuple(f for f in freqs if f <= self.fmax + 1e-9)
+        if not freqs or abs(freqs[-1] - self.fmax) > self.step:
+            freqs = freqs + (self.fmax,)
+        object.__setattr__(self, "_freqs", freqs)
+
+    @property
+    def frequencies(self) -> tuple[float, ...]:
+        """All available P-state frequencies, ascending, in GHz."""
+        return self._freqs
+
+    def __len__(self) -> int:
+        return len(self._freqs)
+
+    def __contains__(self, f: float) -> bool:
+        return any(abs(f - g) < 1e-9 for g in self._freqs)
+
+    def clamp(self, f: np.ndarray | float) -> np.ndarray | float:
+        """Clip ``f`` (GHz) into ``[fmin, fmax]`` without quantising."""
+        return np.clip(f, self.fmin, self.fmax)
+
+    def quantize_down(self, f: np.ndarray | float) -> np.ndarray | float:
+        """Round ``f`` down to the nearest ladder frequency.
+
+        Values below ``fmin`` map to ``fmin`` (a processor cannot run
+        slower than its lowest P-state without clock modulation).
+        """
+        arr = np.asarray(f, dtype=float)
+        grid = np.asarray(self._freqs)
+        idx = np.searchsorted(grid, arr + 1e-9, side="right") - 1
+        idx = np.clip(idx, 0, len(grid) - 1)
+        out = grid[idx]
+        return float(out) if np.isscalar(f) or arr.ndim == 0 else out
+
+    def quantize_nearest(self, f: np.ndarray | float) -> np.ndarray | float:
+        """Round ``f`` to the closest ladder frequency."""
+        arr = np.atleast_1d(np.asarray(f, dtype=float))
+        grid = np.asarray(self._freqs)
+        idx = np.abs(arr[:, None] - grid[None, :]).argmin(axis=1)
+        out = grid[idx]
+        return float(out[0]) if np.isscalar(f) or np.asarray(f).ndim == 0 else out
+
+    def fraction(self, f: np.ndarray | float) -> np.ndarray | float:
+        """Map a frequency to its normalised position α ∈ [0, 1] on the ladder.
+
+        This is the inverse of the paper's Eq (1):
+        ``f = α (fmax − fmin) + fmin``.
+        """
+        span = self.fmax - self.fmin
+        if span == 0.0:
+            return np.zeros_like(np.asarray(f, dtype=float)) if not np.isscalar(f) else 0.0
+        return (np.asarray(f, dtype=float) - self.fmin) / span
+
+    def at_fraction(self, alpha: np.ndarray | float) -> np.ndarray | float:
+        """Paper Eq (1): ``f = α (fmax − fmin) + fmin`` (not quantised)."""
+        return np.asarray(alpha, dtype=float) * (self.fmax - self.fmin) + self.fmin

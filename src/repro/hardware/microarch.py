@@ -1,0 +1,282 @@
+"""Microarchitecture registry (paper Table 2).
+
+Each :class:`Microarchitecture` bundles the public specification of a
+processor family (frequency range, core count, TDP) with the calibrated
+constants of our component power model and manufacturing-variation model.
+
+Power model
+-----------
+The paper validates (Fig 5, R² ≥ 0.99) that CPU, DRAM and module power
+are linear in CPU frequency.  We therefore model, for module *i* with
+variation factors ``leak_i`` (die-to-die leakage), ``dyn_i`` (dynamic
+power spread) and ``dram_i`` (DRAM spread), and an application power
+signature ``(a_cpu, a_dram, γ)``::
+
+    P_cpu_i(f)  = leak_i · S_cpu + dyn_i · a_cpu · D_cpu · (f / fmax)
+    P_dram_i(f) = dram_i · ( S_dram + a_dram · D_dram · ((1-γ) + γ · f / fmax) )
+
+``S_cpu`` is idle/leakage power (frequency independent — this is why the
+paper's PVT needs separate variation scales at fmax and fmin), ``D_cpu``
+the dynamic power of a fully active core complex at fmax, and γ the
+coupling between DRAM traffic and CPU frequency (≈1 for compute-bound
+codes whose memory traffic is issue-limited, <1 for bandwidth-saturated
+codes such as *STREAM).
+
+Calibration
+-----------
+The HA8K (Ivy Bridge E5-2697v2) constants are calibrated so that the
+published statistics fall out of the model: *DGEMM uncapped CPU power
+≈ 100.8 W and module power ≈ 112.8 W, MHD CPU ≈ 83.9 W, module-power
+worst-case variation Vp ≈ 1.3, DRAM Vp ≈ 2.8, and the exact ✓/•/–
+feasibility pattern of Table 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.errors import ConfigurationError
+from repro.hardware.dvfs import FrequencyLadder
+from repro.hardware.variability import VariationModel
+
+__all__ = [
+    "Microarchitecture",
+    "register_microarch",
+    "get_microarch",
+    "list_microarchs",
+]
+
+
+@dataclass(frozen=True)
+class Microarchitecture:
+    """Static description of a processor family plus calibrated model constants.
+
+    Attributes
+    ----------
+    name:
+        Registry key, e.g. ``"ivy-bridge-e5-2697v2"``.
+    vendor, model:
+        Human-readable identification (Table 2 columns).
+    ladder:
+        DVFS frequency ladder (GHz).
+    cores_per_proc:
+        Physical cores per processor.
+    tdp_w:
+        CPU thermal design power in watts (the Naïve scheme's
+        ``P_cpu_max`` input).
+    dram_tdp_w:
+        DRAM TDP per module in watts (Naïve's ``P_dram_max``; 62 W on
+        HA8K per the paper).
+    cpu_static_w:
+        Nominal leakage/uncore power, frequency independent.
+    cpu_dynamic_w:
+        Nominal dynamic power at ``fmax`` with activity 1.0.
+    dram_static_w / dram_dynamic_w:
+        Same split for the DRAM subsystem.
+    min_duty:
+        Lowest clock-modulation duty cycle available below the bottom
+        P-state (Intel T-states go down to 12.5 %).
+    subfmin_exponent:
+        Exponent of the performance penalty of clock modulation; >1
+        models the super-linear "rapid degradation" below the ~40 W CPU
+        threshold reported in Section 6 of the paper.
+    variation:
+        Manufacturing-variation distribution parameters.
+    supports_capping:
+        Whether the platform can enforce power caps (RAPL; Table 1).
+    perf_binned:
+        True when the vendor frequency-bins parts so performance is
+        homogeneous (Intel, IBM).  False for the Teller/Piledriver parts,
+        where the paper observed 17 % performance variation negatively
+        correlated with power.
+    """
+
+    name: str
+    vendor: str
+    model: str
+    ladder: FrequencyLadder
+    cores_per_proc: int
+    tdp_w: float
+    dram_tdp_w: float
+    cpu_static_w: float
+    cpu_dynamic_w: float
+    dram_static_w: float
+    dram_dynamic_w: float
+    variation: VariationModel
+    min_duty: float = 0.125
+    subfmin_exponent: float = 2.75
+    supports_capping: bool = True
+    perf_binned: bool = True
+    #: All-core Turbo ceiling in GHz (= fmax when the part has no Turbo).
+    #: Sustained turbo residency is TDP-limited per module, so leaky
+    #: modules turbo lower — see ``ModuleArray.turbo_frequency``.
+    turbo_ghz: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.cores_per_proc <= 0:
+            raise ConfigurationError("cores_per_proc must be positive")
+        for attr in (
+            "tdp_w",
+            "dram_tdp_w",
+            "cpu_static_w",
+            "cpu_dynamic_w",
+            "dram_static_w",
+            "dram_dynamic_w",
+        ):
+            if getattr(self, attr) < 0:
+                raise ConfigurationError(f"{attr} must be non-negative")
+        if not (0.0 < self.min_duty <= 1.0):
+            raise ConfigurationError("min_duty must be in (0, 1]")
+        if self.subfmin_exponent < 1.0:
+            raise ConfigurationError("subfmin_exponent must be >= 1")
+        if self.turbo_ghz and self.turbo_ghz < self.ladder.fmax:
+            raise ConfigurationError("turbo_ghz must be >= fmax (or 0 for none)")
+
+    @property
+    def fmin(self) -> float:
+        """Lowest P-state frequency in GHz."""
+        return self.ladder.fmin
+
+    @property
+    def fmax(self) -> float:
+        """Highest sustained frequency in GHz."""
+        return self.ladder.fmax
+
+    def with_(self, **changes) -> "Microarchitecture":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **changes)
+
+
+_REGISTRY: dict[str, Microarchitecture] = {}
+
+
+def register_microarch(arch: Microarchitecture, *, overwrite: bool = False) -> None:
+    """Add ``arch`` to the global registry.
+
+    Raises :class:`ConfigurationError` if the name is taken and
+    ``overwrite`` is false.
+    """
+    if arch.name in _REGISTRY and not overwrite:
+        raise ConfigurationError(f"microarchitecture {arch.name!r} already registered")
+    _REGISTRY[arch.name] = arch
+
+
+def get_microarch(name: str) -> Microarchitecture:
+    """Look up a registered microarchitecture by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ConfigurationError(
+            f"unknown microarchitecture {name!r}; known: {known}"
+        ) from None
+
+
+def list_microarchs() -> list[str]:
+    """Names of all registered microarchitectures, sorted."""
+    return sorted(_REGISTRY)
+
+
+# ---------------------------------------------------------------------------
+# Built-in definitions (Table 2 of the paper).
+# ---------------------------------------------------------------------------
+
+#: Intel Sandy Bridge E5-2670 (the Cab system at LLNL).  Frequency-binned,
+#: so performance is homogeneous; CPU power varies by up to 23 % (Fig 1A).
+SANDY_BRIDGE_E5_2670 = Microarchitecture(
+    name="sandy-bridge-e5-2670",
+    vendor="Intel",
+    model="Xeon E5-2670",
+    ladder=FrequencyLadder(fmin=1.2, fmax=2.6, step=0.1),
+    cores_per_proc=8,
+    tdp_w=115.0,
+    dram_tdp_w=48.0,
+    cpu_static_w=20.0,
+    cpu_dynamic_w=78.0,
+    dram_static_w=4.0,
+    dram_dynamic_w=18.0,
+    variation=VariationModel(
+        sigma_leak=0.075, sigma_dyn=0.028, sigma_dram=0.13, sigma_perf=0.0
+    ),
+    turbo_ghz=3.1,
+)
+
+#: IBM PowerPC A2 (BG/Q Vulcan at LLNL).  "Module" granularity is the node
+#: board (32 compute cards share the EMON measurement path); no capping.
+BGQ_POWERPC_A2 = Microarchitecture(
+    name="bgq-powerpc-a2",
+    vendor="IBM",
+    model="PowerPC A2",
+    ladder=FrequencyLadder(fmin=1.6, fmax=1.6, step=0.1),
+    cores_per_proc=16,
+    tdp_w=55.0,
+    dram_tdp_w=20.0,
+    cpu_static_w=14.0,
+    cpu_dynamic_w=38.0,
+    dram_static_w=3.0,
+    dram_dynamic_w=10.0,
+    variation=VariationModel(
+        sigma_leak=0.09,
+        sigma_dyn=0.012,
+        sigma_dram=0.10,
+        sigma_perf=0.0,
+        node_leak_share=0.9,
+    ),
+    supports_capping=False,
+)
+
+#: AMD A10-5800K Piledriver (Teller at SNL).  The paper observed both power
+#: (21 %) and performance (17 %) variation with a small negative
+#: correlation between slowdown and power — faster parts drew more power —
+#: suggesting a different binning strategy.
+PILEDRIVER_A10_5800K = Microarchitecture(
+    name="piledriver-a10-5800k",
+    vendor="AMD",
+    model="A10-5800K",
+    ladder=FrequencyLadder(fmin=1.4, fmax=3.8, step=0.1),
+    cores_per_proc=4,
+    tdp_w=100.0,
+    dram_tdp_w=30.0,
+    cpu_static_w=22.0,
+    cpu_dynamic_w=70.0,
+    dram_static_w=4.0,
+    dram_dynamic_w=12.0,
+    variation=VariationModel(
+        sigma_leak=0.062,
+        sigma_dyn=0.028,
+        sigma_dram=0.12,
+        sigma_perf=0.038,
+        rho_perf_power=0.55,
+    ),
+    turbo_ghz=4.2,
+    supports_capping=False,
+    perf_binned=False,
+)
+
+#: Intel Ivy Bridge E5-2697v2 (the HA8K / QUARTETTO system at Kyushu).
+#: All quantitative evaluation in Sections 4–6 of the paper runs here.
+IVY_BRIDGE_E5_2697V2 = Microarchitecture(
+    name="ivy-bridge-e5-2697v2",
+    vendor="Intel",
+    model="Xeon E5-2697 v2",
+    ladder=FrequencyLadder(fmin=1.2, fmax=2.7, step=0.1),
+    cores_per_proc=12,
+    tdp_w=130.0,
+    dram_tdp_w=62.0,
+    cpu_static_w=18.0,
+    cpu_dynamic_w=88.0,
+    dram_static_w=5.0,
+    dram_dynamic_w=28.0,
+    variation=VariationModel(
+        sigma_leak=0.115, sigma_dyn=0.035, sigma_dram=0.155, sigma_perf=0.0
+    ),
+    turbo_ghz=3.5,
+)
+
+for _arch in (
+    SANDY_BRIDGE_E5_2670,
+    BGQ_POWERPC_A2,
+    PILEDRIVER_A10_5800K,
+    IVY_BRIDGE_E5_2697V2,
+):
+    register_microarch(_arch)

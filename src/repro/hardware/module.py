@@ -1,0 +1,354 @@
+"""Modules: a processor (CPU socket) plus its associated DRAM.
+
+The paper's unit of power management is the *module* — one CPU socket and
+the DRAM attached to it.  :class:`ModuleArray` is the vectorised ground
+truth of the simulator: given per-module variation factors and an
+application power signature it evaluates true power draw, inverts the
+power model, and resolves what happens when a power cap is pushed below
+the lowest P-state (clock modulation).
+
+:class:`Module` is a thin scalar view for single-module workflows such as
+the paper's two single-module test runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.hardware import power_model as pm
+from repro.hardware.microarch import Microarchitecture
+from repro.hardware.power_model import PowerSignature
+from repro.hardware.variability import ModuleVariation
+
+__all__ = ["ModuleArray", "Module", "CapResolution", "OperatingPoint"]
+
+
+@dataclass(frozen=True)
+class CapResolution:
+    """Outcome of enforcing per-module CPU power caps.
+
+    Attributes
+    ----------
+    freq_ghz:
+        Realised DVFS frequency per module (ladder-clamped; equals fmin
+        for modules driven into clock modulation).
+    duty:
+        Clock-modulation duty cycle per module (1.0 when DVFS alone met
+        the cap).
+    effective_freq_ghz:
+        Work rate expressed as an equivalent frequency:
+        ``freq · duty**subfmin_exponent``.  The exponent models the
+        super-linear performance collapse of modulation ("rapid
+        degradation below 40 W", paper Section 6).
+    cpu_power_w:
+        Realised average CPU power per module.
+    cap_met:
+        Whether the realised power is within the requested cap (False
+        only when the cap lies below the static floor + minimum duty).
+    """
+
+    freq_ghz: np.ndarray
+    duty: np.ndarray
+    effective_freq_ghz: np.ndarray
+    cpu_power_w: np.ndarray
+    cap_met: np.ndarray
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """Complete dynamic state of a set of modules running one workload.
+
+    Meters read power from an operating point; controllers produce one.
+
+    Attributes
+    ----------
+    freq_ghz:
+        DVFS frequency per module (GHz).
+    duty:
+        Clock-modulation duty cycle per module (1.0 = none).
+    signature:
+        Power signature of the workload being executed.
+    """
+
+    freq_ghz: np.ndarray
+    duty: np.ndarray
+    signature: PowerSignature
+
+    def __post_init__(self) -> None:
+        f = np.asarray(self.freq_ghz, dtype=float)
+        d = np.asarray(self.duty, dtype=float)
+        object.__setattr__(self, "freq_ghz", f)
+        object.__setattr__(self, "duty", d)
+        if f.shape != d.shape:
+            raise ConfigurationError("freq_ghz and duty must have the same shape")
+        if np.any(f <= 0):
+            raise ConfigurationError("frequencies must be positive")
+        if np.any((d <= 0) | (d > 1.0)):
+            raise ConfigurationError("duty cycles must be in (0, 1]")
+
+    @property
+    def n_modules(self) -> int:
+        """Number of modules covered by this operating point."""
+        return int(self.freq_ghz.shape[0])
+
+    @classmethod
+    def uniform(
+        cls, n_modules: int, freq_ghz: float, signature: PowerSignature
+    ) -> "OperatingPoint":
+        """Every module at the same frequency, no clock modulation."""
+        return cls(
+            freq_ghz=np.full(n_modules, float(freq_ghz)),
+            duty=np.ones(n_modules),
+            signature=signature,
+        )
+
+    @classmethod
+    def from_cap_resolution(
+        cls, res: "CapResolution", signature: PowerSignature
+    ) -> "OperatingPoint":
+        """Operating point realised by a resolved set of power caps."""
+        return cls(freq_ghz=res.freq_ghz, duty=res.duty, signature=signature)
+
+    def effective_freq_ghz(self, subfmin_exponent: float) -> np.ndarray:
+        """Work rate as an equivalent frequency (duty penalty applied)."""
+        return self.freq_ghz * np.power(self.duty, subfmin_exponent)
+
+
+class ModuleArray:
+    """All modules of a system, vectorised.
+
+    Parameters
+    ----------
+    arch:
+        The microarchitecture shared by every module.
+    variation:
+        Sampled manufacturing-variation factors (one entry per module).
+    """
+
+    def __init__(self, arch: Microarchitecture, variation: ModuleVariation):
+        self.arch = arch
+        self.variation = variation
+
+    # -- basic introspection ------------------------------------------------
+
+    @property
+    def n_modules(self) -> int:
+        """Number of modules in the array."""
+        return self.variation.n_modules
+
+    def __len__(self) -> int:
+        return self.n_modules
+
+    def take(self, indices: np.ndarray | list[int]) -> "ModuleArray":
+        """A new array restricted to the given module indices."""
+        return ModuleArray(self.arch, self.variation.take(indices))
+
+    def module(self, index: int) -> "Module":
+        """Scalar view of one module."""
+        if not (0 <= index < self.n_modules):
+            raise ConfigurationError(
+                f"module index {index} out of range [0, {self.n_modules})"
+            )
+        return Module(self, index)
+
+    # -- true power draw ----------------------------------------------------
+
+    def cpu_power(
+        self, freq_ghz: np.ndarray | float, sig: PowerSignature
+    ) -> np.ndarray:
+        """True per-module CPU power (W) at the given frequency/frequencies."""
+        return np.asarray(
+            pm.cpu_power(
+                freq_ghz,
+                fmax=self.arch.fmax,
+                static_w=self.arch.cpu_static_w,
+                dynamic_w=self.arch.cpu_dynamic_w,
+                cpu_activity=sig.cpu_activity,
+                leak=self.variation.leak,
+                dyn=self.variation.dyn,
+            )
+        )
+
+    def dram_power(
+        self, freq_ghz: np.ndarray | float, sig: PowerSignature
+    ) -> np.ndarray:
+        """True per-module DRAM power (W) at the given frequency/frequencies."""
+        return np.asarray(
+            pm.dram_power(
+                freq_ghz,
+                fmax=self.arch.fmax,
+                static_w=self.arch.dram_static_w,
+                dynamic_w=self.arch.dram_dynamic_w,
+                dram_activity=sig.dram_activity,
+                dram_freq_coupling=sig.dram_freq_coupling,
+                dram=self.variation.dram,
+            )
+        )
+
+    def module_power(
+        self, freq_ghz: np.ndarray | float, sig: PowerSignature
+    ) -> np.ndarray:
+        """True per-module (CPU + DRAM) power in watts."""
+        return self.cpu_power(freq_ghz, sig) + self.dram_power(freq_ghz, sig)
+
+    def static_cpu_power(self) -> np.ndarray:
+        """Frequency-independent CPU power floor per module (W)."""
+        return self.variation.leak * self.arch.cpu_static_w
+
+    # -- power at an operating point (duty-aware) -----------------------------
+
+    def cpu_power_at(self, op: OperatingPoint) -> np.ndarray:
+        """True CPU power at an operating point.
+
+        Clock modulation gates only the dynamic component; leakage burns
+        regardless of duty — the physical reason power caps below the
+        static floor are unenforceable.
+        """
+        static = self.static_cpu_power()
+        full = self.cpu_power(op.freq_ghz, op.signature)
+        return static + op.duty * (full - static)
+
+    def dram_power_at(self, op: OperatingPoint) -> np.ndarray:
+        """True DRAM power at an operating point.
+
+        Memory traffic follows the *effective* compute rate, so the
+        frequency-coupled portion of DRAM power scales with
+        ``freq · duty``.
+        """
+        return self.dram_power(op.freq_ghz * op.duty, op.signature)
+
+    def module_power_at(self, op: OperatingPoint) -> np.ndarray:
+        """True module (CPU + DRAM) power at an operating point."""
+        return self.cpu_power_at(op) + self.dram_power_at(op)
+
+    # -- inversion / cap resolution ------------------------------------------
+
+    def freq_for_cpu_power(
+        self, cpu_power_w: np.ndarray | float, sig: PowerSignature
+    ) -> np.ndarray:
+        """Unclamped frequency at which each module draws ``cpu_power_w``.
+
+        May return values outside the DVFS ladder; see
+        :meth:`resolve_cpu_cap` for the physical behaviour.
+        """
+        return np.asarray(
+            pm.cpu_freq_for_power(
+                cpu_power_w,
+                fmax=self.arch.fmax,
+                static_w=self.arch.cpu_static_w,
+                dynamic_w=self.arch.cpu_dynamic_w,
+                cpu_activity=sig.cpu_activity,
+                leak=self.variation.leak,
+                dyn=self.variation.dyn,
+            )
+        )
+
+    def resolve_cpu_cap(
+        self, cap_w: np.ndarray | float, sig: PowerSignature
+    ) -> CapResolution:
+        """Resolve per-module CPU power caps into operating points.
+
+        Mirrors what RAPL's control loop converges to:
+
+        1. If the cap exceeds the draw at fmax, run at fmax (cap not
+           binding).
+        2. Otherwise scale frequency down the ladder until average power
+           meets the cap (RAPL dithers between P-states, so the effective
+           frequency is continuous within [fmin, fmax]).
+        3. If the cap is below the draw at fmin, engage clock modulation:
+           duty ``d`` satisfies ``static + d·dynamic(fmin) = cap``.  Work
+           rate falls as ``fmin · d**subfmin_exponent`` — faster than
+           power — reproducing the paper's performance cliff below ~40 W.
+        4. If the cap is below ``static + min_duty·dynamic(fmin)`` the
+           hardware cannot meet it; the module pins at minimum duty and
+           the cap is reported as not met.
+        """
+        arch = self.arch
+        cap = np.broadcast_to(np.asarray(cap_w, dtype=float), (self.n_modules,))
+        if np.any(cap <= 0):
+            raise ConfigurationError("power caps must be positive")
+
+        f_raw = self.freq_for_cpu_power(cap, sig)
+        freq = np.clip(f_raw, arch.fmin, arch.fmax)
+
+        static = self.static_cpu_power()
+        dyn_at_fmin = self.cpu_power(arch.fmin, sig) - static  # ≥ 0
+
+        below_fmin = f_raw < arch.fmin
+        with np.errstate(divide="ignore", invalid="ignore"):
+            duty_needed = np.where(
+                dyn_at_fmin > 0.0,
+                (cap - static) / np.where(dyn_at_fmin > 0.0, dyn_at_fmin, 1.0),
+                np.where(cap >= static, 1.0, 0.0),
+            )
+        duty = np.where(below_fmin, np.clip(duty_needed, arch.min_duty, 1.0), 1.0)
+        cap_met = ~(below_fmin & (duty_needed < arch.min_duty))
+
+        cpu_power = np.where(
+            below_fmin,
+            static + duty * dyn_at_fmin,
+            np.minimum(self.cpu_power(freq, sig), cap),
+        )
+        effective = freq * np.power(duty, arch.subfmin_exponent)
+        return CapResolution(
+            freq_ghz=freq,
+            duty=duty,
+            effective_freq_ghz=effective,
+            cpu_power_w=cpu_power,
+            cap_met=cap_met,
+        )
+
+    # -- turbo ------------------------------------------------------------------
+
+    def turbo_frequency(self, sig: PowerSignature) -> np.ndarray:
+        """Sustained all-core Turbo frequency per module.
+
+        Turbo residency is TDP-limited: each module climbs above fmax
+        until its package power hits TDP (or the turbo ceiling, whichever
+        comes first).  Because leaky modules hit TDP sooner, a
+        TDP-limited workload turboes *heterogeneously* — performance
+        variation appears even without any power cap.  A light workload
+        (EP-style, with head-room at the ceiling) turboes uniformly,
+        which is why the paper's Fig 1 shows flat performance with Turbo
+        enabled.  Parts without Turbo return fmax.
+        """
+        arch = self.arch
+        if not arch.turbo_ghz:
+            return np.full(self.n_modules, arch.fmax)
+        f_at_tdp = self.freq_for_cpu_power(arch.tdp_w, sig)
+        return np.clip(f_at_tdp, arch.fmax, arch.turbo_ghz)
+
+    # -- performance ----------------------------------------------------------
+
+    def work_rate(self, effective_freq_ghz: np.ndarray | float) -> np.ndarray:
+        """Per-module work rate (GHz-equivalents) including the performance
+        bin factor (≠1 only on non-frequency-binned parts such as Teller)."""
+        return self.variation.perf * np.asarray(effective_freq_ghz, dtype=float)
+
+
+class Module:
+    """Scalar convenience view over one entry of a :class:`ModuleArray`."""
+
+    def __init__(self, array: ModuleArray, index: int):
+        self._array = array.take([index])
+        self.index = int(index)
+        self.arch = array.arch
+
+    def cpu_power(self, freq_ghz: float, sig: PowerSignature) -> float:
+        """True CPU power (W) of this module at ``freq_ghz``."""
+        return float(self._array.cpu_power(freq_ghz, sig)[0])
+
+    def dram_power(self, freq_ghz: float, sig: PowerSignature) -> float:
+        """True DRAM power (W) of this module at ``freq_ghz``."""
+        return float(self._array.dram_power(freq_ghz, sig)[0])
+
+    def module_power(self, freq_ghz: float, sig: PowerSignature) -> float:
+        """True module (CPU + DRAM) power (W) at ``freq_ghz``."""
+        return float(self._array.module_power(freq_ghz, sig)[0])
+
+    def resolve_cpu_cap(self, cap_w: float, sig: PowerSignature) -> CapResolution:
+        """Scalar cap resolution; arrays in the result have length 1."""
+        return self._array.resolve_cpu_cap(cap_w, sig)

@@ -1,0 +1,136 @@
+"""Application power signatures and the linear component power model.
+
+A :class:`PowerSignature` captures how an application drives the two
+power domains the paper manages (Package/CPU and DRAM).  It is a property
+of the *application* (and its input), not of the hardware; the hardware
+contributes the per-module variation factors and the architecture's
+calibrated constants (see :mod:`repro.hardware.microarch`).
+
+The model evaluated here is the one the paper validates in Fig 5
+(power linear in CPU frequency, R² ≥ 0.99)::
+
+    P_cpu_i(f)  = leak_i · S_cpu + dyn_i · a_cpu · D_cpu · (f / fmax)
+    P_dram_i(f) = dram_i · ( S_dram + a_dram · D_dram · ((1-γ) + γ · f/fmax) )
+
+All functions are vectorised over modules and accept either scalar or
+per-module frequency arrays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["PowerSignature"]
+
+
+@dataclass(frozen=True)
+class PowerSignature:
+    """How an application exercises the CPU and DRAM power domains.
+
+    Attributes
+    ----------
+    cpu_activity:
+        Fraction of the architecture's peak dynamic CPU power the code
+        sustains (0 = idle, 1 = power virus).  *DGEMM ≈ 0.94 on HA8K.
+    dram_activity:
+        Fraction of peak dynamic DRAM power at fmax.
+    dram_freq_coupling:
+        γ ∈ [0, 1] — how strongly DRAM traffic follows CPU frequency.
+        Compute-bound codes are issue-limited (γ ≈ 1: halve the clock,
+        halve the traffic); bandwidth-saturated codes like *STREAM keep
+        DRAM busy even at low clocks (γ < 1).  This is what makes the
+        Naïve scheme *underestimate* DRAM power for *STREAM and overshoot
+        the global budget in Fig 9.
+    """
+
+    cpu_activity: float
+    dram_activity: float
+    dram_freq_coupling: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.cpu_activity <= 1.0):
+            raise ConfigurationError("cpu_activity must be in [0, 1]")
+        if not (0.0 <= self.dram_activity <= 1.0):
+            raise ConfigurationError("dram_activity must be in [0, 1]")
+        if not (0.0 <= self.dram_freq_coupling <= 1.0):
+            raise ConfigurationError("dram_freq_coupling must be in [0, 1]")
+
+    def scale(self, cpu: float = 1.0, dram: float = 1.0) -> "PowerSignature":
+        """Return a signature with activities scaled (clipped to [0, 1]).
+
+        Useful for modelling input-size effects without redefining an app.
+        """
+        return PowerSignature(
+            cpu_activity=float(np.clip(self.cpu_activity * cpu, 0.0, 1.0)),
+            dram_activity=float(np.clip(self.dram_activity * dram, 0.0, 1.0)),
+            dram_freq_coupling=self.dram_freq_coupling,
+        )
+
+
+def cpu_power(
+    freq_ghz: np.ndarray | float,
+    *,
+    fmax: float,
+    static_w: float,
+    dynamic_w: float,
+    cpu_activity: float,
+    leak: np.ndarray | float = 1.0,
+    dyn: np.ndarray | float = 1.0,
+) -> np.ndarray | float:
+    """Evaluate the CPU (package) power model.  All inputs broadcast."""
+    f = np.asarray(freq_ghz, dtype=float)
+    return np.asarray(leak) * static_w + np.asarray(dyn) * cpu_activity * dynamic_w * (
+        f / fmax
+    )
+
+
+def dram_power(
+    freq_ghz: np.ndarray | float,
+    *,
+    fmax: float,
+    static_w: float,
+    dynamic_w: float,
+    dram_activity: float,
+    dram_freq_coupling: float,
+    dram: np.ndarray | float = 1.0,
+) -> np.ndarray | float:
+    """Evaluate the DRAM power model.  All inputs broadcast."""
+    f = np.asarray(freq_ghz, dtype=float)
+    coupling = (1.0 - dram_freq_coupling) + dram_freq_coupling * (f / fmax)
+    return np.asarray(dram) * (static_w + dram_activity * dynamic_w * coupling)
+
+
+def cpu_freq_for_power(
+    power_w: np.ndarray | float,
+    *,
+    fmax: float,
+    static_w: float,
+    dynamic_w: float,
+    cpu_activity: float,
+    leak: np.ndarray | float = 1.0,
+    dyn: np.ndarray | float = 1.0,
+) -> np.ndarray | float:
+    """Invert the CPU power model: frequency at which the package draws
+    ``power_w``.
+
+    The result may fall outside the DVFS ladder (below fmin means the cap
+    cannot be met by DVFS alone and clock modulation is required; above
+    fmax means the cap is not binding).  Callers clamp as appropriate.
+    For a zero-activity workload the dynamic term vanishes and the
+    result is ``inf`` where the static power already satisfies the cap
+    and ``-inf`` where it cannot.
+    """
+    p = np.asarray(power_w, dtype=float)
+    dyn_term = np.asarray(dyn) * cpu_activity * dynamic_w
+    static = np.asarray(leak) * static_w
+    with np.errstate(divide="ignore", invalid="ignore"):
+        f = np.where(
+            dyn_term > 0.0,
+            (p - static) / np.where(dyn_term > 0.0, dyn_term, 1.0) * fmax,
+            np.where(p >= static, np.inf, -np.inf),
+        )
+    return f if f.ndim else float(f)

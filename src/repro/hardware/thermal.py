@@ -1,0 +1,132 @@
+"""Temperature-dependent leakage (paper Section 2.1's "other factors").
+
+"Other factors such as temperature and supply voltage can cause
+additional variations."  Leakage current grows roughly exponentially
+with junction temperature; across a machine room the inlet-air gradient
+plus per-node cooling differences give every module its own thermal
+operating point, which *shifts* its manufacturing-variation factors.
+
+This module provides:
+
+* :class:`ThermalEnvironment` — per-module ambient temperatures drawn
+  as a rack-axis gradient plus local noise;
+* :func:`leakage_at_temperature` — the leakage multiplier at a given
+  temperature relative to the reference the variation was sampled at;
+* :func:`apply_thermal` — a temperature-adjusted
+  :class:`~repro.hardware.variability.ModuleVariation`.
+
+The practical consequence for the budgeting framework (exercised in the
+thermal-drift test/ablation): a PVT generated at install time in a cool
+room under-predicts the leakage of modules that later run hot, adding a
+systematic, spatially-correlated component to the calibration error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.hardware.variability import ModuleVariation
+
+__all__ = ["ThermalEnvironment", "leakage_at_temperature", "apply_thermal"]
+
+#: Default exponential leakage-temperature coefficient (per kelvin).
+#: ~1.5 %/K is typical of planar CMOS in the paper's era.
+DEFAULT_LEAK_COEFF_PER_K = 0.015
+
+
+@dataclass(frozen=True)
+class ThermalEnvironment:
+    """Per-module ambient temperature field.
+
+    Attributes
+    ----------
+    temps_c:
+        Ambient temperature per module (°C).
+    reference_c:
+        The temperature the manufacturing variation was characterised at
+        (i.e. the PVT's measurement conditions).
+    """
+
+    temps_c: np.ndarray
+    reference_c: float = 25.0
+
+    def __post_init__(self) -> None:
+        t = np.asarray(self.temps_c, dtype=float)
+        object.__setattr__(self, "temps_c", t)
+        if t.ndim != 1 or t.size == 0:
+            raise ConfigurationError("temps_c must be a non-empty 1-D array")
+        if np.any(t < -50.0) or np.any(t > 150.0):
+            raise ConfigurationError("temperatures out of physical range")
+
+    @property
+    def n_modules(self) -> int:
+        """Number of modules covered."""
+        return int(self.temps_c.size)
+
+    @classmethod
+    def sample(
+        cls,
+        n_modules: int,
+        rng: np.random.Generator,
+        *,
+        reference_c: float = 25.0,
+        mean_c: float = 30.0,
+        gradient_c: float = 6.0,
+        noise_c: float = 1.5,
+    ) -> "ThermalEnvironment":
+        """Draw a machine-room temperature field.
+
+        A linear gradient of ``gradient_c`` across the module index axis
+        (hot aisle to cold aisle) plus Gaussian per-module noise.
+        """
+        if n_modules <= 0:
+            raise ConfigurationError("n_modules must be positive")
+        if gradient_c < 0 or noise_c < 0:
+            raise ConfigurationError("gradient and noise must be non-negative")
+        axis = np.linspace(-0.5, 0.5, n_modules)
+        temps = mean_c + gradient_c * axis + rng.normal(0.0, noise_c, n_modules)
+        return cls(temps_c=temps, reference_c=reference_c)
+
+
+def leakage_at_temperature(
+    temps_c: np.ndarray | float,
+    reference_c: float,
+    coeff_per_k: float = DEFAULT_LEAK_COEFF_PER_K,
+) -> np.ndarray | float:
+    """Leakage multiplier at ``temps_c`` relative to ``reference_c``.
+
+    Exponential in the temperature delta: ``exp(coeff · ΔT)``.
+    """
+    if coeff_per_k < 0:
+        raise ConfigurationError("coeff_per_k must be non-negative")
+    delta = np.asarray(temps_c, dtype=float) - reference_c
+    out = np.exp(coeff_per_k * delta)
+    return float(out) if out.ndim == 0 else out
+
+
+def apply_thermal(
+    variation: ModuleVariation,
+    env: ThermalEnvironment,
+    coeff_per_k: float = DEFAULT_LEAK_COEFF_PER_K,
+) -> ModuleVariation:
+    """Shift a variation sample to the given thermal environment.
+
+    Only the leakage factor responds to temperature (dynamic power's
+    temperature sensitivity is an order of magnitude smaller and is
+    neglected, as is DRAM's).
+    """
+    if env.n_modules != variation.n_modules:
+        raise ConfigurationError(
+            f"thermal field covers {env.n_modules} modules, "
+            f"variation covers {variation.n_modules}"
+        )
+    mult = leakage_at_temperature(env.temps_c, env.reference_c, coeff_per_k)
+    return ModuleVariation(
+        leak=variation.leak * mult,
+        dyn=variation.dyn,
+        dram=variation.dram,
+        perf=variation.perf,
+    )

@@ -1,0 +1,42 @@
+"""Power measurement substrate (paper Table 1).
+
+Three vendor mechanisms are emulated, matching the capabilities the
+paper relies on:
+
+==============  ===========  ===========  ========
+Technique       Reported     Granularity  Capping
+==============  ===========  ===========  ========
+RAPL            average      1 ms         yes
+PowerInsight    instant.     1 ms         no
+BG/Q EMON       instant.     300 ms       no
+==============  ===========  ===========  ========
+
+* :mod:`repro.measurement.msr` — the emulated machine-specific-register
+  file RAPL is built on (energy counters with wraparound, power-limit
+  registers), with a libMSR-like access API.
+* :mod:`repro.measurement.rapl` — Intel RAPL: average power derived from
+  energy-counter deltas; the only interface that can enforce caps.
+* :mod:`repro.measurement.powerinsight` — Penguin PowerInsight: hall
+  sensor + ADC instantaneous node power.
+* :mod:`repro.measurement.emon` — IBM BG/Q EMON: node-board level
+  instantaneous power at 300 ms.
+"""
+
+from repro.measurement.base import MeterSpec, PowerMeter, PowerReading, TABLE1_SPECS
+from repro.measurement.emon import EmonMeter
+from repro.measurement.msr import MSRFile, MSR_DRAM_ENERGY_STATUS, MSR_PKG_ENERGY_STATUS
+from repro.measurement.powerinsight import PowerInsightMeter
+from repro.measurement.rapl import RaplMeter
+
+__all__ = [
+    "MeterSpec",
+    "PowerMeter",
+    "PowerReading",
+    "TABLE1_SPECS",
+    "MSRFile",
+    "MSR_PKG_ENERGY_STATUS",
+    "MSR_DRAM_ENERGY_STATUS",
+    "RaplMeter",
+    "PowerInsightMeter",
+    "EmonMeter",
+]

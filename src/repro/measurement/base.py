@@ -1,0 +1,125 @@
+"""Power-meter interface and the Table 1 capability matrix.
+
+A meter observes the *true* power of a :class:`~repro.hardware.ModuleArray`
+at an :class:`~repro.hardware.OperatingPoint` through its own imperfect
+lens: sampling granularity, sensor noise, and reporting mode (averaged
+energy-derived power vs. instantaneous samples).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import CappingUnsupportedError, MeasurementError
+from repro.hardware.module import ModuleArray, OperatingPoint
+
+__all__ = ["MeterSpec", "PowerReading", "PowerMeter", "TABLE1_SPECS"]
+
+
+@dataclass(frozen=True)
+class MeterSpec:
+    """One row of the paper's Table 1."""
+
+    technique: str
+    reported: str  # "average" or "instantaneous"
+    granularity_s: float
+    supports_capping: bool
+
+    def as_row(self) -> list[object]:
+        """Render as a Table 1 row."""
+        if self.granularity_s >= 1e-3:
+            gran = f"{self.granularity_s * 1e3:.0f} ms"
+        else:  # pragma: no cover - no sub-ms meters defined
+            gran = f"{self.granularity_s * 1e6:.0f} us"
+        return [
+            self.technique,
+            self.reported.capitalize(),
+            gran,
+            "Yes" if self.supports_capping else "No",
+        ]
+
+
+#: The paper's Table 1, verbatim.
+TABLE1_SPECS: dict[str, MeterSpec] = {
+    "rapl": MeterSpec("RAPL", "average", 1e-3, True),
+    "powerinsight": MeterSpec("PowerInsight", "instantaneous", 1e-3, False),
+    "emon": MeterSpec("BGQ EMON", "instantaneous", 300e-3, False),
+}
+
+
+@dataclass(frozen=True)
+class PowerReading:
+    """One measurement across a set of modules.
+
+    ``cpu_w`` / ``dram_w`` are per-module arrays in watts; ``duration_s``
+    is the interval the reading covers (one granule for instantaneous
+    meters, the averaging window for RAPL).
+    """
+
+    cpu_w: np.ndarray
+    dram_w: np.ndarray
+    duration_s: float
+
+    @property
+    def module_w(self) -> np.ndarray:
+        """Per-module CPU + DRAM power."""
+        return self.cpu_w + self.dram_w
+
+    @property
+    def total_w(self) -> float:
+        """System-level power across all measured modules."""
+        return float(self.module_w.sum())
+
+
+class PowerMeter(abc.ABC):
+    """Common interface of the three measurement techniques."""
+
+    #: Subclasses set this to their Table 1 row.
+    spec: MeterSpec
+
+    def __init__(self, modules: ModuleArray):
+        self.modules = modules
+
+    @property
+    def supports_capping(self) -> bool:
+        """Whether this meter can also enforce power limits."""
+        return self.spec.supports_capping
+
+    @property
+    def granularity_s(self) -> float:
+        """Finest reporting interval in seconds."""
+        return self.spec.granularity_s
+
+    @abc.abstractmethod
+    def read(self, op: OperatingPoint, duration_s: float | None = None) -> PowerReading:
+        """Measure per-module power at the given operating point.
+
+        ``duration_s`` defaults to one granule and must not be shorter
+        than the meter's granularity.
+        """
+
+    def _check_duration(self, duration_s: float | None) -> float:
+        if duration_s is None:
+            return self.granularity_s
+        if duration_s < self.granularity_s - 1e-12:
+            raise MeasurementError(
+                f"{self.spec.technique} cannot report faster than "
+                f"{self.granularity_s * 1e3:.0f} ms (requested {duration_s * 1e3:.3f} ms)"
+            )
+        return float(duration_s)
+
+    def _check_op(self, op: OperatingPoint) -> None:
+        if op.n_modules != self.modules.n_modules:
+            raise MeasurementError(
+                f"operating point covers {op.n_modules} modules, "
+                f"meter covers {self.modules.n_modules}"
+            )
+
+    def set_power_limit(self, cap_w, window_s: float = 1e-3):  # pragma: no cover
+        """Enforce a power cap (only RAPL overrides this)."""
+        raise CappingUnsupportedError(
+            f"{self.spec.technique} does not support power capping (Table 1)"
+        )

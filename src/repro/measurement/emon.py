@@ -1,0 +1,87 @@
+"""IBM Blue Gene/Q EMON emulation (Table 1 row 3).
+
+On BG/Q, power is measured at *node-board* granularity: each board's
+FPGA polls two direct-current assemblies over I2C and exposes
+instantaneous power through the EMON API every 300 ms.  A board carries
+32 compute cards, so readings are sums over card groups — individual
+card power is not observable, which is why the paper's Fig 1B plots 48
+node boards rather than 1,536 individual processors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import MeasurementError
+from repro.hardware.module import ModuleArray, OperatingPoint
+from repro.measurement.base import PowerMeter, PowerReading, TABLE1_SPECS
+
+__all__ = ["EmonMeter"]
+
+#: Compute cards per BG/Q node board.
+CARDS_PER_NODE_BOARD = 32
+
+
+class EmonMeter(PowerMeter):
+    """Node-board granularity instantaneous power measurement.
+
+    Parameters
+    ----------
+    modules:
+        Hardware under measurement; ``n_modules`` must be a multiple of
+        ``cards_per_board``.
+    rng:
+        DCA microcontroller sampling noise source (``None`` disables).
+    cards_per_board:
+        Compute cards aggregated per reading (32 on BG/Q).
+    noise_frac:
+        1-σ relative noise of the DCA current calculation.
+    """
+
+    spec = TABLE1_SPECS["emon"]
+
+    def __init__(
+        self,
+        modules: ModuleArray,
+        rng: np.random.Generator | None = None,
+        *,
+        cards_per_board: int = CARDS_PER_NODE_BOARD,
+        noise_frac: float = 0.01,
+    ):
+        super().__init__(modules)
+        if cards_per_board <= 0:
+            raise MeasurementError("cards_per_board must be positive")
+        if modules.n_modules % cards_per_board != 0:
+            raise MeasurementError(
+                f"{modules.n_modules} modules do not fill whole node boards "
+                f"of {cards_per_board} cards"
+            )
+        self.cards_per_board = int(cards_per_board)
+        self._rng = rng
+        self._noise_frac = float(noise_frac)
+
+    @property
+    def n_boards(self) -> int:
+        """Number of node boards the meter reports on."""
+        return self.modules.n_modules // self.cards_per_board
+
+    def _aggregate(self, per_card: np.ndarray) -> np.ndarray:
+        boards = per_card.reshape(self.n_boards, self.cards_per_board).sum(axis=1)
+        if self._rng is not None and self._noise_frac > 0.0:
+            boards = boards * np.clip(
+                self._rng.normal(1.0, self._noise_frac, boards.shape), 0.95, 1.05
+            )
+        return boards
+
+    def read(self, op: OperatingPoint, duration_s: float | None = None) -> PowerReading:
+        """One instantaneous reading per *node board* (chip-core and
+        chip-memory domains).
+
+        Note the returned arrays have length ``n_boards``, not
+        ``n_modules`` — board-level aggregation is inherent to EMON.
+        """
+        self._check_op(op)
+        dt = self._check_duration(duration_s)
+        cpu = self._aggregate(self.modules.cpu_power_at(op))
+        dram = self._aggregate(self.modules.dram_power_at(op))
+        return PowerReading(cpu_w=cpu, dram_w=dram, duration_s=dt)

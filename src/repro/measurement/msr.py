@@ -1,0 +1,196 @@
+"""Emulated machine-specific registers (MSRs) for the RAPL interface.
+
+The paper programs RAPL "with the help of programmable Machine Specific
+Registers (MSRs) ... by using the libMSR library".  We emulate the
+registers RAPL needs, faithfully enough that higher layers must deal with
+the same realities as libMSR users:
+
+* energy is reported as a monotonically increasing 32-bit counter in
+  units of 2^-16 J (15.3 µJ) that wraps around;
+* power limits are encoded in units of 2^-3 W = 0.125 W;
+* the time window is encoded in units of 2^-10 s.
+
+Only the registers used by this project are implemented; reads of other
+addresses raise :class:`~repro.errors.MSRAccessError`, as msr-safe would
+reject non-whitelisted accesses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import MSRAccessError
+
+__all__ = [
+    "MSRFile",
+    "MSR_RAPL_POWER_UNIT",
+    "MSR_PKG_POWER_LIMIT",
+    "MSR_PKG_ENERGY_STATUS",
+    "MSR_DRAM_ENERGY_STATUS",
+    "MSR_PKG_POWER_INFO",
+    "ENERGY_UNIT_J",
+    "POWER_UNIT_W",
+    "TIME_UNIT_S",
+]
+
+# Architectural MSR addresses (Intel SDM vol. 3B, table 35).
+MSR_RAPL_POWER_UNIT = 0x606
+MSR_PKG_POWER_LIMIT = 0x610
+MSR_PKG_ENERGY_STATUS = 0x611
+MSR_PKG_POWER_INFO = 0x614
+MSR_DRAM_ENERGY_STATUS = 0x619
+
+#: Energy status unit: 2^-16 J.
+ENERGY_UNIT_J = 2.0**-16
+#: Power limit unit: 2^-3 W.
+POWER_UNIT_W = 2.0**-3
+#: Time window unit: 2^-10 s.
+TIME_UNIT_S = 2.0**-10
+
+_COUNTER_MASK = (1 << 32) - 1
+
+_KNOWN = {
+    MSR_RAPL_POWER_UNIT,
+    MSR_PKG_POWER_LIMIT,
+    MSR_PKG_ENERGY_STATUS,
+    MSR_PKG_POWER_INFO,
+    MSR_DRAM_ENERGY_STATUS,
+}
+
+_WRITABLE = {MSR_PKG_POWER_LIMIT}
+
+#: Default MSR_RAPL_POWER_UNIT content: energy unit 2^-16 (bits 12:8 = 16),
+#: power unit 2^-3 (bits 3:0 = 3), time unit 2^-10 (bits 19:16 = 10).
+_POWER_UNIT_ENCODING = (10 << 16) | (16 << 8) | 3
+
+
+class MSRFile:
+    """Per-socket MSR state for a set of modules.
+
+    This is the lowest level of the emulated power stack: it stores raw
+    register bits.  The :class:`~repro.measurement.rapl.RaplMeter`
+    accumulates true energy into the wrapping counters and decodes limits.
+    """
+
+    def __init__(self, n_modules: int, tdp_w: float = 130.0):
+        if n_modules <= 0:
+            raise MSRAccessError("MSR file needs at least one module")
+        self.n_modules = int(n_modules)
+        # Raw 64-bit register images, one row per module.
+        self._regs: dict[int, np.ndarray] = {
+            MSR_RAPL_POWER_UNIT: np.full(n_modules, _POWER_UNIT_ENCODING, dtype=np.uint64),
+            MSR_PKG_POWER_LIMIT: np.zeros(n_modules, dtype=np.uint64),
+            MSR_PKG_ENERGY_STATUS: np.zeros(n_modules, dtype=np.uint64),
+            MSR_PKG_POWER_INFO: np.full(
+                n_modules, int(round(tdp_w / POWER_UNIT_W)), dtype=np.uint64
+            ),
+            MSR_DRAM_ENERGY_STATUS: np.zeros(n_modules, dtype=np.uint64),
+        }
+        # Fractional joules not yet visible in the quantised counter.
+        self._energy_residual = {
+            MSR_PKG_ENERGY_STATUS: np.zeros(n_modules),
+            MSR_DRAM_ENERGY_STATUS: np.zeros(n_modules),
+        }
+
+    # -- raw access (libMSR-style) -------------------------------------------
+
+    def _check(self, address: int, module: int | None = None) -> None:
+        if address not in _KNOWN:
+            raise MSRAccessError(f"MSR {address:#x} is not whitelisted")
+        if module is not None and not (0 <= module < self.n_modules):
+            raise MSRAccessError(
+                f"module {module} out of range [0, {self.n_modules})"
+            )
+
+    def read(self, module: int, address: int) -> int:
+        """Read one register of one module (raw 64-bit value)."""
+        self._check(address, module)
+        return int(self._regs[address][module])
+
+    def read_all(self, address: int) -> np.ndarray:
+        """Read one register across all modules."""
+        self._check(address)
+        return self._regs[address].copy()
+
+    def write(self, module: int, address: int, value: int) -> None:
+        """Write one register of one module; only writable MSRs allowed."""
+        self._check(address, module)
+        if address not in _WRITABLE:
+            raise MSRAccessError(f"MSR {address:#x} is read-only")
+        if not (0 <= value < (1 << 64)):
+            raise MSRAccessError("MSR values are unsigned 64-bit")
+        self._regs[address][module] = np.uint64(value)
+
+    def write_all(self, address: int, values: np.ndarray) -> None:
+        """Write one register across all modules."""
+        self._check(address)
+        if address not in _WRITABLE:
+            raise MSRAccessError(f"MSR {address:#x} is read-only")
+        arr = np.asarray(values)
+        if arr.shape != (self.n_modules,):
+            raise MSRAccessError(
+                f"expected {self.n_modules} values, got shape {arr.shape}"
+            )
+        self._regs[address][:] = arr.astype(np.uint64)
+
+    # -- energy accumulation (driven by the RAPL meter) ------------------------
+
+    def accumulate_energy(self, address: int, joules: np.ndarray) -> None:
+        """Add true energy (J) to a wrapping 32-bit energy counter."""
+        if address not in self._energy_residual:
+            raise MSRAccessError(f"MSR {address:#x} is not an energy counter")
+        j = np.asarray(joules, dtype=float)
+        if j.shape != (self.n_modules,):
+            raise MSRAccessError(
+                f"expected {self.n_modules} energy values, got shape {j.shape}"
+            )
+        if np.any(j < 0):
+            raise MSRAccessError("energy must be non-negative")
+        total = self._energy_residual[address] + j / ENERGY_UNIT_J
+        ticks = np.floor(total)
+        self._energy_residual[address] = total - ticks
+        counter = (self._regs[address].astype(np.int64) + ticks.astype(np.int64)) & _COUNTER_MASK
+        self._regs[address][:] = counter.astype(np.uint64)
+
+    # -- decoded helpers -------------------------------------------------------
+
+    def energy_joules(self, address: int) -> np.ndarray:
+        """Decode an energy counter into joules (modulo wraparound)."""
+        if address not in self._energy_residual:
+            raise MSRAccessError(f"MSR {address:#x} is not an energy counter")
+        return self._regs[address].astype(float) * ENERGY_UNIT_J
+
+    @staticmethod
+    def energy_delta_joules(before: np.ndarray, after: np.ndarray) -> np.ndarray:
+        """Joules elapsed between two counter snapshots, wrap-corrected."""
+        b = np.asarray(before, dtype=np.int64)
+        a = np.asarray(after, dtype=np.int64)
+        delta = (a - b) & _COUNTER_MASK
+        return delta.astype(float) * ENERGY_UNIT_J
+
+    def encode_power_limit(self, watts: np.ndarray | float, window_s: float) -> np.ndarray:
+        """Encode per-module power limits into MSR_PKG_POWER_LIMIT images.
+
+        Layout (simplified from the SDM): bits 14:0 power in 0.125 W
+        units, bit 15 enable, bits 23:17 time window in 2^-10 s units.
+        """
+        w = np.broadcast_to(np.asarray(watts, dtype=float), (self.n_modules,))
+        if np.any(w <= 0):
+            raise MSRAccessError("power limits must be positive")
+        power_bits = np.round(w / POWER_UNIT_W).astype(np.int64)
+        if np.any(power_bits >= (1 << 15)):
+            raise MSRAccessError("power limit exceeds encodable range")
+        window_bits = int(round(window_s / TIME_UNIT_S))
+        window_bits = max(1, min(window_bits, (1 << 7) - 1))
+        value = power_bits | (1 << 15) | (window_bits << 17)
+        return value.astype(np.uint64)
+
+    def decode_power_limit(self) -> tuple[np.ndarray, float, np.ndarray]:
+        """Decode MSR_PKG_POWER_LIMIT: (watts, window_s, enabled)."""
+        raw = self._regs[MSR_PKG_POWER_LIMIT].astype(np.int64)
+        watts = (raw & 0x7FFF).astype(float) * POWER_UNIT_W
+        enabled = ((raw >> 15) & 1).astype(bool)
+        window_bits = (raw >> 17) & 0x7F
+        # All modules share a window in our usage; report the first enabled.
+        window_s = float(window_bits[0]) * TIME_UNIT_S if len(raw) else 0.0
+        return watts, window_s, enabled

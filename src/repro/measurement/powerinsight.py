@@ -1,0 +1,74 @@
+"""Penguin Computing PowerInsight emulation (Table 1 row 2).
+
+PowerInsight is a sensor harness: Allegro ACS713 hall-effect current
+sensors plus a voltage divider feed three ADCs on a BeagleBone carrier
+board.  It reports *instantaneous* power at 1 ms (or faster) and cannot
+cap.  We model the measurement chain as white sensor noise plus ADC
+quantisation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hardware.module import ModuleArray, OperatingPoint
+from repro.measurement.base import PowerMeter, PowerReading, TABLE1_SPECS
+
+__all__ = ["PowerInsightMeter"]
+
+
+class PowerInsightMeter(PowerMeter):
+    """Instantaneous sensor-based node power measurement.
+
+    Parameters
+    ----------
+    modules:
+        Hardware under measurement.
+    rng:
+        Noise source (hall-sensor white noise).  ``None`` disables noise.
+    noise_frac:
+        1-σ relative sensor noise (the PowerInsight qualification report
+        places accuracy within a couple of percent).
+    adc_step_w:
+        Quantisation step of the 10-bit ADC chain mapped to watts.
+    """
+
+    spec = TABLE1_SPECS["powerinsight"]
+
+    def __init__(
+        self,
+        modules: ModuleArray,
+        rng: np.random.Generator | None = None,
+        *,
+        noise_frac: float = 0.015,
+        adc_step_w: float = 0.25,
+    ):
+        super().__init__(modules)
+        self._rng = rng
+        self._noise_frac = float(noise_frac)
+        self._adc_step_w = float(adc_step_w)
+
+    def _quantize(self, watts: np.ndarray) -> np.ndarray:
+        if self._adc_step_w <= 0:
+            return watts
+        return np.round(watts / self._adc_step_w) * self._adc_step_w
+
+    def _noisy(self, watts: np.ndarray) -> np.ndarray:
+        if self._rng is None or self._noise_frac == 0.0:
+            return self._quantize(watts)
+        noise = self._rng.normal(1.0, self._noise_frac, watts.shape)
+        return self._quantize(watts * np.clip(noise, 0.9, 1.1))
+
+    def read(self, op: OperatingPoint, duration_s: float | None = None) -> PowerReading:
+        """One instantaneous sample per module (CPU and DRAM rails)."""
+        self._check_op(op)
+        dt = self._check_duration(duration_s)
+        cpu = self._noisy(self.modules.cpu_power_at(op))
+        dram = self._noisy(self.modules.dram_power_at(op))
+        return PowerReading(cpu_w=cpu, dram_w=dram, duration_s=dt)
+
+    def read_trace(self, op: OperatingPoint, n_samples: int) -> list[PowerReading]:
+        """A sequence of instantaneous samples (getRawPower-style polling)."""
+        if n_samples <= 0:
+            raise ValueError("n_samples must be positive")
+        return [self.read(op) for _ in range(n_samples)]

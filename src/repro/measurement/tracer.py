@@ -1,0 +1,130 @@
+"""Time-series power tracing over a simulated execution.
+
+The meters in this package answer "what is the power *now*"; production
+monitoring wants the *timeline* — per-window samples over a run, energy
+integrals, and peak detection.  :class:`PowerTracer` drives any
+:class:`~repro.measurement.base.PowerMeter` across a schedule of
+operating points (e.g. the phases of a phased application, or a cap
+change mid-run) and accumulates a :class:`PowerTimeline`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import MeasurementError
+from repro.hardware.module import OperatingPoint
+from repro.measurement.base import PowerMeter
+
+__all__ = ["PowerTimeline", "PowerTracer"]
+
+
+@dataclass(frozen=True)
+class PowerTimeline:
+    """Sampled total power over time.
+
+    Attributes
+    ----------
+    times_s:
+        Sample timestamps (window ends), shape ``(n_samples,)``.
+    cpu_w / dram_w:
+        Per-sample, per-module power arrays, shape
+        ``(n_samples, n_modules)``.
+    """
+
+    times_s: np.ndarray
+    cpu_w: np.ndarray
+    dram_w: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.times_s.ndim != 1 or self.cpu_w.shape != self.dram_w.shape:
+            raise MeasurementError("inconsistent timeline shapes")
+        if self.cpu_w.shape[0] != self.times_s.shape[0]:
+            raise MeasurementError("one power row per timestamp required")
+
+    @property
+    def n_samples(self) -> int:
+        """Number of samples recorded."""
+        return int(self.times_s.size)
+
+    @property
+    def total_w(self) -> np.ndarray:
+        """System power per sample (sum over modules)."""
+        return (self.cpu_w + self.dram_w).sum(axis=1)
+
+    @property
+    def peak_w(self) -> float:
+        """Highest sampled system power."""
+        return float(self.total_w.max())
+
+    def energy_j(self) -> float:
+        """Total energy via left-Riemann integration of system power."""
+        if self.n_samples == 0:
+            return 0.0
+        t = np.concatenate([[0.0], self.times_s])
+        dt = np.diff(t)
+        return float((self.total_w * dt).sum())
+
+    def mean_power_w(self) -> float:
+        """Time-averaged system power."""
+        if self.n_samples == 0:
+            return 0.0
+        return self.energy_j() / float(self.times_s[-1])
+
+    def over_budget_fraction(self, budget_w: float) -> float:
+        """Fraction of samples whose system power exceeds ``budget_w``."""
+        if self.n_samples == 0:
+            return 0.0
+        return float((self.total_w > budget_w).mean())
+
+
+class PowerTracer:
+    """Samples a meter over a schedule of operating points.
+
+    Parameters
+    ----------
+    meter:
+        Any power meter; sampling interval defaults to its granularity.
+    """
+
+    def __init__(self, meter: PowerMeter, *, interval_s: float | None = None):
+        self.meter = meter
+        self.interval_s = (
+            meter.granularity_s if interval_s is None else float(interval_s)
+        )
+        if self.interval_s < meter.granularity_s:
+            raise MeasurementError(
+                "sampling interval cannot beat the meter's granularity"
+            )
+        self._times: list[float] = []
+        self._cpu: list[np.ndarray] = []
+        self._dram: list[np.ndarray] = []
+        self._clock = 0.0
+
+    def record(self, op: OperatingPoint, duration_s: float) -> None:
+        """Hold one operating point for ``duration_s``, sampling throughout."""
+        if duration_s <= 0:
+            raise MeasurementError("duration must be positive")
+        n = max(1, int(round(duration_s / self.interval_s)))
+        for _ in range(n):
+            reading = self.meter.read(op, duration_s=self.interval_s)
+            self._clock += self.interval_s
+            self._times.append(self._clock)
+            self._cpu.append(reading.cpu_w)
+            self._dram.append(reading.dram_w)
+
+    def timeline(self) -> PowerTimeline:
+        """Snapshot everything recorded so far."""
+        if not self._times:
+            return PowerTimeline(
+                times_s=np.empty(0),
+                cpu_w=np.empty((0, 0)),
+                dram_w=np.empty((0, 0)),
+            )
+        return PowerTimeline(
+            times_s=np.asarray(self._times),
+            cpu_w=np.stack(self._cpu),
+            dram_w=np.stack(self._dram),
+        )

@@ -1,0 +1,43 @@
+"""Vectorised bulk-synchronous SPMD application simulator.
+
+The paper's performance phenomena are *timing* phenomena: per-rank
+compute speed follows module frequency, and synchronising communication
+(MPI_Sendrecv halo exchanges, allreduces, barriers) propagates straggler
+delay while accumulating wait time on the fast ranks.  This subpackage
+simulates exactly that:
+
+* :mod:`repro.simmpi.machine` — :class:`BspMachine`, a per-rank virtual
+  clock with ``compute`` / ``barrier`` / ``allreduce`` / ``sendrecv``
+  operations, all vectorised over ranks.
+* :mod:`repro.simmpi.tracing` — :class:`RankTrace`, the per-rank timing
+  record (total, compute, and MPI wait time, the quantity plotted in
+  Fig 3 and Fig 8(ii)).
+* :mod:`repro.simmpi.eventsim` — the general path: an event-driven
+  simulator with true point-to-point matching, blocking receives and
+  deadlock detection, for programs that are not bulk-synchronous.  The
+  two paths cross-validate each other in the test suite.
+"""
+
+from repro.simmpi.eventsim import (
+    Allreduce,
+    Barrier,
+    Compute,
+    Elapse,
+    EventDrivenMachine,
+    Recv,
+    Send,
+)
+from repro.simmpi.machine import BspMachine
+from repro.simmpi.tracing import RankTrace
+
+__all__ = [
+    "BspMachine",
+    "RankTrace",
+    "EventDrivenMachine",
+    "Compute",
+    "Elapse",
+    "Send",
+    "Recv",
+    "Barrier",
+    "Allreduce",
+]

@@ -1,0 +1,179 @@
+"""The vectorised bulk-synchronous machine.
+
+:class:`BspMachine` maintains one virtual clock per MPI rank.  Compute
+operations advance each clock by that rank's own compute time (work
+divided by the rank's work rate); communication operations synchronise
+clocks (globally or with topological neighbours) and charge the idle gap
+to the rank's MPI wait time.  This is exact for bulk-synchronous codes —
+which every benchmark in the paper is — and costs O(ranks) per
+superstep, so 1,920-rank × hundreds-of-iterations runs are milliseconds.
+
+Semantics of a halo exchange (``sendrecv``): rank *r* may leave the
+exchange of superstep *k* once it **and all its neighbours** have
+reached it.  Iterating supersteps propagates a slow module's delay
+outward one hop per iteration — the wavefront behaviour that makes a
+synchronised code's completion time track the globally slowest module
+even though each rank only talks to its neighbours.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.simmpi.tracing import RankTrace
+
+__all__ = ["BspMachine"]
+
+
+class BspMachine:
+    """Per-rank virtual clocks with synchronising communication.
+
+    Parameters
+    ----------
+    rates:
+        Work rate of each rank in GHz-equivalents (effective frequency ×
+        performance bin factor of the module hosting the rank).
+    latency_s:
+        Base cost of one communication operation (software + network
+        latency), paid by every participant.
+    bandwidth_gbps:
+        Link bandwidth used to convert message bytes into transfer time.
+    noise_frac:
+        Mean relative operating-system noise added to every compute
+        phase (one-sided exponential — interruptions only ever slow a
+        rank down).  0 models the paper's "no per-run noise" idealised
+        ranks; a few tenths of a percent reproduces the residual
+        synchronisation spread of uncapped runs (Fig 3, Cm = No).
+    noise_rng:
+        Generator for the noise draws; required when ``noise_frac`` > 0.
+    """
+
+    def __init__(
+        self,
+        rates: np.ndarray,
+        *,
+        latency_s: float = 5e-6,
+        bandwidth_gbps: float = 5.0,
+        noise_frac: float = 0.0,
+        noise_rng: np.random.Generator | None = None,
+    ):
+        r = np.asarray(rates, dtype=float)
+        if r.ndim != 1 or r.size == 0:
+            raise SimulationError("rates must be a non-empty 1-D array")
+        if np.any(~np.isfinite(r)) or np.any(r <= 0):
+            raise SimulationError("rates must be finite and positive")
+        if latency_s < 0 or bandwidth_gbps <= 0:
+            raise SimulationError("latency must be >= 0 and bandwidth > 0")
+        if noise_frac < 0:
+            raise SimulationError("noise_frac must be non-negative")
+        if noise_frac > 0 and noise_rng is None:
+            raise SimulationError("noise_frac > 0 requires a noise_rng")
+        self._noise_frac = float(noise_frac)
+        self._noise_rng = noise_rng
+        self.rates = r
+        self.latency_s = float(latency_s)
+        self.bandwidth_gbps = float(bandwidth_gbps)
+        self.clock_s = np.zeros(r.size)
+        self._compute_s = np.zeros(r.size)
+        self._wait_s = np.zeros(r.size)
+        self._comm_s = np.zeros(r.size)
+
+    @property
+    def n_ranks(self) -> int:
+        """Number of ranks on the machine."""
+        return int(self.rates.size)
+
+    def set_rates(self, rates: np.ndarray) -> None:
+        """Change per-rank work rates mid-run (a DVFS transition at a
+        phase boundary; takes effect for subsequent compute calls)."""
+        r = np.asarray(rates, dtype=float)
+        if r.shape != self.rates.shape:
+            raise SimulationError(
+                f"rates shape {r.shape} != machine shape {self.rates.shape}"
+            )
+        if np.any(~np.isfinite(r)) or np.any(r <= 0):
+            raise SimulationError("rates must be finite and positive")
+        self.rates = r
+
+    def _transfer_cost(self, message_bytes: float) -> float:
+        return self.latency_s + message_bytes / (self.bandwidth_gbps * 1e9)
+
+    # -- operations ------------------------------------------------------------
+
+    def compute(self, ghz_seconds: np.ndarray | float) -> None:
+        """Advance each rank by a compute phase.
+
+        ``ghz_seconds`` is the work per rank expressed in GHz·seconds —
+        the time the phase takes on a 1 GHz-equivalent module.  A scalar
+        means perfectly balanced work.
+        """
+        work = np.broadcast_to(np.asarray(ghz_seconds, dtype=float), (self.n_ranks,))
+        if np.any(work < 0):
+            raise SimulationError("compute work must be non-negative")
+        dt = work / self.rates
+        if self._noise_frac > 0.0:
+            dt = dt * (1.0 + self._noise_frac * self._noise_rng.exponential(size=self.n_ranks))
+        self.clock_s = self.clock_s + dt
+        self._compute_s = self._compute_s + dt
+
+    def elapse(self, seconds: np.ndarray | float) -> None:
+        """Advance each rank by frequency-*insensitive* time (memory stalls,
+        I/O): the (1 − κ) part of a partially CPU-bound phase."""
+        dt = np.broadcast_to(np.asarray(seconds, dtype=float), (self.n_ranks,))
+        if np.any(dt < 0):
+            raise SimulationError("elapsed time must be non-negative")
+        self.clock_s = self.clock_s + dt
+        self._compute_s = self._compute_s + dt
+
+    def barrier(self) -> None:
+        """Global synchronisation: everyone waits for the slowest rank."""
+        self._sync_to(np.full(self.n_ranks, self.clock_s.max()), 0.0)
+
+    def allreduce(self, message_bytes: float = 8.0) -> None:
+        """Synchronising reduction: barrier semantics plus tree cost.
+
+        Cost model: a reduce-then-broadcast binary tree — ⌈log₂ P⌉
+        latency hops each way plus two payload traversals.
+        """
+        hops = max(1, int(np.ceil(np.log2(max(self.n_ranks, 2)))))
+        cost = 2 * (
+            hops * self.latency_s + message_bytes / (self.bandwidth_gbps * 1e9)
+        )
+        self._sync_to(np.full(self.n_ranks, self.clock_s.max()), cost)
+
+    def sendrecv(self, neighbors: np.ndarray, message_bytes: float = 0.0) -> None:
+        """Halo exchange: each rank waits for its neighbours.
+
+        ``neighbors`` has shape ``(n_ranks, k)``; entry ``[r, j]`` is the
+        j-th partner of rank r.  The exchange completes for rank r when r
+        and all partners have entered it.  ``message_bytes`` is the halo
+        size *per neighbour*; each rank pays one latency plus k
+        transfers.
+        """
+        nb = np.asarray(neighbors)
+        if nb.ndim != 2 or nb.shape[0] != self.n_ranks:
+            raise SimulationError(
+                f"neighbors must have shape (n_ranks, k); got {nb.shape}"
+            )
+        if nb.size and (nb.min() < 0 or nb.max() >= self.n_ranks):
+            raise SimulationError("neighbor indices out of range")
+        ready = np.maximum(self.clock_s, self.clock_s[nb].max(axis=1))
+        self._sync_to(ready, self._transfer_cost(message_bytes * nb.shape[1]))
+
+    def _sync_to(self, ready_s: np.ndarray, transfer_cost_s: float) -> None:
+        wait = ready_s - self.clock_s
+        self._wait_s = self._wait_s + wait
+        self._comm_s = self._comm_s + transfer_cost_s
+        self.clock_s = ready_s + transfer_cost_s
+
+    # -- results ---------------------------------------------------------------
+
+    def trace(self) -> RankTrace:
+        """Snapshot the per-rank timing accumulated so far."""
+        return RankTrace(
+            total_s=self.clock_s.copy(),
+            compute_s=self._compute_s.copy(),
+            wait_s=self._wait_s.copy(),
+            comm_s=self._comm_s.copy(),
+        )

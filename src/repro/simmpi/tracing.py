@@ -1,0 +1,61 @@
+"""Per-rank timing records produced by the BSP machine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.stats import worst_case_variation
+
+__all__ = ["RankTrace"]
+
+
+@dataclass(frozen=True)
+class RankTrace:
+    """Timing of one simulated application run, per MPI rank.
+
+    Attributes
+    ----------
+    total_s:
+        Wall-clock completion time of each rank (application exit is the
+        max across ranks for a synchronised code).
+    compute_s:
+        Time each rank spent computing.
+    wait_s:
+        Time each rank spent blocked in any MPI operation — the paper's
+        "cumulative time spent ... in MPI_Sendrecv" (Fig 3) when the only
+        communication is the halo exchange.
+    comm_s:
+        Unavoidable transfer cost (latency/bandwidth), identical work on
+        every rank; excluded from ``wait_s``.
+    """
+
+    total_s: np.ndarray
+    compute_s: np.ndarray
+    wait_s: np.ndarray
+    comm_s: np.ndarray
+
+    @property
+    def n_ranks(self) -> int:
+        """Number of ranks traced."""
+        return int(self.total_s.shape[0])
+
+    @property
+    def makespan_s(self) -> float:
+        """Application completion time (slowest rank)."""
+        return float(self.total_s.max())
+
+    @property
+    def vt(self) -> float:
+        """Worst-case execution-time variation across ranks (paper's Vt)."""
+        return worst_case_variation(self.total_s)
+
+    def wait_vt(self, floor_s: float = 1e-3) -> float:
+        """Worst-case variation of per-rank MPI wait time.
+
+        The paper notes Fig 3's Vt values "are very high because for one
+        process, the MPI_Sendrecv overhead is very small"; a floor keeps
+        the ratio defined when the slowest rank waits ~0 s.
+        """
+        return worst_case_variation(np.maximum(self.wait_s, floor_s))

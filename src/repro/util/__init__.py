@@ -1,0 +1,22 @@
+"""Shared utilities: deterministic RNG plumbing, statistics, table rendering."""
+
+from repro.util.rng import RngFactory, spawn_rng
+from repro.util.stats import (
+    LinearFit,
+    linear_fit,
+    r_squared,
+    worst_case_variation,
+    variation_summary,
+)
+from repro.util.tables import render_table
+
+__all__ = [
+    "RngFactory",
+    "spawn_rng",
+    "LinearFit",
+    "linear_fit",
+    "r_squared",
+    "worst_case_variation",
+    "variation_summary",
+    "render_table",
+]

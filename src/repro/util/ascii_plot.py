@@ -1,0 +1,149 @@
+"""Terminal scatter/series plots for the experiment harness.
+
+The paper's figures are scatter plots (per-module power, frequency vs
+power, time vs power).  These helpers render the same data as ASCII so
+``python -m repro fig2`` can *show* the figure, not just its summary
+statistics.  No plotting dependency required.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+__all__ = ["scatter_plot", "series_plot", "bar_groups"]
+
+_MARKERS = "ox+*#@%&"
+
+
+def _scale(values: np.ndarray, lo: float, hi: float, cells: int) -> np.ndarray:
+    span = hi - lo
+    if span <= 0:
+        return np.zeros(len(values), dtype=int)
+    idx = ((values - lo) / span * (cells - 1)).round().astype(int)
+    return np.clip(idx, 0, cells - 1)
+
+
+def scatter_plot(
+    series: dict[str, tuple[np.ndarray, np.ndarray]],
+    *,
+    width: int = 72,
+    height: int = 20,
+    xlabel: str = "",
+    ylabel: str = "",
+    title: str = "",
+) -> str:
+    """Render one or more (x, y) point sets on a shared-axes ASCII canvas.
+
+    Each named series gets its own marker; later series overwrite earlier
+    ones where they collide.  Returns the plot as a string.
+    """
+    if not series:
+        raise ValueError("scatter_plot needs at least one series")
+    if width < 16 or height < 4:
+        raise ValueError("canvas too small")
+
+    xs = np.concatenate([np.asarray(x, dtype=float) for x, _ in series.values()])
+    ys = np.concatenate([np.asarray(y, dtype=float) for _, y in series.values()])
+    if xs.size == 0:
+        raise ValueError("scatter_plot needs at least one point")
+    x_lo, x_hi = float(xs.min()), float(xs.max())
+    y_lo, y_hi = float(ys.min()), float(ys.max())
+
+    grid = [[" "] * width for _ in range(height)]
+    legend = []
+    for (name, (x, y)), marker in zip(series.items(), _MARKERS):
+        xi = _scale(np.asarray(x, dtype=float), x_lo, x_hi, width)
+        yi = _scale(np.asarray(y, dtype=float), y_lo, y_hi, height)
+        for cx, cy in zip(xi, yi):
+            grid[height - 1 - cy][cx] = marker
+        legend.append(f"{marker}={name}")
+
+    lines = []
+    if title:
+        lines.append(title)
+    y_hi_label = f"{y_hi:.6g}"
+    y_lo_label = f"{y_lo:.6g}"
+    pad = max(len(y_hi_label), len(y_lo_label), len(ylabel))
+    for i, row in enumerate(grid):
+        if i == 0:
+            label = y_hi_label
+        elif i == height - 1:
+            label = y_lo_label
+        elif i == height // 2 and ylabel:
+            label = ylabel[:pad]
+        else:
+            label = ""
+        lines.append(f"{label.rjust(pad)} |{''.join(row)}")
+    axis = f"{'':>{pad}} +{'-' * width}"
+    lines.append(axis)
+    x_left = f"{x_lo:.6g}"
+    x_right = f"{x_hi:.6g}"
+    gap = width - len(x_left) - len(x_right)
+    xline = f"{'':>{pad}}  {x_left}{xlabel.center(max(gap, 1))}{x_right}"
+    lines.append(xline)
+    lines.append(f"{'':>{pad}}  {'  '.join(legend)}")
+    return "\n".join(lines)
+
+
+def bar_groups(
+    groups: dict[str, dict[str, float]],
+    *,
+    width: int = 40,
+    title: str = "",
+    reference: float | None = None,
+    unit: str = "",
+) -> str:
+    """Horizontal grouped bars (the shape of the paper's Fig 7 and Fig 9).
+
+    ``groups`` maps a group label (e.g. ``"dgemm @134 kW"``) to its
+    series values (e.g. per-scheme speedups).  ``reference`` draws a
+    marker column at that value (Fig 9's red constraint line).
+    """
+    if not groups:
+        raise ValueError("bar_groups needs at least one group")
+    all_vals = [v for series in groups.values() for v in series.values()]
+    if not all_vals:
+        raise ValueError("bar_groups needs at least one value")
+    vmax = max(max(all_vals), reference or 0.0)
+    if vmax <= 0:
+        raise ValueError("bar values must include a positive maximum")
+    label_w = max(
+        len(name) for series in groups.values() for name in series
+    )
+
+    def bar(value: float) -> str:
+        n = int(round(value / vmax * width))
+        cells = ["#"] * n + [" "] * (width - n)
+        if reference is not None:
+            r = min(width - 1, int(round(reference / vmax * width)))
+            if cells[r] == " ":
+                cells[r] = "|"
+        return "".join(cells)
+
+    lines = []
+    if title:
+        lines.append(title)
+    for group, series in groups.items():
+        lines.append(f"{group}:")
+        for name, value in series.items():
+            lines.append(
+                f"  {name.ljust(label_w)} {bar(value)} {value:.2f}{unit}"
+            )
+    if reference is not None:
+        lines.append(f"  ('|' marks {reference:.2f}{unit})")
+    return "\n".join(lines)
+
+
+def series_plot(
+    x: Sequence[float],
+    named_ys: dict[str, Sequence[float]],
+    **kwargs,
+) -> str:
+    """Convenience wrapper: several y-series over one shared x vector."""
+    xa = np.asarray(x, dtype=float)
+    return scatter_plot(
+        {name: (xa, np.asarray(y, dtype=float)) for name, y in named_ys.items()},
+        **kwargs,
+    )

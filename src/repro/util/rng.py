@@ -1,0 +1,89 @@
+"""Deterministic random-number plumbing.
+
+Every stochastic element of the simulator (manufacturing variation draws,
+sensor noise, RAPL dither, application-specific calibration residuals)
+obtains its generator from a single :class:`RngFactory`, which spawns
+independent child streams keyed by a string path.  The same root seed and
+key therefore always reproduce the same stream, regardless of the order
+in which subsystems are constructed — a requirement for the
+reproducibility claims in DESIGN.md section 6.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+__all__ = ["RngFactory", "spawn_rng"]
+
+
+def _key_to_words(key: str) -> tuple[int, ...]:
+    """Hash a string key into a stable tuple of 32-bit words.
+
+    ``numpy.random.SeedSequence`` accepts arbitrary entropy in addition to
+    the root seed; hashing the key (rather than e.g. Python's randomized
+    ``hash``) keeps streams stable across interpreter runs.
+    """
+    digest = hashlib.sha256(key.encode("utf-8")).digest()
+    return tuple(int.from_bytes(digest[i : i + 4], "little") for i in range(0, 16, 4))
+
+
+class RngFactory:
+    """Spawns named, independent :class:`numpy.random.Generator` streams.
+
+    Parameters
+    ----------
+    seed:
+        Root seed for the whole simulation.  Two factories created with
+        the same seed hand out identical streams for identical keys.
+    prefix:
+        Optional namespace prepended to every key (used by :meth:`child`).
+
+    Examples
+    --------
+    >>> f = RngFactory(1234)
+    >>> a = f.rng("hardware/variability").standard_normal()
+    >>> b = RngFactory(1234).rng("hardware/variability").standard_normal()
+    >>> a == b
+    True
+    """
+
+    def __init__(self, seed: int = 0, prefix: str = ""):
+        if not isinstance(seed, (int, np.integer)):
+            raise TypeError(f"seed must be an integer, got {type(seed).__name__}")
+        self._seed = int(seed)
+        self._prefix = str(prefix)
+
+    @property
+    def seed(self) -> int:
+        """The root seed this factory was created with."""
+        return self._seed
+
+    @property
+    def prefix(self) -> str:
+        """Namespace prefix applied to every key."""
+        return self._prefix
+
+    def rng(self, key: str) -> np.random.Generator:
+        """Return a fresh generator for ``key``.
+
+        Calling twice with the same key returns generators that produce
+        identical streams (each call restarts the stream).
+        """
+        seq = np.random.SeedSequence(
+            entropy=self._seed, spawn_key=_key_to_words(self._prefix + key)
+        )
+        return np.random.default_rng(seq)
+
+    def child(self, key: str) -> "RngFactory":
+        """Return a factory whose streams are namespaced under ``key``."""
+        return RngFactory(self._seed, prefix=self._prefix + key + "/")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"RngFactory(seed={self._seed!r}, prefix={self._prefix!r})"
+
+
+def spawn_rng(seed: int, key: str) -> np.random.Generator:
+    """One-shot convenience wrapper: ``RngFactory(seed).rng(key)``."""
+    return RngFactory(seed).rng(key)

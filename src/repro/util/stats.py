@@ -1,0 +1,135 @@
+"""Statistics used throughout the paper's analysis.
+
+The paper defines three worst-case variation metrics (Table 3):
+
+* ``Vp`` — worst-case power variation: max power / min power over a set
+  of modules.
+* ``Vf`` — worst-case CPU-frequency variation, same ratio over realised
+  frequencies.
+* ``Vt`` — worst-case execution-time variation, same ratio over per-rank
+  execution (or synchronisation) times.
+
+It also relies on the near-perfect linearity of power in CPU frequency
+(Fig 5, R² ≥ 0.99), for which we provide a tiny least-squares helper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "worst_case_variation",
+    "variation_summary",
+    "VariationSummary",
+    "LinearFit",
+    "linear_fit",
+    "r_squared",
+]
+
+
+def worst_case_variation(values: np.ndarray | list[float]) -> float:
+    """Return ``max(values) / min(values)`` — the paper's Vp/Vf/Vt metric.
+
+    Raises
+    ------
+    ValueError
+        If ``values`` is empty, contains non-finite entries, or contains
+        values <= 0 (a ratio of non-positive quantities is meaningless).
+    """
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise ValueError("variation of an empty set is undefined")
+    if not np.all(np.isfinite(arr)):
+        raise ValueError("variation requires finite values")
+    lo = float(arr.min())
+    if lo <= 0.0:
+        raise ValueError(f"variation requires strictly positive values, got min={lo}")
+    return float(arr.max()) / lo
+
+
+@dataclass(frozen=True)
+class VariationSummary:
+    """Mean / standard deviation / worst-case ratio of a module-level metric.
+
+    Matches the annotations of Fig 2(i): ``Average=112.8W, Standard
+    Deviation=4.51, Vp=1.30``.
+    """
+
+    mean: float
+    std: float
+    vmin: float
+    vmax: float
+    worst_case: float
+    n: int
+
+    def __str__(self) -> str:
+        return (
+            f"mean={self.mean:.1f} std={self.std:.2f} "
+            f"min={self.vmin:.1f} max={self.vmax:.1f} "
+            f"V={self.worst_case:.2f} (n={self.n})"
+        )
+
+
+def variation_summary(values: np.ndarray | list[float]) -> VariationSummary:
+    """Summarise a per-module metric the way the paper annotates figures."""
+    arr = np.asarray(values, dtype=float)
+    return VariationSummary(
+        mean=float(arr.mean()),
+        std=float(arr.std(ddof=0)),
+        vmin=float(arr.min()),
+        vmax=float(arr.max()),
+        worst_case=worst_case_variation(arr),
+        n=int(arr.size),
+    )
+
+
+@dataclass(frozen=True)
+class LinearFit:
+    """Result of an ordinary least squares fit ``y = slope * x + intercept``."""
+
+    slope: float
+    intercept: float
+    r2: float
+
+    def predict(self, x: np.ndarray | float) -> np.ndarray | float:
+        """Evaluate the fitted line at ``x``."""
+        return self.slope * np.asarray(x, dtype=float) + self.intercept
+
+
+def linear_fit(x: np.ndarray | list[float], y: np.ndarray | list[float]) -> LinearFit:
+    """Least-squares straight-line fit with the coefficient of determination.
+
+    Used to reproduce Fig 5: power is linear in CPU frequency with
+    R² ≥ 0.99 for CPU, DRAM and module power.
+    """
+    xa = np.asarray(x, dtype=float)
+    ya = np.asarray(y, dtype=float)
+    if xa.shape != ya.shape or xa.ndim != 1:
+        raise ValueError("linear_fit expects 1-D arrays of equal length")
+    if xa.size < 2:
+        raise ValueError("linear_fit needs at least two points")
+    xm = xa.mean()
+    ym = ya.mean()
+    sxx = float(np.sum((xa - xm) ** 2))
+    if sxx == 0.0:
+        raise ValueError("linear_fit needs at least two distinct x values")
+    slope = float(np.sum((xa - xm) * (ya - ym)) / sxx)
+    intercept = float(ym - slope * xm)
+    return LinearFit(slope=slope, intercept=intercept, r2=r_squared(ya, slope * xa + intercept))
+
+
+def r_squared(y: np.ndarray | list[float], y_pred: np.ndarray | list[float]) -> float:
+    """Coefficient of determination of predictions ``y_pred`` against ``y``.
+
+    Returns 1.0 for a perfect fit.  When ``y`` is constant the statistic is
+    defined here as 1.0 if predictions are exact and 0.0 otherwise.
+    """
+    ya = np.asarray(y, dtype=float)
+    pa = np.asarray(y_pred, dtype=float)
+    ss_res = float(np.sum((ya - pa) ** 2))
+    ss_tot = float(np.sum((ya - ya.mean()) ** 2))
+    if ss_tot == 0.0:
+        return 1.0 if ss_res == 0.0 else 0.0
+    return 1.0 - ss_res / ss_tot

@@ -1,0 +1,59 @@
+"""Every benchmark lands in its paper-documented behavioural category.
+
+Section 4.3: "*STREAM has trends similar to *DGEMM, while NPB-BT,
+NPB-SP and mVMC are more similar to MHD" — unsynchronised codes spread
+their per-rank times under a cap, synchronised codes homogenise them
+into wait time.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.registry import get_app
+from repro.experiments.fig9 import plot_fig9, run_fig9
+
+SPREADING = ("dgemm", "stream")
+SYNCHRONISED = ("bt", "sp", "mhd", "mvmc")
+
+
+def capped_trace(app_name, n=128, seed=3):
+    rng = np.random.default_rng(seed)
+    app = get_app(app_name)
+    # Heterogeneous rates as a uniform cap would produce them.
+    rates = rng.uniform(1.4, 2.3, n)
+    return app.run(rates, 2.7, n_iters=60)
+
+
+class TestCategories:
+    @pytest.mark.parametrize("name", SPREADING)
+    def test_unsynchronised_codes_spread(self, name):
+        trace = capped_trace(name)
+        assert trace.vt > 1.2
+        assert trace.wait_s.max() == pytest.approx(0.0)
+
+    @pytest.mark.parametrize("name", SYNCHRONISED)
+    def test_synchronised_codes_homogenise(self, name):
+        trace = capped_trace(name)
+        assert trace.vt < 1.1
+        assert trace.wait_s.max() > 1.0  # the variation hides as wait
+
+    @pytest.mark.parametrize("name", SPREADING + SYNCHRONISED)
+    def test_every_app_slower_when_capped(self, name):
+        app = get_app(name)
+        n = 16
+        fast = app.run(np.full(n, 2.7), 2.7, n_iters=10).makespan_s
+        slow = app.run(np.full(n, 1.5), 2.7, n_iters=10).makespan_s
+        assert slow > fast * 1.2
+
+
+class TestFig9Plot:
+    def test_stream_violation_visible(self):
+        cells = run_fig9(n_modules=256, n_iters=3)
+        out = plot_fig9(cells, "stream")
+        assert "marks 1.00x" in out
+        assert "naive" in out
+
+    def test_unknown_app_rejected(self):
+        cells = run_fig9(n_modules=256, n_iters=3)
+        with pytest.raises(ValueError):
+            plot_fig9(cells, "hpl")

@@ -1,0 +1,78 @@
+"""Tests for the job scheduler."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.configs import build_system
+from repro.cluster.scheduler import JobScheduler
+from repro.errors import SchedulerError
+from repro.hardware.power_model import PowerSignature
+
+
+@pytest.fixture
+def sched():
+    return JobScheduler(build_system("ha8k", n_modules=32))
+
+
+class TestAllocate:
+    def test_contiguous(self, sched):
+        a = sched.allocate("j1", 8)
+        assert np.array_equal(a.module_ids, np.arange(8))
+        assert sched.n_free == 24
+
+    def test_two_jobs_disjoint(self, sched):
+        a = sched.allocate("j1", 8)
+        b = sched.allocate("j2", 8)
+        assert not set(a.module_ids) & set(b.module_ids)
+
+    def test_random_policy_deterministic(self):
+        s1 = JobScheduler(build_system("ha8k", n_modules=32, seed=1))
+        s2 = JobScheduler(build_system("ha8k", n_modules=32, seed=1))
+        a = s1.allocate("j", 8, policy="random")
+        b = s2.allocate("j", 8, policy="random")
+        assert np.array_equal(a.module_ids, b.module_ids)
+
+    def test_efficient_first_picks_low_power(self, sched):
+        a = sched.allocate("j", 4, policy="efficient-first")
+        sig = PowerSignature(0.7, 0.5)
+        power = sched.system.modules.module_power(sched.system.arch.fmax, sig)
+        chosen = set(a.module_ids)
+        worst_chosen = max(power[i] for i in chosen)
+        best_unchosen = min(
+            power[i] for i in range(32) if i not in chosen
+        )
+        assert worst_chosen <= best_unchosen
+
+    def test_exhaustion(self, sched):
+        sched.allocate("j1", 30)
+        with pytest.raises(SchedulerError):
+            sched.allocate("j2", 4)
+
+    def test_duplicate_job(self, sched):
+        sched.allocate("j1", 4)
+        with pytest.raises(SchedulerError):
+            sched.allocate("j1", 4)
+
+    def test_bad_inputs(self, sched):
+        with pytest.raises(SchedulerError):
+            sched.allocate("j", 0)
+        with pytest.raises(SchedulerError):
+            sched.allocate("j", 4, policy="mystery")
+
+
+class TestRelease:
+    def test_release_returns_modules(self, sched):
+        sched.allocate("j1", 8)
+        sched.release("j1")
+        assert sched.n_free == 32
+        assert sched.jobs() == []
+
+    def test_release_unknown(self, sched):
+        with pytest.raises(SchedulerError):
+            sched.release("ghost")
+
+    def test_reallocate_after_release(self, sched):
+        sched.allocate("j1", 32)
+        sched.release("j1")
+        a = sched.allocate("j2", 32)
+        assert a.n_modules == 32

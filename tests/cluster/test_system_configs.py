@@ -1,0 +1,111 @@
+"""Tests for System and the Table 2 configurations."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.configs import PAPER_STUDY_SIZES, build_system
+from repro.cluster.system import System
+from repro.errors import CappingUnsupportedError, ConfigurationError
+from repro.hardware.microarch import IVY_BRIDGE_E5_2697V2
+from repro.measurement.emon import EmonMeter
+from repro.measurement.powerinsight import PowerInsightMeter
+from repro.measurement.rapl import RaplMeter
+
+
+class TestBuildSystem:
+    def test_ha8k_full_size(self):
+        sys = build_system("ha8k")
+        assert sys.n_modules == 1920
+        assert sys.n_nodes == 960
+        assert sys.procs_per_node == 2
+        assert sys.arch.name == "ivy-bridge-e5-2697v2"
+
+    def test_cab(self):
+        sys = build_system("cab")
+        assert sys.n_modules == 2592
+        assert not sys.dram_measurable  # BIOS restriction (paper 3.2)
+        assert sys.supports_capping
+
+    def test_vulcan(self):
+        sys = build_system("vulcan", n_modules=1536)
+        assert sys.meter_kind == "emon"
+        assert not sys.supports_capping
+
+    def test_teller(self):
+        sys = build_system("teller")
+        assert sys.n_modules == 104
+        assert sys.meter_kind == "powerinsight"
+        assert not sys.supports_capping
+
+    def test_paper_study_sizes(self):
+        assert PAPER_STUDY_SIZES == {
+            "cab": 2386,
+            "vulcan": 1536,
+            "teller": 64,
+            "ha8k": 1920,
+        }
+
+    def test_unknown_name(self):
+        with pytest.raises(ConfigurationError):
+            build_system("summit")
+
+    def test_bad_size(self):
+        with pytest.raises(ConfigurationError):
+            build_system("ha8k", n_modules=0)
+
+    def test_case_insensitive(self):
+        assert build_system("HA8K", n_modules=4).name == "ha8k"
+
+    def test_deterministic_by_seed(self):
+        a = build_system("ha8k", n_modules=64, seed=7)
+        b = build_system("ha8k", n_modules=64, seed=7)
+        assert np.array_equal(a.modules.variation.leak, b.modules.variation.leak)
+
+    def test_seed_changes_variation(self):
+        a = build_system("ha8k", n_modules=64, seed=7)
+        b = build_system("ha8k", n_modules=64, seed=8)
+        assert not np.array_equal(a.modules.variation.leak, b.modules.variation.leak)
+
+
+class TestSystemBehaviour:
+    def test_meter_types(self):
+        assert isinstance(build_system("ha8k", n_modules=4).meter(), RaplMeter)
+        assert isinstance(build_system("teller", n_modules=4).meter(), PowerInsightMeter)
+        assert isinstance(
+            build_system("vulcan", n_modules=64).meter(), EmonMeter
+        )
+
+    def test_cap_controller_on_ha8k(self):
+        sys = build_system("ha8k", n_modules=8)
+        assert sys.cap_controller() is not None
+
+    def test_cap_controller_rejected_elsewhere(self):
+        with pytest.raises(CappingUnsupportedError):
+            build_system("vulcan", n_modules=64).cap_controller()
+
+    def test_subset_view(self):
+        sys = build_system("ha8k", n_modules=16)
+        sub = sys.subset([1, 5, 9])
+        assert sub.n_modules == 3
+        assert sub.modules.variation.leak[2] == sys.modules.variation.leak[9]
+
+    def test_invalid_meter_kind(self):
+        sys = build_system("ha8k", n_modules=4)
+        with pytest.raises(ConfigurationError):
+            System(
+                name="x",
+                arch=IVY_BRIDGE_E5_2697V2,
+                modules=sys.modules,
+                procs_per_node=2,
+                meter_kind="ipmi",
+                rng=sys.rng,
+            )
+
+    def test_ideal_controller_is_noise_free(self):
+        sys = build_system("ha8k", n_modules=8)
+        from repro.hardware.power_model import PowerSignature
+
+        sig = PowerSignature(0.8, 0.3)
+        a = sys.cap_controller(ideal=True).enforce(70.0, sig).effective_freq_ghz
+        b = sys.modules.resolve_cpu_cap(np.full(8, 70.0), sig).effective_freq_ghz
+        assert np.allclose(a, b)

@@ -1,0 +1,99 @@
+"""Tests for the cpufrequtils emulation (FS strategy)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware.microarch import IVY_BRIDGE_E5_2697V2
+from repro.hardware.module import ModuleArray
+from repro.hardware.power_model import PowerSignature
+from repro.hardware.variability import sample_variation
+from repro.control.cpufreq import CpuFreq
+from repro.util.rng import spawn_rng
+
+ARCH = IVY_BRIDGE_E5_2697V2
+SIG = PowerSignature(cpu_activity=0.8, dram_activity=0.3)
+
+
+def cpufreq(n=8):
+    mods = ModuleArray(ARCH, sample_variation(ARCH.variation, n, spawn_rng(0, "f")))
+    return CpuFreq(mods)
+
+
+class TestGovernors:
+    def test_default_performance(self):
+        cf = cpufreq()
+        assert cf.governor == "performance"
+        assert np.allclose(cf.current_speed(), ARCH.fmax)
+
+    def test_powersave_pins_fmin(self):
+        cf = cpufreq()
+        cf.set_governor("powersave")
+        assert np.allclose(cf.current_speed(), ARCH.fmin)
+
+    def test_unknown_governor(self):
+        with pytest.raises(ConfigurationError):
+            cpufreq().set_governor("ondemand-typo")
+
+    def test_set_speed_requires_userspace(self):
+        cf = cpufreq()
+        with pytest.raises(ConfigurationError):
+            cf.set_speed(2.0)
+
+    def test_available_frequencies_is_ladder(self):
+        assert cpufreq().available_frequencies() == ARCH.ladder.frequencies
+
+
+class TestSetSpeed:
+    def test_quantises_down(self):
+        cf = cpufreq()
+        cf.set_governor("userspace")
+        realised = cf.set_speed(2.08)
+        assert np.allclose(realised, 2.0)
+
+    def test_per_module_speeds(self):
+        cf = cpufreq(4)
+        cf.set_governor("userspace")
+        realised = cf.set_speed(np.array([1.25, 1.79, 2.7, 0.5]))
+        assert np.allclose(realised, [1.2, 1.7, 2.7, 1.2])
+
+    def test_invalid_speed(self):
+        cf = cpufreq()
+        cf.set_governor("userspace")
+        with pytest.raises(ConfigurationError):
+            cf.set_speed(-1.0)
+        with pytest.raises(ConfigurationError):
+            cf.set_speed(np.nan)
+
+    def test_governor_change_resets_speed(self):
+        cf = cpufreq()
+        cf.set_governor("userspace")
+        cf.set_speed(1.5)
+        cf.set_governor("performance")
+        assert np.allclose(cf.current_speed(), ARCH.fmax)
+
+
+class TestOperatingPoint:
+    def test_duty_always_one(self):
+        cf = cpufreq()
+        cf.set_governor("userspace")
+        cf.set_speed(1.5)
+        op = cf.operating_point(SIG)
+        assert np.all(op.duty == 1.0)
+        assert np.allclose(op.freq_ghz, 1.5)
+
+    def test_fs_can_violate_power_cap(self):
+        # Section 5.3: FS guarantees frequency, not power.  A module with
+        # above-average leakage draws more than the model cap at the
+        # common frequency.
+        arch = ARCH
+        mods = ModuleArray(
+            arch, sample_variation(arch.variation, 256, spawn_rng(3, "v"))
+        )
+        cf = CpuFreq(mods)
+        cf.set_governor("userspace")
+        cf.set_speed(2.0)
+        op = cf.operating_point(SIG)
+        cpu = mods.cpu_power_at(op)
+        mean_draw = cpu.mean()
+        assert cpu.max() > mean_draw * 1.05  # someone exceeds a mean-based cap

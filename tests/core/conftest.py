@@ -1,0 +1,28 @@
+"""Shared fixtures for core tests: one small HA8K instance + its PVT."""
+
+import pytest
+
+from repro.cluster.configs import build_system
+from repro.core.pvt import generate_pvt
+
+
+@pytest.fixture(scope="session")
+def ha8k_small():
+    """A 96-module HA8K slice (session-scoped: variation is immutable)."""
+    return build_system("ha8k", n_modules=96, seed=2015)
+
+
+@pytest.fixture(scope="session")
+def pvt_small(ha8k_small):
+    return generate_pvt(ha8k_small)
+
+
+@pytest.fixture(scope="session")
+def ha8k_full():
+    """The full 1,920-module HA8K (used by the headline-number tests)."""
+    return build_system("ha8k", seed=2015)
+
+
+@pytest.fixture(scope="session")
+def pvt_full(ha8k_full):
+    return generate_pvt(ha8k_full)

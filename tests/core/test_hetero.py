@@ -1,0 +1,107 @@
+"""Tests for the heterogeneous-frequency LP baseline (§2.2 comparison)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.registry import get_app
+from repro.core.budget import solve_alpha
+from repro.core.hetero import compare_hetero_vs_common, solve_hetero_frequencies
+from repro.core.schemes import get_scheme
+from repro.errors import ConfigurationError, InfeasibleBudgetError
+
+
+@pytest.fixture(scope="module")
+def pmt_model(ha8k_small, pvt_small):
+    scheme = get_scheme("vafs")
+    return scheme.build_pmt(ha8k_small, get_app("mhd"), pvt=pvt_small).model
+
+
+class TestLP:
+    def test_budget_respected(self, pmt_model):
+        budget = (pmt_model.total_min_w() + pmt_model.total_max_w()) / 2
+        a = solve_hetero_frequencies(pmt_model, budget)
+        assert a.predicted_power_w.sum() <= budget * (1 + 1e-6)
+
+    def test_frequencies_in_range(self, pmt_model):
+        budget = pmt_model.total_min_w() * 1.2
+        a = solve_hetero_frequencies(pmt_model, budget)
+        assert np.all(a.freq_ghz >= pmt_model.fmin - 1e-9)
+        assert np.all(a.freq_ghz <= pmt_model.fmax + 1e-9)
+
+    def test_beats_common_frequency_rate(self, pmt_model):
+        # The LP relaxes the common-frequency constraint, so its total
+        # rate is at least the common-alpha solution's.
+        budget = (pmt_model.total_min_w() + pmt_model.total_max_w()) / 2
+        common = solve_alpha(pmt_model, budget)
+        hetero = solve_hetero_frequencies(pmt_model, budget)
+        assert hetero.total_rate_ghz >= common.freq_ghz * pmt_model.n_modules - 1e-6
+
+    def test_bang_bang_structure(self, pmt_model):
+        # LP optimum: almost every module sits at fmin or fmax.
+        budget = (pmt_model.total_min_w() + pmt_model.total_max_w()) / 2
+        a = solve_hetero_frequencies(pmt_model, budget)
+        at_bound = (
+            np.isclose(a.freq_ghz, pmt_model.fmin, atol=1e-6)
+            | np.isclose(a.freq_ghz, pmt_model.fmax, atol=1e-6)
+        )
+        assert at_bound.sum() >= a.n_modules - 1
+
+    def test_efficient_modules_get_fmax(self, pmt_model):
+        budget = (pmt_model.total_min_w() + pmt_model.total_max_w()) / 2
+        a = solve_hetero_frequencies(pmt_model, budget)
+        slope = pmt_model.module_power_at(1.0) - pmt_model.module_power_at(0.0)
+        fast = a.freq_ghz > (pmt_model.fmin + pmt_model.fmax) / 2
+        # Cheapest W/GHz modules run fast.
+        assert slope[fast].mean() < slope[~fast].mean()
+
+    def test_infeasible(self, pmt_model):
+        with pytest.raises(InfeasibleBudgetError):
+            solve_hetero_frequencies(pmt_model, pmt_model.total_min_w() * 0.9)
+
+    def test_unconstrained_all_fmax(self, pmt_model):
+        a = solve_hetero_frequencies(pmt_model, pmt_model.total_max_w() * 2)
+        assert np.allclose(a.freq_ghz, pmt_model.fmax)
+
+
+class TestComparison:
+    @pytest.fixture(scope="class")
+    def comparison(self, ha8k_small, pvt_small):
+        return compare_hetero_vs_common(
+            ha8k_small,
+            get_app("mhd"),
+            70.0 * ha8k_small.n_modules,
+            pvt=pvt_small,
+            n_iters=20,
+        )
+
+    def test_lp_rate_upside_modest(self, comparison):
+        # A few percent at best — the paper's trade-off in numbers.
+        assert 1.0 <= comparison.hetero_rate_gain <= 1.2
+
+    def test_no_rebalancing_is_a_disaster(self, comparison):
+        assert comparison.no_rebalance_slowdown_vs_vafs > 1.1
+
+    def test_realistic_rebalancing_does_not_beat_vafs(self, comparison):
+        # At 95% migration efficiency the ILP-style approach loses.
+        assert comparison.rebalanced_speedup_over_vafs < 1.02
+
+    def test_ideal_rebalancing_roughly_breaks_even(self, ha8k_small, pvt_small):
+        r = compare_hetero_vs_common(
+            ha8k_small,
+            get_app("mhd"),
+            70.0 * ha8k_small.n_modules,
+            pvt=pvt_small,
+            n_iters=20,
+            rebalance_efficiency=1.0,
+        )
+        assert 0.97 <= r.rebalanced_speedup_over_vafs <= 1.1
+
+    def test_efficiency_validation(self, ha8k_small, pvt_small):
+        with pytest.raises(ConfigurationError):
+            compare_hetero_vs_common(
+                ha8k_small,
+                get_app("mhd"),
+                70.0 * ha8k_small.n_modules,
+                pvt=pvt_small,
+                rebalance_efficiency=0.0,
+            )

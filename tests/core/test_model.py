@@ -1,0 +1,95 @@
+"""Tests for the linear power model (Eq 1-4)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.model import LinearPowerModel
+from repro.errors import ConfigurationError
+
+
+def model(n=4, **kw):
+    base = dict(
+        fmin=1.2,
+        fmax=2.7,
+        p_cpu_max=np.full(n, 100.0),
+        p_cpu_min=np.full(n, 55.0),
+        p_dram_max=np.full(n, 12.0),
+        p_dram_min=np.full(n, 8.0),
+    )
+    base.update(kw)
+    return LinearPowerModel(**base)
+
+
+class TestEquations:
+    def test_eq1_endpoints(self):
+        m = model()
+        assert m.freq_at(0.0) == pytest.approx(1.2)
+        assert m.freq_at(1.0) == pytest.approx(2.7)
+        assert m.freq_at(0.5) == pytest.approx(1.95)
+
+    def test_alpha_freq_roundtrip(self):
+        m = model()
+        for a in (0.0, 0.3, 1.0):
+            assert m.alpha_for_freq(m.freq_at(a)) == pytest.approx(a)
+
+    def test_eq2_eq3_endpoints(self):
+        m = model()
+        assert np.allclose(m.cpu_power_at(1.0), 100.0)
+        assert np.allclose(m.cpu_power_at(0.0), 55.0)
+        assert np.allclose(m.dram_power_at(1.0), 12.0)
+        assert np.allclose(m.dram_power_at(0.0), 8.0)
+
+    def test_eq4_sum(self):
+        m = model()
+        a = 0.4
+        assert np.allclose(
+            m.module_power_at(a), m.cpu_power_at(a) + m.dram_power_at(a)
+        )
+
+    def test_power_linear_in_alpha(self):
+        m = model()
+        mid = m.module_power_at(0.5)
+        assert np.allclose(mid, (m.module_power_at(0.0) + m.module_power_at(1.0)) / 2)
+
+    def test_aggregates(self):
+        m = model(n=3)
+        assert m.total_min_w() == pytest.approx(3 * 63.0)
+        assert m.total_max_w() == pytest.approx(3 * 112.0)
+        assert m.total_span_w() == pytest.approx(3 * 49.0)
+
+
+class TestValidation:
+    def test_scalar_broadcast(self):
+        m = LinearPowerModel(
+            fmin=1.0,
+            fmax=2.0,
+            p_cpu_max=np.array([100.0, 110.0]),
+            p_cpu_min=55.0,
+            p_dram_max=12.0,
+            p_dram_min=8.0,
+        )
+        assert m.n_modules == 2
+        assert np.allclose(m.p_cpu_min, 55.0)
+
+    def test_max_below_min_rejected(self):
+        with pytest.raises(ConfigurationError):
+            model(p_cpu_max=np.full(4, 40.0))
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            model(p_dram_min=np.full(4, -1.0))
+
+    def test_freq_order(self):
+        with pytest.raises(ConfigurationError):
+            model(fmin=3.0)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            model(p_cpu_max=np.full(3, 100.0))
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.floats(min_value=0.0, max_value=1.0))
+    def test_monotone_in_alpha(self, a):
+        m = model()
+        assert np.all(m.module_power_at(a) <= m.module_power_at(min(a + 0.1, 1.0)) + 1e-9)

@@ -1,0 +1,79 @@
+"""Tests for multi-point power-model fitting."""
+
+import numpy as np
+import pytest
+
+from repro.apps.registry import get_app
+from repro.core.model_fit import ModuleSweep, fit_power_model, sweep_module
+from repro.core.test_run import single_module_test_run
+from repro.errors import ConfigurationError, MeasurementError
+
+
+class TestSweep:
+    def test_full_ladder_by_default(self, ha8k_small):
+        sweep = sweep_module(ha8k_small, get_app("dgemm"))
+        assert sweep.freqs_ghz.size == len(ha8k_small.arch.ladder.frequencies)
+        assert np.all(np.diff(sweep.cpu_w) > 0)  # power rises with f
+
+    def test_n_points_subsampling(self, ha8k_small):
+        sweep = sweep_module(ha8k_small, get_app("dgemm"), n_points=4)
+        assert sweep.freqs_ghz.size == 4
+        assert sweep.freqs_ghz[0] == ha8k_small.arch.fmin
+        assert sweep.freqs_ghz[-1] == ha8k_small.arch.fmax
+
+    def test_validation(self, ha8k_small):
+        with pytest.raises(ConfigurationError):
+            sweep_module(ha8k_small, get_app("dgemm"), module_index=9999)
+        with pytest.raises(ConfigurationError):
+            sweep_module(ha8k_small, get_app("dgemm"), n_points=1)
+        with pytest.raises(ConfigurationError):
+            ModuleSweep("x", 0, np.array([1.0]), np.array([1.0]), np.array([1.0]))
+
+
+class TestFit:
+    def test_fit_matches_truth_noiseless(self, ha8k_small):
+        app = get_app("mhd")
+        arch = ha8k_small.arch
+        sweep = sweep_module(ha8k_small, app, noisy=False)
+        fitted = fit_power_model(sweep, fmin=arch.fmin, fmax=arch.fmax)
+        exact = single_module_test_run(ha8k_small, app, 0, noisy=False)
+        assert fitted.profile.p_cpu_max == pytest.approx(exact.p_cpu_max, rel=1e-3)
+        assert fitted.profile.p_dram_min == pytest.approx(exact.p_dram_min, rel=5e-3)
+        assert fitted.min_r2 > 0.999
+
+    def test_fit_averages_noise_better_than_two_point(self, ha8k_small):
+        """The n-point fit's endpoint error beats the raw 2-point reads."""
+        app = get_app("dgemm")
+        arch = ha8k_small.arch
+        exact = single_module_test_run(ha8k_small, app, 0, noisy=False)
+
+        # Build synthetic noisy samples around the exact line.
+        rng = np.random.default_rng(0)
+        freqs = np.asarray(arch.ladder.frequencies)
+        slope = (exact.p_cpu_max - exact.p_cpu_min) / (arch.fmax - arch.fmin)
+        line = exact.p_cpu_min + slope * (freqs - arch.fmin)
+        errs_two, errs_fit = [], []
+        for _ in range(40):
+            noisy = line * (1 + rng.normal(0, 0.02, freqs.size))
+            sweep = ModuleSweep("dgemm", 0, freqs, noisy, np.full(freqs.size, 10.0))
+            fitted = fit_power_model(sweep, fmin=arch.fmin, fmax=arch.fmax, min_r2=0.9)
+            errs_fit.append(abs(fitted.profile.p_cpu_max - exact.p_cpu_max))
+            errs_two.append(abs(noisy[-1] - exact.p_cpu_max))
+        assert np.mean(errs_fit) < np.mean(errs_two)
+
+    def test_nonlinear_data_rejected(self):
+        freqs = np.linspace(1.2, 2.7, 16)
+        cpu = 30.0 * np.exp(freqs)  # grossly nonlinear
+        sweep = ModuleSweep("x", 0, freqs, cpu, np.full(16, 10.0))
+        with pytest.raises(MeasurementError):
+            fit_power_model(sweep, fmin=1.2, fmax=2.7, min_r2=0.99)
+
+    def test_fitted_profile_feeds_calibration(self, ha8k_small, pvt_small):
+        from repro.core.pmt import calibrate_pmt
+
+        app = get_app("sp")
+        arch = ha8k_small.arch
+        sweep = sweep_module(ha8k_small, app)
+        fitted = fit_power_model(sweep, fmin=arch.fmin, fmax=arch.fmax)
+        pmt = calibrate_pmt(pvt_small, fitted.profile, fmin=arch.fmin, fmax=arch.fmax)
+        assert pmt.n_modules == ha8k_small.n_modules

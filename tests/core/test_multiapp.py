@@ -1,0 +1,99 @@
+"""Tests for multi-application power partitioning (paper future work)."""
+
+import pytest
+
+from repro.apps.registry import get_app
+from repro.cluster.scheduler import JobScheduler
+from repro.core.multiapp import (
+    Job,
+    PowerPartition,
+    partition_power,
+    run_multiapp,
+)
+from repro.errors import ConfigurationError, InfeasibleBudgetError
+
+
+@pytest.fixture(scope="module")
+def setup(ha8k_small, pvt_small):
+    sched = JobScheduler(ha8k_small)
+    jobs = [
+        Job("mhd-job", get_app("mhd"), sched.allocate("mhd-job", 48)),
+        Job("bt-job", get_app("bt"), sched.allocate("bt-job", 32)),
+    ]
+    return ha8k_small, pvt_small, jobs
+
+
+class TestPartition:
+    def test_uniform_proportional_to_modules(self, setup):
+        system, pvt, jobs = setup
+        total = 80.0 * 80  # comfortably feasible
+        p = partition_power(system, jobs, total, policy="uniform", pvt=pvt)
+        a = p.job_budget_w["mhd-job"]
+        b = p.job_budget_w["bt-job"]
+        assert a / b == pytest.approx(48 / 32, rel=0.15)
+        assert a + b <= total * (1 + 1e-9)
+
+    def test_demand_favours_hungry_apps(self, setup):
+        system, pvt, jobs = setup
+        total = 80.0 * 80
+        uni = partition_power(system, jobs, total, policy="uniform", pvt=pvt)
+        dem = partition_power(system, jobs, total, policy="demand", pvt=pvt)
+        # MHD draws more power per module than BT; demand shifts power to it.
+        assert dem.job_budget_w["mhd-job"] > uni.job_budget_w["mhd-job"]
+
+    def test_throughput_within_budget(self, setup):
+        system, pvt, jobs = setup
+        total = 65.0 * 80
+        p = partition_power(system, jobs, total, policy="throughput", pvt=pvt)
+        assert sum(p.job_budget_w.values()) <= total * (1 + 1e-9)
+        # Everyone is at least at its floor.
+        for j in jobs:
+            assert p.job_budget_w[j.name] > 40.0 * j.n_modules
+
+    def test_infeasible_total(self, setup):
+        system, pvt, jobs = setup
+        with pytest.raises(InfeasibleBudgetError):
+            partition_power(system, jobs, 30.0 * 80, pvt=pvt)
+
+    def test_validation(self, setup):
+        system, pvt, jobs = setup
+        with pytest.raises(ConfigurationError):
+            partition_power(system, [], 1000.0, pvt=pvt)
+        with pytest.raises(ConfigurationError):
+            partition_power(system, jobs, 80.0 * 80, policy="psychic", pvt=pvt)
+        dup = [jobs[0], Job("mhd-job", get_app("bt"), jobs[1].allocation)]
+        with pytest.raises(ConfigurationError):
+            partition_power(system, dup, 80.0 * 80, pvt=pvt)
+
+    def test_partition_overallocation_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PowerPartition("uniform", 100.0, {"a": 80.0, "b": 40.0})
+
+    def test_ceiling_surplus_recycled(self, setup):
+        system, pvt, jobs = setup
+        # Huge budget: both jobs cap at their ceilings; nothing blows up.
+        p = partition_power(system, jobs, 1e6, policy="demand", pvt=pvt)
+        for j in jobs:
+            assert p.job_budget_w[j.name] <= 130.0 * j.n_modules * 1.6
+
+
+class TestRunMultiApp:
+    def test_end_to_end(self, setup):
+        system, pvt, jobs = setup
+        total = 70.0 * 80
+        res = run_multiapp(
+            system, jobs, total, policy="uniform", pvt=pvt, n_iters=10
+        )
+        assert set(res.results) == {"mhd-job", "bt-job"}
+        assert res.within_budget
+        assert res.throughput > 0
+
+    def test_throughput_policy_not_worse(self, setup):
+        system, pvt, jobs = setup
+        total = 60.0 * 80
+        uni = run_multiapp(system, jobs, total, policy="uniform", pvt=pvt, n_iters=10)
+        thr = run_multiapp(
+            system, jobs, total, policy="throughput", pvt=pvt, n_iters=10
+        )
+        assert thr.throughput >= uni.throughput * 0.98
+        assert thr.within_budget

@@ -1,0 +1,50 @@
+"""Tests for PMMD instrumentation (standalone of the runner)."""
+
+import pytest
+
+from repro.apps.registry import get_app
+from repro.core.pmmd import InstrumentedApp, PMMDRegion, RegionRecord, instrument
+from repro.errors import ConfigurationError
+
+
+class TestPMMDRegion:
+    def test_paper_default_markers(self):
+        region = PMMDRegion()
+        assert region.begin_marker == "after:MPI_Init"
+        assert region.end_marker == "before:MPI_Finalize"
+        assert region.name == "roi"
+
+    def test_custom_region(self):
+        region = PMMDRegion(name="solver", begin_marker="a", end_marker="b")
+        assert region.name == "solver"
+
+
+class TestRegionRecord:
+    def test_energy_definition(self):
+        rec = RegionRecord("roi", 10.0, 100.0, 1000.0, "vafs")
+        assert rec.energy_j == 1000.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RegionRecord("roi", -1.0, 100.0, -100.0, None)
+
+
+class TestInstrument:
+    def test_wraps_app(self):
+        inst = instrument(get_app("mhd"))
+        assert isinstance(inst, InstrumentedApp)
+        assert inst.name == "mhd"
+        assert inst.records == []
+
+    def test_custom_region_name(self):
+        inst = instrument(get_app("mhd"), region_name="timestep-loop")
+        assert inst.region.name == "timestep-loop"
+
+    def test_record_accumulates(self):
+        inst = instrument(get_app("ep"))
+        r1 = inst.record(10.0, 50.0, plan="naive")
+        r2 = inst.record(5.0, 80.0, plan=None)
+        assert inst.records == [r1, r2]
+        assert r1.energy_j == pytest.approx(500.0)
+        assert r2.plan is None
+        assert r1.region == "roi"

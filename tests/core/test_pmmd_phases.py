@@ -1,0 +1,50 @@
+"""Tests for per-phase PMMD instrumentation."""
+
+import pytest
+
+from repro.apps.phases import GMRES_LIKE
+from repro.core.phase_budget import run_phase_aware
+from repro.core.pmmd import instrument_phases
+from repro.errors import ConfigurationError
+
+
+class TestInstrumentPhases:
+    def test_one_region_per_phase(self):
+        inst = instrument_phases(GMRES_LIKE)
+        assert set(inst.regions) == {"spmv", "kernel", "ortho"}
+        assert inst.regions["spmv"].begin_marker == "before:spmv"
+
+    def test_unknown_phase_rejected(self):
+        inst = instrument_phases(GMRES_LIKE)
+        with pytest.raises(ConfigurationError):
+            inst.record_phase("fft", 1.0, 100.0, None)
+
+    def test_phase_energy_accumulates(self):
+        inst = instrument_phases(GMRES_LIKE)
+        inst.record_phase("spmv", 2.0, 100.0, "x")
+        inst.record_phase("spmv", 3.0, 100.0, "x")
+        inst.record_phase("kernel", 1.0, 50.0, "x")
+        assert inst.phase_energy_j("spmv") == pytest.approx(500.0)
+        assert inst.phase_energy_j("kernel") == pytest.approx(50.0)
+        assert inst.phase_energy_j("ortho") == 0.0
+
+
+class TestRunnerIntegration:
+    def test_phase_aware_run_records_every_phase(self, ha8k_small, pvt_small):
+        inst = instrument_phases(GMRES_LIKE)
+        res = run_phase_aware(
+            ha8k_small,
+            GMRES_LIKE,
+            75.0 * ha8k_small.n_modules,
+            pvt=pvt_small,
+            n_iters=10,
+            instrumentation=inst,
+        )
+        assert {r.region for r in inst.records} == {"spmv", "kernel", "ortho"}
+        # Recorded per-phase durations sum to roughly the phased makespan
+        # (communication/wait excluded from the per-phase kernels).
+        total = sum(r.duration_s for r in inst.records)
+        assert total == pytest.approx(res.phased_trace.makespan_s, rel=0.1)
+        # Per-phase powers adhere to the instantaneous budget.
+        for r in inst.records:
+            assert r.mean_power_w <= res.budget_w * (1 + 1e-9)

@@ -1,0 +1,170 @@
+"""Tests for PVT generation and PMT calibration (paper Section 5.2, Fig 6)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.registry import get_app
+from repro.core.pmt import (
+    NAIVE_CPU_FLOOR_W,
+    NAIVE_DRAM_FLOOR_W,
+    calibrate_pmt,
+    naive_pmt,
+    oracle_pmt,
+    prediction_error,
+    uniform_pmt,
+)
+from repro.core.pvt import PowerVariationTable, generate_pvt
+from repro.core.test_run import SingleModuleProfile, single_module_test_run
+from repro.errors import ConfigurationError
+from repro.hardware.microarch import IVY_BRIDGE_E5_2697V2
+
+
+class TestPVT:
+    def test_columns_mean_one(self, ha8k_small, pvt_small):
+        for col in (
+            pvt_small.scale_cpu_max,
+            pvt_small.scale_cpu_min,
+            pvt_small.scale_dram_max,
+            pvt_small.scale_dram_min,
+        ):
+            assert col.mean() == pytest.approx(1.0)
+            assert col.shape == (96,)
+
+    def test_leaky_modules_scale_larger_at_fmin(self, ha8k_small, pvt_small):
+        # Leakage is frequency independent, so the leakiest module's
+        # scale is bigger at fmin than fmax (Fig 6's module-k: 1.2 vs 1.4).
+        leak = ha8k_small.modules.variation.leak
+        top = int(np.argmax(leak))
+        assert pvt_small.scale_cpu_min[top] > pvt_small.scale_cpu_max[top]
+
+    def test_noiseless_pvt_matches_truth_ratio(self, ha8k_small):
+        pvt = generate_pvt(ha8k_small, noisy=False)
+        app = get_app("stream")
+        truth = ha8k_small.modules.cpu_power(ha8k_small.arch.fmax, app.signature)
+        assert np.allclose(pvt.scale_cpu_max, truth / truth.mean(), rtol=1e-3)
+
+    def test_deterministic(self, ha8k_small):
+        a = generate_pvt(ha8k_small)
+        b = generate_pvt(ha8k_small)
+        assert np.array_equal(a.scale_cpu_max, b.scale_cpu_max)
+
+    def test_roundtrip_dict(self, pvt_small):
+        again = PowerVariationTable.from_dict(pvt_small.to_dict())
+        assert np.allclose(again.scale_dram_min, pvt_small.scale_dram_min)
+        assert again.microbenchmark == "stream"
+
+    def test_save_load(self, pvt_small, tmp_path):
+        p = tmp_path / "pvt.json"
+        pvt_small.save(p)
+        again = PowerVariationTable.load(p)
+        assert np.allclose(again.scale_cpu_max, pvt_small.scale_cpu_max)
+
+    def test_take_subset(self, pvt_small):
+        sub = pvt_small.take([0, 5, 10])
+        assert sub.n_modules == 3
+        assert sub.scale_cpu_max[2] == pvt_small.scale_cpu_max[10]
+
+    def test_validation(self):
+        bad = np.array([1.0, -1.0])
+        ok = np.ones(2)
+        with pytest.raises(ConfigurationError):
+            PowerVariationTable("s", "m", bad, ok, ok, ok)
+        with pytest.raises(ConfigurationError):
+            PowerVariationTable("s", "m", ok, np.ones(3), ok, ok)
+
+
+class TestSingleModuleTestRun:
+    def test_profile_fields(self, ha8k_small):
+        prof = single_module_test_run(ha8k_small, get_app("dgemm"), 0)
+        assert prof.app_name == "dgemm"
+        assert prof.p_cpu_max > prof.p_cpu_min > 0
+        assert prof.p_dram_max > prof.p_dram_min > 0
+        assert prof.p_module_max == pytest.approx(prof.p_cpu_max + prof.p_dram_max)
+
+    def test_matches_truth_when_noiseless(self, ha8k_small):
+        app = get_app("dgemm")
+        prof = single_module_test_run(ha8k_small, app, 3, noisy=False)
+        truth = app.specialize(
+            ha8k_small.modules, ha8k_small.rng.rng("app-residual/dgemm")
+        )
+        assert prof.p_cpu_max == pytest.approx(
+            float(truth.cpu_power(ha8k_small.arch.fmax, app.signature)[3]), rel=1e-3
+        )
+
+    def test_bad_module_index(self, ha8k_small):
+        with pytest.raises(ConfigurationError):
+            single_module_test_run(ha8k_small, get_app("dgemm"), 500)
+
+    def test_profile_validation(self):
+        with pytest.raises(ConfigurationError):
+            SingleModuleProfile("x", 0, 100.0, -5.0, 10.0, 8.0)
+
+
+class TestCalibration:
+    def test_calibrated_pmt_recovers_truth_at_test_module(
+        self, ha8k_small, pvt_small
+    ):
+        app = get_app("dgemm")
+        prof = single_module_test_run(ha8k_small, app, 0, noisy=False)
+        pmt = calibrate_pmt(pvt_small, prof, fmin=1.2, fmax=2.7)
+        # At the test module, prediction equals the measurement exactly.
+        assert pmt.model.p_cpu_max[0] == pytest.approx(prof.p_cpu_max, rel=1e-6)
+
+    def test_calibrated_pmt_tracks_variation(self, ha8k_small, pvt_small):
+        app = get_app("dgemm")
+        prof = single_module_test_run(ha8k_small, app, 0, noisy=False)
+        pmt = calibrate_pmt(pvt_small, prof, fmin=1.2, fmax=2.7)
+        truth = app.specialize(
+            ha8k_small.modules, ha8k_small.rng.rng("app-residual/dgemm")
+        )
+        err = prediction_error(pmt, truth, app)
+        assert err["mean"] < 0.05  # paper: under 5% for most benchmarks
+
+    def test_bt_worst_prediction(self, ha8k_full, pvt_full):
+        app = get_app("bt")
+        prof = single_module_test_run(ha8k_full, app, 0, noisy=False)
+        pmt = calibrate_pmt(pvt_full, prof, fmin=1.2, fmax=2.7)
+        truth = app.specialize(
+            ha8k_full.modules, ha8k_full.rng.rng("app-residual/bt")
+        )
+        err = prediction_error(pmt, truth, app)
+        assert 0.07 <= err["max"] <= 0.14  # paper: "about 10%"
+
+    def test_uniform_pmt_is_flat(self, ha8k_small, pvt_small):
+        app = get_app("mhd")
+        prof = single_module_test_run(ha8k_small, app, 0)
+        pmt = uniform_pmt(pvt_small, prof, fmin=1.2, fmax=2.7)
+        assert pmt.kind == "uniform"
+        assert np.all(pmt.model.p_cpu_max == pmt.model.p_cpu_max[0])
+
+    def test_oracle_pmt_exact(self, ha8k_small):
+        app = get_app("bt")
+        pmt = oracle_pmt(ha8k_small, app)
+        truth = app.specialize(
+            ha8k_small.modules, ha8k_small.rng.rng("app-residual/bt")
+        )
+        err = prediction_error(pmt, truth, app)
+        assert err["max"] < 0.002
+
+    def test_naive_pmt_tdp_and_floors(self):
+        pmt = naive_pmt(IVY_BRIDGE_E5_2697V2, 8)
+        assert pmt.kind == "naive"
+        assert np.allclose(pmt.model.p_cpu_max, 130.0)
+        assert np.allclose(pmt.model.p_dram_max, 62.0)
+        assert np.allclose(pmt.model.p_cpu_min, NAIVE_CPU_FLOOR_W)
+        assert np.allclose(pmt.model.p_dram_min, NAIVE_DRAM_FLOOR_W)
+
+    def test_test_module_out_of_pvt(self, pvt_small):
+        prof = SingleModuleProfile("x", 500, 100.0, 50.0, 10.0, 8.0)
+        with pytest.raises(ConfigurationError):
+            calibrate_pmt(pvt_small, prof, fmin=1.2, fmax=2.7)
+
+    def test_prediction_error_shape_check(self, ha8k_small, pvt_small):
+        app = get_app("dgemm")
+        pmt = naive_pmt(IVY_BRIDGE_E5_2697V2, 4)
+        with pytest.raises(ConfigurationError):
+            prediction_error(pmt, ha8k_small.modules, app)
+
+    def test_naive_needs_modules(self):
+        with pytest.raises(ConfigurationError):
+            naive_pmt(IVY_BRIDGE_E5_2697V2, 0)

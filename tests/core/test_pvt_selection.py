@@ -1,0 +1,77 @@
+"""Tests for multi-PVT calibration (the paper's Section 6.1 refinement)."""
+
+import pytest
+
+from repro.apps.registry import get_app
+from repro.core.pmt import prediction_error
+from repro.core.pvt_selection import (
+    DEFAULT_MICROBENCHMARKS,
+    PVTSuite,
+    calibrate_with_selection,
+    generate_pvt_suite,
+    select_pvt,
+)
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def suite(ha8k_small):
+    return generate_pvt_suite(ha8k_small)
+
+
+class TestSuite:
+    def test_default_spectrum(self):
+        names = [mb.name for mb in DEFAULT_MICROBENCHMARKS]
+        assert names == ["stream", "dgemm", "ep"]
+
+    def test_one_table_per_microbenchmark(self, suite, ha8k_small):
+        assert suite.names() == ["dgemm", "ep", "stream"]
+        for pvt in suite.tables.values():
+            assert pvt.n_modules == ha8k_small.n_modules
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PVTSuite(system_name="x", tables={})
+
+
+class TestSelect:
+    def test_scores_for_every_candidate(self, suite, ha8k_small):
+        res = select_pvt(suite, ha8k_small, get_app("bt"))
+        assert set(res.scores) == {"dgemm", "ep", "stream"}
+        assert res.chosen in res.scores
+        assert res.scores[res.chosen] == min(res.scores.values())
+
+    def test_pmt_covers_system(self, suite, ha8k_small):
+        res = select_pvt(suite, ha8k_small, get_app("mhd"))
+        assert res.pmt.n_modules == ha8k_small.n_modules
+        assert res.pmt.kind == "calibrated"
+
+    def test_holdout_must_differ(self, suite, ha8k_small):
+        with pytest.raises(ConfigurationError):
+            select_pvt(
+                suite, ha8k_small, get_app("bt"), calib_module=3, holdout_module=3
+            )
+
+    def test_selection_not_worse_than_stream_only(self, suite, ha8k_small):
+        # The selected PVT's full-system error should not be materially
+        # worse than always using *STREAM (and can be better).
+        app = get_app("bt")
+        truth = app.specialize(
+            ha8k_small.modules, ha8k_small.rng.rng("app-residual/bt")
+        )
+        from repro.core.pmt import calibrate_pmt
+        from repro.core.test_run import single_module_test_run
+
+        arch = ha8k_small.arch
+        prof = single_module_test_run(ha8k_small, app, 0)
+        stream_pmt = calibrate_pmt(
+            suite.tables["stream"], prof, fmin=arch.fmin, fmax=arch.fmax
+        )
+        sel = select_pvt(suite, ha8k_small, app)
+        e_stream = prediction_error(stream_pmt, truth, app)["mean"]
+        e_sel = prediction_error(sel.pmt, truth, app)["mean"]
+        assert e_sel <= e_stream * 1.3
+
+    def test_one_call_helper(self, ha8k_small, suite):
+        pmt = calibrate_with_selection(ha8k_small, get_app("sp"), suite)
+        assert pmt.n_modules == ha8k_small.n_modules

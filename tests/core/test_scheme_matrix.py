@@ -1,0 +1,81 @@
+"""Cross-scheme property matrix: every scheme × several apps.
+
+Structural guarantees that hold regardless of the (app, budget) pair:
+variation-aware schemes produce per-module allocations that track the
+hardware; variation-unaware schemes allocate uniformly; oracle PMTs
+dominate calibrated ones in prediction accuracy.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.registry import get_app
+from repro.core.budget import solve_alpha
+from repro.core.pmt import prediction_error
+from repro.core.schemes import ALL_SCHEMES
+
+APPS = ("dgemm", "mhd", "sp")
+
+
+@pytest.fixture(scope="module")
+def pmts(ha8k_small, pvt_small):
+    out = {}
+    for app_name in APPS:
+        app = get_app(app_name)
+        for scheme in ALL_SCHEMES.values():
+            out[(app_name, scheme.name)] = scheme.build_pmt(
+                ha8k_small, app, pvt=pvt_small
+            )
+    return out
+
+
+class TestAllocationStructure:
+    @pytest.mark.parametrize("app_name", APPS)
+    @pytest.mark.parametrize("scheme", ["naive", "pc"])
+    def test_variation_unaware_allocate_uniformly(self, pmts, app_name, scheme):
+        pmt = pmts[(app_name, scheme)]
+        sol = solve_alpha(pmt.model, 75.0 * pmt.n_modules)
+        assert np.allclose(sol.pmodule_w, sol.pmodule_w[0])
+
+    @pytest.mark.parametrize("app_name", APPS)
+    @pytest.mark.parametrize("scheme", ["vapc", "vapcor"])
+    def test_variation_aware_allocations_track_hardware(
+        self, ha8k_small, pmts, app_name, scheme
+    ):
+        pmt = pmts[(app_name, scheme)]
+        sol = solve_alpha(pmt.model, 75.0 * pmt.n_modules)
+        assert sol.pmodule_w.std() > 0.5  # genuinely differentiated
+        # Allocations correlate with true module power draw at fmax.
+        app = get_app(app_name)
+        truth = app.specialize(
+            ha8k_small.modules, ha8k_small.rng.rng(f"app-residual/{app_name}")
+        )
+        actual = truth.module_power(ha8k_small.arch.fmax, app.signature)
+        corr = np.corrcoef(sol.pmodule_w, actual)[0, 1]
+        assert corr > 0.85
+
+    @pytest.mark.parametrize("app_name", APPS)
+    def test_oracle_at_least_as_accurate(self, ha8k_small, pmts, app_name):
+        app = get_app(app_name)
+        truth = app.specialize(
+            ha8k_small.modules, ha8k_small.rng.rng(f"app-residual/{app_name}")
+        )
+        e_cal = prediction_error(pmts[(app_name, "vapc")], truth, app)["mean"]
+        e_or = prediction_error(pmts[(app_name, "vapcor")], truth, app)["mean"]
+        assert e_or <= e_cal + 1e-9
+
+    @pytest.mark.parametrize("app_name", APPS)
+    def test_naive_overestimates_ceiling(self, pmts, app_name):
+        # TDP-based P_max is far above any real application draw.
+        naive = pmts[(app_name, "naive")]
+        oracle = pmts[(app_name, "vapcor")]
+        assert naive.model.total_max_w() > oracle.model.total_max_w() * 1.3
+
+    @pytest.mark.parametrize("app_name", APPS)
+    def test_same_alpha_same_budget_across_aware_pmts(self, pmts, app_name):
+        # Oracle and calibrated PMTs see nearly the same aggregates, so
+        # their alphas agree closely (per-module detail differs).
+        budget = 75.0 * pmts[(app_name, "vapc")].n_modules
+        a_cal = solve_alpha(pmts[(app_name, "vapc")].model, budget).alpha
+        a_or = solve_alpha(pmts[(app_name, "vapcor")].model, budget).alpha
+        assert a_cal == pytest.approx(a_or, abs=0.05)

@@ -1,0 +1,45 @@
+"""Tests for the energy-to-solution sweep."""
+
+import pytest
+
+from repro.experiments.energy import energy_optimal, format_energy, run_energy
+
+
+@pytest.fixture(scope="module")
+def points():
+    return run_energy(
+        app_name="mhd",
+        cm_grid=(90.0, 80.0, 70.0, 60.0),
+        n_modules=192,
+        n_iters=10,
+    )
+
+
+class TestEnergySweep:
+    def test_uncapped_first(self, points):
+        assert points[0].cm_w is None
+        assert all(p.cm_w is not None for p in points[1:])
+
+    def test_time_monotone_in_budget(self, points):
+        times = [p.makespan_s for p in points]
+        assert times == sorted(times)
+
+    def test_power_monotone(self, points):
+        powers = [p.avg_power_kw for p in points[1:]]
+        assert powers == sorted(powers, reverse=True)
+
+    def test_linear_model_implies_race_to_fmax(self, points):
+        # The headline consequence of Fig 5's linearity: the uncapped run
+        # minimises energy too — capping never saves energy here.
+        assert energy_optimal(points) is points[0]
+        energies = [p.energy_mj for p in points]
+        assert energies == sorted(energies)
+
+    def test_edp_strictly_worsens(self, points):
+        edps = [p.edp for p in points]
+        assert all(b > a for a, b in zip(edps, edps[1:]))
+
+    def test_format(self, points):
+        out = format_energy(points)
+        assert "race-to-fmax" in out
+        assert "min energy" in out

@@ -1,0 +1,70 @@
+"""Tests for result export."""
+
+import csv
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.export import to_records, write_csv, write_json
+from repro.experiments.fig7 import run_fig7
+from repro.experiments.table1 import run_table1
+
+
+class TestToRecords:
+    def test_dataclass_list(self):
+        records = to_records(run_table1())
+        assert len(records) == 3
+        assert records[0]["technique"] == "RAPL"
+
+    def test_nested_dicts_dotted(self):
+        cells = run_fig7(n_modules=64, n_iters=5, apps=("dgemm",))
+        records = to_records(cells)
+        assert any(k.startswith("speedup.") for k in records[0])
+        assert "speedup.vafs" in records[0]
+
+    def test_dict_of_results_grouped(self):
+        from repro.experiments.fig5 import run_fig5
+
+        records = to_records(run_fig5(n_modules=8))
+        groups = {r["group"] for r in records}
+        assert groups == {"dgemm", "mhd"}
+        # Arrays were dropped; scalar fit fields survive inside dicts.
+        assert all("freqs_ghz" not in r for r in records)
+
+    def test_unsupported_type(self):
+        with pytest.raises(ConfigurationError):
+            to_records(42)
+
+
+class TestWriters:
+    @pytest.fixture
+    def records(self):
+        return to_records(run_table1())
+
+    def test_csv_roundtrip(self, records, tmp_path):
+        p = write_csv(records, tmp_path / "t1.csv")
+        with p.open() as fh:
+            rows = list(csv.DictReader(fh))
+        assert len(rows) == 3
+        assert rows[0]["technique"] == "RAPL"
+
+    def test_json_roundtrip(self, records, tmp_path):
+        p = write_json(records, tmp_path / "t1.json")
+        data = json.loads(p.read_text())
+        assert data[2]["technique"] == "BGQ EMON"
+
+    def test_empty_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            write_csv([], tmp_path / "x.csv")
+        with pytest.raises(ConfigurationError):
+            write_json([], tmp_path / "x.json")
+
+    def test_csv_union_of_keys(self, tmp_path):
+        p = write_csv(
+            [{"a": 1}, {"a": 2, "b": 3}], tmp_path / "u.csv"
+        )
+        with p.open() as fh:
+            rows = list(csv.DictReader(fh))
+        assert rows[0]["b"] == ""
+        assert rows[1]["b"] == "3"

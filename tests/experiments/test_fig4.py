@@ -1,0 +1,37 @@
+"""Tests for the Fig 4 workflow walkthrough."""
+
+import pytest
+
+from repro.experiments.fig4 import format_fig4, run_fig4
+
+
+@pytest.fixture(scope="module")
+def walkthrough():
+    return run_fig4(app_name="bt", cm_w=60.0, n_modules=256, n_iters=10)
+
+
+class TestFig4:
+    def test_all_steps_present(self, walkthrough):
+        out = format_fig4(walkthrough)
+        for step in ("[1]", "[2]", "[3]", "[4]", "[5]"):
+            assert step in out
+
+    def test_profile_is_step2_input_to_step3(self, walkthrough):
+        # The PMT's test-module entry equals the step-2 measurement.
+        k = walkthrough.profile.module_index
+        assert walkthrough.pmt.model.p_cpu_max[k] == pytest.approx(
+            walkthrough.profile.p_cpu_max, rel=1e-6
+        )
+
+    def test_alpha_in_bounds(self, walkthrough):
+        assert 0.0 <= walkthrough.solution.alpha <= 1.0
+
+    def test_allocation_spends_budget(self, walkthrough):
+        assert walkthrough.solution.total_allocated_w == pytest.approx(
+            walkthrough.budget_w, rel=1e-3
+        )
+
+    def test_pmmd_recorded_energy(self, walkthrough):
+        assert walkthrough.region_energy_j == pytest.approx(
+            walkthrough.result.makespan_s * walkthrough.result.total_power_w
+        )

@@ -1,0 +1,215 @@
+"""Tests for the figure experiments at reduced scale (fast variants).
+
+The benchmark suite runs these at the paper's full scale; here we check
+the experiment *code* — structure, invariants, formatting — on smaller
+instances.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.fig1 import format_fig1, run_fig1
+from repro.experiments.fig2 import format_fig2, run_fig2, uniform_cap_ccpu
+from repro.experiments.fig3 import format_fig3, run_fig3
+from repro.experiments.fig5 import format_fig5, run_fig5
+from repro.experiments.fig6_calibration import format_fig6, run_fig6
+from repro.experiments.fig7 import (
+    evaluated_cells,
+    format_fig7,
+    run_fig7,
+    summarize_fig7,
+)
+from repro.experiments.fig8 import format_fig8, run_fig8
+from repro.experiments.fig9 import format_fig9, run_fig9, violations
+
+
+class TestFig1:
+    @pytest.fixture(scope="class")
+    def series(self):
+        return run_fig1()
+
+    def test_sorted_by_performance(self, series):
+        for s in series.values():
+            assert np.all(np.diff(s.slowdown_pct) >= -1e-9)
+            assert s.slowdown_pct[0] == 0.0
+
+    def test_power_increase_nonnegative(self, series):
+        for s in series.values():
+            assert np.all(s.power_increase_pct >= 0.0)
+            assert s.power_increase_pct.min() == 0.0
+
+    def test_format(self, series):
+        out = format_fig1(series)
+        assert "cab" in out and "teller" in out
+
+
+class TestFig2:
+    @pytest.fixture(scope="class")
+    def result(self):
+        # Synchronised codes need iterations >> torus diameter before
+        # completion times homogenise; 40 is plenty at 256 ranks.
+        return run_fig2(n_modules=256, n_iters=40)
+
+    def test_cap_points_cover_grid(self, result):
+        assert [p.cm_w for p in result.cap_points["dgemm"]] == [110, 100, 90, 80, 70]
+        assert [p.cm_w for p in result.cap_points["mhd"]] == [90, 80, 70, 60]
+
+    def test_vf_monotone_in_cap(self, result):
+        for pts in result.cap_points.values():
+            vfs = [p.vf for p in pts]
+            assert all(b >= a - 0.05 for a, b in zip(vfs, vfs[1:]))
+
+    def test_mhd_synchronised(self, result):
+        assert all(p.vt < 1.15 for p in result.cap_points["mhd"])
+
+    def test_normalised_time_grows(self, result):
+        for pts in result.cap_points.values():
+            ts = [p.mean_norm_time for p in pts]
+            assert all(b > a for a, b in zip(ts, ts[1:]))
+            assert ts[0] > 1.0  # capping always costs something here
+
+    def test_format(self, result):
+        assert "Fig 2(i)" in format_fig2(result)
+
+    def test_ccpu_below_cm(self, result):
+        for pts in result.cap_points.values():
+            for p in pts:
+                assert p.ccpu_w < p.cm_w
+
+
+class TestUniformCapCcpu:
+    def test_matches_published_pairs(self):
+        from repro.apps.registry import get_app
+        from repro.experiments.common import ha8k
+
+        system = ha8k(256)
+        app = get_app("mhd")
+        truth = app.specialize(system.modules, system.rng.rng("app-residual/mhd"))
+        assert uniform_cap_ccpu(truth, app, 90.0) == pytest.approx(77.3, abs=2.0)
+        assert uniform_cap_ccpu(truth, app, 60.0) == pytest.approx(50.3, abs=2.0)
+
+
+class TestFig3:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return run_fig3(n_iters=30)
+
+    def test_grid(self, points):
+        assert [p.cm_w for p in points] == [None, 90, 80, 70, 60]
+
+    def test_uncapped_small_capped_large(self, points):
+        assert points[0].sync_vt < 3.0
+        for p in points[1:]:
+            assert p.sync_vt > 5.0
+
+    def test_sync_time_positive_everywhere_capped(self, points):
+        for p in points[1:]:
+            assert p.max_sync_s > 1.0
+            assert np.all(p.sync_time_s >= 0.0)
+
+    def test_format(self, points):
+        assert "MPI_Sendrecv" in format_fig3(points)
+
+
+class TestFig5:
+    @pytest.fixture(scope="class")
+    def fits(self):
+        return run_fig5(n_modules=16)
+
+    def test_linearity(self, fits):
+        for f in fits.values():
+            assert f.module_fit.r2 > 0.99
+
+    def test_predictions_match_endpoints(self, fits):
+        f = fits["dgemm"]
+        assert f.module_fit.predict(f.freqs_ghz[0]) == pytest.approx(
+            f.module_w[0], rel=0.02
+        )
+
+    def test_format(self, fits):
+        assert "R^2" in format_fig5(fits)
+
+
+class TestFig6:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return run_fig6(n_modules=512)
+
+    def test_sorted_worst_first(self, rows):
+        errs = [r.max_error for r in rows]
+        assert errs == sorted(errs, reverse=True)
+
+    def test_bt_is_worst(self, rows):
+        assert rows[0].app == "bt"
+
+    def test_format(self, rows):
+        assert "%" in format_fig6(rows)
+
+
+class TestFig7:
+    @pytest.fixture(scope="class")
+    def cells(self):
+        return run_fig7(n_modules=256, n_iters=10, apps=("dgemm", "bt"))
+
+    def test_cells_are_x_cells(self, cells):
+        expected = evaluated_cells(("dgemm", "bt"))
+        assert [(c.app, c.cm_w) for c in cells] == expected
+
+    def test_naive_is_unity(self, cells):
+        assert all(c.speedup["naive"] == 1.0 for c in cells)
+
+    def test_variation_aware_wins(self, cells):
+        for c in cells:
+            assert c.speedup["vafs"] > 1.0
+            assert c.speedup["vapc"] >= c.speedup["pc"] - 0.05
+
+    def test_summary(self, cells):
+        s = summarize_fig7(cells)
+        assert s.max["vafs"] >= s.mean["vafs"]
+        assert s.max_cell["vafs"][1] in (50, 60, 70, 80, 90, 100, 110)
+
+    def test_format(self, cells):
+        out = format_fig7(cells)
+        assert "VaFs: max" in out
+
+
+class TestFig8:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig8(n_modules=256, n_iters=10, sync_iters=30)
+
+    def test_panel_i_vt_flat(self, result):
+        for pts in result.power_perf.values():
+            assert all(p.vt < 1.1 for p in pts)
+
+    def test_panel_i_vp_grows(self, result):
+        for pts in result.power_perf.values():
+            assert pts[-1].vp > pts[0].vp
+
+    def test_panel_ii_small_vt(self, result):
+        for p in result.sync:
+            assert p.sync_vt < 4.0
+
+    def test_format(self, result):
+        assert "Fig 8(ii)" in format_fig8(result)
+
+
+class TestFig9:
+    @pytest.fixture(scope="class")
+    def cells(self):
+        return run_fig9(n_modules=512, n_iters=3)
+
+    def test_only_naive_stream_violates(self, cells):
+        v = violations(cells)
+        assert v
+        assert all(app == "stream" and s == "naive" for app, _, s, _ in v)
+
+    def test_app_aware_schemes_use_budget(self, cells):
+        for c in cells:
+            assert c.total_kw["vapc"] <= c.budget_kw * 1.0001
+            assert c.total_kw["vapc"] >= c.budget_kw * 0.8
+
+    def test_format_flags(self, cells):
+        out = format_fig9(cells)
+        assert "!" in out
+        assert "matches the paper" in out

@@ -1,0 +1,47 @@
+"""Tests for the overprovisioning trade-off experiment."""
+
+import pytest
+
+from repro.experiments.overprovisioning import (
+    best_point,
+    format_overprovisioning,
+    run_overprovisioning,
+)
+
+
+@pytest.fixture(scope="module")
+def points():
+    return run_overprovisioning(
+        app_name="mhd",
+        facility_kw=20.0,
+        module_grid=(160, 224, 288, 352, 480, 640),
+        ref_modules=288,
+        n_iters=20,
+    )
+
+
+class TestOverprovisioning:
+    def test_narrow_widths_feasible_wide_not(self, points):
+        assert points[0].feasible
+        assert not points[-1].feasible  # per-module power below the floor
+
+    def test_cm_decreases_with_width(self, points):
+        cms = [p.cm_w for p in points]
+        assert cms == sorted(cms, reverse=True)
+
+    def test_interior_optimum(self, points):
+        # The classic overprovisioning result: neither the narrowest
+        # (TDP-powered) nor the widest feasible width wins.
+        best = best_point(points)
+        feasible = [p for p in points if p.feasible]
+        assert best.n_modules != feasible[0].n_modules
+        assert best.makespan_s < feasible[0].makespan_s
+
+    def test_frequency_falls_with_width(self, points):
+        freqs = [p.freq_ghz for p in points if p.feasible]
+        assert all(b <= a + 1e-9 for a, b in zip(freqs, freqs[1:]))
+
+    def test_format(self, points):
+        out = format_overprovisioning(points)
+        assert "optimum at" in out
+        assert "infeasible" in out

@@ -1,0 +1,35 @@
+"""Tests for the one-command reproduction report."""
+
+import pytest
+
+from repro.experiments.report import build_report, write_report
+
+
+@pytest.fixture(scope="module")
+def report_text():
+    return build_report(n_modules=512)
+
+
+class TestReport:
+    def test_all_sections_present(self, report_text):
+        for heading in (
+            "# Reproduction report",
+            "## Validation summary",
+            "## Table 4",
+            "## Fig 7",
+            "## Fig 9",
+            "## Calibration accuracy",
+        ):
+            assert heading in report_text
+
+    def test_contains_verdicts(self, report_text):
+        assert "PASS" in report_text
+        assert "Speedup over the Naive" in report_text
+
+    def test_write_report(self, report_text, tmp_path, monkeypatch):
+        import repro.experiments.report as rep
+
+        monkeypatch.setattr(rep, "build_report", lambda n_modules=1920: report_text)
+        p = write_report(tmp_path / "r.md", n_modules=512)
+        assert p.exists()
+        assert p.read_text() == report_text

@@ -1,0 +1,64 @@
+"""Tests for the sensitivity sweep and the validation report."""
+
+import pytest
+
+from repro.experiments.sensitivity import format_sensitivity, run_sensitivity
+from repro.experiments.validate import Check, format_validation, run_validation
+
+
+class TestSensitivity:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return run_sensitivity(n_modules=128, n_iters=10)
+
+    def test_all_parameters_swept(self, points):
+        params = {p.parameter for p in points}
+        assert params == {"sigma_leak", "subfmin_exponent", "residual_sigma"}
+
+    def test_conclusion_stable(self, points):
+        for p in points:
+            assert p.vafs_speedup > 1.0, p
+            assert p.vapc_speedup > 1.0, p
+
+    def test_more_variation_more_gain(self, points):
+        leak = sorted(
+            (p for p in points if p.parameter == "sigma_leak"),
+            key=lambda p: p.value,
+        )
+        assert leak[-1].vapc_over_pc > leak[0].vapc_over_pc
+
+    def test_harsher_cliff_more_gain(self, points):
+        expo = sorted(
+            (p for p in points if p.parameter == "subfmin_exponent"),
+            key=lambda p: p.value,
+        )
+        assert expo[-1].vafs_speedup > expo[0].vafs_speedup
+
+    def test_worse_calibration_narrows_vapc(self, points):
+        resid = sorted(
+            (p for p in points if p.parameter == "residual_sigma"),
+            key=lambda p: p.value,
+        )
+        assert resid[-1].vapc_over_pc < resid[0].vapc_over_pc
+
+    def test_format(self, points):
+        out = format_sensitivity(points)
+        assert "entire swept range" in out
+
+
+class TestValidation:
+    def test_check_band_logic(self):
+        assert Check("x", "1", 1.0, 0.5, 1.5).passed
+        assert not Check("x", "1", 2.0, 0.5, 1.5).passed
+
+    def test_reduced_scale_report(self):
+        # Reduced scale exercises the code path; bands are tuned for the
+        # full 1,920-module run, so only structural properties are
+        # asserted here (the full-scale PASS lives in the bench suite).
+        checks = run_validation(n_modules=512, n_iters=5)
+        assert len(checks) >= 15
+        names = [c.name for c in checks]
+        assert "VaFs max speedup" in names
+        assert "Table 4 mismatches" in names
+        out = format_validation(checks)
+        assert "checks pass" in out

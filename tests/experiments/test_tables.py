@@ -1,0 +1,65 @@
+"""Tests for the table experiments (fast, reduced-scale where possible)."""
+
+import pytest
+
+from repro.experiments.common import CM_GRID_W, CS_GRID_KW, PAPER_TABLE4
+from repro.experiments.table1 import format_table1, run_table1
+from repro.experiments.table2 import format_table2, run_table2
+from repro.experiments.table4 import format_table4, run_table4
+
+
+class TestCommonConstants:
+    def test_grid_correspondence(self):
+        # Cs [kW] / 1920 modules ~ Cm [W].
+        for cs, cm in zip(CS_GRID_KW, CM_GRID_W):
+            assert abs(cs * 1000 / 1920 - cm) < 1.0
+
+    def test_paper_matrix_covers_grid(self):
+        for app, row in PAPER_TABLE4.items():
+            assert set(row) == set(CM_GRID_W), app
+            assert set(row.values()) <= {"X", "•", "--"}
+
+    def test_x_cell_count(self):
+        n_x = sum(v == "X" for row in PAPER_TABLE4.values() for v in row.values())
+        assert n_x == 23  # the paper's evaluated scenarios
+
+
+class TestTable1:
+    def test_rows(self):
+        specs = run_table1()
+        assert [s.technique for s in specs] == ["RAPL", "PowerInsight", "BGQ EMON"]
+
+    def test_format_contains_capping_column(self):
+        out = format_table1(run_table1())
+        assert "Yes" in out and "No" in out
+        assert "300 ms" in out
+
+
+class TestTable2:
+    def test_four_rows(self):
+        rows = run_table2()
+        assert len(rows) == 4
+        assert {r.power_measurement for r in rows} == {"RAPL", "EMON", "PI"}
+
+    def test_format(self):
+        out = format_table2(run_table2())
+        assert "E5-2697 v2" in out
+        assert "24576" in out
+
+
+class TestTable4:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_table4(n_modules=512)
+
+    def test_matches_paper_at_reduced_scale(self, result):
+        assert result.matches_paper, result.mismatches
+
+    def test_every_app_has_a_feasible_cell(self, result):
+        for app, row in result.cells.items():
+            assert "X" in row.values(), app
+
+    def test_format_contains_verdict(self, result):
+        out = format_table4(result)
+        assert "matches the paper exactly" in out
+        assert "*DGEMM" in out

@@ -1,0 +1,36 @@
+"""Tests for the throughput study."""
+
+import pytest
+
+from repro.experiments.throughput import format_throughput, run_throughput
+
+
+@pytest.fixture(scope="module")
+def points():
+    return run_throughput(
+        n_modules=192, n_jobs=6, interarrivals=(40.0, 5.0), cm_w=62.0
+    )
+
+
+class TestThroughput:
+    def test_sweep_shape(self, points):
+        assert len(points) == 2
+        assert points[0].mean_interarrival_s == 40.0
+
+    def test_power_aware_cuts_queue_wait(self, points):
+        for p in points:
+            assert p.wait_aware_s <= p.wait_worst_s + 1e-9
+
+    def test_turnaround_roughly_neutral(self, points):
+        # Jobs start sooner but run wider/slower: turnaround within ~10%.
+        for p in points:
+            assert p.turnaround_gain >= 0.90
+
+    def test_contention_reveals_the_gap(self, points):
+        # Under load, worst-case provisioning strands power: a strictly
+        # positive wait gap (the magnitude is workload-dependent).
+        assert points[-1].wait_worst_s - points[-1].wait_aware_s > 0
+
+    def test_format(self, points):
+        out = format_throughput(points)
+        assert "power-aware" in out

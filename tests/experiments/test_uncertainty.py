@@ -1,0 +1,39 @@
+"""Tests for the seed-uncertainty experiment."""
+
+import pytest
+
+from repro.experiments.uncertainty import format_uncertainty, run_uncertainty
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return run_uncertainty(
+        cells=(("mhd", 60.0),),
+        schemes=("vapc", "vafs"),
+        seeds=(2015, 7, 1234),
+        n_modules=192,
+        n_iters=8,
+    )
+
+
+class TestUncertainty:
+    def test_one_row_per_cell_scheme(self, rows):
+        assert {(r.app, r.scheme) for r in rows} == {("mhd", "vapc"), ("mhd", "vafs")}
+        assert all(r.n_seeds == 3 for r in rows)
+
+    def test_advantage_holds_across_draws(self, rows):
+        # min over seeds still comfortably above 1: not seed luck.
+        for r in rows:
+            assert r.vmin > 1.3
+
+    def test_spread_is_modest(self, rows):
+        for r in rows:
+            assert r.std < 0.5 * r.mean
+
+    def test_stats_consistent(self, rows):
+        for r in rows:
+            assert r.vmin <= r.mean <= r.vmax
+
+    def test_format(self, rows):
+        out = format_uncertainty(rows)
+        assert "±" in out

@@ -1,0 +1,133 @@
+"""Tests for die binning (§2.1: frequency bins, the power-bin what-if)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware.binning import (
+    frequency_bin,
+    power_bin,
+    sample_die_population,
+)
+from repro.util.rng import spawn_rng
+from repro.util.stats import worst_case_variation
+
+
+@pytest.fixture(scope="module")
+def population():
+    return sample_die_population(20000, spawn_rng(0, "fab"))
+
+
+class TestPopulation:
+    def test_shapes_and_positivity(self, population):
+        assert population.n_dies == 20000
+        assert np.all(population.fmax_capability_ghz > 0)
+        assert np.all(population.leak > 0)
+
+    def test_speed_leak_correlation(self, population):
+        corr = np.corrcoef(
+            np.log(population.fmax_capability_ghz), np.log(population.leak)
+        )[0, 1]
+        assert corr > 0.4  # fast silicon is leaky silicon
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            sample_die_population(0, spawn_rng(0, "x"))
+        with pytest.raises(ConfigurationError):
+            sample_die_population(4, spawn_rng(0, "x"), speed_leak_rho=2.0)
+
+
+class TestFrequencyBin:
+    def test_bin_selects_capable_dies(self, population):
+        lot = frequency_bin(population, 2.7, next_bin_ghz=2.9)
+        assert 0 < lot.yield_fraction < 1
+        assert lot.bin_frequency_ghz == 2.7
+
+    def test_performance_uniform_power_not(self, population):
+        # The paper's core observation, reproduced from the supply chain:
+        # frequency binning flattens performance, not power.
+        lot = frequency_bin(population, 2.7, next_bin_ghz=2.9)
+        assert np.all(lot.variation.perf == 1.0)
+        power_proxy = lot.variation.leak * 18.0 + lot.variation.dyn * 88.0
+        assert worst_case_variation(power_proxy) > 1.15
+
+    def test_binning_selects_leakier_than_average(self, population):
+        # The sold-at-2.7 bin excludes slow (low-leak) dies, so its mean
+        # leakage exceeds the population's.
+        lot = frequency_bin(population, 2.7)
+        assert lot.variation.leak.mean() > population.leak.mean()
+
+    def test_bin_ordering_validated(self, population):
+        with pytest.raises(ConfigurationError):
+            frequency_bin(population, 2.7, next_bin_ghz=2.6)
+
+    def test_empty_bin(self, population):
+        with pytest.raises(ConfigurationError):
+            frequency_bin(population, 99.0)
+
+
+class TestPowerBin:
+    def test_power_binning_removes_inhomogeneity(self, population):
+        lot = frequency_bin(population, 2.7, next_bin_ghz=2.9)
+        tight = power_bin(lot, max_power_spread=1.1)
+        before = worst_case_variation(
+            lot.variation.leak * 18.0 + lot.variation.dyn * 88.0
+        )
+        after = worst_case_variation(
+            tight.variation.leak * 18.0 + tight.variation.dyn * 88.0
+        )
+        assert after <= 1.1 + 1e-9
+        assert after < before
+
+    def test_power_binning_costs_yield(self, population):
+        lot = frequency_bin(population, 2.7, next_bin_ghz=2.9)
+        tight = power_bin(lot, max_power_spread=1.05)
+        loose = power_bin(lot, max_power_spread=1.15)
+        assert tight.yield_fraction < loose.yield_fraction < lot.yield_fraction
+        # A spread wider than the lot's own keeps every die.
+        keep_all = power_bin(lot, max_power_spread=3.0)
+        assert keep_all.yield_fraction == pytest.approx(lot.yield_fraction)
+
+    def test_validation(self, population):
+        lot = frequency_bin(population, 2.7)
+        with pytest.raises(ConfigurationError):
+            power_bin(lot, max_power_spread=0.9)
+
+
+class TestBudgetingOnBinnedSilicon:
+    def test_power_binning_shrinks_variation_aware_gains(self, population):
+        """The counterfactual: if vendors power-binned, the paper's
+        problem (and its solution's headroom) would largely vanish."""
+        from repro.apps.registry import get_app
+        from repro.cluster.system import System
+        from repro.core.pvt import generate_pvt
+        from repro.core.runner import run_budgeted
+        from repro.hardware.microarch import IVY_BRIDGE_E5_2697V2
+        from repro.hardware.module import ModuleArray
+        from repro.util.rng import RngFactory
+
+        lot = frequency_bin(population, 2.7, next_bin_ghz=2.9)
+        app = get_app("mhd")
+
+        def speedup(variation, tag):
+            n = 128
+            system = System(
+                name=f"binned-{tag}",
+                arch=IVY_BRIDGE_E5_2697V2,
+                modules=ModuleArray(IVY_BRIDGE_E5_2697V2, variation.take(range(n))),
+                procs_per_node=2,
+                meter_kind="rapl",
+                rng=RngFactory(77).child(f"binned-{tag}"),
+            )
+            pvt = generate_pvt(system)
+            budget = 65.0 * n
+            naive = run_budgeted(system, app, "pc", budget, pvt=pvt, n_iters=10)
+            vafs = run_budgeted(system, app, "vafs", budget, pvt=pvt, n_iters=10)
+            return vafs.speedup_over(naive)
+
+        gain_freq_binned = speedup(lot.variation, "freq")
+        gain_power_binned = speedup(
+            power_bin(lot, max_power_spread=1.05).variation, "power"
+        )
+        assert gain_power_binned < gain_freq_binned
+        assert gain_power_binned < 1.1  # little variation left to exploit

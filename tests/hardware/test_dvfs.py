@@ -1,0 +1,81 @@
+"""Tests for the DVFS frequency ladder."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.hardware.dvfs import FrequencyLadder
+
+
+@pytest.fixture
+def ivb():
+    return FrequencyLadder(fmin=1.2, fmax=2.7, step=0.1)
+
+
+class TestConstruction:
+    def test_frequencies_span_range(self, ivb):
+        assert ivb.frequencies[0] == pytest.approx(1.2)
+        assert ivb.frequencies[-1] == pytest.approx(2.7)
+        assert len(ivb) == 16
+
+    def test_single_point_ladder(self):
+        lad = FrequencyLadder(fmin=1.6, fmax=1.6)
+        assert lad.frequencies == (1.6,)
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FrequencyLadder(fmin=2.0, fmax=1.0)
+        with pytest.raises(ConfigurationError):
+            FrequencyLadder(fmin=-1.0, fmax=1.0)
+        with pytest.raises(ConfigurationError):
+            FrequencyLadder(fmin=1.0, fmax=2.0, step=0.0)
+
+    def test_contains(self, ivb):
+        assert 1.5 in ivb
+        assert 1.55 not in ivb
+
+
+class TestQuantize:
+    def test_quantize_down_scalar(self, ivb):
+        assert ivb.quantize_down(1.58) == pytest.approx(1.5)
+        assert ivb.quantize_down(1.5) == pytest.approx(1.5)
+
+    def test_quantize_down_below_fmin(self, ivb):
+        assert ivb.quantize_down(0.8) == pytest.approx(1.2)
+
+    def test_quantize_down_above_fmax(self, ivb):
+        assert ivb.quantize_down(3.5) == pytest.approx(2.7)
+
+    def test_quantize_down_array(self, ivb):
+        out = ivb.quantize_down(np.array([1.26, 2.69, 0.1]))
+        assert np.allclose(out, [1.2, 2.6, 1.2])
+
+    def test_quantize_nearest(self, ivb):
+        assert ivb.quantize_nearest(1.56) == pytest.approx(1.6)
+        assert ivb.quantize_nearest(1.54) == pytest.approx(1.5)
+
+    @given(st.floats(min_value=0.5, max_value=4.0, allow_nan=False))
+    def test_quantize_down_is_ladder_member_not_above(self, f):
+        lad = FrequencyLadder(fmin=1.2, fmax=2.7, step=0.1)
+        q = lad.quantize_down(f)
+        assert q in lad
+        if f >= lad.fmin:
+            assert q <= f + 1e-9
+
+
+class TestAlphaMapping:
+    def test_fraction_roundtrip(self, ivb):
+        for alpha in (0.0, 0.25, 0.5, 1.0):
+            f = ivb.at_fraction(alpha)
+            assert ivb.fraction(f) == pytest.approx(alpha)
+
+    def test_eq1_endpoints(self, ivb):
+        # Paper Eq (1): alpha=0 -> fmin, alpha=1 -> fmax.
+        assert ivb.at_fraction(0.0) == pytest.approx(1.2)
+        assert ivb.at_fraction(1.0) == pytest.approx(2.7)
+
+    def test_clamp(self, ivb):
+        assert ivb.clamp(0.1) == pytest.approx(1.2)
+        assert ivb.clamp(9.0) == pytest.approx(2.7)
+        assert np.allclose(ivb.clamp(np.array([1.5, 3.0])), [1.5, 2.7])

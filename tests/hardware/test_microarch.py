@@ -1,0 +1,118 @@
+"""Tests for the microarchitecture registry (paper Table 2)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware.dvfs import FrequencyLadder
+from repro.hardware.microarch import (
+    BGQ_POWERPC_A2,
+    IVY_BRIDGE_E5_2697V2,
+    PILEDRIVER_A10_5800K,
+    SANDY_BRIDGE_E5_2670,
+    Microarchitecture,
+    get_microarch,
+    list_microarchs,
+    register_microarch,
+)
+from repro.hardware.variability import VariationModel
+
+
+class TestRegistry:
+    def test_all_four_table2_archs_present(self):
+        names = list_microarchs()
+        assert "sandy-bridge-e5-2670" in names
+        assert "bgq-powerpc-a2" in names
+        assert "piledriver-a10-5800k" in names
+        assert "ivy-bridge-e5-2697v2" in names
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(ConfigurationError):
+            get_microarch("z80")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            register_microarch(IVY_BRIDGE_E5_2697V2)
+
+    def test_overwrite_allowed(self):
+        register_microarch(IVY_BRIDGE_E5_2697V2, overwrite=True)
+        assert get_microarch("ivy-bridge-e5-2697v2") is IVY_BRIDGE_E5_2697V2
+
+
+class TestTable2Specs:
+    def test_ha8k_spec(self):
+        a = IVY_BRIDGE_E5_2697V2
+        assert a.cores_per_proc == 12
+        assert a.fmax == pytest.approx(2.7)
+        assert a.tdp_w == 130.0
+        assert a.dram_tdp_w == 62.0  # the paper's Naive P_dram_max
+        assert a.supports_capping
+
+    def test_cab_spec(self):
+        a = SANDY_BRIDGE_E5_2670
+        assert a.cores_per_proc == 8
+        assert a.fmax == pytest.approx(2.6)
+        assert a.tdp_w == 115.0
+
+    def test_vulcan_spec(self):
+        a = BGQ_POWERPC_A2
+        assert a.cores_per_proc == 16
+        assert a.fmax == pytest.approx(1.6)
+        assert not a.supports_capping
+
+    def test_teller_spec(self):
+        a = PILEDRIVER_A10_5800K
+        assert a.cores_per_proc == 4
+        assert a.fmax == pytest.approx(3.8)
+        assert not a.supports_capping
+        assert not a.perf_binned
+        assert a.variation.sigma_perf > 0
+
+    def test_only_teller_has_perf_variation(self):
+        for arch in (SANDY_BRIDGE_E5_2670, BGQ_POWERPC_A2, IVY_BRIDGE_E5_2697V2):
+            assert arch.variation.sigma_perf == 0.0
+
+
+class TestValidation:
+    def _mk(self, **kw):
+        base = dict(
+            name="t",
+            vendor="v",
+            model="m",
+            ladder=FrequencyLadder(1.0, 2.0),
+            cores_per_proc=4,
+            tdp_w=100.0,
+            dram_tdp_w=30.0,
+            cpu_static_w=20.0,
+            cpu_dynamic_w=70.0,
+            dram_static_w=5.0,
+            dram_dynamic_w=20.0,
+            variation=VariationModel(0.1, 0.03, 0.1),
+        )
+        base.update(kw)
+        return Microarchitecture(**base)
+
+    def test_valid_passes(self):
+        self._mk()
+
+    def test_bad_cores(self):
+        with pytest.raises(ConfigurationError):
+            self._mk(cores_per_proc=0)
+
+    def test_negative_power(self):
+        with pytest.raises(ConfigurationError):
+            self._mk(tdp_w=-1.0)
+
+    def test_bad_duty(self):
+        with pytest.raises(ConfigurationError):
+            self._mk(min_duty=0.0)
+
+    def test_bad_exponent(self):
+        with pytest.raises(ConfigurationError):
+            self._mk(subfmin_exponent=0.5)
+
+    def test_with_copies(self):
+        a = self._mk()
+        b = a.with_(tdp_w=120.0)
+        assert b.tdp_w == 120.0
+        assert a.tdp_w == 100.0
+        assert b.name == a.name

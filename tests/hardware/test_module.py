@@ -1,0 +1,205 @@
+"""Tests for the vectorised module power model and cap resolution."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.hardware.microarch import IVY_BRIDGE_E5_2697V2
+from repro.hardware.module import ModuleArray
+from repro.hardware.power_model import PowerSignature
+from repro.hardware.variability import ModuleVariation, sample_variation
+from repro.util.rng import spawn_rng
+
+ARCH = IVY_BRIDGE_E5_2697V2
+
+
+def uniform_modules(n=4):
+    ones = np.ones(n)
+    return ModuleArray(
+        ARCH, ModuleVariation(leak=ones, dyn=ones, dram=ones, perf=ones)
+    )
+
+
+def varied_modules(n=256, seed=0):
+    return ModuleArray(
+        ARCH, sample_variation(ARCH.variation, n, spawn_rng(seed, "mod"))
+    )
+
+
+DGEMM_SIG = PowerSignature(cpu_activity=0.941, dram_activity=0.25)
+
+
+class TestPowerModel:
+    def test_cpu_power_at_fmax_matches_calibration(self):
+        # Calibrated so *DGEMM draws ~100.8 W CPU at fmax on a nominal module.
+        mods = uniform_modules(1)
+        p = mods.cpu_power(ARCH.fmax, DGEMM_SIG)[0]
+        assert p == pytest.approx(18.0 + 0.941 * 88.0, rel=1e-6)
+        assert 98.0 < p < 104.0
+
+    def test_power_linear_in_frequency(self):
+        mods = uniform_modules(1)
+        f = np.linspace(ARCH.fmin, ARCH.fmax, 16)
+        p = np.array([mods.cpu_power(fi, DGEMM_SIG)[0] for fi in f])
+        from repro.util.stats import linear_fit
+
+        assert linear_fit(f, p).r2 == pytest.approx(1.0)
+
+    def test_power_monotone_in_frequency(self):
+        mods = varied_modules(32)
+        p_lo = mods.module_power(1.2, DGEMM_SIG)
+        p_hi = mods.module_power(2.7, DGEMM_SIG)
+        assert np.all(p_hi > p_lo)
+
+    def test_module_power_is_sum(self):
+        mods = varied_modules(16)
+        f = 2.0
+        assert np.allclose(
+            mods.module_power(f, DGEMM_SIG),
+            mods.cpu_power(f, DGEMM_SIG) + mods.dram_power(f, DGEMM_SIG),
+        )
+
+    def test_leakage_raises_static_floor(self):
+        ones = np.ones(2)
+        var = ModuleVariation(
+            leak=np.array([1.0, 1.2]), dyn=ones, dram=ones, perf=ones
+        )
+        mods = ModuleArray(ARCH, var)
+        static = mods.static_cpu_power()
+        assert static[1] == pytest.approx(1.2 * static[0])
+
+    def test_dram_coupling_flattens_slope(self):
+        mods = uniform_modules(1)
+        coupled = PowerSignature(0.5, 0.8, dram_freq_coupling=1.0)
+        flat = PowerSignature(0.5, 0.8, dram_freq_coupling=0.0)
+        slope_coupled = (
+            mods.dram_power(2.7, coupled)[0] - mods.dram_power(1.2, coupled)[0]
+        )
+        slope_flat = mods.dram_power(2.7, flat)[0] - mods.dram_power(1.2, flat)[0]
+        assert slope_coupled > 0
+        assert slope_flat == pytest.approx(0.0)
+
+    def test_per_module_freq_array(self):
+        mods = uniform_modules(3)
+        freqs = np.array([1.2, 2.0, 2.7])
+        p = mods.cpu_power(freqs, DGEMM_SIG)
+        assert p[0] < p[1] < p[2]
+
+
+class TestFreqInversion:
+    def test_roundtrip(self):
+        mods = varied_modules(64)
+        f = np.full(64, 2.1)
+        p = mods.cpu_power(f, DGEMM_SIG)
+        f_back = mods.freq_for_cpu_power(p, DGEMM_SIG)
+        assert np.allclose(f_back, f)
+
+    def test_zero_activity_degenerate(self):
+        mods = uniform_modules(1)
+        sig = PowerSignature(0.0, 0.0)
+        f = mods.freq_for_cpu_power(100.0, sig)
+        assert np.isinf(f[0]) and f[0] > 0
+        f = mods.freq_for_cpu_power(1.0, sig)
+        assert np.isinf(f[0]) and f[0] < 0
+
+
+class TestCapResolution:
+    def test_loose_cap_runs_fmax(self):
+        mods = uniform_modules(2)
+        res = mods.resolve_cpu_cap(500.0, DGEMM_SIG)
+        assert np.allclose(res.freq_ghz, ARCH.fmax)
+        assert np.all(res.duty == 1.0)
+        assert np.all(res.cap_met)
+        assert np.allclose(res.effective_freq_ghz, ARCH.fmax)
+
+    def test_binding_cap_hits_cap_power(self):
+        mods = uniform_modules(1)
+        cap = 70.0
+        res = mods.resolve_cpu_cap(cap, DGEMM_SIG)
+        assert ARCH.fmin < res.freq_ghz[0] < ARCH.fmax
+        assert res.cpu_power_w[0] == pytest.approx(cap)
+        assert res.cap_met[0]
+
+    def test_sub_fmin_engages_duty(self):
+        mods = uniform_modules(1)
+        p_fmin = mods.cpu_power(ARCH.fmin, DGEMM_SIG)[0]
+        res = mods.resolve_cpu_cap(p_fmin - 5.0, DGEMM_SIG)
+        assert res.freq_ghz[0] == pytest.approx(ARCH.fmin)
+        assert res.duty[0] < 1.0
+        assert res.effective_freq_ghz[0] < ARCH.fmin
+        assert res.cpu_power_w[0] == pytest.approx(p_fmin - 5.0)
+
+    def test_duty_penalty_superlinear(self):
+        # Effective rate falls faster than power: the paper's cliff.
+        mods = uniform_modules(1)
+        p_fmin = mods.cpu_power(ARCH.fmin, DGEMM_SIG)[0]
+        res = mods.resolve_cpu_cap(p_fmin - 5.0, DGEMM_SIG)
+        d = res.duty[0]
+        assert res.effective_freq_ghz[0] == pytest.approx(
+            ARCH.fmin * d**ARCH.subfmin_exponent
+        )
+        assert res.effective_freq_ghz[0] < ARCH.fmin * d
+
+    def test_cap_below_floor_not_met(self):
+        mods = uniform_modules(1)
+        static = mods.static_cpu_power()[0]
+        res = mods.resolve_cpu_cap(static * 0.5, DGEMM_SIG)
+        assert not res.cap_met[0]
+        assert res.duty[0] == pytest.approx(ARCH.min_duty)
+        assert res.cpu_power_w[0] > static * 0.5
+
+    def test_power_never_exceeds_cap_when_met(self):
+        mods = varied_modules(128)
+        caps = np.linspace(45.0, 120.0, 128)
+        res = mods.resolve_cpu_cap(caps, DGEMM_SIG)
+        ok = res.cap_met
+        assert np.all(res.cpu_power_w[ok] <= caps[ok] + 1e-9)
+
+    def test_variation_under_uniform_cap_produces_freq_spread(self):
+        # The paper's central observation: a uniform cap turns power
+        # variation into frequency variation.
+        mods = varied_modules(512)
+        res = mods.resolve_cpu_cap(70.0, DGEMM_SIG)
+        from repro.util.stats import worst_case_variation
+
+        vf = worst_case_variation(res.effective_freq_ghz)
+        assert vf > 1.15
+
+    def test_rejects_nonpositive_cap(self):
+        with pytest.raises(ConfigurationError):
+            uniform_modules(1).resolve_cpu_cap(0.0, DGEMM_SIG)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.floats(min_value=30.0, max_value=150.0))
+    def test_monotone_cap_to_rate(self, cap):
+        mods = uniform_modules(1)
+        lo = mods.resolve_cpu_cap(cap, DGEMM_SIG)
+        hi = mods.resolve_cpu_cap(cap + 5.0, DGEMM_SIG)
+        assert hi.effective_freq_ghz[0] >= lo.effective_freq_ghz[0] - 1e-12
+
+
+class TestModuleView:
+    def test_scalar_matches_array(self):
+        mods = varied_modules(8)
+        m = mods.module(3)
+        assert m.cpu_power(2.0, DGEMM_SIG) == pytest.approx(
+            mods.cpu_power(2.0, DGEMM_SIG)[3]
+        )
+        assert m.module_power(2.0, DGEMM_SIG) == pytest.approx(
+            mods.module_power(2.0, DGEMM_SIG)[3]
+        )
+
+    def test_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            uniform_modules(2).module(5)
+
+    def test_work_rate_uses_perf_factor(self):
+        ones = np.ones(2)
+        var = ModuleVariation(
+            leak=ones, dyn=ones, dram=ones, perf=np.array([1.0, 0.9])
+        )
+        mods = ModuleArray(ARCH, var)
+        rates = mods.work_rate(2.0)
+        assert rates[0] == pytest.approx(2.0)
+        assert rates[1] == pytest.approx(1.8)

@@ -1,0 +1,93 @@
+"""Direct tests for operating-point power accounting (duty-aware)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware.microarch import IVY_BRIDGE_E5_2697V2
+from repro.hardware.module import ModuleArray, OperatingPoint
+from repro.hardware.power_model import PowerSignature
+from repro.hardware.variability import ModuleVariation
+
+ARCH = IVY_BRIDGE_E5_2697V2
+SIG = PowerSignature(0.8, 0.4)
+
+
+def nominal(n=2):
+    ones = np.ones(n)
+    return ModuleArray(ARCH, ModuleVariation(leak=ones, dyn=ones, dram=ones, perf=ones))
+
+
+class TestOperatingPoint:
+    def test_uniform_constructor(self):
+        op = OperatingPoint.uniform(3, 2.0, SIG)
+        assert op.n_modules == 3
+        assert np.all(op.duty == 1.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            OperatingPoint(np.array([2.0]), np.array([0.0]), SIG)  # duty 0
+        with pytest.raises(ConfigurationError):
+            OperatingPoint(np.array([-1.0]), np.array([1.0]), SIG)
+        with pytest.raises(ConfigurationError):
+            OperatingPoint(np.array([2.0, 2.0]), np.array([1.0]), SIG)
+
+    def test_from_cap_resolution(self):
+        mods = nominal()
+        res = mods.resolve_cpu_cap(60.0, SIG)
+        op = OperatingPoint.from_cap_resolution(res, SIG)
+        assert np.array_equal(op.freq_ghz, res.freq_ghz)
+        assert np.array_equal(op.duty, res.duty)
+
+    def test_effective_freq_exponent(self):
+        op = OperatingPoint(np.array([1.2]), np.array([0.5]), SIG)
+        assert op.effective_freq_ghz(2.0)[0] == pytest.approx(1.2 * 0.25)
+
+
+class TestPowerAtOperatingPoint:
+    def test_full_duty_matches_plain_power(self):
+        mods = nominal()
+        op = OperatingPoint.uniform(2, 2.0, SIG)
+        assert np.allclose(mods.cpu_power_at(op), mods.cpu_power(2.0, SIG))
+        assert np.allclose(mods.dram_power_at(op), mods.dram_power(2.0, SIG))
+
+    def test_duty_gates_only_dynamic_cpu_power(self):
+        mods = nominal()
+        op = OperatingPoint(
+            np.full(2, ARCH.fmin), np.full(2, 0.5), SIG
+        )
+        static = mods.static_cpu_power()
+        full = mods.cpu_power(ARCH.fmin, SIG)
+        expect = static + 0.5 * (full - static)
+        assert np.allclose(mods.cpu_power_at(op), expect)
+        # Power never drops below the leakage floor, whatever the duty.
+        assert np.all(mods.cpu_power_at(op) > static - 1e-12)
+
+    def test_duty_scales_dram_traffic(self):
+        mods = nominal()
+        half = OperatingPoint(np.full(2, ARCH.fmin), np.full(2, 0.5), SIG)
+        full = OperatingPoint.uniform(2, ARCH.fmin, SIG)
+        assert np.all(mods.dram_power_at(half) < mods.dram_power_at(full))
+        # Equivalent to DRAM power at the effective (gated) rate.
+        assert np.allclose(
+            mods.dram_power_at(half),
+            mods.dram_power(ARCH.fmin * 0.5, SIG),
+        )
+
+    def test_module_power_at_is_sum(self):
+        mods = nominal()
+        op = OperatingPoint(np.array([1.5, 2.0]), np.array([1.0, 0.7]), SIG)
+        assert np.allclose(
+            mods.module_power_at(op),
+            mods.cpu_power_at(op) + mods.dram_power_at(op),
+        )
+
+
+class TestPlots:
+    def test_fig8_plot(self):
+        from repro.experiments.fig8 import plot_fig8, run_fig8
+
+        result = run_fig8(n_modules=64, n_iters=5, sync_iters=10)
+        out = plot_fig8(result, "mhd")
+        assert "Fig 8(i) mhd" in out
+        assert "Cm=60W" in out

@@ -1,0 +1,92 @@
+"""Function-level tests for the component power model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.hardware.power_model import (
+    PowerSignature,
+    cpu_freq_for_power,
+    cpu_power,
+    dram_power,
+)
+
+
+class TestPowerSignature:
+    def test_bounds(self):
+        with pytest.raises(ConfigurationError):
+            PowerSignature(1.5, 0.5)
+        with pytest.raises(ConfigurationError):
+            PowerSignature(0.5, -0.1)
+        with pytest.raises(ConfigurationError):
+            PowerSignature(0.5, 0.5, dram_freq_coupling=2.0)
+
+    def test_scale_clips(self):
+        sig = PowerSignature(0.8, 0.5)
+        scaled = sig.scale(cpu=2.0, dram=0.5)
+        assert scaled.cpu_activity == 1.0  # clipped
+        assert scaled.dram_activity == 0.25
+        assert scaled.dram_freq_coupling == sig.dram_freq_coupling
+
+
+class TestCpuPower:
+    def test_structure(self):
+        p = cpu_power(
+            2.0, fmax=2.0, static_w=10.0, dynamic_w=50.0, cpu_activity=0.5
+        )
+        assert p == pytest.approx(10.0 + 25.0)
+
+    def test_frequency_scaling(self):
+        p_half = cpu_power(
+            1.0, fmax=2.0, static_w=10.0, dynamic_w=50.0, cpu_activity=1.0
+        )
+        assert p_half == pytest.approx(10.0 + 25.0)
+
+    def test_variation_factors(self):
+        p = cpu_power(
+            2.0,
+            fmax=2.0,
+            static_w=10.0,
+            dynamic_w=50.0,
+            cpu_activity=1.0,
+            leak=np.array([1.0, 1.2]),
+            dyn=np.array([1.0, 0.9]),
+        )
+        assert p[0] == pytest.approx(60.0)
+        assert p[1] == pytest.approx(12.0 + 45.0)
+
+
+class TestDramPower:
+    def test_full_coupling(self):
+        p1 = dram_power(
+            1.0, fmax=2.0, static_w=5.0, dynamic_w=20.0,
+            dram_activity=1.0, dram_freq_coupling=1.0,
+        )
+        assert p1 == pytest.approx(5.0 + 10.0)
+
+    def test_no_coupling(self):
+        p = dram_power(
+            1.0, fmax=2.0, static_w=5.0, dynamic_w=20.0,
+            dram_activity=1.0, dram_freq_coupling=0.0,
+        )
+        assert p == pytest.approx(25.0)  # frequency-independent
+
+
+class TestInversion:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        f=st.floats(min_value=0.5, max_value=4.0),
+        act=st.floats(min_value=0.05, max_value=1.0),
+        leak=st.floats(min_value=0.7, max_value=1.4),
+    )
+    def test_roundtrip_property(self, f, act, leak):
+        kw = dict(fmax=2.7, static_w=18.0, dynamic_w=88.0, cpu_activity=act)
+        p = cpu_power(f, leak=leak, **kw)
+        f_back = cpu_freq_for_power(p, leak=leak, **kw)
+        assert float(f_back) == pytest.approx(f, rel=1e-9)
+
+    def test_zero_activity_infinities(self):
+        kw = dict(fmax=2.7, static_w=18.0, dynamic_w=88.0, cpu_activity=0.0)
+        assert cpu_freq_for_power(100.0, **kw) == np.inf
+        assert cpu_freq_for_power(5.0, **kw) == -np.inf

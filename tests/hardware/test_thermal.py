@@ -1,0 +1,109 @@
+"""Tests for the temperature-dependent leakage extension."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware.microarch import IVY_BRIDGE_E5_2697V2
+from repro.hardware.module import ModuleArray
+from repro.hardware.thermal import (
+    ThermalEnvironment,
+    apply_thermal,
+    leakage_at_temperature,
+)
+from repro.hardware.variability import sample_variation
+from repro.util.rng import spawn_rng
+
+
+class TestThermalEnvironment:
+    def test_sample_shape_and_band(self):
+        env = ThermalEnvironment.sample(100, spawn_rng(0, "t"))
+        assert env.n_modules == 100
+        assert 20.0 < env.temps_c.mean() < 40.0
+
+    def test_gradient_visible(self):
+        env = ThermalEnvironment.sample(
+            1000, spawn_rng(1, "g"), gradient_c=10.0, noise_c=0.1
+        )
+        assert env.temps_c[-100:].mean() - env.temps_c[:100].mean() > 5.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ThermalEnvironment(temps_c=np.array([]))
+        with pytest.raises(ConfigurationError):
+            ThermalEnvironment(temps_c=np.array([500.0]))
+        with pytest.raises(ConfigurationError):
+            ThermalEnvironment.sample(0, spawn_rng(0, "x"))
+        with pytest.raises(ConfigurationError):
+            ThermalEnvironment.sample(4, spawn_rng(0, "x"), gradient_c=-1.0)
+
+
+class TestLeakageModel:
+    def test_reference_is_unity(self):
+        assert leakage_at_temperature(25.0, 25.0) == pytest.approx(1.0)
+
+    def test_hotter_leaks_more(self):
+        assert leakage_at_temperature(35.0, 25.0) > 1.1
+
+    def test_cooler_leaks_less(self):
+        assert leakage_at_temperature(15.0, 25.0) < 1.0
+
+    def test_exponential_composition(self):
+        a = leakage_at_temperature(35.0, 25.0)
+        b = leakage_at_temperature(45.0, 35.0)
+        ab = leakage_at_temperature(45.0, 25.0)
+        assert a * b == pytest.approx(ab)
+
+    def test_negative_coeff_rejected(self):
+        with pytest.raises(ConfigurationError):
+            leakage_at_temperature(30.0, 25.0, coeff_per_k=-0.01)
+
+
+class TestApplyThermal:
+    @pytest.fixture
+    def variation(self):
+        return sample_variation(
+            IVY_BRIDGE_E5_2697V2.variation, 64, spawn_rng(2, "v")
+        )
+
+    def test_only_leak_changes(self, variation):
+        env = ThermalEnvironment.sample(64, spawn_rng(3, "e"))
+        shifted = apply_thermal(variation, env)
+        assert not np.array_equal(shifted.leak, variation.leak)
+        assert np.array_equal(shifted.dyn, variation.dyn)
+        assert np.array_equal(shifted.dram, variation.dram)
+
+    def test_hot_room_raises_static_power(self, variation):
+        env = ThermalEnvironment(
+            temps_c=np.full(64, 40.0), reference_c=25.0
+        )
+        hot = ModuleArray(IVY_BRIDGE_E5_2697V2, apply_thermal(variation, env))
+        cool = ModuleArray(IVY_BRIDGE_E5_2697V2, variation)
+        assert np.all(hot.static_cpu_power() > cool.static_cpu_power())
+
+    def test_size_mismatch(self, variation):
+        env = ThermalEnvironment.sample(32, spawn_rng(4, "m"))
+        with pytest.raises(ConfigurationError):
+            apply_thermal(variation, env)
+
+    def test_thermal_drift_degrades_pvt_prediction(self):
+        """Install-time PVT vs a hotter runtime room: the calibration
+        picks up a systematic leakage error (the ablation's point)."""
+        from repro.apps.registry import get_app
+        from repro.cluster.configs import build_system
+
+        system = build_system("ha8k", n_modules=128, seed=7)
+        app = get_app("dgemm")
+        # Truth at runtime: 10 K hotter than the PVT's reference.
+        env = ThermalEnvironment(
+            temps_c=np.full(128, 35.0), reference_c=25.0
+        )
+        runtime = ModuleArray(
+            system.arch, apply_thermal(system.modules.variation, env)
+        )
+        cool_power = system.modules.cpu_power(system.arch.fmin, app.signature)
+        hot_power = runtime.cpu_power(system.arch.fmin, app.signature)
+        # Systematic under-prediction of the static-dominated fmin power.
+        assert np.all(hot_power > cool_power)
+        rel = (hot_power - cool_power) / cool_power
+        assert rel.mean() > 0.03

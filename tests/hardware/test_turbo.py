@@ -1,0 +1,80 @@
+"""Tests for TDP-limited Turbo (enabled in the paper's Fig 1 setup)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.registry import get_app
+from repro.cluster.configs import build_system
+from repro.core.runner import run_uncapped
+from repro.errors import ConfigurationError
+from repro.hardware.microarch import BGQ_POWERPC_A2, IVY_BRIDGE_E5_2697V2
+
+
+@pytest.fixture(scope="module")
+def system():
+    return build_system("ha8k", n_modules=256, seed=4)
+
+
+class TestTurboFrequency:
+    def test_light_workload_turboes_uniformly(self, system):
+        # EP leaves power headroom: everyone reaches the turbo ceiling —
+        # the paper's Fig 1 "no performance variation with Turbo on".
+        ep = get_app("ep")
+        f = system.modules.turbo_frequency(ep.signature)
+        assert np.allclose(f, system.arch.turbo_ghz)
+
+    def test_heavy_workload_turboes_heterogeneously(self, system):
+        # DGEMM hits TDP first: leaky modules turbo lower.
+        dgemm = get_app("dgemm")
+        f = system.modules.turbo_frequency(dgemm.signature)
+        assert f.min() < f.max()
+        assert np.all(f >= system.arch.fmax)
+        assert np.all(f <= system.arch.turbo_ghz)
+
+    def test_leaky_modules_turbo_lower(self, system):
+        dgemm = get_app("dgemm")
+        f = system.modules.turbo_frequency(dgemm.signature)
+        leak = system.modules.variation.leak
+        tdp_limited = f < system.arch.turbo_ghz - 1e-9
+        if tdp_limited.sum() > 10:
+            corr = np.corrcoef(leak[tdp_limited], f[tdp_limited])[0, 1]
+            assert corr < 0.0
+
+    def test_no_turbo_part_returns_fmax(self):
+        from repro.hardware.module import ModuleArray
+        from repro.hardware.variability import sample_variation
+        from repro.util.rng import spawn_rng
+
+        mods = ModuleArray(
+            BGQ_POWERPC_A2,
+            sample_variation(BGQ_POWERPC_A2.variation, 8, spawn_rng(0, "b")),
+        )
+        f = mods.turbo_frequency(get_app("ep").signature)
+        assert np.allclose(f, BGQ_POWERPC_A2.fmax)
+
+    def test_turbo_below_fmax_rejected(self):
+        with pytest.raises(ConfigurationError):
+            IVY_BRIDGE_E5_2697V2.with_(turbo_ghz=2.0)
+
+
+class TestTurboRuns:
+    def test_turbo_run_faster_than_fmax_run(self, system):
+        ep = get_app("ep")
+        base = run_uncapped(system, ep, n_iters=3)
+        turbo = run_uncapped(system, ep, n_iters=3, turbo=True)
+        assert turbo.makespan_s < base.makespan_s
+        assert turbo.total_power_w > base.total_power_w
+
+    def test_tdp_limited_turbo_creates_perf_variation(self, system):
+        # The inversion of the paper's story: with Turbo on, even an
+        # *uncapped* machine shows frequency inhomogeneity on hungry codes.
+        dgemm = get_app("dgemm")
+        turbo = run_uncapped(system, dgemm, n_iters=3, turbo=True)
+        assert turbo.vf > 1.02
+        base = run_uncapped(system, dgemm, n_iters=3)
+        assert base.vf == pytest.approx(1.0)
+
+    def test_turbo_power_capped_at_tdp(self, system):
+        dgemm = get_app("dgemm")
+        turbo = run_uncapped(system, dgemm, n_iters=3, turbo=True)
+        assert np.all(turbo.cpu_power_w <= system.arch.tdp_w * 1.001)

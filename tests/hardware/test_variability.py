@@ -1,0 +1,135 @@
+"""Tests for the manufacturing-variation model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.hardware.variability import ModuleVariation, VariationModel, sample_variation
+from repro.util.rng import spawn_rng
+from repro.util.stats import worst_case_variation
+
+
+def model(**kw):
+    defaults = dict(sigma_leak=0.1, sigma_dyn=0.03, sigma_dram=0.15, sigma_perf=0.0)
+    defaults.update(kw)
+    return VariationModel(**defaults)
+
+
+class TestVariationModel:
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ConfigurationError):
+            model(sigma_leak=-0.1)
+
+    def test_rho_bounds(self):
+        with pytest.raises(ConfigurationError):
+            model(rho_perf_power=1.5)
+
+    def test_node_share_bounds(self):
+        with pytest.raises(ConfigurationError):
+            model(node_leak_share=2.0)
+
+    def test_clip_positive(self):
+        with pytest.raises(ConfigurationError):
+            model(clip_sigmas=0.0)
+
+
+class TestSampleVariation:
+    def test_shapes(self):
+        v = sample_variation(model(), 100, spawn_rng(0, "t"))
+        assert v.n_modules == 100
+        for arr in (v.leak, v.dyn, v.dram, v.perf):
+            assert arr.shape == (100,)
+
+    def test_deterministic(self):
+        a = sample_variation(model(), 64, spawn_rng(3, "k"))
+        b = sample_variation(model(), 64, spawn_rng(3, "k"))
+        assert np.array_equal(a.leak, b.leak)
+        assert np.array_equal(a.dram, b.dram)
+
+    def test_mean_near_one(self):
+        v = sample_variation(model(), 20000, spawn_rng(1, "m"))
+        assert v.leak.mean() == pytest.approx(1.0, abs=0.02)
+        assert v.dram.mean() == pytest.approx(1.0, abs=0.03)
+
+    def test_zero_sigma_gives_ones(self):
+        v = sample_variation(
+            VariationModel(sigma_leak=0.0, sigma_dyn=0.0, sigma_dram=0.0),
+            10,
+            spawn_rng(0, "z"),
+        )
+        assert np.all(v.leak == 1.0)
+        assert np.all(v.dyn == 1.0)
+        assert np.all(v.dram == 1.0)
+        assert np.all(v.perf == 1.0)
+
+    def test_perf_ones_when_binned(self):
+        v = sample_variation(model(sigma_perf=0.0), 50, spawn_rng(0, "p"))
+        assert np.all(v.perf == 1.0)
+
+    def test_perf_power_correlation_sign(self):
+        m = model(sigma_perf=0.05, sigma_dyn=0.05, rho_perf_power=0.8)
+        v = sample_variation(m, 5000, spawn_rng(2, "c"))
+        corr = np.corrcoef(np.log(v.perf), np.log(v.dyn))[0, 1]
+        assert corr > 0.5  # faster parts draw more power (Teller)
+
+    def test_clipping_bounds_range(self):
+        m = model(sigma_leak=0.1, clip_sigmas=2.0)
+        v = sample_variation(m, 50000, spawn_rng(4, "clip"))
+        assert v.leak.max() <= np.exp(0.1 * 2.0) + 1e-12
+        assert v.leak.min() >= np.exp(-0.1 * 2.0) - 1e-12
+
+    def test_node_correlation(self):
+        m = model(node_leak_share=0.9)
+        v = sample_variation(m, 1000, spawn_rng(5, "n"), procs_per_node=2)
+        a = np.log(v.leak[0::2])
+        b = np.log(v.leak[1::2])
+        assert np.corrcoef(a, b)[0, 1] > 0.7
+
+    def test_invalid_counts(self):
+        with pytest.raises(ConfigurationError):
+            sample_variation(model(), 0, spawn_rng(0, "x"))
+        with pytest.raises(ConfigurationError):
+            sample_variation(model(), 5, spawn_rng(0, "x"), procs_per_node=0)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=500),
+        st.integers(min_value=0, max_value=1000),
+    )
+    def test_all_factors_positive(self, n, seed):
+        v = sample_variation(model(), n, spawn_rng(seed, "prop"))
+        for arr in (v.leak, v.dyn, v.dram, v.perf):
+            assert np.all(arr > 0)
+
+
+class TestModuleVariation:
+    def test_take_subset(self):
+        v = sample_variation(model(), 10, spawn_rng(0, "s"))
+        sub = v.take([0, 3, 7])
+        assert sub.n_modules == 3
+        assert sub.leak[1] == v.leak[3]
+
+    def test_shape_mismatch_rejected(self):
+        ones = np.ones(3)
+        with pytest.raises(ConfigurationError):
+            ModuleVariation(leak=ones, dyn=np.ones(4), dram=ones, perf=ones)
+
+    def test_nonpositive_rejected(self):
+        bad = np.array([1.0, 0.0, 1.0])
+        ones = np.ones(3)
+        with pytest.raises(ConfigurationError):
+            ModuleVariation(leak=bad, dyn=ones, dram=ones, perf=ones)
+
+
+class TestCalibratedSpreads:
+    """The built-in architecture parameters must reproduce the published Vp."""
+
+    def test_ha8k_dram_vp_near_2_8(self):
+        from repro.hardware.microarch import IVY_BRIDGE_E5_2697V2
+
+        v = sample_variation(
+            IVY_BRIDGE_E5_2697V2.variation, 1920, spawn_rng(2015, "ha8k")
+        )
+        vp = worst_case_variation(v.dram)
+        assert 2.2 <= vp <= 3.4  # paper: ~2.8

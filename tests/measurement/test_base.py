@@ -1,0 +1,31 @@
+"""Tests for the meter base layer (Table 1 plumbing)."""
+
+import numpy as np
+import pytest
+
+from repro.measurement.base import MeterSpec, PowerReading, TABLE1_SPECS
+
+
+class TestMeterSpec:
+    def test_as_row_formats_granularity(self):
+        row = TABLE1_SPECS["rapl"].as_row()
+        assert row == ["RAPL", "Average", "1 ms", "Yes"]
+
+    def test_emon_row(self):
+        row = TABLE1_SPECS["emon"].as_row()
+        assert row == ["BGQ EMON", "Instantaneous", "300 ms", "No"]
+
+    def test_specs_frozen(self):
+        with pytest.raises(AttributeError):
+            TABLE1_SPECS["rapl"].supports_capping = False  # type: ignore
+
+
+class TestPowerReading:
+    def test_module_and_total(self):
+        r = PowerReading(
+            cpu_w=np.array([10.0, 20.0]),
+            dram_w=np.array([1.0, 2.0]),
+            duration_s=1.0,
+        )
+        assert np.allclose(r.module_w, [11.0, 22.0])
+        assert r.total_w == pytest.approx(33.0)

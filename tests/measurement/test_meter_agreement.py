@@ -1,0 +1,64 @@
+"""Cross-technique measurement agreement (Table 1 companion).
+
+The three techniques measure the same physical power through different
+chains (model-based averaging, hall sensors, board-level DCAs).  On
+identical hardware at an identical operating point they must agree on
+the mean within their stated accuracies — and disagree in the *ways*
+Table 1 documents (granularity, aggregation level).
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster.configs import build_system
+from repro.hardware.module import OperatingPoint
+from repro.hardware.power_model import PowerSignature
+from repro.measurement.emon import EmonMeter
+from repro.measurement.powerinsight import PowerInsightMeter
+from repro.measurement.rapl import RaplMeter
+
+SIG = PowerSignature(0.8, 0.3)
+
+
+@pytest.fixture(scope="module")
+def modules():
+    return build_system("ha8k", n_modules=64, seed=9).modules
+
+
+@pytest.fixture(scope="module")
+def op():
+    return OperatingPoint.uniform(64, 2.2, SIG)
+
+
+class TestAgreement:
+    def test_rapl_vs_powerinsight_means(self, modules, op):
+        rng = np.random.default_rng(0)
+        rapl = RaplMeter(modules, rng=np.random.default_rng(1))
+        pi = PowerInsightMeter(modules, rng=rng)
+        rapl_read = rapl.read(op, duration_s=1.0)
+        pi_mean = np.mean([pi.read(op).cpu_w for _ in range(100)], axis=0)
+        # Same hardware, same operating point: means agree within ~2%.
+        assert np.allclose(rapl_read.cpu_w, pi_mean, rtol=0.03)
+
+    def test_emon_totals_match_rapl(self, modules, op):
+        rapl = RaplMeter(modules)
+        emon = EmonMeter(modules, rng=None, cards_per_board=32)
+        total_rapl = rapl.read(op, duration_s=1.0).cpu_w.sum()
+        total_emon = emon.read(op).cpu_w.sum()
+        assert total_emon == pytest.approx(total_rapl, rel=1e-3)
+
+    def test_emon_cannot_see_per_module_spread(self, modules, op):
+        # The aggregation Table 1 implies: EMON reports 2 boards, not 64
+        # modules — per-module variation is invisible at its granularity.
+        emon = EmonMeter(modules, rng=None, cards_per_board=32)
+        assert emon.read(op).cpu_w.shape == (2,)
+
+    def test_instantaneous_noisier_than_average(self, modules, op):
+        pi = PowerInsightMeter(modules, rng=np.random.default_rng(2))
+        rapl = RaplMeter(modules)
+        pi_samples = np.stack([pi.read(op).cpu_w for _ in range(50)])
+        rapl_samples = np.stack(
+            [rapl.read(op, duration_s=1e-3).cpu_w for _ in range(50)]
+        )
+        # Sensor noise vs energy-counter determinism.
+        assert pi_samples.std(axis=0).mean() > rapl_samples.std(axis=0).mean()

@@ -1,0 +1,157 @@
+"""Tests for the RAPL / PowerInsight / EMON meters (Table 1)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CappingUnsupportedError, MeasurementError
+from repro.hardware.microarch import BGQ_POWERPC_A2, IVY_BRIDGE_E5_2697V2
+from repro.hardware.module import ModuleArray, OperatingPoint
+from repro.hardware.power_model import PowerSignature
+from repro.hardware.variability import sample_variation
+from repro.measurement.base import TABLE1_SPECS
+from repro.measurement.emon import EmonMeter
+from repro.measurement.powerinsight import PowerInsightMeter
+from repro.measurement.rapl import RaplMeter
+from repro.util.rng import spawn_rng
+
+SIG = PowerSignature(cpu_activity=0.8, dram_activity=0.3)
+
+
+def ivb_modules(n=8, seed=0):
+    arch = IVY_BRIDGE_E5_2697V2
+    return ModuleArray(arch, sample_variation(arch.variation, n, spawn_rng(seed, "m")))
+
+
+def bgq_modules(n=64, seed=0):
+    arch = BGQ_POWERPC_A2
+    return ModuleArray(arch, sample_variation(arch.variation, n, spawn_rng(seed, "b")))
+
+
+class TestTable1Matrix:
+    def test_only_rapl_caps(self):
+        assert TABLE1_SPECS["rapl"].supports_capping
+        assert not TABLE1_SPECS["powerinsight"].supports_capping
+        assert not TABLE1_SPECS["emon"].supports_capping
+
+    def test_granularities(self):
+        assert TABLE1_SPECS["rapl"].granularity_s == pytest.approx(1e-3)
+        assert TABLE1_SPECS["powerinsight"].granularity_s == pytest.approx(1e-3)
+        assert TABLE1_SPECS["emon"].granularity_s == pytest.approx(0.3)
+
+    def test_reporting_modes(self):
+        assert TABLE1_SPECS["rapl"].reported == "average"
+        assert TABLE1_SPECS["emon"].reported == "instantaneous"
+
+
+class TestRaplMeter:
+    def test_noise_free_reading_matches_truth(self):
+        mods = ivb_modules()
+        meter = RaplMeter(mods)
+        op = OperatingPoint.uniform(8, 2.0, SIG)
+        reading = meter.read(op, duration_s=1.0)
+        assert np.allclose(reading.cpu_w, mods.cpu_power_at(op), rtol=1e-3)
+        assert np.allclose(reading.dram_w, mods.dram_power_at(op), rtol=1e-2)
+
+    def test_energy_counter_quantisation_visible_at_1ms(self):
+        meter = RaplMeter(ivb_modules())
+        op = OperatingPoint.uniform(8, 2.0, SIG)
+        r = meter.read(op)  # 1 ms window
+        # 15.3 uJ on ~100 mJ: relative error below 0.1%.
+        truth = meter.modules.cpu_power_at(op)
+        assert np.allclose(r.cpu_w, truth, rtol=1e-3)
+
+    def test_clock_advances(self):
+        meter = RaplMeter(ivb_modules())
+        op = OperatingPoint.uniform(8, 2.0, SIG)
+        meter.read(op, duration_s=0.5)
+        meter.read(op, duration_s=0.25)
+        assert meter.clock_s == pytest.approx(0.75)
+
+    def test_model_bias_is_stable(self):
+        meter = RaplMeter(ivb_modules(), rng=spawn_rng(1, "bias"))
+        op = OperatingPoint.uniform(8, 2.0, SIG)
+        a = meter.read(op, duration_s=1.0).cpu_w
+        b = meter.read(op, duration_s=1.0).cpu_w
+        assert np.allclose(a, b, rtol=1e-3)  # bias, not white noise
+
+    def test_sub_granularity_rejected(self):
+        meter = RaplMeter(ivb_modules())
+        with pytest.raises(MeasurementError):
+            meter.read(OperatingPoint.uniform(8, 2.0, SIG), duration_s=1e-4)
+
+    def test_module_count_mismatch(self):
+        meter = RaplMeter(ivb_modules(8))
+        with pytest.raises(MeasurementError):
+            meter.read(OperatingPoint.uniform(4, 2.0, SIG))
+
+    def test_power_limit_registers(self):
+        meter = RaplMeter(ivb_modules())
+        meter.set_power_limit(65.0)
+        watts, _, enabled = meter.get_power_limit()
+        assert np.allclose(watts, 65.0)
+        assert np.all(enabled)
+
+    def test_reading_totals(self):
+        meter = RaplMeter(ivb_modules())
+        r = meter.read(OperatingPoint.uniform(8, 2.0, SIG), duration_s=1.0)
+        assert r.total_w == pytest.approx(float((r.cpu_w + r.dram_w).sum()))
+
+
+class TestPowerInsight:
+    def test_noiseless_quantised_only(self):
+        mods = ivb_modules()
+        meter = PowerInsightMeter(mods, rng=None, adc_step_w=0.25)
+        op = OperatingPoint.uniform(8, 2.0, SIG)
+        r = meter.read(op)
+        assert np.allclose(r.cpu_w, mods.cpu_power_at(op), atol=0.13)
+
+    def test_noise_bounded(self):
+        mods = ivb_modules()
+        meter = PowerInsightMeter(mods, rng=spawn_rng(0, "pi"))
+        op = OperatingPoint.uniform(8, 2.0, SIG)
+        truth = mods.cpu_power_at(op)
+        samples = np.stack([meter.read(op).cpu_w for _ in range(200)])
+        assert np.all(np.abs(samples / truth - 1.0) <= 0.11)
+        assert np.allclose(samples.mean(axis=0), truth, rtol=0.02)
+
+    def test_cannot_cap(self):
+        meter = PowerInsightMeter(ivb_modules())
+        with pytest.raises(CappingUnsupportedError):
+            meter.set_power_limit(50.0)
+
+    def test_trace_length(self):
+        meter = PowerInsightMeter(ivb_modules(), rng=spawn_rng(0, "t"))
+        trace = meter.read_trace(OperatingPoint.uniform(8, 2.0, SIG), 10)
+        assert len(trace) == 10
+        with pytest.raises(ValueError):
+            meter.read_trace(OperatingPoint.uniform(8, 2.0, SIG), 0)
+
+
+class TestEmon:
+    def test_board_aggregation(self):
+        mods = bgq_modules(64)
+        meter = EmonMeter(mods, rng=None)
+        op = OperatingPoint.uniform(64, 1.6, SIG)
+        r = meter.read(op)
+        assert r.cpu_w.shape == (2,)  # 64 cards = 2 boards
+        truth = mods.cpu_power_at(op).reshape(2, 32).sum(axis=1)
+        assert np.allclose(r.cpu_w, truth)
+
+    def test_partial_board_rejected(self):
+        with pytest.raises(MeasurementError):
+            EmonMeter(bgq_modules(40), rng=None)
+
+    def test_cannot_cap(self):
+        meter = EmonMeter(bgq_modules(64))
+        with pytest.raises(CappingUnsupportedError):
+            meter.set_power_limit(1000.0)
+
+    def test_granularity_floor(self):
+        meter = EmonMeter(bgq_modules(64))
+        with pytest.raises(MeasurementError):
+            meter.read(OperatingPoint.uniform(64, 1.6, SIG), duration_s=0.1)
+
+    def test_custom_board_size(self):
+        mods = bgq_modules(64)
+        meter = EmonMeter(mods, rng=None, cards_per_board=16)
+        assert meter.n_boards == 4

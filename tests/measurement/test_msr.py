@@ -1,0 +1,134 @@
+"""Tests for the emulated MSR file."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import MSRAccessError
+from repro.measurement.msr import (
+    ENERGY_UNIT_J,
+    MSR_DRAM_ENERGY_STATUS,
+    MSR_PKG_ENERGY_STATUS,
+    MSR_PKG_POWER_INFO,
+    MSR_PKG_POWER_LIMIT,
+    MSR_RAPL_POWER_UNIT,
+    POWER_UNIT_W,
+    MSRFile,
+)
+
+
+@pytest.fixture
+def msr():
+    return MSRFile(4, tdp_w=130.0)
+
+
+class TestAccessControl:
+    def test_unknown_address_rejected(self, msr):
+        with pytest.raises(MSRAccessError):
+            msr.read(0, 0x123)
+
+    def test_module_bounds(self, msr):
+        with pytest.raises(MSRAccessError):
+            msr.read(9, MSR_PKG_ENERGY_STATUS)
+
+    def test_read_only_registers(self, msr):
+        with pytest.raises(MSRAccessError):
+            msr.write(0, MSR_PKG_ENERGY_STATUS, 1)
+        with pytest.raises(MSRAccessError):
+            msr.write(0, MSR_RAPL_POWER_UNIT, 1)
+
+    def test_power_limit_writable(self, msr):
+        msr.write(0, MSR_PKG_POWER_LIMIT, 0x8000 | 400)
+        assert msr.read(0, MSR_PKG_POWER_LIMIT) == 0x8000 | 400
+
+    def test_64bit_range(self, msr):
+        with pytest.raises(MSRAccessError):
+            msr.write(0, MSR_PKG_POWER_LIMIT, -1)
+        with pytest.raises(MSRAccessError):
+            msr.write(0, MSR_PKG_POWER_LIMIT, 1 << 64)
+
+    def test_needs_modules(self):
+        with pytest.raises(MSRAccessError):
+            MSRFile(0)
+
+
+class TestEnergyCounter:
+    def test_accumulate_and_decode(self, msr):
+        msr.accumulate_energy(MSR_PKG_ENERGY_STATUS, np.full(4, 1.0))
+        joules = msr.energy_joules(MSR_PKG_ENERGY_STATUS)
+        assert np.allclose(joules, 1.0, atol=ENERGY_UNIT_J)
+
+    def test_sub_unit_residual_carries(self, msr):
+        # Half an energy unit per call: counter ticks every second call.
+        half = ENERGY_UNIT_J / 2
+        msr.accumulate_energy(MSR_PKG_ENERGY_STATUS, np.full(4, half))
+        assert np.all(msr.read_all(MSR_PKG_ENERGY_STATUS) == 0)
+        msr.accumulate_energy(MSR_PKG_ENERGY_STATUS, np.full(4, half))
+        assert np.all(msr.read_all(MSR_PKG_ENERGY_STATUS) == 1)
+
+    def test_wraparound_delta(self):
+        before = np.array([2**32 - 2], dtype=np.uint64)
+        after = np.array([3], dtype=np.uint64)
+        delta = MSRFile.energy_delta_joules(before, after)
+        assert delta[0] == pytest.approx(5 * ENERGY_UNIT_J)
+
+    def test_counter_wraps(self, msr):
+        # ~65 kJ wraps the 32-bit counter at 2^-16 J units.
+        big = (2**32 + 10) * ENERGY_UNIT_J
+        msr.accumulate_energy(MSR_PKG_ENERGY_STATUS, np.full(4, big))
+        assert np.all(msr.read_all(MSR_PKG_ENERGY_STATUS) == 10)
+
+    def test_negative_energy_rejected(self, msr):
+        with pytest.raises(MSRAccessError):
+            msr.accumulate_energy(MSR_PKG_ENERGY_STATUS, np.full(4, -1.0))
+
+    def test_non_counter_register_rejected(self, msr):
+        with pytest.raises(MSRAccessError):
+            msr.accumulate_energy(MSR_PKG_POWER_LIMIT, np.ones(4))
+
+    def test_dram_counter_independent(self, msr):
+        msr.accumulate_energy(MSR_PKG_ENERGY_STATUS, np.full(4, 1.0))
+        assert np.all(msr.read_all(MSR_DRAM_ENERGY_STATUS) == 0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.floats(min_value=0, max_value=100.0), min_size=1, max_size=20))
+    def test_total_energy_conserved(self, chunks):
+        m = MSRFile(1)
+        for c in chunks:
+            m.accumulate_energy(MSR_PKG_ENERGY_STATUS, np.array([c]))
+        total = m.energy_joules(MSR_PKG_ENERGY_STATUS)[0]
+        assert total == pytest.approx(sum(chunks), abs=ENERGY_UNIT_J)
+
+
+class TestPowerLimitEncoding:
+    def test_roundtrip(self, msr):
+        encoded = msr.encode_power_limit(77.25, 1e-3)
+        msr.write_all(MSR_PKG_POWER_LIMIT, encoded)
+        watts, window, enabled = msr.decode_power_limit()
+        assert np.allclose(watts, 77.25)
+        assert np.all(enabled)
+        assert window == pytest.approx(1e-3, rel=0.3)
+
+    def test_resolution_is_eighth_watt(self, msr):
+        encoded = msr.encode_power_limit(77.33, 1e-3)
+        msr.write_all(MSR_PKG_POWER_LIMIT, encoded)
+        watts, _, _ = msr.decode_power_limit()
+        assert watts[0] == pytest.approx(round(77.33 / POWER_UNIT_W) * POWER_UNIT_W)
+
+    def test_per_module_limits(self, msr):
+        encoded = msr.encode_power_limit(np.array([40.0, 50.0, 60.0, 70.0]), 1e-3)
+        msr.write_all(MSR_PKG_POWER_LIMIT, encoded)
+        watts, _, _ = msr.decode_power_limit()
+        assert np.allclose(watts, [40.0, 50.0, 60.0, 70.0])
+
+    def test_nonpositive_rejected(self, msr):
+        with pytest.raises(MSRAccessError):
+            msr.encode_power_limit(0.0, 1e-3)
+
+    def test_tdp_in_power_info(self, msr):
+        raw = msr.read_all(MSR_PKG_POWER_INFO)
+        assert raw[0] * POWER_UNIT_W == pytest.approx(130.0)
+
+    def test_default_limit_disabled(self, msr):
+        _, _, enabled = msr.decode_power_limit()
+        assert not np.any(enabled)

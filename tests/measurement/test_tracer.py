@@ -1,0 +1,90 @@
+"""Tests for the power-timeline tracer."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.configs import build_system
+from repro.errors import MeasurementError
+from repro.hardware.module import OperatingPoint
+from repro.hardware.power_model import PowerSignature
+from repro.measurement.rapl import RaplMeter
+from repro.measurement.tracer import PowerTimeline, PowerTracer
+
+SIG = PowerSignature(0.8, 0.3)
+
+
+@pytest.fixture
+def meter():
+    system = build_system("ha8k", n_modules=4, seed=0)
+    return RaplMeter(system.modules)
+
+
+class TestPowerTracer:
+    def test_sampling_count(self, meter):
+        tracer = PowerTracer(meter, interval_s=0.01)
+        tracer.record(OperatingPoint.uniform(4, 2.0, SIG), duration_s=0.1)
+        tl = tracer.timeline()
+        assert tl.n_samples == 10
+        assert tl.times_s[-1] == pytest.approx(0.1)
+
+    def test_interval_floor(self, meter):
+        with pytest.raises(MeasurementError):
+            PowerTracer(meter, interval_s=1e-5)
+
+    def test_duration_positive(self, meter):
+        tracer = PowerTracer(meter)
+        with pytest.raises(MeasurementError):
+            tracer.record(OperatingPoint.uniform(4, 2.0, SIG), duration_s=0.0)
+
+    def test_multi_segment_schedule(self, meter):
+        tracer = PowerTracer(meter, interval_s=0.01)
+        hi = OperatingPoint.uniform(4, 2.7, SIG)
+        lo = OperatingPoint.uniform(4, 1.2, SIG)
+        tracer.record(hi, 0.05)
+        tracer.record(lo, 0.05)
+        tl = tracer.timeline()
+        assert tl.n_samples == 10
+        # Power steps down at the transition.
+        assert tl.total_w[:5].mean() > tl.total_w[5:].mean()
+
+    def test_empty_timeline(self, meter):
+        tl = PowerTracer(meter).timeline()
+        assert tl.n_samples == 0
+        assert tl.energy_j() == 0.0
+        assert tl.mean_power_w() == 0.0
+
+
+class TestPowerTimeline:
+    def _timeline(self, meter, freq=2.0, duration=0.1):
+        tracer = PowerTracer(meter, interval_s=0.01)
+        tracer.record(OperatingPoint.uniform(4, freq, SIG), duration)
+        return tracer.timeline()
+
+    def test_energy_equals_mean_power_times_time(self, meter):
+        tl = self._timeline(meter)
+        assert tl.energy_j() == pytest.approx(
+            tl.mean_power_w() * tl.times_s[-1]
+        )
+
+    def test_peak_at_least_mean(self, meter):
+        tl = self._timeline(meter)
+        assert tl.peak_w >= tl.mean_power_w() - 1e-9
+
+    def test_over_budget_fraction(self, meter):
+        tl = self._timeline(meter)
+        assert tl.over_budget_fraction(1e9) == 0.0
+        assert tl.over_budget_fraction(0.0) == 1.0
+
+    def test_constant_op_energy_matches_truth(self, meter):
+        op = OperatingPoint.uniform(4, 2.0, SIG)
+        truth = float(meter.modules.module_power_at(op).sum())
+        tl = self._timeline(meter, freq=2.0, duration=0.2)
+        assert tl.mean_power_w() == pytest.approx(truth, rel=1e-3)
+
+    def test_shape_validation(self):
+        with pytest.raises(MeasurementError):
+            PowerTimeline(
+                times_s=np.array([1.0]),
+                cpu_w=np.ones((2, 3)),
+                dram_w=np.ones((2, 3)),
+            )

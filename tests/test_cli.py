@@ -1,0 +1,45 @@
+"""Tests for the experiment CLI."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for key in EXPERIMENTS:
+            assert key in out
+
+    def test_unknown(self, capsys):
+        assert main(["fig42"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_runs_table1(self, capsys):
+        assert main(["table1"]) == 0
+        assert "RAPL" in capsys.readouterr().out
+
+    def test_case_insensitive(self, capsys):
+        assert main(["TABLE1"]) == 0
+
+    def test_every_experiment_registered_is_importable(self):
+        import importlib
+
+        for key in EXPERIMENTS:
+            mod = "fig6_calibration" if key == "fig6" else key
+            m = importlib.import_module(f"repro.experiments.{mod}")
+            assert hasattr(m, "main")
+
+    def test_module_entrypoint(self):
+        import subprocess
+        import sys
+
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "list"],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert proc.returncode == 0
+        assert "fig7" in proc.stdout

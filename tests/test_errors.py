@@ -1,0 +1,55 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    CappingUnsupportedError,
+    ConfigurationError,
+    InfeasibleBudgetError,
+    MeasurementError,
+    MSRAccessError,
+    ReproError,
+    SchedulerError,
+    SimulationError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            ConfigurationError,
+            InfeasibleBudgetError,
+            MeasurementError,
+            CappingUnsupportedError,
+            MSRAccessError,
+            SchedulerError,
+            SimulationError,
+        ],
+    )
+    def test_everything_derives_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_capping_is_a_measurement_error(self):
+        assert issubclass(CappingUnsupportedError, MeasurementError)
+
+    def test_one_except_clause_catches_all(self):
+        with pytest.raises(ReproError):
+            raise SchedulerError("x")
+
+
+class TestInfeasibleBudgetError:
+    def test_carries_numbers(self):
+        e = InfeasibleBudgetError(100.0, 150.0)
+        assert e.budget_w == 100.0
+        assert e.floor_w == 150.0
+
+    def test_default_message_mentions_table4(self):
+        e = InfeasibleBudgetError(100.0, 150.0)
+        assert "100.0" in str(e)
+        assert "Table 4" in str(e)
+
+    def test_custom_message(self):
+        e = InfeasibleBudgetError(1.0, 2.0, message="custom")
+        assert str(e) == "custom"
+        assert e.floor_w == 2.0

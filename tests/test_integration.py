@@ -1,0 +1,120 @@
+"""End-to-end integration tests: determinism and the full pipeline.
+
+These exercise the whole stack (system construction → PVT →
+calibration → α-solve → actuation → simulation → measurement) the way
+the experiment harness does, and pin the reproducibility guarantee.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    build_system,
+    generate_pvt,
+    get_app,
+    instrument,
+    list_schemes,
+    run_budgeted,
+    run_uncapped,
+)
+
+
+def _pipeline(seed: int, scheme: str = "vapc"):
+    system = build_system("ha8k", n_modules=96, seed=seed)
+    pvt = generate_pvt(system)
+    app = get_app("mhd")
+    return run_budgeted(system, app, scheme, 70.0 * 96, pvt=pvt, n_iters=10)
+
+
+class TestDeterminism:
+    def test_identical_seed_identical_everything(self):
+        a = _pipeline(2015)
+        b = _pipeline(2015)
+        assert a.makespan_s == b.makespan_s
+        assert np.array_equal(a.effective_freq_ghz, b.effective_freq_ghz)
+        assert np.array_equal(a.cpu_power_w, b.cpu_power_w)
+        assert a.solution.alpha == b.solution.alpha
+
+    def test_different_seed_different_system(self):
+        a = _pipeline(2015)
+        b = _pipeline(2016)
+        assert a.makespan_s != b.makespan_s
+
+    def test_pvt_identical_across_regeneration(self):
+        s1 = build_system("ha8k", n_modules=64, seed=11)
+        s2 = build_system("ha8k", n_modules=64, seed=11)
+        p1, p2 = generate_pvt(s1), generate_pvt(s2)
+        assert np.array_equal(p1.scale_cpu_max, p2.scale_cpu_max)
+        assert np.array_equal(p1.scale_dram_min, p2.scale_dram_min)
+
+
+class TestFullPipeline:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        system = build_system("ha8k", n_modules=96, seed=2015)
+        return system, generate_pvt(system)
+
+    def test_every_scheme_end_to_end(self, setup):
+        system, pvt = setup
+        app = get_app("sp")
+        budget = 65.0 * 96
+        base = run_uncapped(system, app, n_iters=10)
+        for scheme in list_schemes():
+            r = run_budgeted(system, app, scheme, budget, pvt=pvt, n_iters=10)
+            # Capped runs are never faster than uncapped.
+            assert r.makespan_s >= base.makespan_s * 0.999
+            # Everyone allocated at most the budget (Eq 5).
+            assert r.solution.total_allocated_w <= budget * (1 + 1e-9)
+            # Realised frequencies live on/below the ladder range.
+            assert np.all(r.effective_freq_ghz <= system.arch.fmax + 1e-9)
+
+    def test_scheme_ordering_typical(self, setup):
+        # The canonical ordering at a moderately tight budget:
+        # uncapped < vafsor <= vafs-ish < vapc < pc < naive (times).
+        system, pvt = setup
+        app = get_app("mhd")
+        budget = 65.0 * 96
+        times = {
+            s: run_budgeted(system, app, s, budget, pvt=pvt, n_iters=10).makespan_s
+            for s in list_schemes()
+        }
+        assert times["vafsor"] <= times["pc"] * 1.001
+        assert times["vapc"] <= times["pc"] * 1.001
+        assert times["pc"] <= times["naive"] * 1.001
+
+    def test_instrumented_pipeline(self, setup):
+        system, pvt = setup
+        inst = instrument(get_app("bt"))
+        for scheme in ("naive", "vafs"):
+            run_budgeted(system, inst, scheme, 60.0 * 96, pvt=pvt, n_iters=10)
+        assert [r.plan for r in inst.records] == ["naive", "vafs"]
+        assert inst.records[0].duration_s > inst.records[1].duration_s
+
+    def test_energy_conservation(self, setup):
+        # Region energy equals mean power x duration (PMMD accounting).
+        system, pvt = setup
+        inst = instrument(get_app("dgemm"))
+        r = run_budgeted(system, inst, "vapc", 80.0 * 96, pvt=pvt, n_iters=5)
+        rec = inst.records[-1]
+        assert rec.energy_j == pytest.approx(r.makespan_s * r.total_power_w)
+
+
+class TestCrossSystemSanity:
+    def test_all_four_systems_run_uncapped(self):
+        for name, n in (("cab", 64), ("vulcan", 64), ("teller", 64), ("ha8k", 64)):
+            system = build_system(name, n_modules=n, seed=1)
+            r = run_uncapped(system, get_app("ep"), n_iters=3)
+            assert r.makespan_s > 0
+            assert r.total_power_w > 0
+
+    def test_teller_has_performance_variation(self):
+        # EP's final allreduce equalises completion; the compute phase
+        # carries the Piledriver per-part performance spread.
+        system = build_system("teller", n_modules=64, seed=1)
+        r = run_uncapped(system, get_app("ep"), n_iters=3)
+        assert r.trace.compute_s.max() > r.trace.compute_s.min() * 1.05
+
+    def test_intel_systems_do_not(self):
+        system = build_system("cab", n_modules=64, seed=1)
+        r = run_uncapped(system, get_app("ep"), n_iters=3)
+        assert r.trace.compute_s.max() == pytest.approx(r.trace.compute_s.min())

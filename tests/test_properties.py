@@ -1,0 +1,167 @@
+"""Cross-cutting property-based invariants of the whole stack.
+
+These are the contracts a downstream user relies on regardless of
+parameter choices: more power never hurts, caps are monotone, the
+calibration is exact in the noiseless limit, and budgets are never
+exceeded by PC actuation.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.registry import get_app
+from repro.cluster.configs import build_system
+from repro.core.pvt import generate_pvt
+from repro.core.runner import run_budgeted
+from repro.errors import InfeasibleBudgetError
+from repro.hardware.power_model import PowerSignature
+
+
+@pytest.fixture(scope="module")
+def system():
+    return build_system("ha8k", n_modules=48, seed=99)
+
+
+@pytest.fixture(scope="module")
+def pvt(system):
+    return generate_pvt(system, noisy=False)
+
+
+class TestMorePowerNeverHurts:
+    @settings(max_examples=12, deadline=None)
+    @given(
+        cm=st.floats(min_value=55.0, max_value=105.0),
+        scheme=st.sampled_from(["naive", "pc", "vapc", "vafs"]),
+    )
+    def test_monotone_in_budget(self, system, pvt, cm, scheme):
+        app = get_app("mhd")
+        try:
+            lo = run_budgeted(
+                system, app, scheme, cm * 48, pvt=pvt, n_iters=5, noisy=False
+            )
+        except InfeasibleBudgetError:
+            return
+        hi = run_budgeted(
+            system, app, scheme, (cm + 8.0) * 48, pvt=pvt, n_iters=5, noisy=False
+        )
+        assert hi.makespan_s <= lo.makespan_s * (1 + 1e-9)
+
+
+class TestBudgetNeverExceededByPC:
+    @settings(max_examples=12, deadline=None)
+    @given(
+        cm=st.floats(min_value=52.0, max_value=110.0),
+        app_name=st.sampled_from(["dgemm", "mhd", "bt", "sp", "mvmc"]),
+    )
+    def test_vapc_adheres(self, system, pvt, cm, app_name):
+        """RAPL *guarantees* only the CPU domain; total adherence is
+        limited by DRAM prediction accuracy (DRAM caps are unavailable
+        on the paper's hardware — Section 3.1.1), so at the feasibility
+        edge the total may exceed the budget by the residual DRAM error
+        (well under 1%)."""
+        app = get_app(app_name)
+        try:
+            r = run_budgeted(
+                system, app, "vapc", cm * 48, pvt=pvt, n_iters=3, noisy=False
+            )
+        except InfeasibleBudgetError:
+            return
+        # Hard guarantee: realised CPU power within the CPU allocations.
+        assert r.cpu_power_w.sum() <= r.solution.pcpu_w.sum() * (1 + 1e-9)
+        # Soft guarantee: total within budget up to DRAM prediction error.
+        assert r.total_power_w <= r.budget_w * 1.005
+
+
+class TestCapMonotonicity:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        cap=st.floats(min_value=25.0, max_value=120.0),
+        activity=st.floats(min_value=0.3, max_value=1.0),
+    )
+    def test_power_and_rate_monotone_in_cap(self, system, cap, activity):
+        sig = PowerSignature(activity, 0.3)
+        lo = system.modules.resolve_cpu_cap(np.full(48, cap), sig)
+        hi = system.modules.resolve_cpu_cap(np.full(48, cap + 3.0), sig)
+        assert np.all(hi.effective_freq_ghz >= lo.effective_freq_ghz - 1e-12)
+        assert np.all(hi.cpu_power_w >= lo.cpu_power_w - 1e-9)
+
+
+class TestNoiselessCalibrationExact:
+    def test_stream_pmt_is_exact(self, system, pvt):
+        """Zero residual + zero noise: the calibrated PMT equals truth."""
+        from repro.core.pmt import calibrate_pmt, prediction_error
+        from repro.core.test_run import single_module_test_run
+
+        app = get_app("stream")  # zero expression residual by definition
+        arch = system.arch
+        prof = single_module_test_run(system, app, 0, noisy=False)
+        pmt = calibrate_pmt(pvt, prof, fmin=arch.fmin, fmax=arch.fmax)
+        truth = app.specialize(system.modules, system.rng.rng("app-residual/stream"))
+        err = prediction_error(pmt, truth, app)
+        assert err["max"] < 1e-6
+
+    @settings(max_examples=10, deadline=None)
+    @given(module=st.integers(min_value=0, max_value=47))
+    def test_exactness_independent_of_test_module(self, system, pvt, module):
+        from repro.core.pmt import calibrate_pmt, prediction_error
+        from repro.core.test_run import single_module_test_run
+
+        app = get_app("stream")
+        arch = system.arch
+        prof = single_module_test_run(system, app, module, noisy=False)
+        pmt = calibrate_pmt(pvt, prof, fmin=arch.fmin, fmax=arch.fmax)
+        truth = app.specialize(system.modules, system.rng.rng("app-residual/stream"))
+        assert prediction_error(pmt, truth, app)["max"] < 1e-6
+
+
+class TestWorkConservation:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.lists(st.floats(min_value=0.5, max_value=3.0), min_size=2, max_size=12),
+        st.integers(min_value=1, max_value=8),
+    )
+    def test_compute_time_is_work_over_rate(self, rates, iters):
+        from repro.simmpi.machine import BspMachine
+
+        r = np.asarray(rates)
+        m = BspMachine(r, latency_s=0.0, bandwidth_gbps=1e9)
+        for _ in range(iters):
+            m.compute(2.0)
+        t = m.trace()
+        assert np.allclose(t.compute_s, iters * 2.0 / r)
+        assert np.allclose(t.total_s, t.compute_s)
+
+
+class TestAlphaScaling:
+    @settings(max_examples=20, deadline=None)
+    @given(scale=st.floats(min_value=0.5, max_value=4.0))
+    def test_alpha_invariant_under_system_scaling(self, scale):
+        """Doubling every module and the budget leaves α unchanged."""
+        from repro.core.budget import solve_alpha
+        from repro.core.model import LinearPowerModel
+
+        base = LinearPowerModel(
+            fmin=1.2,
+            fmax=2.7,
+            p_cpu_max=np.array([100.0, 110.0]),
+            p_cpu_min=np.array([55.0, 60.0]),
+            p_dram_max=np.array([12.0, 13.0]),
+            p_dram_min=np.array([8.0, 8.5]),
+        )
+        n_rep = 3
+        rep = LinearPowerModel(
+            fmin=1.2,
+            fmax=2.7,
+            p_cpu_max=np.tile(base.p_cpu_max, n_rep),
+            p_cpu_min=np.tile(base.p_cpu_min, n_rep),
+            p_dram_max=np.tile(base.p_dram_max, n_rep),
+            p_dram_min=np.tile(base.p_dram_min, n_rep),
+        )
+        budget = base.total_min_w() * scale
+        try:
+            a1 = solve_alpha(base, budget).alpha
+        except InfeasibleBudgetError:
+            return
+        a2 = solve_alpha(rep, budget * n_rep).alpha
+        assert a1 == pytest.approx(a2)

@@ -1,0 +1,86 @@
+"""Regression pins for the headline reproduction numbers (EXPERIMENTS.md).
+
+These run at the paper's full 1,920-module scale with the published
+default seed and pin the measured values inside tight bands.  If a model
+change moves a headline number, this file is where it shows up — update
+EXPERIMENTS.md in the same change.
+"""
+
+import pytest
+
+from repro.apps.registry import get_app
+from repro.core.runner import run_budgeted, run_uncapped
+from repro.experiments.common import ha8k, ha8k_pvt
+
+
+@pytest.fixture(scope="module")
+def system():
+    return ha8k(1920)
+
+
+@pytest.fixture(scope="module")
+def pvt():
+    return ha8k_pvt(1920)
+
+
+class TestFig2Pins:
+    def test_dgemm_uncapped_power(self, system):
+        r = run_uncapped(system, get_app("dgemm"), n_iters=2)
+        assert r.cpu_power_w.mean() == pytest.approx(100.8, abs=1.5)
+        assert r.module_power_w.mean() == pytest.approx(112.8, abs=1.5)
+        assert r.vp == pytest.approx(1.27, abs=0.06)
+
+    def test_mhd_uncapped_power(self, system):
+        r = run_uncapped(system, get_app("mhd"), n_iters=2)
+        assert r.cpu_power_w.mean() == pytest.approx(83.9, abs=1.5)
+        assert r.module_power_w.mean() == pytest.approx(96.4, abs=1.5)
+
+
+class TestFig7Pins:
+    def test_sp_96kw_vafs(self, system, pvt):
+        app = get_app("sp")
+        budget = 50.0 * 1920
+        naive = run_budgeted(system, app, "naive", budget, pvt=pvt, n_iters=15)
+        vafs = run_budgeted(system, app, "vafs", budget, pvt=pvt, n_iters=15)
+        assert vafs.speedup_over(naive) == pytest.approx(5.00, rel=0.12)
+
+    def test_sp_96kw_vapc(self, system, pvt):
+        app = get_app("sp")
+        budget = 50.0 * 1920
+        naive = run_budgeted(system, app, "naive", budget, pvt=pvt, n_iters=15)
+        vapc = run_budgeted(system, app, "vapc", budget, pvt=pvt, n_iters=15)
+        assert vapc.speedup_over(naive) == pytest.approx(4.21, rel=0.12)
+
+    def test_bt_96kw_vafs(self, system, pvt):
+        app = get_app("bt")
+        budget = 50.0 * 1920
+        naive = run_budgeted(system, app, "naive", budget, pvt=pvt, n_iters=15)
+        vafs = run_budgeted(system, app, "vafs", budget, pvt=pvt, n_iters=15)
+        assert vafs.speedup_over(naive) == pytest.approx(4.87, rel=0.12)
+
+
+class TestFig9Pins:
+    def test_naive_stream_overshoot_154kw(self, system, pvt):
+        r = run_budgeted(
+            system, get_app("stream"), "naive", 80.0 * 1920, pvt=pvt, n_iters=3
+        )
+        assert not r.within_budget
+        assert r.total_power_w / (80.0 * 1920) - 1 == pytest.approx(0.123, abs=0.03)
+
+    def test_vafs_stream_adheres(self, system, pvt):
+        r = run_budgeted(
+            system, get_app("stream"), "vafs", 80.0 * 1920, pvt=pvt, n_iters=3
+        )
+        assert r.within_budget
+
+
+class TestFig6Pins:
+    def test_bt_max_error(self, system, pvt):
+        from repro.core.pmt import prediction_error
+        from repro.core.schemes import get_scheme
+
+        app = get_app("bt")
+        pmt = get_scheme("vapc").build_pmt(system, app, pvt=pvt)
+        truth = app.specialize(system.modules, system.rng.rng("app-residual/bt"))
+        err = prediction_error(pmt, truth, app)
+        assert err["max"] == pytest.approx(0.103, abs=0.025)

@@ -1,0 +1,107 @@
+"""Tests for the ASCII plotting helpers."""
+
+import numpy as np
+import pytest
+
+from repro.util.ascii_plot import scatter_plot, series_plot
+
+
+class TestScatterPlot:
+    def test_basic_structure(self):
+        out = scatter_plot(
+            {"a": (np.array([0.0, 1.0]), np.array([0.0, 1.0]))},
+            width=20,
+            height=5,
+            title="T",
+        )
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert any("o" in ln for ln in lines)
+        assert "o=a" in lines[-1]
+
+    def test_extremes_plotted_at_corners(self):
+        out = scatter_plot(
+            {"a": (np.array([0.0, 10.0]), np.array([0.0, 5.0]))},
+            width=20,
+            height=5,
+        )
+        rows = [ln.split("|", 1)[1] for ln in out.splitlines() if "|" in ln]
+        assert rows[0].rstrip().endswith("o")  # top-right = (max, max)
+        assert rows[-1].lstrip().startswith("o")  # bottom-left = (min, min)
+
+    def test_multiple_series_get_distinct_markers(self):
+        out = scatter_plot(
+            {
+                "a": (np.array([0.0]), np.array([0.0])),
+                "b": (np.array([1.0]), np.array([1.0])),
+            },
+            width=20,
+            height=5,
+        )
+        assert "o=a" in out and "x=b" in out
+
+    def test_axis_labels(self):
+        out = scatter_plot(
+            {"a": (np.array([1.0, 2.0]), np.array([3.0, 4.0]))},
+            xlabel="freq",
+            ylabel="W",
+            width=30,
+            height=6,
+        )
+        assert "freq" in out
+        assert "W" in out
+        assert "1" in out and "4" in out  # axis extremes
+
+    def test_constant_values_ok(self):
+        out = scatter_plot(
+            {"a": (np.array([2.0, 2.0]), np.array([5.0, 5.0]))}, width=20, height=5
+        )
+        assert "o" in out
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            scatter_plot({})
+        with pytest.raises(ValueError):
+            scatter_plot(
+                {"a": (np.array([1.0]), np.array([1.0]))}, width=4, height=2
+            )
+        with pytest.raises(ValueError):
+            scatter_plot({"a": (np.array([]), np.array([]))})
+
+
+class TestSeriesPlot:
+    def test_shared_x(self):
+        out = series_plot(
+            [1.0, 2.0, 3.0],
+            {"up": [1.0, 2.0, 3.0], "down": [3.0, 2.0, 1.0]},
+            width=24,
+            height=6,
+        )
+        assert "o=up" in out and "x=down" in out
+
+
+class TestExperimentPlots:
+    def test_fig2_plot(self):
+        from repro.experiments.fig2 import plot_fig2, run_fig2
+
+        result = run_fig2(n_modules=64, n_iters=5)
+        out = plot_fig2(result, "dgemm")
+        assert "Fig 2(ii)" in out and "Fig 2(iii)" in out
+
+    def test_fig1_plot(self):
+        from repro.experiments.fig1 import plot_fig1, run_fig1
+
+        out = plot_fig1(run_fig1())
+        assert "Fig 1 — cab" in out
+
+    def test_fig3_plot(self):
+        from repro.experiments.fig3 import plot_fig3, run_fig3
+
+        out = plot_fig3(run_fig3(n_iters=10))
+        assert "Cm=No" in out
+
+    def test_fig5_plot(self):
+        from repro.experiments.fig5 import plot_fig5, run_fig5
+
+        out = plot_fig5(run_fig5(n_modules=8))
+        assert "dram" in out

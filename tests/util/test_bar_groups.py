@@ -1,0 +1,53 @@
+"""Tests for the grouped-bar renderer."""
+
+import pytest
+
+from repro.util.ascii_plot import bar_groups
+
+
+class TestBarGroups:
+    def test_basic(self):
+        out = bar_groups(
+            {"g1": {"a": 1.0, "b": 2.0}}, width=10, title="T", unit="x"
+        )
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "g1:" in lines[1]
+        assert "1.00x" in out and "2.00x" in out
+        # The bigger value gets the full width.
+        assert "#" * 10 in out
+
+    def test_proportionality(self):
+        out = bar_groups({"g": {"half": 0.5, "full": 1.0}}, width=20)
+        half_line = next(ln for ln in out.splitlines() if "half" in ln)
+        full_line = next(ln for ln in out.splitlines() if "full" in ln)
+        assert half_line.count("#") * 2 == full_line.count("#")
+
+    def test_reference_marker(self):
+        out = bar_groups(
+            {"g": {"a": 0.5, "b": 2.0}}, width=20, reference=1.0, unit="x"
+        )
+        assert "|" in out
+        assert "marks 1.00x" in out
+
+    def test_multiple_groups(self):
+        out = bar_groups({"g1": {"a": 1.0}, "g2": {"a": 3.0}}, width=12)
+        assert "g1:" in out and "g2:" in out
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bar_groups({})
+        with pytest.raises(ValueError):
+            bar_groups({"g": {}})
+        with pytest.raises(ValueError):
+            bar_groups({"g": {"a": 0.0}})
+
+    def test_fig7_plot_helper(self):
+        from repro.experiments.fig7 import plot_fig7, run_fig7
+
+        # dgemm's X cells stay feasible even on a tiny 64-module slice
+        # (bt's 96 kW cell sits on the floor and needs full scale).
+        cells = run_fig7(n_modules=64, n_iters=5, apps=("dgemm",))
+        out = plot_fig7(cells, apps=("dgemm",))
+        assert "dgemm @" in out
+        assert "vafs" in out

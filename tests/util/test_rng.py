@@ -1,0 +1,70 @@
+"""Tests for deterministic RNG plumbing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.rng import RngFactory, spawn_rng
+
+
+class TestRngFactory:
+    def test_same_seed_same_key_identical_streams(self):
+        a = RngFactory(42).rng("x").random(16)
+        b = RngFactory(42).rng("x").random(16)
+        assert np.array_equal(a, b)
+
+    def test_different_keys_differ(self):
+        f = RngFactory(42)
+        a = f.rng("x").random(16)
+        b = f.rng("y").random(16)
+        assert not np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = RngFactory(1).rng("x").random(16)
+        b = RngFactory(2).rng("x").random(16)
+        assert not np.array_equal(a, b)
+
+    def test_rng_restarts_per_call(self):
+        f = RngFactory(7)
+        assert np.array_equal(f.rng("k").random(4), f.rng("k").random(4))
+
+    def test_child_namespacing_matches_joined_key(self):
+        f = RngFactory(5)
+        a = f.child("hw").rng("var").random(8)
+        b = f.rng("hw/var").random(8)
+        assert np.array_equal(a, b)
+
+    def test_child_independent_of_plain_key(self):
+        f = RngFactory(5)
+        assert not np.array_equal(
+            f.child("hw").rng("var").random(8), f.rng("var").random(8)
+        )
+
+    def test_nested_children(self):
+        f = RngFactory(9)
+        a = f.child("a").child("b").rng("c").random(4)
+        b = f.rng("a/b/c").random(4)
+        assert np.array_equal(a, b)
+
+    def test_seed_property(self):
+        assert RngFactory(123).seed == 123
+
+    def test_rejects_non_integer_seed(self):
+        with pytest.raises(TypeError):
+            RngFactory("abc")  # type: ignore[arg-type]
+
+    def test_numpy_integer_seed_accepted(self):
+        f = RngFactory(np.int64(3))
+        assert f.seed == 3
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1), st.text(max_size=30))
+    def test_determinism_property(self, seed, key):
+        a = RngFactory(seed).rng(key).random(4)
+        b = RngFactory(seed).rng(key).random(4)
+        assert np.array_equal(a, b)
+
+
+def test_spawn_rng_matches_factory():
+    assert np.array_equal(
+        spawn_rng(11, "k").random(4), RngFactory(11).rng("k").random(4)
+    )

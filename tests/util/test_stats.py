@@ -1,0 +1,126 @@
+"""Tests for the paper's Vp/Vf/Vt metrics and the linear-fit helper."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.stats import (
+    linear_fit,
+    r_squared,
+    variation_summary,
+    worst_case_variation,
+)
+
+
+class TestWorstCaseVariation:
+    def test_identical_values_give_one(self):
+        assert worst_case_variation([5.0, 5.0, 5.0]) == 1.0
+
+    def test_simple_ratio(self):
+        assert worst_case_variation([2.0, 4.0]) == pytest.approx(2.0)
+
+    def test_paper_vp_example(self):
+        # Fig 2(i): 30% spread corresponds to Vp = 1.3.
+        values = np.linspace(100.0, 130.0, 50)
+        assert worst_case_variation(values) == pytest.approx(1.3)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            worst_case_variation([])
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            worst_case_variation([1.0, 0.0])
+        with pytest.raises(ValueError):
+            worst_case_variation([1.0, -2.0])
+
+    def test_nonfinite_rejected(self):
+        with pytest.raises(ValueError):
+            worst_case_variation([1.0, np.nan])
+        with pytest.raises(ValueError):
+            worst_case_variation([1.0, np.inf])
+
+    @given(
+        st.lists(
+            st.floats(min_value=0.1, max_value=1e6, allow_nan=False),
+            min_size=1,
+            max_size=50,
+        )
+    )
+    def test_always_at_least_one(self, values):
+        assert worst_case_variation(values) >= 1.0
+
+    @given(
+        st.lists(
+            st.floats(min_value=0.1, max_value=1e6, allow_nan=False),
+            min_size=1,
+            max_size=50,
+        ),
+        st.floats(min_value=0.01, max_value=100.0),
+    )
+    def test_scale_invariant(self, values, scale):
+        arr = np.asarray(values)
+        v1 = worst_case_variation(arr)
+        v2 = worst_case_variation(arr * scale)
+        assert v1 == pytest.approx(v2, rel=1e-9)
+
+
+class TestVariationSummary:
+    def test_fields(self):
+        s = variation_summary([10.0, 20.0])
+        assert s.mean == 15.0
+        assert s.vmin == 10.0
+        assert s.vmax == 20.0
+        assert s.worst_case == 2.0
+        assert s.n == 2
+
+    def test_std_population(self):
+        s = variation_summary([1.0, 3.0])
+        assert s.std == pytest.approx(1.0)
+
+    def test_str_contains_metrics(self):
+        s = str(variation_summary([10.0, 13.0]))
+        assert "V=1.30" in s
+
+
+class TestLinearFit:
+    def test_exact_line(self):
+        x = np.linspace(1.2, 2.7, 16)
+        fit = linear_fit(x, 3.0 * x + 2.0)
+        assert fit.slope == pytest.approx(3.0)
+        assert fit.intercept == pytest.approx(2.0)
+        assert fit.r2 == pytest.approx(1.0)
+
+    def test_predict(self):
+        fit = linear_fit([0.0, 1.0], [1.0, 3.0])
+        assert fit.predict(2.0) == pytest.approx(5.0)
+
+    def test_noisy_line_high_r2(self):
+        rng = np.random.default_rng(0)
+        x = np.linspace(1.0, 3.0, 64)
+        y = 40.0 * x + 18.0 + rng.normal(0, 0.5, 64)
+        fit = linear_fit(x, y)
+        assert fit.r2 > 0.99  # paper's Fig 5 regime
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            linear_fit([1.0, 2.0], [1.0])
+        with pytest.raises(ValueError):
+            linear_fit([1.0], [1.0])
+
+    def test_constant_x_rejected(self):
+        with pytest.raises(ValueError):
+            linear_fit([2.0, 2.0], [1.0, 3.0])
+
+
+class TestRSquared:
+    def test_perfect(self):
+        assert r_squared([1.0, 2.0], [1.0, 2.0]) == 1.0
+
+    def test_mean_prediction_zero(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert r_squared(y, np.full(3, y.mean())) == pytest.approx(0.0)
+
+    def test_constant_target(self):
+        assert r_squared([2.0, 2.0], [2.0, 2.0]) == 1.0
+        assert r_squared([2.0, 2.0], [2.0, 3.0]) == 0.0

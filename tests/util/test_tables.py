@@ -1,0 +1,42 @@
+"""Tests for ASCII table rendering."""
+
+import pytest
+
+from repro.util.tables import render_table
+
+
+def test_basic_rendering():
+    out = render_table(["a", "bb"], [[1, 2], [30, 4]])
+    lines = out.splitlines()
+    assert lines[0].startswith("a")
+    assert "bb" in lines[0]
+    assert "30" in lines[2] or "30" in lines[3]
+
+
+def test_title_included():
+    out = render_table(["x"], [[1]], title="Table 4")
+    assert out.splitlines()[0] == "Table 4"
+    assert out.splitlines()[1] == "======="
+
+
+def test_float_formatting():
+    out = render_table(["v"], [[1.23456]])
+    assert "1.23" in out
+    assert "1.2345" not in out
+
+
+def test_column_count_mismatch():
+    with pytest.raises(ValueError):
+        render_table(["a", "b"], [[1]])
+
+
+def test_wide_cells_expand_columns():
+    out = render_table(["h"], [["a-very-long-cell"]])
+    _header, sep, row = out.splitlines()
+    assert len(sep) >= len("a-very-long-cell")
+    assert row == "a-very-long-cell"
+
+
+def test_empty_rows_ok():
+    out = render_table(["a"], [])
+    assert out.splitlines()[0].strip() == "a"

@@ -3,18 +3,30 @@
 Lists and runs the paper's tables/figures and the ablation studies::
 
     python -m repro list
-    python -m repro fig7
+    python -m repro fig7 --jobs 4
     python -m repro table4 --modules 512
-    python -m repro all
+    python -m repro all --stats
+
+Sweep experiments route through the execution engine
+(:mod:`repro.exec`): ``--jobs`` fans cache misses out over a process
+pool, ``--cache-dir``/``--no-cache`` control the persistent run cache,
+and ``--stats`` prints per-run observability afterwards.  Engine results
+are bit-identical regardless of ``--jobs`` and cache state (see
+``tests/exec/``), so the flags trade time, never accuracy.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import traceback
 from collections.abc import Callable
+from time import perf_counter
 
-__all__ = ["main", "EXPERIMENTS"]
+from repro import exec as engine_mod
+from repro.util.tables import render_table
+
+__all__ = ["main", "build_parser", "EXPERIMENTS", "run_all"]
 
 
 def _lazy(module: str) -> Callable[[], None]:
@@ -69,7 +81,69 @@ def build_parser() -> argparse.ArgumentParser:
         "experiment",
         help="experiment name, 'list' to enumerate, or 'all' to run everything",
     )
+    parser.add_argument(
+        "-j",
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for sweep fan-out (default: 1, sequential; "
+        "results are bit-identical at any value)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="persistent run-cache directory "
+        "(default: $REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the persistent run cache entirely",
+    )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print engine run statistics (cache hits/misses, per-run "
+        "wall times) after the experiment(s)",
+    )
     return parser
+
+
+def run_all(stats: bool = False) -> int:
+    """Run every experiment, continuing past failures.
+
+    Prints a per-experiment PASS/FAIL + timing summary at the end and
+    returns 1 if any experiment failed, 0 otherwise.
+    """
+    rows: list[list[object]] = []
+    failed: list[str] = []
+    for key, (_, runner) in EXPERIMENTS.items():
+        print(f"######## {key}")
+        t0 = perf_counter()
+        try:
+            runner()
+            status = "PASS"
+        except Exception:
+            status = "FAIL"
+            failed.append(key)
+            traceback.print_exc()
+        rows.append([key, status, f"{perf_counter() - t0:.2f}"])
+        print()
+    print(render_table(["Experiment", "Status", "Time [s]"], rows,
+                       title="repro all: per-experiment summary"))
+    if failed:
+        print(
+            f"-- {len(failed)}/{len(EXPERIMENTS)} experiments FAILED: "
+            f"{', '.join(failed)}",
+            file=sys.stderr,
+        )
+    else:
+        print(f"-- all {len(EXPERIMENTS)} experiments passed")
+    if stats:
+        print(engine_mod.get_engine().stats.format_summary())
+    return 1 if failed else 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -83,18 +157,22 @@ def main(argv: list[str] | None = None) -> int:
             print(f"{key.ljust(width)}  {desc}")
         return 0
 
-    if name == "all":
-        for key, (_, runner) in EXPERIMENTS.items():
-            print(f"######## {key}")
-            runner()
-            print()
-        return 0
-
-    try:
-        _, runner = EXPERIMENTS[name]
-    except KeyError:
+    if name != "all" and name not in EXPERIMENTS:
         known = ", ".join(EXPERIMENTS)
         print(f"unknown experiment {name!r}; known: list, all, {known}", file=sys.stderr)
         return 2
+
+    engine_mod.configure(
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        use_cache=not args.no_cache,
+    )
+
+    if name == "all":
+        return run_all(stats=args.stats)
+
+    _, runner = EXPERIMENTS[name]
     runner()
+    if args.stats:
+        print(engine_mod.get_engine().stats.format_summary())
     return 0

@@ -1,0 +1,272 @@
+"""Content-addressed persistent cache for :class:`~repro.core.runner.RunResult`.
+
+A :class:`RunKey` is the complete, serialisable description of one
+managed run — everything :func:`~repro.core.runner.run_budgeted` /
+:func:`~repro.core.runner.run_uncapped` consume that can change the
+output bit-for-bit: the system configuration (name, size, seed, any
+microarchitecture overrides), the application (plus residual overrides),
+the scheme, the budget, and the execution knobs.  Two keys with the same
+canonical form denote the same deterministic computation, so the cached
+result can stand in for a live run.
+
+Entries are single ``.npz`` files named by the SHA-256 digest of the
+key's canonical JSON (plus :data:`CACHE_SCHEMA_VERSION`), written
+atomically (temp file + ``os.replace``) so concurrent workers can never
+observe a torn entry.  Arrays round-trip bit-identically through NPZ;
+scalar metadata rides along as a JSON string, whose float formatting
+(``repr``) is also exact.
+
+Cache invalidation is entirely key-driven: change any field and the
+digest — hence the file name — changes; bump
+:data:`CACHE_SCHEMA_VERSION` when the *semantics* of a run change (model
+constants, scheme algorithms) and every old entry becomes unreachable at
+once.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import hashlib
+import io
+import json
+import os
+import tempfile
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.budget import BudgetSolution
+from repro.core.runner import RunResult
+from repro.errors import ConfigurationError, InfeasibleBudgetError
+from repro.simmpi.tracing import RankTrace
+
+__all__ = [
+    "CACHE_SCHEMA_VERSION",
+    "RunKey",
+    "ResultCache",
+    "default_cache_dir",
+]
+
+#: Bump whenever the *meaning* of a run changes (model constants, scheme
+#: algorithms, serialisation layout) — all previously cached entries
+#: become unreachable without touching the filesystem.
+CACHE_SCHEMA_VERSION = 1
+
+_Overrides = tuple[tuple[str, object], ...]
+
+
+@dataclass(frozen=True)
+class RunKey:
+    """Complete description of one deterministic managed run.
+
+    ``scheme=None`` (with ``budget_w=None``) denotes an uncapped
+    reference run; otherwise both must be set.
+
+    Attributes
+    ----------
+    system:
+        Either a registered site name ("ha8k", "cab", ...) built through
+        :func:`repro.cluster.build_system`, or — when ``arch_base`` is
+        set — an arbitrary system name built directly from that
+        registered microarchitecture (the sensitivity studies).
+    arch_base / arch_overrides:
+        ``arch_base`` names a registered microarchitecture;
+        ``arch_overrides`` is a flat tuple of ``(field, value)`` pairs
+        applied with :meth:`Microarchitecture.with_` — fields prefixed
+        ``"variation."`` are applied to the variation model instead.
+    app_overrides:
+        ``(field, value)`` pairs applied with :meth:`AppModel.with_`
+        (residual knobs in the sensitivity study).
+    """
+
+    system: str
+    n_modules: int
+    seed: int
+    app: str
+    scheme: str | None
+    budget_w: float | None
+    n_iters: int | None = None
+    noisy: bool = True
+    fs_guardband_frac: float = 0.02
+    test_module: int = 0
+    turbo: bool = False
+    arch_base: str = ""
+    arch_overrides: _Overrides = ()
+    app_overrides: _Overrides = ()
+    procs_per_node: int = 2
+    meter_kind: str = "rapl"
+    label: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        if (self.scheme is None) != (self.budget_w is None):
+            raise ConfigurationError(
+                "scheme and budget_w must both be set (budgeted run) "
+                "or both be None (uncapped run)"
+            )
+        if self.n_modules <= 0:
+            raise ConfigurationError("n_modules must be positive")
+
+    def canonical(self) -> dict:
+        """The key as a stable, JSON-serialisable mapping.
+
+        ``label`` is presentation-only and excluded — relabelling a run
+        must not change its cache identity.
+        """
+        d = asdict(self)
+        d.pop("label")
+        d["schema"] = CACHE_SCHEMA_VERSION
+        d["arch_overrides"] = [list(p) for p in self.arch_overrides]
+        d["app_overrides"] = [list(p) for p in self.app_overrides]
+        return d
+
+    def digest(self) -> str:
+        """SHA-256 content hash of the canonical form (the cache address)."""
+        blob = json.dumps(self.canonical(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+    def describe(self) -> str:
+        """Human-readable one-liner (stats tables, error messages)."""
+        if self.label:
+            return self.label
+        if self.scheme is None:
+            return f"{self.system}/{self.app}/uncapped"
+        return f"{self.system}/{self.app}/{self.scheme}@{self.budget_w:.0f}W"
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR``, else ``~/.cache/repro``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro"
+
+
+# -- RunResult <-> NPZ payload -------------------------------------------------
+
+_TRACE_FIELDS = ("total_s", "compute_s", "wait_s", "comm_s")
+_SOL_ARRAYS = ("pmodule_w", "pcpu_w", "pdram_w")
+_SOL_SCALARS = ("alpha", "raw_alpha", "constrained", "freq_ghz", "budget_w")
+
+
+def result_to_payload(result: RunResult) -> tuple[dict, dict[str, np.ndarray]]:
+    """Split a :class:`RunResult` into JSON-able metadata plus arrays."""
+    meta: dict = {
+        "kind": "result",
+        "app_name": result.app_name,
+        "scheme_name": result.scheme_name,
+        "budget_w": result.budget_w,
+    }
+    arrays: dict[str, np.ndarray] = {
+        "effective_freq_ghz": result.effective_freq_ghz,
+        "cpu_power_w": result.cpu_power_w,
+        "dram_power_w": result.dram_power_w,
+        "cap_met": result.cap_met,
+    }
+    for f in _TRACE_FIELDS:
+        arrays[f"trace_{f}"] = getattr(result.trace, f)
+    if result.solution is not None:
+        meta["solution"] = {s: getattr(result.solution, s) for s in _SOL_SCALARS}
+        for f in _SOL_ARRAYS:
+            arrays[f"sol_{f}"] = getattr(result.solution, f)
+    else:
+        meta["solution"] = None
+    return meta, arrays
+
+
+def payload_to_result(meta: dict, arrays: dict[str, np.ndarray]) -> RunResult:
+    """Inverse of :func:`result_to_payload` (bit-identical arrays)."""
+    solution = None
+    if meta["solution"] is not None:
+        solution = BudgetSolution(
+            **meta["solution"],
+            **{f: arrays[f"sol_{f}"] for f in _SOL_ARRAYS},
+        )
+    trace = RankTrace(**{f: arrays[f"trace_{f}"] for f in _TRACE_FIELDS})
+    return RunResult(
+        app_name=meta["app_name"],
+        scheme_name=meta["scheme_name"],
+        budget_w=meta["budget_w"],
+        solution=solution,
+        effective_freq_ghz=arrays["effective_freq_ghz"],
+        cpu_power_w=arrays["cpu_power_w"],
+        dram_power_w=arrays["dram_power_w"],
+        cap_met=arrays["cap_met"],
+        trace=trace,
+    )
+
+
+class ResultCache:
+    """Directory of ``<digest>.npz`` entries, one per :class:`RunKey`.
+
+    Also caches *infeasibility*: a budget below the fmin floor is a
+    deterministic property of the key, so the
+    :class:`~repro.errors.InfeasibleBudgetError` is stored and re-raised
+    on later lookups instead of re-deriving the PMT.
+    """
+
+    def __init__(self, cache_dir: str | Path | None = None):
+        self.dir = Path(cache_dir) if cache_dir is not None else default_cache_dir()
+        self.dir.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, key: RunKey) -> Path:
+        return self.dir / f"{key.digest()}.npz"
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.dir.glob("*.npz"))
+
+    def __contains__(self, key: RunKey) -> bool:
+        return self._path(key).exists()
+
+    def get(self, key: RunKey) -> RunResult | None:
+        """The cached result, ``None`` on a miss.
+
+        Raises :class:`InfeasibleBudgetError` when the cached entry
+        records that this key's budget is infeasible.
+        """
+        path = self._path(key)
+        try:
+            data = np.load(path, allow_pickle=False)
+        except (FileNotFoundError, OSError, ValueError):
+            return None  # missing or torn/corrupt entry == miss
+        try:
+            meta = json.loads(str(data["meta"][()]))
+            if meta.get("kind") == "infeasible":
+                raise InfeasibleBudgetError(meta["budget_w"], meta["floor_w"])
+            arrays = {k: data[k] for k in data.files if k != "meta"}
+            return payload_to_result(meta, arrays)
+        except KeyError:
+            return None
+        finally:
+            data.close()
+
+    def put(self, key: RunKey, result: RunResult) -> None:
+        """Store ``result`` under ``key`` (atomic; last writer wins)."""
+        meta, arrays = result_to_payload(result)
+        self._write(key, meta, arrays)
+
+    def put_infeasible(self, key: RunKey, exc: InfeasibleBudgetError) -> None:
+        """Record that ``key``'s budget is below the fmin floor."""
+        meta = {"kind": "infeasible", "budget_w": exc.budget_w, "floor_w": exc.floor_w}
+        self._write(key, meta, {})
+
+    def _write(self, key: RunKey, meta: dict, arrays: dict[str, np.ndarray]) -> None:
+        buf = io.BytesIO()
+        np.savez(buf, meta=np.array(json.dumps(meta)), **arrays)
+        fd, tmp = tempfile.mkstemp(dir=self.dir, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(buf.getvalue())
+            os.replace(tmp, self._path(key))
+        except BaseException:
+            with contextlib.suppress(OSError):
+                os.unlink(tmp)
+            raise
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        n = 0
+        for p in self.dir.glob("*.npz"):
+            p.unlink(missing_ok=True)
+            n += 1
+        return n

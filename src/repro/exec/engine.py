@@ -1,0 +1,329 @@
+"""The experiment execution engine: cached, parallel, deterministic runs.
+
+:class:`ExperimentEngine` sits between the experiments and
+:func:`~repro.core.runner.run_budgeted` / :func:`run_uncapped`:
+
+* every run is addressed by a :class:`~repro.exec.cache.RunKey` and can
+  be answered from the persistent :class:`~repro.exec.cache.ResultCache`;
+* :meth:`ExperimentEngine.submit_sweep` fans cache misses out over a
+  process pool (``jobs`` workers);
+* every dispatch is recorded in :class:`~repro.exec.metrics.RunStats`.
+
+Determinism
+-----------
+Every stochastic element of a run draws from
+:class:`~repro.util.rng.RngFactory` streams keyed by (root seed, string
+path), restarted per call — a run's output is a pure function of its
+:class:`RunKey`, independent of process, ordering, or what ran before
+it.  That is what makes parallel fan-out bit-identical to sequential
+execution and cached results trustworthy; ``tests/exec/test_engine.py``
+proves it differentially.  As a defensive measure, :func:`execute_key`
+additionally reseeds numpy's *legacy global* generator from the key
+digest, so even a stray ``np.random.*`` draw in future model code would
+be order- and schedule-independent rather than silently racy.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Sequence
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import replace
+from functools import lru_cache
+from time import perf_counter
+
+import numpy as np
+
+from repro.apps.registry import get_app
+from repro.cluster.configs import build_system
+from repro.cluster.system import System
+from repro.core.pvt import PowerVariationTable, generate_pvt
+from repro.core.runner import RunResult, run_budgeted, run_uncapped
+from repro.errors import InfeasibleBudgetError
+from repro.exec.cache import ResultCache, RunKey
+from repro.exec.metrics import RunStats
+from repro.hardware.microarch import Microarchitecture, get_microarch
+
+__all__ = [
+    "ExperimentEngine",
+    "execute_key",
+    "configure",
+    "get_engine",
+    "reset",
+]
+
+
+# -- per-process system/PVT construction (shared by workers via lru_cache) ----
+
+def _apply_arch_overrides(
+    arch: Microarchitecture, overrides: tuple[tuple[str, object], ...]
+) -> Microarchitecture:
+    changes: dict[str, object] = {}
+    var_changes: dict[str, object] = {}
+    for name, value in overrides:
+        if name.startswith("variation."):
+            var_changes[name.split(".", 1)[1]] = value
+        else:
+            changes[name] = value
+    if var_changes:
+        changes["variation"] = replace(arch.variation, **var_changes)
+    return arch.with_(**changes) if changes else arch
+
+
+_SystemSpec = tuple[str, int, int, str, tuple, int, str]
+
+
+def _spec(key: RunKey) -> _SystemSpec:
+    return (
+        key.system,
+        key.n_modules,
+        key.seed,
+        key.arch_base,
+        key.arch_overrides,
+        key.procs_per_node,
+        key.meter_kind,
+    )
+
+
+@lru_cache(maxsize=32)
+def _system_for(spec: _SystemSpec) -> System:
+    system, n_modules, seed, arch_base, arch_overrides, ppn, meter = spec
+    if arch_base:
+        arch = _apply_arch_overrides(get_microarch(arch_base), arch_overrides)
+        return System.create(
+            system,
+            arch,
+            n_modules,
+            procs_per_node=ppn,
+            meter_kind=meter,
+            seed=seed,
+        )
+    return build_system(system, n_modules=n_modules, seed=seed)
+
+
+@lru_cache(maxsize=32)
+def _pvt_for(spec: _SystemSpec) -> PowerVariationTable:
+    return generate_pvt(_system_for(spec))
+
+
+def execute_key(key: RunKey) -> RunResult:
+    """Execute the run a :class:`RunKey` describes (no cache involved).
+
+    Raises :class:`InfeasibleBudgetError` for budgets below the fmin
+    floor, exactly like :func:`~repro.core.runner.run_budgeted`.
+    """
+    # Defensive per-run seeding (see module docstring): nothing in this
+    # package draws from the legacy global generator, but pinning it per
+    # key keeps any future stray draw schedule-independent.
+    np.random.seed(int(key.digest()[:8], 16))
+    spec = _spec(key)
+    system = _system_for(spec)
+    app = get_app(key.app)
+    if key.app_overrides:
+        app = app.with_(**dict(key.app_overrides))
+    if key.scheme is None:
+        return run_uncapped(system, app, n_iters=key.n_iters, turbo=key.turbo)
+    return run_budgeted(
+        system,
+        app,
+        key.scheme,
+        key.budget_w,
+        pvt=_pvt_for(spec),
+        test_module=key.test_module,
+        n_iters=key.n_iters,
+        noisy=key.noisy,
+        fs_guardband_frac=key.fs_guardband_frac,
+    )
+
+
+def _pool_run(key: RunKey) -> tuple[str, object, float]:
+    """Worker-side wrapper: never lets an InfeasibleBudgetError cross the
+    process boundary (its multi-argument ``__init__`` does not survive
+    pickling); returns a tagged tuple plus the measured wall time."""
+    t0 = perf_counter()
+    try:
+        result = execute_key(key)
+    except InfeasibleBudgetError as exc:
+        return "infeasible", (exc.budget_w, exc.floor_w), perf_counter() - t0
+    return "ok", result, perf_counter() - t0
+
+
+class ExperimentEngine:
+    """Cached, parallel dispatcher for :class:`RunKey` sweeps.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes for :meth:`submit_sweep` / :meth:`map` fan-out;
+        ``1`` (the default) executes in-process, sequentially.
+    cache_dir:
+        Cache directory; ``None`` uses the default
+        (``$REPRO_CACHE_DIR`` or ``~/.cache/repro``) when caching is on.
+    use_cache:
+        Enable the persistent result cache.  Defaults to ``True`` iff
+        ``cache_dir`` was given, so a bare ``ExperimentEngine()`` — what
+        library callers and tests get — touches no global state.
+    stats:
+        Share an existing :class:`RunStats` collector (defaults to a
+        fresh one, exposed as :attr:`stats`).
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache_dir: str | None = None,
+        use_cache: bool | None = None,
+        stats: RunStats | None = None,
+    ):
+        self.jobs = max(1, int(jobs))
+        if use_cache is None:
+            use_cache = cache_dir is not None
+        self.cache: ResultCache | None = (
+            ResultCache(cache_dir) if use_cache else None
+        )
+        self.stats = stats if stats is not None else RunStats()
+
+    # -- single runs ---------------------------------------------------------
+
+    def run(self, key: RunKey) -> RunResult:
+        """One run through the cache: hit, or execute-and-store."""
+        t0 = perf_counter()
+        if self.cache is not None:
+            try:
+                cached = self.cache.get(key)
+            except InfeasibleBudgetError:
+                self.stats.record(key.describe(), "hit", perf_counter() - t0)
+                raise
+            if cached is not None:
+                self.stats.record(key.describe(), "hit", perf_counter() - t0)
+                return cached
+        try:
+            result = execute_key(key)
+        except InfeasibleBudgetError as exc:
+            if self.cache is not None:
+                self.cache.put_infeasible(key, exc)
+            self.stats.record(
+                key.describe(),
+                "miss" if self.cache is not None else "exec",
+                perf_counter() - t0,
+            )
+            raise
+        if self.cache is not None:
+            self.cache.put(key, result)
+        self.stats.record(
+            key.describe(),
+            "miss" if self.cache is not None else "exec",
+            perf_counter() - t0,
+        )
+        return result
+
+    # -- sweeps --------------------------------------------------------------
+
+    def submit_sweep(
+        self,
+        keys: Sequence[RunKey],
+        *,
+        skip_infeasible: bool = False,
+    ) -> list[RunResult | None]:
+        """Run every key, answering from the cache and fanning misses out
+        over the process pool; results come back in input order.
+
+        With ``skip_infeasible=True`` an infeasible budget yields ``None``
+        in its slot instead of raising (sweeps over feasibility edges,
+        e.g. the uncertainty study).
+        """
+        results: list[RunResult | None] = [None] * len(keys)
+        pending: list[tuple[int, RunKey]] = []
+        for i, key in enumerate(keys):
+            t0 = perf_counter()
+            if self.cache is None:
+                pending.append((i, key))
+                continue
+            try:
+                cached = self.cache.get(key)
+            except InfeasibleBudgetError:
+                self.stats.record(key.describe(), "hit", perf_counter() - t0)
+                if skip_infeasible:
+                    continue
+                raise
+            if cached is not None:
+                self.stats.record(key.describe(), "hit", perf_counter() - t0)
+                results[i] = cached
+            else:
+                pending.append((i, key))
+
+        if not pending:
+            return results
+
+        if self.jobs > 1 and len(pending) > 1:
+            workers = min(self.jobs, len(pending))
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                outcomes = list(pool.map(_pool_run, [k for _, k in pending]))
+        else:
+            outcomes = [_pool_run(k) for _, k in pending]
+
+        source = "miss" if self.cache is not None else "exec"
+        for (i, key), (tag, payload, wall_s) in zip(pending, outcomes):
+            self.stats.record(key.describe(), source, wall_s)
+            if tag == "infeasible":
+                budget_w, floor_w = payload
+                exc = InfeasibleBudgetError(budget_w, floor_w)
+                if self.cache is not None:
+                    self.cache.put_infeasible(key, exc)
+                if skip_infeasible:
+                    continue
+                raise exc
+            assert isinstance(payload, RunResult)
+            if self.cache is not None:
+                self.cache.put(key, payload)
+            results[i] = payload
+        return results
+
+    # -- generic fan-out -----------------------------------------------------
+
+    def map(self, fn: Callable, items: Iterable, *, label: str = "map") -> list:
+        """Apply a picklable top-level function over ``items`` with the
+        engine's pool (uncached — for experiment stages that do not
+        produce :class:`RunResult`, e.g. Table 4 classification or the
+        throughput schedulers)."""
+        items = list(items)
+        t0 = perf_counter()
+        if self.jobs > 1 and len(items) > 1:
+            workers = min(self.jobs, len(items))
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                out = list(pool.map(fn, items))
+        else:
+            out = [fn(item) for item in items]
+        self.stats.record(f"{label}[{len(items)}]", "exec", perf_counter() - t0)
+        return out
+
+
+# -- process-global engine (configured by the CLI) ----------------------------
+
+_engine: ExperimentEngine | None = None
+
+
+def configure(
+    *,
+    jobs: int = 1,
+    cache_dir: str | None = None,
+    use_cache: bool | None = None,
+) -> ExperimentEngine:
+    """Install the process-global engine (called by the CLI front-end)."""
+    global _engine
+    _engine = ExperimentEngine(jobs=jobs, cache_dir=cache_dir, use_cache=use_cache)
+    return _engine
+
+
+def get_engine() -> ExperimentEngine:
+    """The process-global engine (a sequential, cacheless default until
+    :func:`configure` is called)."""
+    global _engine
+    if _engine is None:
+        _engine = ExperimentEngine()
+    return _engine
+
+
+def reset() -> None:
+    """Drop the process-global engine (tests)."""
+    global _engine
+    _engine = None

@@ -1,0 +1,105 @@
+"""Run-level observability for the experiment engine.
+
+Every run dispatched through :class:`~repro.exec.ExperimentEngine` is
+recorded here: what it was, where the result came from (cache hit, cache
+miss, or a plain uncached execution), and how long it took.  The
+``--stats`` CLI flag renders the aggregate as a table after the
+experiments finish.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.util.tables import render_table
+
+__all__ = ["RunRecord", "RunStats"]
+
+#: Where a dispatched run's result came from.
+SOURCES = ("hit", "miss", "exec")
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """One dispatched run: identity, result provenance, wall time."""
+
+    label: str
+    source: str  # "hit" (cache), "miss" (executed + stored), "exec" (no cache)
+    wall_s: float
+
+
+@dataclass
+class RunStats:
+    """Counters and per-run wall-times for one engine's lifetime."""
+
+    records: list[RunRecord] = field(default_factory=list)
+
+    def record(self, label: str, source: str, wall_s: float) -> None:
+        """Append one run record (``source`` must be in :data:`SOURCES`)."""
+        if source not in SOURCES:
+            raise ValueError(f"source must be one of {SOURCES}, got {source!r}")
+        self.records.append(RunRecord(label=label, source=source, wall_s=wall_s))
+
+    def merge(self, other: "RunStats") -> None:
+        """Fold another stats object (e.g. from a worker batch) into this one."""
+        self.records.extend(other.records)
+
+    # -- counters ------------------------------------------------------------
+
+    @property
+    def n_runs(self) -> int:
+        """Total runs dispatched."""
+        return len(self.records)
+
+    @property
+    def hits(self) -> int:
+        """Runs answered from the persistent cache."""
+        return sum(1 for r in self.records if r.source == "hit")
+
+    @property
+    def misses(self) -> int:
+        """Runs executed because the cache had no entry."""
+        return sum(1 for r in self.records if r.source == "miss")
+
+    @property
+    def executed(self) -> int:
+        """Runs executed with caching disabled."""
+        return sum(1 for r in self.records if r.source == "exec")
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of cache-eligible runs answered from the cache."""
+        eligible = self.hits + self.misses
+        return self.hits / eligible if eligible else 0.0
+
+    @property
+    def total_wall_s(self) -> float:
+        """Cumulative wall time across every dispatched run."""
+        return sum(r.wall_s for r in self.records)
+
+    def slowest(self, n: int = 5) -> list[RunRecord]:
+        """The ``n`` slowest runs, slowest first."""
+        return sorted(self.records, key=lambda r: r.wall_s, reverse=True)[:n]
+
+    # -- rendering -----------------------------------------------------------
+
+    def format_summary(self, top: int = 5) -> str:
+        """Render the counters plus the slowest runs as a table."""
+        if not self.records:
+            return "-- engine stats: no runs dispatched"
+        head = (
+            f"-- engine stats: {self.n_runs} runs "
+            f"({self.hits} cache hits, {self.misses} misses, "
+            f"{self.executed} uncached), hit rate {self.hit_rate:.0%}, "
+            f"total {self.total_wall_s:.2f} s"
+        )
+        rows = [
+            [r.label, r.source, f"{r.wall_s * 1e3:.1f}"]
+            for r in self.slowest(top)
+        ]
+        table = render_table(
+            ["Run", "Source", "Wall [ms]"],
+            rows,
+            title=f"Slowest {min(top, self.n_runs)} runs",
+        )
+        return f"{head}\n{table}"

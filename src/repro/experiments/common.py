@@ -7,6 +7,7 @@ from functools import lru_cache
 from repro.cluster.configs import PAPER_STUDY_SIZES, build_system
 from repro.cluster.system import System
 from repro.core.pvt import PowerVariationTable, generate_pvt
+from repro.exec import RunKey
 
 __all__ = [
     "DEFAULT_SEED",
@@ -15,6 +16,7 @@ __all__ = [
     "PAPER_TABLE4",
     "ha8k",
     "ha8k_pvt",
+    "ha8k_run_key",
     "paper_system",
 ]
 
@@ -49,6 +51,28 @@ def ha8k(n_modules: int = 1920, seed: int = DEFAULT_SEED) -> System:
 def ha8k_pvt(n_modules: int = 1920, seed: int = DEFAULT_SEED) -> PowerVariationTable:
     """The HA8K install-time PVT (cached alongside the system)."""
     return generate_pvt(ha8k(n_modules, seed))
+
+
+def ha8k_run_key(
+    app: str,
+    scheme: str | None,
+    budget_w: float | None,
+    *,
+    n_modules: int = 1920,
+    n_iters: int | None = None,
+    seed: int = DEFAULT_SEED,
+) -> RunKey:
+    """A :class:`RunKey` on the HA8K evaluation system (the sweeps'
+    common case: default seed, default knobs)."""
+    return RunKey(
+        system="ha8k",
+        n_modules=n_modules,
+        seed=seed,
+        app=app,
+        scheme=scheme,
+        budget_w=budget_w,
+        n_iters=n_iters,
+    )
 
 
 @lru_cache(maxsize=8)

@@ -16,10 +16,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.apps.registry import get_app
-from repro.core.runner import run_budgeted
 from repro.core.schemes import list_schemes
-from repro.experiments.common import PAPER_TABLE4, ha8k, ha8k_pvt
+from repro.exec import ExperimentEngine, get_engine
+from repro.experiments.common import PAPER_TABLE4, ha8k_run_key
 from repro.util.tables import render_table
 
 __all__ = ["Fig7Cell", "Fig7Summary", "run_fig7", "summarize_fig7", "format_fig7", "main"]
@@ -61,28 +60,35 @@ def run_fig7(
     n_modules: int = 1920,
     n_iters: int | None = None,
     apps: tuple[str, ...] = _APP_ORDER,
+    engine: ExperimentEngine | None = None,
 ) -> list[Fig7Cell]:
-    """Execute the full scheme-comparison sweep."""
-    system = ha8k(n_modules)
-    pvt = ha8k_pvt(n_modules)
+    """Execute the full scheme-comparison sweep through the engine."""
+    engine = engine if engine is not None else get_engine()
+    cell_specs = evaluated_cells(apps)
+    schemes = list_schemes()
+    keys = [
+        ha8k_run_key(
+            app_name, scheme, float(cm) * n_modules,
+            n_modules=n_modules, n_iters=n_iters,
+        )
+        for app_name, cm in cell_specs
+        for scheme in schemes
+    ]
+    results = iter(engine.submit_sweep(keys))
     cells: list[Fig7Cell] = []
-    for app_name, cm in evaluated_cells(apps):
-        app = get_app(app_name)
-        budget = float(cm) * n_modules
-        naive = run_budgeted(system, app, "naive", budget, pvt=pvt, n_iters=n_iters)
-        speedup = {"naive": 1.0}
-        within = {"naive": bool(naive.within_budget)}
-        for scheme in list_schemes():
-            if scheme == "naive":
-                continue
-            r = run_budgeted(system, app, scheme, budget, pvt=pvt, n_iters=n_iters)
-            speedup[scheme] = r.speedup_over(naive)
-            within[scheme] = bool(r.within_budget)
+    for app_name, cm in cell_specs:
+        by_scheme = {scheme: next(results) for scheme in schemes}
+        naive = by_scheme["naive"]
+        speedup = {
+            s: 1.0 if s == "naive" else by_scheme[s].speedup_over(naive)
+            for s in schemes
+        }
+        within = {s: bool(by_scheme[s].within_budget) for s in schemes}
         cells.append(
             Fig7Cell(
                 app=app_name,
                 cm_w=cm,
-                cs_kw=budget / 1e3,
+                cs_kw=float(cm) * n_modules / 1e3,
                 speedup=speedup,
                 within_budget=within,
             )

@@ -13,10 +13,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.apps.registry import get_app
-from repro.core.runner import run_budgeted
 from repro.core.schemes import list_schemes
-from repro.experiments.common import ha8k, ha8k_pvt
+from repro.exec import ExperimentEngine, get_engine
+from repro.experiments.common import ha8k_run_key
 from repro.experiments.fig7 import evaluated_cells
 from repro.util.tables import render_table
 
@@ -34,29 +33,41 @@ class Fig9Cell:
     within_budget: dict[str, bool]
 
 
-def run_fig9(n_modules: int = 1920, n_iters: int | None = 5) -> list[Fig9Cell]:
+def run_fig9(
+    n_modules: int = 1920,
+    n_iters: int | None = 5,
+    engine: ExperimentEngine | None = None,
+) -> list[Fig9Cell]:
     """Measure realised total power for every scheme on every X cell.
 
     Power statistics converge in very few iterations (the operating
     point is stationary), so ``n_iters`` defaults low.
     """
-    system = ha8k(n_modules)
-    pvt = ha8k_pvt(n_modules)
+    engine = engine if engine is not None else get_engine()
+    cell_specs = evaluated_cells()
+    schemes = list_schemes()
+    keys = [
+        ha8k_run_key(
+            app_name, scheme, float(cm) * n_modules,
+            n_modules=n_modules, n_iters=n_iters,
+        )
+        for app_name, cm in cell_specs
+        for scheme in schemes
+    ]
+    results = iter(engine.submit_sweep(keys))
     cells: list[Fig9Cell] = []
-    for app_name, cm in evaluated_cells():
-        app = get_app(app_name)
-        budget = float(cm) * n_modules
+    for app_name, cm in cell_specs:
         totals: dict[str, float] = {}
         within: dict[str, bool] = {}
-        for scheme in list_schemes():
-            r = run_budgeted(system, app, scheme, budget, pvt=pvt, n_iters=n_iters)
+        for scheme in schemes:
+            r = next(results)
             totals[scheme] = r.total_power_w / 1e3
             within[scheme] = bool(r.within_budget)
         cells.append(
             Fig9Cell(
                 app=app_name,
                 cm_w=cm,
-                budget_kw=budget / 1e3,
+                budget_kw=float(cm) * n_modules / 1e3,
                 total_kw=totals,
                 within_budget=within,
             )

@@ -21,19 +21,17 @@ only the *magnitude* moves.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 
-
-
-from repro.apps.registry import get_app
-from repro.cluster.system import System
-from repro.core.pvt import generate_pvt
-from repro.core.runner import run_budgeted
+from repro.exec import ExperimentEngine, RunKey, get_engine
 from repro.experiments.common import DEFAULT_SEED
 from repro.hardware.microarch import IVY_BRIDGE_E5_2697V2
 from repro.util.tables import render_table
 
 __all__ = ["SensitivityPoint", "run_sensitivity", "format_sensitivity", "main"]
+
+#: Scheme set each sensitivity point evaluates, in run order.
+_POINT_SCHEMES = ("naive", "vafs", "vapc", "pc")
 
 
 @dataclass(frozen=True)
@@ -47,28 +45,30 @@ class SensitivityPoint:
     vapc_over_pc: float
 
 
-def _speedups(
-    system: System, app_name: str, cm_w: float, n_iters: int
-) -> tuple[float, float, float]:
-    pvt = generate_pvt(system)
-    app = get_app(app_name)
-    budget = cm_w * system.n_modules
-    naive = run_budgeted(system, app, "naive", budget, pvt=pvt, n_iters=n_iters)
-    vafs = run_budgeted(system, app, "vafs", budget, pvt=pvt, n_iters=n_iters)
-    vapc = run_budgeted(system, app, "vapc", budget, pvt=pvt, n_iters=n_iters)
-    pc = run_budgeted(system, app, "pc", budget, pvt=pvt, n_iters=n_iters)
-    return (
-        vafs.speedup_over(naive),
-        vapc.speedup_over(naive),
-        pc.makespan_s / vapc.makespan_s,
-    )
-
-
-def _system_with(arch, n_modules: int) -> System:
-    return System.create(
-        "ha8k-sens", arch, n_modules, procs_per_node=2, meter_kind="rapl",
-        seed=DEFAULT_SEED,
-    )
+def _point_keys(
+    arch_overrides: tuple[tuple[str, object], ...],
+    app_overrides: tuple[tuple[str, float], ...],
+    app_name: str,
+    cm_w: float,
+    n_modules: int,
+    n_iters: int,
+) -> list[RunKey]:
+    """The four runs (one per scheme) of one sensitivity point."""
+    return [
+        RunKey(
+            system="ha8k-sens",
+            n_modules=n_modules,
+            seed=DEFAULT_SEED,
+            app=app_name,
+            scheme=scheme,
+            budget_w=cm_w * n_modules,
+            n_iters=n_iters,
+            arch_base=IVY_BRIDGE_E5_2697V2.name,
+            arch_overrides=arch_overrides,
+            app_overrides=app_overrides,
+        )
+        for scheme in _POINT_SCHEMES
+    ]
 
 
 def run_sensitivity(
@@ -76,46 +76,55 @@ def run_sensitivity(
     app_name: str = "bt",
     cm_w: float = 55.0,
     n_iters: int = 25,
+    engine: ExperimentEngine | None = None,
 ) -> list[SensitivityPoint]:
     """One-at-a-time sweeps around the calibrated defaults."""
-    base = IVY_BRIDGE_E5_2697V2
-    points: list[SensitivityPoint] = []
+    engine = engine if engine is not None else get_engine()
 
+    # (parameter, value, arch overrides, app overrides) per point.
+    specs: list[tuple[str, float, tuple, tuple]] = []
     for sigma in (0.06, 0.09, 0.115, 0.14):
-        arch = base.with_(
-            variation=replace(base.variation, sigma_leak=sigma),
-            name=f"sens-leak-{sigma}",
-        )
-        sp = _speedups(_system_with(arch, n_modules), app_name, cm_w, n_iters)
-        points.append(SensitivityPoint("sigma_leak", sigma, *sp))
-
+        specs.append((
+            "sigma_leak",
+            sigma,
+            (("name", f"sens-leak-{sigma}"), ("variation.sigma_leak", sigma)),
+            (),
+        ))
     for expo in (1.5, 2.0, 2.75, 3.5):
-        arch = base.with_(subfmin_exponent=expo, name=f"sens-expo-{expo}")
-        sp = _speedups(_system_with(arch, n_modules), app_name, cm_w, n_iters)
-        points.append(SensitivityPoint("subfmin_exponent", expo, *sp))
-
+        specs.append((
+            "subfmin_exponent",
+            expo,
+            (("name", f"sens-expo-{expo}"), ("subfmin_exponent", expo)),
+            (),
+        ))
     for resid in (0.02, 0.055, 0.09):
         # Residual is an app property; override on the app registry copy.
-        system = _system_with(base.with_(name=f"sens-resid-{resid}"), n_modules)
-        pvt = generate_pvt(system)
-        app = get_app(app_name).with_(
-            residual_sigma_dyn=resid, residual_sigma_dram=resid * 0.8
-        )
-        budget = cm_w * n_modules
-        naive = run_budgeted(system, app, "naive", budget, pvt=pvt, n_iters=n_iters)
-        vafs = run_budgeted(system, app, "vafs", budget, pvt=pvt, n_iters=n_iters)
-        vapc = run_budgeted(system, app, "vapc", budget, pvt=pvt, n_iters=n_iters)
-        pc = run_budgeted(system, app, "pc", budget, pvt=pvt, n_iters=n_iters)
+        specs.append((
+            "residual_sigma",
+            resid,
+            (("name", f"sens-resid-{resid}"),),
+            (("residual_sigma_dyn", resid), ("residual_sigma_dram", resid * 0.8)),
+        ))
+
+    keys = [
+        key
+        for _, _, arch_ov, app_ov in specs
+        for key in _point_keys(arch_ov, app_ov, app_name, cm_w, n_modules, n_iters)
+    ]
+    results = iter(engine.submit_sweep(keys))
+    points: list[SensitivityPoint] = []
+    for parameter, value, _, _ in specs:
+        by_scheme = {scheme: next(results) for scheme in _POINT_SCHEMES}
+        naive, vafs, vapc, pc = (by_scheme[s] for s in _POINT_SCHEMES)
         points.append(
             SensitivityPoint(
-                "residual_sigma",
-                resid,
+                parameter,
+                value,
                 vafs.speedup_over(naive),
                 vapc.speedup_over(naive),
                 pc.makespan_s / vapc.makespan_s,
             )
         )
-
     return points
 
 

@@ -19,6 +19,7 @@ from dataclasses import dataclass
 from repro.apps.registry import get_app
 from repro.core.budget import classify_constraint
 from repro.core.model import LinearPowerModel
+from repro.exec import ExperimentEngine, get_engine
 from repro.experiments.common import CM_GRID_W, CS_GRID_KW, PAPER_TABLE4, ha8k
 from repro.util.tables import render_table
 
@@ -58,21 +59,32 @@ def _true_model(system, app) -> LinearPowerModel:
     )
 
 
-def run_table4(n_modules: int = 1920) -> Table4Result:
+def _classify_app(args: tuple[str, int]) -> tuple[str, dict[int, str]]:
+    """Classify one application's whole row (picklable fan-out unit)."""
+    name, n_modules = args
+    model = _true_model(ha8k(n_modules), get_app(name))
+    return name, {
+        cm: classify_constraint(model, cm * n_modules) for cm in CM_GRID_W
+    }
+
+
+def run_table4(
+    n_modules: int = 1920, engine: ExperimentEngine | None = None
+) -> Table4Result:
     """Classify every (app, Cs) cell on the HA8K evaluation system."""
-    system = ha8k(n_modules)
-    cells: dict[str, dict[int, str]] = {}
-    mismatches: list[tuple[str, int, str, str]] = []
-    for name in _APP_ORDER:
-        app = get_app(name)
-        model = _true_model(system, app)
-        cells[name] = {}
-        for cm in CM_GRID_W:
-            cell = classify_constraint(model, cm * n_modules)
-            cells[name][cm] = cell
-            expected = PAPER_TABLE4[name][cm]
-            if cell != expected:
-                mismatches.append((name, cm, cell, expected))
+    engine = engine if engine is not None else get_engine()
+    rows = engine.map(
+        _classify_app,
+        [(name, n_modules) for name in _APP_ORDER],
+        label="table4/classify",
+    )
+    cells: dict[str, dict[int, str]] = dict(rows)
+    mismatches: list[tuple[str, int, str, str]] = [
+        (name, cm, cells[name][cm], PAPER_TABLE4[name][cm])
+        for name in _APP_ORDER
+        for cm in CM_GRID_W
+        if cells[name][cm] != PAPER_TABLE4[name][cm]
+    ]
     return Table4Result(
         cells=cells, matches_paper=not mismatches, mismatches=mismatches
     )

@@ -17,6 +17,7 @@ from dataclasses import dataclass
 
 from repro.cluster.workloads import WorkloadSpec, generate_workload
 from repro.core.resource_manager import PowerAwareRM
+from repro.exec import ExperimentEngine, get_engine
 from repro.experiments.common import ha8k, ha8k_pvt
 from repro.util.tables import render_table
 
@@ -51,36 +52,55 @@ class ThroughputPoint:
         return self.turnaround_worst_s / self.turnaround_aware_s
 
 
+def _run_schedule(
+    args: tuple[int, int, float, float, str],
+) -> tuple[float, float, float]:
+    """One (load, admission-policy) scheduling run (picklable fan-out
+    unit; rebuilds the cached system/PVT inside the worker)."""
+    n_modules, n_jobs, ia, cm_w, admission = args
+    system = ha8k(1920).subset(range(n_modules))
+    pvt = ha8k_pvt(1920).take(range(n_modules))
+    spec = WorkloadSpec(
+        n_jobs=n_jobs,
+        mean_interarrival_s=ia,
+        min_modules=max(32, n_modules // 16),
+        max_modules=n_modules // 3,
+    )
+    requests = generate_workload(spec, system.rng.rng(f"workload/{ia}"))
+    res = PowerAwareRM(system, pvt, cm_w * n_modules, admission=admission).run(
+        requests
+    )
+    return res.makespan_s, res.mean_wait_s, res.mean_turnaround_s
+
+
 def run_throughput(
     n_modules: int = 512,
     n_jobs: int = 12,
     interarrivals: tuple[float, ...] = (30.0, 10.0, 3.0),
     cm_w: float = 62.0,
+    engine: ExperimentEngine | None = None,
 ) -> list[ThroughputPoint]:
     """Sweep offered load and run both admission policies."""
-    system = ha8k(1920).subset(range(n_modules))
-    pvt = ha8k_pvt(1920).take(range(n_modules))
-    total = cm_w * n_modules
+    engine = engine if engine is not None else get_engine()
+    tasks = [
+        (n_modules, n_jobs, ia, cm_w, admission)
+        for ia in interarrivals
+        for admission in ("power-aware", "worst-case")
+    ]
+    outcomes = iter(engine.map(_run_schedule, tasks, label="throughput/schedule"))
     points = []
     for ia in interarrivals:
-        spec = WorkloadSpec(
-            n_jobs=n_jobs,
-            mean_interarrival_s=ia,
-            min_modules=max(32, n_modules // 16),
-            max_modules=n_modules // 3,
-        )
-        requests = generate_workload(spec, system.rng.rng(f"workload/{ia}"))
-        aware = PowerAwareRM(system, pvt, total, admission="power-aware").run(requests)
-        worst = PowerAwareRM(system, pvt, total, admission="worst-case").run(requests)
+        aware = next(outcomes)
+        worst = next(outcomes)
         points.append(
             ThroughputPoint(
                 mean_interarrival_s=ia,
-                makespan_aware_s=aware.makespan_s,
-                makespan_worst_s=worst.makespan_s,
-                wait_aware_s=aware.mean_wait_s,
-                wait_worst_s=worst.mean_wait_s,
-                turnaround_aware_s=aware.mean_turnaround_s,
-                turnaround_worst_s=worst.mean_turnaround_s,
+                makespan_aware_s=aware[0],
+                makespan_worst_s=worst[0],
+                wait_aware_s=aware[1],
+                wait_worst_s=worst[1],
+                turnaround_aware_s=aware[2],
+                turnaround_worst_s=worst[2],
             )
         )
     return points

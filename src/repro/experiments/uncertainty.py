@@ -13,11 +13,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.apps.registry import get_app
-from repro.cluster.configs import build_system
-from repro.core.pvt import generate_pvt
-from repro.core.runner import run_budgeted
-from repro.errors import InfeasibleBudgetError
+from repro.exec import ExperimentEngine, get_engine
+from repro.experiments.common import ha8k_run_key
 from repro.util.tables import render_table
 
 __all__ = ["UncertaintyRow", "run_uncertainty", "format_uncertainty", "main"]
@@ -43,29 +40,38 @@ def run_uncertainty(
     seeds: tuple[int, ...] = (2015, 7, 1234, 987654, 42),
     n_modules: int = 512,
     n_iters: int = 15,
+    engine: ExperimentEngine | None = None,
 ) -> list[UncertaintyRow]:
     """Re-run the headline cells on independently drawn systems."""
+    engine = engine if engine is not None else get_engine()
     rows: list[UncertaintyRow] = []
     samples: dict[tuple[str, float, str], list[float]] = {
         (app, cm, s): [] for app, cm in cells for s in schemes
     }
-    for seed in seeds:
-        system = build_system("ha8k", n_modules=n_modules, seed=seed)
-        pvt = generate_pvt(system)
+    run_schemes = ("naive",) + tuple(schemes)
+    keys = [
+        ha8k_run_key(
+            app_name, s, cm * n_modules,
+            n_modules=n_modules, n_iters=n_iters, seed=seed,
+        )
+        for seed in seeds
+        for app_name, cm in cells
+        for s in run_schemes
+    ]
+    # A draw can sit on the feasibility edge; infeasible runs come back
+    # as None and truncate that cell exactly like the exception used to.
+    results = iter(engine.submit_sweep(keys, skip_infeasible=True))
+    for _seed in seeds:
         for app_name, cm in cells:
-            app = get_app(app_name)
-            budget = cm * n_modules
-            try:
-                naive = run_budgeted(
-                    system, app, "naive", budget, pvt=pvt, n_iters=n_iters
-                )
-                for s in schemes:
-                    r = run_budgeted(
-                        system, app, s, budget, pvt=pvt, n_iters=n_iters
-                    )
-                    samples[(app_name, cm, s)].append(r.speedup_over(naive))
-            except InfeasibleBudgetError:
-                continue  # a draw can sit on the feasibility edge
+            by_scheme = {s: next(results) for s in run_schemes}
+            naive = by_scheme["naive"]
+            if naive is None:
+                continue
+            for s in schemes:
+                r = by_scheme[s]
+                if r is None:
+                    break
+                samples[(app_name, cm, s)].append(r.speedup_over(naive))
     for (app_name, cm, s), vals in samples.items():
         arr = np.asarray(vals)
         if arr.size == 0:

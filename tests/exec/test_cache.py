@@ -1,0 +1,183 @@
+"""Cache-key stability and result serialisation round-trips.
+
+The contract under test: a :class:`RunKey` digest changes *iff* a
+run-relevant input changes — never for presentation fields, never
+spuriously — and a cached :class:`RunResult` round-trips bit-identically
+through the on-disk NPZ format.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError, InfeasibleBudgetError
+from repro.exec import ResultCache, RunKey, execute_key
+from repro.exec.cache import payload_to_result, result_to_payload
+
+# -- RunKey strategies --------------------------------------------------------
+
+# Budgeted keys only (scheme and budget set together); floats are drawn
+# from finite, positive ranges the runner actually accepts.
+run_keys = st.builds(
+    RunKey,
+    system=st.sampled_from(["ha8k", "cab", "teller"]),
+    n_modules=st.integers(min_value=1, max_value=4096),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    app=st.sampled_from(["bt", "sp", "dgemm", "stream", "mhd", "mvmc"]),
+    scheme=st.sampled_from(["naive", "pc", "vapc", "vafs", "vapcor", "vafsor"]),
+    budget_w=st.floats(min_value=1.0, max_value=1e6, allow_nan=False),
+    n_iters=st.one_of(st.none(), st.integers(min_value=1, max_value=100)),
+    noisy=st.booleans(),
+    fs_guardband_frac=st.floats(min_value=0.0, max_value=0.2, allow_nan=False),
+    test_module=st.integers(min_value=0, max_value=64),
+    app_overrides=st.one_of(
+        st.just(()),
+        st.just((("residual_sigma_dyn", 0.05),)),
+    ),
+)
+
+#: Field -> a replacement value guaranteed to differ from any generated one.
+_PERTURBATIONS = {
+    "system": "vulcan",
+    "n_modules": 5000,
+    "seed": -1,
+    "app": "ep",
+    "scheme": "fs-oracle-perturbed",
+    "budget_w": 2e6,
+    "n_iters": 101,
+    "noisy": None,  # toggled below
+    "fs_guardband_frac": 0.33,
+    "test_module": 65,
+    "turbo": None,  # toggled below
+    "arch_base": "ivy-bridge-e5-2697v2",
+    "arch_overrides": (("variation.sigma_leak", 0.42),),
+    "app_overrides": (("residual_sigma_dram", 0.42),),
+    "procs_per_node": 7,
+    "meter_kind": "emon",
+}
+
+
+class TestRunKeyDigest:
+    @settings(max_examples=50, deadline=None)
+    @given(key=run_keys)
+    def test_digest_is_deterministic(self, key):
+        clone = dataclasses.replace(key)
+        assert key.digest() == clone.digest()
+
+    @settings(max_examples=50, deadline=None)
+    @given(key=run_keys, field=st.sampled_from(sorted(_PERTURBATIONS)))
+    def test_digest_changes_iff_an_input_changes(self, key, field):
+        value = _PERTURBATIONS[field]
+        if value is None:  # booleans: flip
+            value = not getattr(key, field)
+        perturbed = dataclasses.replace(key, **{field: value})
+        assert getattr(perturbed, field) != getattr(key, field)
+        assert perturbed.digest() != key.digest()
+
+    @settings(max_examples=25, deadline=None)
+    @given(key=run_keys, label=st.text(max_size=20))
+    def test_label_never_changes_the_digest(self, key, label):
+        assert dataclasses.replace(key, label=label).digest() == key.digest()
+
+    @settings(max_examples=25, deadline=None)
+    @given(a=run_keys, b=run_keys)
+    def test_equal_keys_iff_equal_digests(self, a, b):
+        assert (a == b) == (a.digest() == b.digest())
+
+    def test_uncapped_key(self):
+        key = RunKey(
+            system="ha8k", n_modules=8, seed=1, app="bt",
+            scheme=None, budget_w=None,
+        )
+        assert "uncapped" in key.describe()
+
+    def test_half_specified_budget_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RunKey(
+                system="ha8k", n_modules=8, seed=1, app="bt",
+                scheme="vafs", budget_w=None,
+            )
+        with pytest.raises(ConfigurationError):
+            RunKey(
+                system="ha8k", n_modules=8, seed=1, app="bt",
+                scheme=None, budget_w=100.0,
+            )
+
+
+# -- serialisation round-trip -------------------------------------------------
+
+def _small_key(**over):
+    base = dict(
+        system="ha8k", n_modules=24, seed=2015, app="bt",
+        scheme="vafs", budget_w=55.0 * 24, n_iters=4,
+    )
+    base.update(over)
+    return RunKey(**base)
+
+
+def _assert_results_identical(a, b):
+    assert a.app_name == b.app_name
+    assert a.scheme_name == b.scheme_name
+    assert a.budget_w == b.budget_w
+    for f in ("effective_freq_ghz", "cpu_power_w", "dram_power_w", "cap_met"):
+        got, want = getattr(a, f), getattr(b, f)
+        assert got.dtype == want.dtype
+        assert np.array_equal(got, want)
+    for f in ("total_s", "compute_s", "wait_s", "comm_s"):
+        assert np.array_equal(getattr(a.trace, f), getattr(b.trace, f))
+    if b.solution is None:
+        assert a.solution is None
+    else:
+        for f in ("alpha", "raw_alpha", "constrained", "freq_ghz", "budget_w"):
+            assert getattr(a.solution, f) == getattr(b.solution, f)
+        for f in ("pmodule_w", "pcpu_w", "pdram_w"):
+            assert np.array_equal(getattr(a.solution, f), getattr(b.solution, f))
+
+
+class TestSerialization:
+    def test_payload_round_trip_budgeted(self):
+        result = execute_key(_small_key())
+        meta, arrays = result_to_payload(result)
+        _assert_results_identical(payload_to_result(meta, arrays), result)
+
+    def test_payload_round_trip_uncapped(self):
+        result = execute_key(_small_key(scheme=None, budget_w=None))
+        assert result.solution is None
+        meta, arrays = result_to_payload(result)
+        _assert_results_identical(payload_to_result(meta, arrays), result)
+
+    def test_disk_round_trip_is_bit_identical(self, tmp_path):
+        key = _small_key()
+        result = execute_key(key)
+        cache = ResultCache(tmp_path)
+        assert cache.get(key) is None
+        cache.put(key, result)
+        assert key in cache
+        assert len(cache) == 1
+        _assert_results_identical(cache.get(key), result)
+
+    def test_infeasible_budget_is_cached_and_reraised(self, tmp_path):
+        key = _small_key(budget_w=1.0)  # far below the fmin floor
+        cache = ResultCache(tmp_path)
+        with pytest.raises(InfeasibleBudgetError) as excinfo:
+            execute_key(key)
+        cache.put_infeasible(key, excinfo.value)
+        with pytest.raises(InfeasibleBudgetError) as cached:
+            cache.get(key)
+        assert cached.value.budget_w == excinfo.value.budget_w
+        assert cached.value.floor_w == excinfo.value.floor_w
+
+    def test_corrupt_entry_reads_as_miss(self, tmp_path):
+        key = _small_key()
+        cache = ResultCache(tmp_path)
+        cache.put(key, execute_key(key))
+        (tmp_path / f"{key.digest()}.npz").write_bytes(b"not an npz file")
+        assert cache.get(key) is None
+
+    def test_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(_small_key(), execute_key(_small_key()))
+        assert cache.clear() == 1
+        assert len(cache) == 0

@@ -1,0 +1,100 @@
+"""Golden-value pins for the published headline numbers.
+
+These values were captured from the repository at the default seed
+(2015) at full evaluation scale (1,920 HA8K modules) *before* the
+experiment engine was introduced, and the engine rewiring is required to
+be bit-identical to the direct execution path — so any drift here means
+a silent change to published results, not acceptable numerical noise.
+The tolerance (``rel=1e-6``) only absorbs cross-platform libm/BLAS
+differences; on one machine the values reproduce exactly.
+
+``tests/test_regression.py`` pins the *paper band* (wide tolerances,
+model-change detector); this file pins the *exact regenerated values*
+(tight tolerances, rewiring detector).  Both matter.
+"""
+
+import pytest
+
+from repro.experiments.fig7 import run_fig7, summarize_fig7
+from repro.experiments.table4 import run_table4
+
+REL = 1e-6
+
+#: Fig 7 speedups over Naive at the tightest constraint (Cm = 50 W,
+#: Cs = 96 kW) for the two NPB multizone codes — the paper's headline
+#: cells — regenerated at seed 2015, n_iters=None (app defaults).
+GOLDEN_96KW = {
+    ("bt", 50): {
+        "pc": 1.4355278502942073,
+        "vapcor": 4.6725011664611875,
+        "vapc": 3.2623130875908224,
+        "vafsor": 4.865352634211607,
+        "vafs": 4.865352634211607,
+    },
+    ("sp", 50): {
+        "pc": 1.4319292081138728,
+        "vapcor": 4.78798793231112,
+        "vapc": 4.207028405127593,
+        "vafsor": 4.99751032608236,
+        "vafs": 4.99751032608236,
+    },
+}
+
+#: Full-sweep aggregates (23 "X" cells, all six apps).
+GOLDEN_SUMMARY = {
+    "mean_vafs": 2.117258706929211,
+    "max_vafs": 4.99751032608236,
+    "mean_vapc": 1.942727145870687,
+    "max_vapc": 4.207028405127593,
+    "max_cell_vafs": ("sp", 50),
+    "max_cell_vapc": ("sp", 50),
+}
+
+
+class TestFig7Golden:
+    @pytest.fixture(scope="class")
+    def cells(self):
+        # bt+sp only: per-cell results are independent of which other
+        # apps run, so the subset reproduces the full sweep's cells.
+        return run_fig7(apps=("bt", "sp"))
+
+    def test_headline_cells_pinned(self, cells):
+        by_cell = {(c.app, c.cm_w): c for c in cells}
+        for cell_id, golden in GOLDEN_96KW.items():
+            cell = by_cell[cell_id]
+            for scheme, value in golden.items():
+                assert cell.speedup[scheme] == pytest.approx(value, rel=REL), (
+                    cell_id,
+                    scheme,
+                )
+
+    def test_all_schemes_within_budget_at_96kw(self, cells):
+        by_cell = {(c.app, c.cm_w): c for c in cells}
+        for cell_id in GOLDEN_96KW:
+            assert all(by_cell[cell_id].within_budget.values()), cell_id
+
+
+@pytest.mark.slow
+class TestFig7FullSweepGolden:
+    def test_summary_pinned(self):
+        summary = summarize_fig7(run_fig7())
+        assert summary.mean["vafs"] == pytest.approx(
+            GOLDEN_SUMMARY["mean_vafs"], rel=REL
+        )
+        assert summary.max["vafs"] == pytest.approx(
+            GOLDEN_SUMMARY["max_vafs"], rel=REL
+        )
+        assert summary.mean["vapc"] == pytest.approx(
+            GOLDEN_SUMMARY["mean_vapc"], rel=REL
+        )
+        assert summary.max["vapc"] == pytest.approx(
+            GOLDEN_SUMMARY["max_vapc"], rel=REL
+        )
+        assert summary.max_cell["vafs"] == GOLDEN_SUMMARY["max_cell_vafs"]
+        assert summary.max_cell["vapc"] == GOLDEN_SUMMARY["max_cell_vapc"]
+
+
+class TestTable4Golden:
+    def test_feasibility_matrix_matches_paper_cell_for_cell(self):
+        result = run_table4()
+        assert result.matches_paper, result.mismatches

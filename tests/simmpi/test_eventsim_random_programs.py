@@ -1,0 +1,198 @@
+"""Property-based tests for :class:`EventDrivenMachine` on random
+point-to-point programs (beyond the BSP-shaped ones).
+
+* Well-formed programs — every message's send and receive both present,
+  and each rank posting a round's sends before its receives — never
+  deadlock.  (Sends are eager, so a blocked-receive cycle would need a
+  sender stuck strictly earlier in its program than the awaited send;
+  round numbers then decrease around the cycle — impossible.)
+* Mismatched programs — a receive whose send never happens, or a rank
+  that skips a barrier — always raise :class:`SimulationError`.
+* Per-rank time accounting is conservative: ``clock = compute + wait +
+  comm`` exactly, and nobody's clock runs backwards.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SimulationError
+from repro.simmpi.eventsim import (
+    Allreduce,
+    Barrier,
+    Compute,
+    Elapse,
+    EventDrivenMachine,
+    Recv,
+    Send,
+)
+
+# -- random program generation ------------------------------------------------
+
+n_ranks_st = st.integers(min_value=2, max_value=6)
+
+
+@st.composite
+def message_rounds(draw):
+    """(n_ranks, rounds) where each round is a list of (src, dst) messages."""
+    n = draw(n_ranks_st)
+    n_rounds = draw(st.integers(min_value=1, max_value=4))
+    rounds = []
+    for _ in range(n_rounds):
+        n_msgs = draw(st.integers(min_value=0, max_value=6))
+        msgs = [
+            draw(
+                st.tuples(
+                    st.integers(0, n - 1), st.integers(0, n - 1)
+                ).filter(lambda p: p[0] != p[1])
+            )
+            for _ in range(n_msgs)
+        ]
+        rounds.append(msgs)
+    return n, rounds
+
+
+def well_formed_program(rounds, work, collective):
+    """A program factory: per round, compute, all sends, then all recvs.
+
+    This shape can never deadlock: sends are eager (non-blocking), so a
+    rank only ever blocks in a receive or collective that some other
+    rank is still on its way to satisfying.
+    """
+
+    def program(rank):
+        for tag, msgs in enumerate(rounds):
+            yield Compute(work)
+            for src, dst in msgs:
+                if src == rank:
+                    yield Send(dst, tag=tag)
+            for src, dst in msgs:
+                if dst == rank:
+                    yield Recv(src, tag=tag)
+            if collective == "barrier":
+                yield Barrier()
+            elif collective == "allreduce":
+                yield Allreduce(64.0)
+            elif collective == "elapse":
+                yield Elapse(0.25)
+
+    return program
+
+
+collective_st = st.sampled_from(["none", "barrier", "allreduce", "elapse"])
+work_st = st.floats(min_value=0.1, max_value=4.0)
+
+
+def _machine(n, rates_spread):
+    rates = 1.0 + rates_spread * (np.arange(n) % 3)
+    return EventDrivenMachine(rates, latency_s=1e-6, bandwidth_gbps=5.0)
+
+
+class TestWellFormedProgramsComplete:
+    @settings(max_examples=60, deadline=None)
+    @given(spec=message_rounds(), work=work_st, collective=collective_st,
+           spread=st.floats(min_value=0.0, max_value=0.5))
+    def test_never_deadlocks(self, spec, work, collective, spread):
+        n, rounds = spec
+        trace = _machine(n, spread).run(
+            well_formed_program(rounds, work, collective)
+        )
+        assert trace.n_ranks == n
+        assert np.all(trace.total_s > 0.0)
+
+    @settings(max_examples=60, deadline=None)
+    @given(spec=message_rounds(), work=work_st, collective=collective_st,
+           spread=st.floats(min_value=0.0, max_value=0.5))
+    def test_clock_conservation(self, spec, work, collective, spread):
+        n, rounds = spec
+        trace = _machine(n, spread).run(
+            well_formed_program(rounds, work, collective)
+        )
+        # Exact per-rank invariant: every clock advance is attributed to
+        # exactly one of compute, wait, or comm.
+        assert np.allclose(
+            trace.total_s,
+            trace.compute_s + trace.wait_s + trace.comm_s,
+            rtol=1e-12,
+            atol=1e-12,
+        )
+        assert np.all(trace.compute_s >= 0.0)
+        assert np.all(trace.wait_s >= -1e-15)
+        assert np.all(trace.comm_s >= 0.0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(spec=message_rounds(), work=work_st)
+    def test_determinism(self, spec, work):
+        n, rounds = spec
+        a = _machine(n, 0.3).run(well_formed_program(rounds, work, "barrier"))
+        b = _machine(n, 0.3).run(well_formed_program(rounds, work, "barrier"))
+        assert np.array_equal(a.total_s, b.total_s)
+        assert np.array_equal(a.wait_s, b.wait_s)
+
+
+class TestMismatchedProgramsRaise:
+    @settings(max_examples=40, deadline=None)
+    @given(spec=message_rounds(), work=work_st,
+           drop=st.integers(min_value=0, max_value=10**6))
+    def test_dropped_send_always_deadlocks(self, spec, work, drop):
+        n, rounds = spec
+        messages = [(tag, m) for tag, msgs in enumerate(rounds) for m in msgs]
+        if not messages:
+            return  # nothing to drop in this draw
+        drop_tag, (drop_src, drop_dst) = messages[drop % len(messages)]
+
+        def program(rank):
+            for tag, msgs in enumerate(rounds):
+                yield Compute(work)
+                dropped = False
+                for src, dst in msgs:
+                    if src == rank:
+                        if (
+                            not dropped
+                            and tag == drop_tag
+                            and (src, dst) == (drop_src, drop_dst)
+                        ):
+                            dropped = True  # the send that never happens
+                            continue
+                        yield Send(dst, tag=tag)
+                for src, dst in msgs:
+                    if dst == rank:
+                        yield Recv(src, tag=tag)
+
+        with pytest.raises(SimulationError, match="deadlock"):
+            _machine(n, 0.2).run(program)
+
+    @settings(max_examples=20, deadline=None)
+    @given(n=n_ranks_st, work=work_st)
+    def test_skipped_barrier_deadlocks(self, n, work):
+        def program(rank):
+            yield Compute(work)
+            if rank != 0:  # rank 0 never reaches the barrier
+                yield Barrier()
+
+        with pytest.raises(SimulationError, match="deadlock"):
+            _machine(n, 0.2).run(program)
+
+    @settings(max_examples=20, deadline=None)
+    @given(n=n_ranks_st, work=work_st)
+    def test_unmatched_recv_deadlocks(self, n, work):
+        def program(rank):
+            yield Compute(work)
+            if rank == 0:
+                yield Recv(1, tag=99)  # nobody ever sends tag 99
+
+        with pytest.raises(SimulationError, match="deadlock"):
+            _machine(n, 0.2).run(program)
+
+    def test_invalid_peer_rejected(self):
+        def bad_send(rank):
+            yield Send(99)
+
+        def bad_recv(rank):
+            yield Recv(-1)
+
+        m = _machine(2, 0.0)
+        with pytest.raises(SimulationError, match="invalid rank"):
+            m.run(bad_send)
+        with pytest.raises(SimulationError, match="invalid rank"):
+            _machine(2, 0.0).run(bad_recv)

@@ -2,7 +2,17 @@
 
 import pytest
 
-from repro.cli import EXPERIMENTS, main
+import repro.cli as cli
+from repro.cli import EXPERIMENTS, build_parser, main
+from repro.exec import get_engine, reset
+
+
+@pytest.fixture(autouse=True)
+def _fresh_engine():
+    """CLI invocations configure the process-global engine; isolate it."""
+    reset()
+    yield
+    reset()
 
 
 class TestCli:
@@ -43,3 +53,99 @@ class TestCli:
         )
         assert proc.returncode == 0
         assert "fig7" in proc.stdout
+
+
+class TestEngineFlags:
+    def test_defaults(self):
+        args = build_parser().parse_args(["fig7"])
+        assert args.jobs == 1
+        assert args.cache_dir is None
+        assert not args.no_cache
+        assert not args.stats
+
+    def test_all_flags_parse(self, tmp_path):
+        args = build_parser().parse_args(
+            ["fig7", "--jobs", "4", "--cache-dir", str(tmp_path), "--stats"]
+        )
+        assert args.jobs == 4
+        assert args.cache_dir == str(tmp_path)
+        assert args.stats
+
+    def test_cli_configures_global_engine(self, tmp_path, capsys):
+        assert main(["table1", "--jobs", "3", "--cache-dir", str(tmp_path)]) == 0
+        engine = get_engine()
+        assert engine.jobs == 3
+        assert engine.cache is not None
+        assert engine.cache.dir == tmp_path
+
+    def test_no_cache_disables_cache(self, capsys):
+        assert main(["table1", "--no-cache"]) == 0
+        assert get_engine().cache is None
+
+    def test_stats_flag_prints_summary(self, capsys):
+        assert main(["table1", "--no-cache", "--stats"]) == 0
+        assert "engine stats" in capsys.readouterr().out
+
+    def test_unknown_experiment_does_not_configure_engine(self, tmp_path, capsys):
+        assert main(["fig42", "--cache-dir", str(tmp_path / "never")]) == 2
+        assert not (tmp_path / "never").exists()
+
+
+class TestRunAll:
+    """`repro all` must survive individual experiment failures (and say so)."""
+
+    @pytest.fixture
+    def fake_experiments(self, monkeypatch):
+        ran = []
+
+        def ok(name):
+            def runner():
+                ran.append(name)
+
+            return runner
+
+        def boom():
+            ran.append("boom")
+            raise RuntimeError("injected failure")
+
+        monkeypatch.setattr(
+            cli,
+            "EXPERIMENTS",
+            {
+                "first": ("a passing experiment", ok("first")),
+                "boom": ("a failing experiment", boom),
+                "last": ("runs despite the failure before it", ok("last")),
+            },
+        )
+        return ran
+
+    def test_all_continues_past_failure_and_exits_nonzero(
+        self, fake_experiments, capsys
+    ):
+        assert main(["all", "--no-cache"]) == 1
+        out, err = capsys.readouterr()
+        # Every experiment ran, including the one after the failure.
+        assert fake_experiments == ["first", "boom", "last"]
+        # The summary reports per-experiment status...
+        assert "per-experiment summary" in out
+        assert out.count("PASS") >= 2
+        assert "FAIL" in out
+        # ...and the failure's traceback went to stderr.
+        assert "injected failure" in err
+        assert "1/3 experiments FAILED: boom" in err
+
+    def test_all_passes_cleanly(self, fake_experiments, monkeypatch, capsys):
+        monkeypatch.setitem(
+            cli.EXPERIMENTS, "boom", ("now passing", lambda: None)
+        )
+        assert main(["all", "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "all 3 experiments passed" in out
+        assert "FAIL" not in out
+
+    def test_all_with_stats(self, fake_experiments, monkeypatch, capsys):
+        monkeypatch.setitem(
+            cli.EXPERIMENTS, "boom", ("now passing", lambda: None)
+        )
+        assert main(["all", "--no-cache", "--stats"]) == 0
+        assert "engine stats" in capsys.readouterr().out

@@ -28,12 +28,13 @@ from repro.errors import ConfigurationError
 from repro.hardware.module import ModuleArray
 from repro.hardware.power_model import PowerSignature
 from repro.hardware.variability import ModuleVariation
+from repro.simmpi import fastpath
 from repro.simmpi.machine import BspMachine
 from repro.simmpi.tracing import RankTrace
 
 __all__ = ["CommSpec", "AppModel"]
 
-_COMM_KINDS = ("none", "neighbor", "allreduce")
+_COMM_KINDS = ("none", "neighbor", "allreduce", "pipeline")
 
 
 @dataclass(frozen=True)
@@ -42,7 +43,10 @@ class CommSpec:
 
     ``kind`` is ``"none"`` (embarrassingly parallel), ``"neighbor"``
     (per-iteration halo exchange on an ``ndim``-torus via MPI_Sendrecv),
-    or ``"allreduce"`` (per-iteration synchronising reduction).
+    ``"allreduce"`` (per-iteration synchronising reduction), or
+    ``"pipeline"`` (each rank feeds its successor once per iteration —
+    a software pipeline; *not* bulk-synchronous, so it always runs on
+    the event-driven machine rather than the vectorised fast path).
     ``final_allreduce`` adds one reduction at the end regardless (EP
     collects its Gaussian tallies once).
     """
@@ -202,10 +206,40 @@ class AppModel:
             not guarantee consistent performance" (Section 5.3).  It is
             what lets even the slowest rank of a capped run accumulate
             some MPI_Sendrecv wait time (Fig 3).
+
+        Notes
+        -----
+        Deterministic runs (no noise, no jitter) dispatch through
+        :func:`repro.simmpi.fastpath.simulate_app`: BSP-expressible
+        communication executes as whole-fleet array operations with
+        steady-state fast-forwarding; the ``"pipeline"`` kind falls back
+        to the event-driven machine.  Stochastic runs need fresh draws
+        every iteration, so they keep the explicit per-iteration BSP
+        loop (and therefore require a BSP-expressible comm kind).
         """
         iters = self.default_iters if n_iters is None else int(n_iters)
         if iters <= 0:
             raise ConfigurationError("n_iters must be positive")
+        if rate_jitter_frac < 0:
+            raise ConfigurationError("rate_jitter_frac must be non-negative")
+        if rate_jitter_frac > 0.0 and jitter_rng is None:
+            raise ConfigurationError("rate_jitter_frac > 0 requires jitter_rng")
+
+        if noise_frac == 0.0 and rate_jitter_frac == 0.0:
+            return fastpath.simulate_app(
+                self,
+                rates_ghz,
+                fmax_ghz,
+                n_iters=iters,
+                latency_s=latency_s,
+                bandwidth_gbps=bandwidth_gbps,
+                work_imbalance=work_imbalance,
+            )
+        if not fastpath.is_bsp_expressible(self):
+            raise ConfigurationError(
+                f"per-iteration noise/jitter is only supported for "
+                f"BSP-expressible comm kinds, not {self.comm.kind!r}"
+            )
         machine = BspMachine(
             rates_ghz,
             latency_s=latency_s,
@@ -227,11 +261,6 @@ class AppModel:
                 )
         cpu_work = kappa * base * fmax_ghz * scaled  # GHz·seconds
         fixed = (1.0 - kappa) * base * scaled  # seconds
-
-        if rate_jitter_frac < 0:
-            raise ConfigurationError("rate_jitter_frac must be non-negative")
-        if rate_jitter_frac > 0.0 and jitter_rng is None:
-            raise ConfigurationError("rate_jitter_frac > 0 requires jitter_rng")
 
         neighbors = self.neighbor_table(n_ranks)
         for _ in range(iters):

@@ -68,6 +68,13 @@ class PhasedApp:
         names = [p.name for p in self.phases]
         if len(set(names)) != len(names):
             raise ConfigurationError("phase names must be unique")
+        # Phase boundaries need mid-run rate switches, which only the BSP
+        # machine supports — non-BSP comm kinds cannot be phase-structured.
+        if self.comm.kind not in ("none", "neighbor", "allreduce"):
+            raise ConfigurationError(
+                f"PhasedApp requires a BSP-expressible comm kind, "
+                f"not {self.comm.kind!r}"
+            )
 
     @property
     def iter_seconds_fmax(self) -> float:

@@ -64,6 +64,7 @@ EXPERIMENTS: dict[str, tuple[str, Callable[[], None]]] = {
         _lazy("throughput"),
     ),
     "binning": ("frequency vs power binning counterfactual", _lazy("binning")),
+    "fleet": ("fleet-scale sweep: Vf/Vt/speedup at 10k-200k modules", _lazy("fleet")),
     "energy": ("energy-to-solution vs budget (race-to-fmax)", _lazy("energy")),
     "report": ("write reproduction_report.md", _lazy("report")),
     "uncertainty": ("headline speedups across variation draws", _lazy("uncertainty")),

@@ -26,9 +26,14 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.model import LinearPowerModel
-from repro.errors import InfeasibleBudgetError
+from repro.errors import ConfigurationError, InfeasibleBudgetError
 
-__all__ = ["BudgetSolution", "solve_alpha", "classify_constraint"]
+__all__ = [
+    "BudgetSolution",
+    "solve_alpha",
+    "solve_alpha_chunked",
+    "classify_constraint",
+]
 
 
 @dataclass(frozen=True)
@@ -68,6 +73,17 @@ class BudgetSolution:
         return float(self.pmodule_w.sum())
 
 
+def _raw_alpha(floor: float, span: float, budget_w: float) -> float:
+    """Eq (6)'s right-hand side, unclamped.
+
+    ``span <= 0`` is the degenerate single-frequency case (e.g. BG/Q):
+    power is fixed; the budget either accommodates it or nothing runs.
+    """
+    if span <= 0.0:
+        return 1.0 if budget_w >= floor else -1.0
+    return (budget_w - floor) / span
+
+
 def solve_alpha(model: LinearPowerModel, budget_w: float) -> BudgetSolution:
     """Solve Eq (6) and derive the per-module allocations (Eq 7–9).
 
@@ -81,13 +97,7 @@ def solve_alpha(model: LinearPowerModel, budget_w: float) -> BudgetSolution:
     floor = model.total_min_w()
     span = model.total_span_w()
 
-    if span <= 0.0:
-        # Degenerate model (single-frequency parts, e.g. BG/Q): power is
-        # fixed; the budget either accommodates it or nothing runs.
-        raw = 1.0 if budget_w >= floor else -1.0
-    else:
-        raw = (budget_w - floor) / span
-
+    raw = _raw_alpha(floor, span, budget_w)
     if raw < 0.0:
         raise InfeasibleBudgetError(budget_w, floor)
     alpha = min(raw, 1.0)
@@ -100,6 +110,74 @@ def solve_alpha(model: LinearPowerModel, budget_w: float) -> BudgetSolution:
         constrained=raw < 1.0,
         freq_ghz=model.freq_at(alpha),
         pmodule_w=pcpu + pdram,
+        pcpu_w=pcpu,
+        pdram_w=pdram,
+        budget_w=float(budget_w),
+    )
+
+
+def solve_alpha_chunked(
+    model: LinearPowerModel, budget_w: float, *, chunk_modules: int = 65536
+) -> BudgetSolution:
+    """:func:`solve_alpha` evaluated in module chunks of bounded size.
+
+    Semantically identical to :func:`solve_alpha` (``allclose`` to within
+    summation reordering, i.e. a few ULP), but peak *temporary* memory is
+    O(``chunk_modules``) instead of O(n): the Eq (5)/(6) aggregates are
+    accumulated chunk-wise and the Eq (7)–(9) allocations are written
+    slice-by-slice into preallocated outputs.  The returned per-module
+    allocation arrays are still O(n) — they are the *result*.  Used by
+    the fleet-scale sweeps (10k–200k modules), where a single fused
+    numpy expression over six full-length operands would otherwise
+    allocate several intermediate fleet-sized temporaries per solve.
+    """
+    if chunk_modules <= 0:
+        raise ConfigurationError("chunk_modules must be positive")
+    n = model.n_modules
+    if not np.isfinite(budget_w) or budget_w <= 0:
+        raise InfeasibleBudgetError(budget_w, model.total_min_w())
+
+    # Aggregates: one pass, chunk-sized temporaries only.  Per-chunk
+    # partial sums are reduced at the end so the result differs from the
+    # unchunked np.sum only by floating-point association.
+    min_parts: list[float] = []
+    max_parts: list[float] = []
+    for lo in range(0, n, chunk_modules):
+        hi = min(lo + chunk_modules, n)
+        min_parts.append(
+            float(model.p_cpu_min[lo:hi].sum() + model.p_dram_min[lo:hi].sum())
+        )
+        max_parts.append(
+            float(model.p_cpu_max[lo:hi].sum() + model.p_dram_max[lo:hi].sum())
+        )
+    floor = float(np.sum(min_parts))
+    span = float(np.sum(max_parts)) - floor
+
+    raw = _raw_alpha(floor, span, budget_w)
+    if raw < 0.0:
+        raise InfeasibleBudgetError(budget_w, floor)
+    alpha = min(raw, 1.0)
+
+    pcpu = np.empty(n)
+    pdram = np.empty(n)
+    pmodule = np.empty(n)
+    for lo in range(0, n, chunk_modules):
+        hi = min(lo + chunk_modules, n)
+        pcpu[lo:hi] = (
+            alpha * (model.p_cpu_max[lo:hi] - model.p_cpu_min[lo:hi])
+            + model.p_cpu_min[lo:hi]
+        )
+        pdram[lo:hi] = (
+            alpha * (model.p_dram_max[lo:hi] - model.p_dram_min[lo:hi])
+            + model.p_dram_min[lo:hi]
+        )
+        pmodule[lo:hi] = pcpu[lo:hi] + pdram[lo:hi]
+    return BudgetSolution(
+        alpha=alpha,
+        raw_alpha=raw,
+        constrained=raw < 1.0,
+        freq_ghz=model.freq_at(alpha),
+        pmodule_w=pmodule,
         pcpu_w=pcpu,
         pdram_w=pdram,
         budget_w=float(budget_w),

@@ -12,6 +12,14 @@
 
 :func:`run_uncapped` provides the unconstrained reference execution the
 paper normalises against ("Cm = No" in Fig 2/3/8).
+
+Simulation routing: every managed execution goes through
+:func:`repro.simmpi.fastpath.simulate_app` — BSP-expressible
+applications (all of the paper's benchmarks) run as whole-fleet
+vectorised array operations with steady-state fast-forwarding, which is
+what makes the 10k–200k-module fleet sweeps tractable; any non-BSP
+communication pattern falls back, explicitly and automatically, to the
+event-driven :class:`~repro.simmpi.EventDrivenMachine`.
 """
 
 from __future__ import annotations
@@ -23,11 +31,12 @@ import numpy as np
 from repro.apps.base import AppModel
 from repro.cluster.system import System
 from repro.control.rapl_cap import RaplCapController
-from repro.core.budget import BudgetSolution, solve_alpha
+from repro.core.budget import BudgetSolution, solve_alpha, solve_alpha_chunked
 from repro.core.pmmd import InstrumentedApp
 from repro.core.pvt import PowerVariationTable
 from repro.core.schemes import Scheme, get_scheme
 from repro.hardware.module import ModuleArray, OperatingPoint
+from repro.simmpi.fastpath import simulate_app
 from repro.simmpi.tracing import RankTrace
 from repro.util.stats import worst_case_variation
 
@@ -131,7 +140,7 @@ def run_uncapped(
         op = OperatingPoint.uniform(n, system.arch.fmax, model.signature)
         eff = np.full(n, system.arch.fmax)
     rates = truth.work_rate(eff)
-    trace = model.run(rates, system.arch.fmax, n_iters=n_iters)
+    trace = simulate_app(model, rates, system.arch.fmax, n_iters=n_iters)
     result = RunResult(
         app_name=model.name,
         scheme_name=None,
@@ -159,6 +168,7 @@ def run_budgeted(
     n_iters: int | None = None,
     noisy: bool = True,
     fs_guardband_frac: float = 0.02,
+    chunk_modules: int | None = None,
 ) -> RunResult:
     """Run ``app`` on ``system`` under ``budget_w`` with one scheme.
 
@@ -182,6 +192,12 @@ def run_budgeted(
         against a slightly derated budget so calibration error does not
         push realised power past the constraint.  PC schemes need no
         planning margin — RAPL enforces the caps in hardware.
+    chunk_modules:
+        When set, the α-solve runs through
+        :func:`~repro.core.budget.solve_alpha_chunked` with this chunk
+        size, bounding peak temporary memory at fleet scale (the
+        10k–200k-module sweeps).  ``None`` (the default) keeps the
+        one-shot vectorised solve.
 
     Raises
     ------
@@ -199,6 +215,12 @@ def run_budgeted(
     pmt = scheme.build_pmt(
         system, model, pvt=pvt, test_module=test_module, noisy=noisy
     )
+
+    def _solve(lpm, budget):
+        if chunk_modules is None:
+            return solve_alpha(lpm, budget)
+        return solve_alpha_chunked(lpm, budget, chunk_modules=chunk_modules)
+
     if scheme.actuation == "fs" and fs_guardband_frac > 0.0:
         # Derate the planning budget, but never below the fmin floor: the
         # guardband must not turn a feasible budget infeasible (it would
@@ -208,7 +230,7 @@ def run_budgeted(
         floor = pmt.model.total_min_w()
         if budget_w >= floor:
             derated = max(derated, floor)
-        sol = solve_alpha(pmt.model, derated)
+        sol = _solve(pmt.model, derated)
         sol = BudgetSolution(
             alpha=sol.alpha,
             raw_alpha=sol.raw_alpha,
@@ -220,7 +242,7 @@ def run_budgeted(
             budget_w=float(budget_w),
         )
     else:
-        sol = solve_alpha(pmt.model, budget_w)
+        sol = _solve(pmt.model, budget_w)
 
     if scheme.actuation == "pc":
         rng = (
@@ -251,7 +273,7 @@ def run_budgeted(
         cap_met = cpu_power <= sol.pcpu_w + 1e-9
 
     rates = truth.work_rate(eff)
-    trace = model.run(rates, arch.fmax, n_iters=n_iters)
+    trace = simulate_app(model, rates, arch.fmax, n_iters=n_iters)
     result = RunResult(
         app_name=model.name,
         scheme_name=scheme.name,

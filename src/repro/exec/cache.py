@@ -12,9 +12,13 @@ result can stand in for a live run.
 Entries are single ``.npz`` files named by the SHA-256 digest of the
 key's canonical JSON (plus :data:`CACHE_SCHEMA_VERSION`), written
 atomically (temp file + ``os.replace``) so concurrent workers can never
-observe a torn entry.  Arrays round-trip bit-identically through NPZ;
-scalar metadata rides along as a JSON string, whose float formatting
-(``repr``) is also exact.
+observe a torn entry.  Canonicalisation hashes *bytes*, not reprs:
+floats are encoded as their little-endian IEEE-754 image and numpy
+scalars are demoted to the Python value they wrap, so a key built from
+``np.float64(96000.0)`` on one platform addresses the same entry as one
+built from ``96000.0`` on another.  Arrays round-trip bit-identically
+through NPZ; scalar metadata rides along as a JSON string, whose float
+formatting (``repr``) is also exact.
 
 Cache invalidation is entirely key-driven: change any field and the
 digest — hence the file name — changes; bump
@@ -30,6 +34,7 @@ import hashlib
 import io
 import json
 import os
+import struct
 import tempfile
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
@@ -51,9 +56,43 @@ __all__ = [
 #: Bump whenever the *meaning* of a run changes (model constants, scheme
 #: algorithms, serialisation layout) — all previously cached entries
 #: become unreachable without touching the filesystem.
-CACHE_SCHEMA_VERSION = 1
+#: v2: canonical-bytes key hashing (IEEE-754 float encoding, numpy
+#: scalar demotion) replaced repr-based JSON floats.
+CACHE_SCHEMA_VERSION = 2
 
 _Overrides = tuple[tuple[str, object], ...]
+
+
+def _canon(value):
+    """Canonical JSON-able form of one key field, hashed by bytes.
+
+    * numpy scalars (``np.float64``, ``np.int64``, ``np.bool_``, ...)
+      are demoted to the Python scalar they wrap, so the *type* an
+      experiment happened to compute a budget with cannot change the
+      cache address;
+    * floats are encoded as the hex of their little-endian IEEE-754
+      image — exact, repr-independent, and platform-stable (``repr``
+      round-trips too, but hashing the bit pattern makes the invariant
+      self-evident and immune to formatting changes);
+    * ``-0.0`` collapses to ``0.0`` first: the two compare equal, and
+      equal keys must produce equal digests.
+    """
+    if isinstance(value, np.generic):
+        value = value.item()
+    if isinstance(value, bool) or value is None or isinstance(value, (str, int)):
+        return value
+    if isinstance(value, float):
+        if value == 0.0:
+            value = 0.0
+        return "f64:" + struct.pack("<d", value).hex()
+    if isinstance(value, (list, tuple)):
+        return [_canon(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _canon(v) for k, v in value.items()}
+    raise ConfigurationError(
+        f"RunKey field value {value!r} ({type(value).__name__}) is not "
+        "canonicalisable"
+    )
 
 
 @dataclass(frozen=True)
@@ -111,14 +150,17 @@ class RunKey:
         """The key as a stable, JSON-serialisable mapping.
 
         ``label`` is presentation-only and excluded — relabelling a run
-        must not change its cache identity.
+        must not change its cache identity.  Values go through
+        :func:`_canon`: numpy scalars are demoted and floats are encoded
+        as IEEE-754 bytes, so the digest is a function of the key's
+        *values*, never of scalar types or float formatting.
         """
         d = asdict(self)
         d.pop("label")
         d["schema"] = CACHE_SCHEMA_VERSION
         d["arch_overrides"] = [list(p) for p in self.arch_overrides]
         d["app_overrides"] = [list(p) for p in self.app_overrides]
-        return d
+        return _canon(d)
 
     def digest(self) -> str:
         """SHA-256 content hash of the canonical form (the cache address)."""

@@ -146,6 +146,28 @@ class ModuleArray:
         """A new array restricted to the given module indices."""
         return ModuleArray(self.arch, self.variation.take(indices))
 
+    def take_slice(self, start: int, stop: int) -> "ModuleArray":
+        """Zero-copy view of the contiguous module range ``[start, stop)``.
+
+        The variation buffers are shared (numpy slices), so iterating a
+        fleet-sized array in chunks costs no extra memory — the basis of
+        the ``*_chunked`` evaluation methods.
+        """
+        return ModuleArray(self.arch, self.variation.take_slice(start, stop))
+
+    def iter_chunks(self, chunk_modules: int):
+        """Yield ``(start, stop, view)`` triples covering the array.
+
+        ``view`` is the zero-copy :meth:`take_slice` of ``[start, stop)``;
+        chunks are contiguous, ordered, and at most ``chunk_modules``
+        long.
+        """
+        if chunk_modules <= 0:
+            raise ConfigurationError("chunk_modules must be positive")
+        for start in range(0, self.n_modules, chunk_modules):
+            stop = min(start + chunk_modules, self.n_modules)
+            yield start, stop, self.take_slice(start, stop)
+
     def module(self, index: int) -> "Module":
         """Scalar view of one module."""
         if not (0 <= index < self.n_modules):
@@ -197,6 +219,68 @@ class ModuleArray:
     def static_cpu_power(self) -> np.ndarray:
         """Frequency-independent CPU power floor per module (W)."""
         return self.variation.leak * self.arch.cpu_static_w
+
+    def module_power_chunked(
+        self,
+        freq_ghz: np.ndarray | float,
+        sig: PowerSignature,
+        *,
+        chunk_modules: int = 65536,
+        out: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """:meth:`module_power` with O(``chunk_modules``) peak temporaries.
+
+        The unchunked expression materialises several fleet-sized
+        intermediates (leakage term, dynamic term, DRAM terms, their
+        sums); at 200k modules that is tens of throwaway arrays per
+        evaluation.  This variant walks the array in zero-copy slices
+        and writes each chunk's result straight into ``out`` (allocated
+        once if not supplied).  Bit-identical per element to
+        :meth:`module_power` — chunking changes no arithmetic, only
+        temporary lifetimes.
+        """
+        n = self.n_modules
+        if out is None:
+            out = np.empty(n)
+        elif out.shape != (n,):
+            raise ConfigurationError(
+                f"out has shape {out.shape}, expected ({n},)"
+            )
+        f = np.asarray(freq_ghz, dtype=float)
+        scalar_f = f.ndim == 0
+        if not scalar_f and f.shape != (n,):
+            raise ConfigurationError(
+                f"freq_ghz has shape {f.shape}, expected () or ({n},)"
+            )
+        for start, stop, view in self.iter_chunks(chunk_modules):
+            fc = f if scalar_f else f[start:stop]
+            out[start:stop] = view.module_power(fc, sig)
+        return out
+
+    def total_module_power_w(
+        self,
+        freq_ghz: np.ndarray | float,
+        sig: PowerSignature,
+        *,
+        chunk_modules: int = 65536,
+    ) -> float:
+        """Fleet-total power (W) at ``freq_ghz``, chunk-accumulated.
+
+        Never materialises a full per-module power array: each chunk is
+        reduced to a partial sum immediately, so peak memory is
+        O(``chunk_modules``) even for a 200k-module fleet.
+        """
+        f = np.asarray(freq_ghz, dtype=float)
+        scalar_f = f.ndim == 0
+        if not scalar_f and f.shape != (self.n_modules,):
+            raise ConfigurationError(
+                f"freq_ghz has shape {f.shape}, expected () or ({self.n_modules},)"
+            )
+        parts: list[float] = []
+        for start, stop, view in self.iter_chunks(chunk_modules):
+            fc = f if scalar_f else f[start:stop]
+            parts.append(float(view.module_power(fc, sig).sum()))
+        return float(np.sum(parts))
 
     # -- power at an operating point (duty-aware) -----------------------------
 

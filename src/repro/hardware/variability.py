@@ -114,6 +114,26 @@ class ModuleVariation:
             perf=self.perf[idx],
         )
 
+    def take_slice(self, start: int, stop: int) -> "ModuleVariation":
+        """Contiguous range ``[start, stop)`` of modules, as *views*.
+
+        Unlike :meth:`take` (fancy indexing, which copies), slicing
+        shares the underlying buffers — this is what lets fleet-scale
+        code walk a 200k-module array chunk by chunk without duplicating
+        it.
+        """
+        if not (0 <= start <= stop <= self.n_modules):
+            raise ConfigurationError(
+                f"slice [{start}, {stop}) out of range for "
+                f"{self.n_modules} modules"
+            )
+        return ModuleVariation(
+            leak=self.leak[start:stop],
+            dyn=self.dyn[start:stop],
+            dram=self.dram[start:stop],
+            perf=self.perf[start:stop],
+        )
+
 
 def _lognormal(rng: np.random.Generator, sigma: float, n: int, clip: float) -> np.ndarray:
     if sigma == 0.0:

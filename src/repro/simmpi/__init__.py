@@ -16,6 +16,10 @@ simulates exactly that:
   simulator with true point-to-point matching, blocking receives and
   deadlock detection, for programs that are not bulk-synchronous.  The
   two paths cross-validate each other in the test suite.
+* :mod:`repro.simmpi.fastpath` — the fleet-scale fast path: a vector-op
+  program IR executed as whole-fleet array operations with steady-state
+  fast-forwarding, plus the lowering onto the event-driven machine that
+  the differential equivalence suite verifies against.
 """
 
 from repro.simmpi.eventsim import (
@@ -27,11 +31,25 @@ from repro.simmpi.eventsim import (
     Recv,
     Send,
 )
-from repro.simmpi.machine import BspMachine
+from repro.simmpi.fastpath import (
+    BspProgram,
+    VAllreduce,
+    VBarrier,
+    VCompute,
+    VElapse,
+    VLoop,
+    VSendrecv,
+    is_bsp_expressible,
+    run_event,
+    run_fast,
+    simulate_app,
+)
+from repro.simmpi.machine import BspMachine, MachineState
 from repro.simmpi.tracing import RankTrace
 
 __all__ = [
     "BspMachine",
+    "MachineState",
     "RankTrace",
     "EventDrivenMachine",
     "Compute",
@@ -40,4 +58,15 @@ __all__ = [
     "Recv",
     "Barrier",
     "Allreduce",
+    "BspProgram",
+    "VCompute",
+    "VElapse",
+    "VBarrier",
+    "VAllreduce",
+    "VSendrecv",
+    "VLoop",
+    "run_fast",
+    "run_event",
+    "simulate_app",
+    "is_bsp_expressible",
 ]

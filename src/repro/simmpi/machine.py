@@ -18,12 +18,49 @@ even though each rank only talks to its neighbours.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from repro.errors import SimulationError
 from repro.simmpi.tracing import RankTrace
 
-__all__ = ["BspMachine"]
+__all__ = ["BspMachine", "MachineState"]
+
+
+@dataclass(frozen=True)
+class MachineState:
+    """Snapshot of a :class:`BspMachine`'s four per-rank accumulators.
+
+    The vectorised fast path (:mod:`repro.simmpi.fastpath`) uses state
+    deltas to detect when an iterated superstep has reached its steady
+    state — once the per-iteration increment of every accumulator is
+    constant, the remaining iterations can be fast-forwarded as one
+    whole-fleet array operation.
+    """
+
+    clock_s: np.ndarray
+    compute_s: np.ndarray
+    wait_s: np.ndarray
+    comm_s: np.ndarray
+
+    def delta_from(self, earlier: "MachineState") -> "MachineState":
+        """Per-rank increments accumulated since ``earlier``."""
+        return MachineState(
+            clock_s=self.clock_s - earlier.clock_s,
+            compute_s=self.compute_s - earlier.compute_s,
+            wait_s=self.wait_s - earlier.wait_s,
+            comm_s=self.comm_s - earlier.comm_s,
+        )
+
+    def allclose(
+        self, other: "MachineState", *, rtol: float = 1e-12, atol: float = 1e-15
+    ) -> bool:
+        """Whether two states (usually deltas) agree to rounding noise."""
+        return all(
+            np.allclose(getattr(self, f), getattr(other, f), rtol=rtol, atol=atol)
+            for f in ("clock_s", "compute_s", "wait_s", "comm_s")
+        )
 
 
 class BspMachine:
@@ -125,6 +162,48 @@ class BspMachine:
             raise SimulationError("elapsed time must be non-negative")
         self.clock_s = self.clock_s + dt
         self._compute_s = self._compute_s + dt
+
+    def advance_local(self, dt_seconds: np.ndarray | float) -> None:
+        """Advance each rank by precomputed local time (fast-path entry).
+
+        Semantically a fused ``compute`` + ``elapse``: ``dt_seconds`` is
+        the per-rank local time of one or more communication-free
+        phases, already divided by the rank rates.  Accounted as compute
+        time, like both constituents.
+        """
+        dt = np.broadcast_to(np.asarray(dt_seconds, dtype=float), (self.n_ranks,))
+        if np.any(dt < 0):
+            raise SimulationError("local time must be non-negative")
+        self.clock_s = self.clock_s + dt
+        self._compute_s = self._compute_s + dt
+
+    # -- fast-path state access ------------------------------------------------
+
+    def state(self) -> MachineState:
+        """Copy of the four per-rank accumulators (fast-path snapshots)."""
+        return MachineState(
+            clock_s=self.clock_s.copy(),
+            compute_s=self._compute_s.copy(),
+            wait_s=self._wait_s.copy(),
+            comm_s=self._comm_s.copy(),
+        )
+
+    def fast_forward(self, delta: MachineState, repeats: int) -> None:
+        """Apply ``repeats`` copies of a per-iteration state increment.
+
+        The whole-fleet shortcut behind the vectorised fast path: once
+        an iterated superstep's increments are stationary (every rank
+        gains the same clock/compute/wait/comm per iteration), the
+        remaining iterations collapse to one multiply-add per array.
+        """
+        if repeats < 0:
+            raise SimulationError("repeats must be non-negative")
+        if repeats == 0:
+            return
+        self.clock_s = self.clock_s + repeats * delta.clock_s
+        self._compute_s = self._compute_s + repeats * delta.compute_s
+        self._wait_s = self._wait_s + repeats * delta.wait_s
+        self._comm_s = self._comm_s + repeats * delta.comm_s
 
     def barrier(self) -> None:
         """Global synchronisation: everyone waits for the slowest rank."""

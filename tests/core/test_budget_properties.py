@@ -1,0 +1,193 @@
+"""Property-based tests for the α-solve (Eq 5–9).
+
+Hypothesis generates random linear power models (per-module endpoint
+powers with non-negative spans) and random budgets, then checks the
+solver's algebraic contract:
+
+* α is always clamped to [0, 1];
+* α is monotone non-decreasing in the budget;
+* the per-module allocations never exceed the budget in total when the
+  budget is feasible (Eq 5);
+* :func:`classify_constraint` agrees with the solved α, including at
+  the exact boundary budgets (the fmin floor and the fmax ceiling,
+  which delimit Table 4's "--" / "X" / "•" cells);
+* :func:`solve_alpha_chunked` is equivalent to :func:`solve_alpha` for
+  any chunk size.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.apps import get_app, list_apps
+from repro.core.budget import (
+    classify_constraint,
+    solve_alpha,
+    solve_alpha_chunked,
+)
+from repro.core.model import LinearPowerModel
+from repro.core.pmt import oracle_pmt
+from repro.errors import InfeasibleBudgetError
+from repro.experiments.common import CM_GRID_W
+
+BUDGET_EPS = 1e-9  # fp slack on the Eq-5 inequality
+
+
+@st.composite
+def power_models(draw):
+    """A random valid :class:`LinearPowerModel` (possibly degenerate)."""
+    n = draw(st.integers(1, 40))
+
+    def arr(lo, hi):
+        return np.array([draw(st.floats(lo, hi)) for _ in range(n)])
+
+    p_cpu_min = arr(1.0, 60.0)
+    p_dram_min = arr(0.5, 20.0)
+    # Zero spans allowed: single-frequency parts (BG/Q) are a supported
+    # degenerate case.
+    p_cpu_max = p_cpu_min + arr(0.0, 80.0)
+    p_dram_max = p_dram_min + arr(0.0, 25.0)
+    fmin = draw(st.floats(0.8, 1.5))
+    return LinearPowerModel(
+        fmin=fmin,
+        fmax=fmin + draw(st.floats(0.0, 2.5)),
+        p_cpu_max=p_cpu_max,
+        p_cpu_min=p_cpu_min,
+        p_dram_max=p_dram_max,
+        p_dram_min=p_dram_min,
+    )
+
+
+@st.composite
+def model_and_budget(draw, feasible=True):
+    model = draw(power_models())
+    floor = model.total_min_w()
+    span = model.total_span_w()
+    if feasible:
+        # From the floor up to well past the ceiling (unconstrained zone).
+        budget = floor + draw(st.floats(0.0, 2.0)) * max(span, floor)
+    else:
+        budget = floor * draw(st.floats(0.05, 0.999))
+    return model, budget
+
+
+class TestAlphaContract:
+    @settings(max_examples=150, deadline=None)
+    @given(case=model_and_budget())
+    def test_alpha_clamped_and_flag_consistent(self, case):
+        model, budget = case
+        sol = solve_alpha(model, budget)
+        assert 0.0 <= sol.alpha <= 1.0
+        assert sol.alpha == min(sol.raw_alpha, 1.0)
+        assert sol.constrained == (sol.raw_alpha < 1.0)
+        assert model.fmin <= sol.freq_ghz <= model.fmax
+
+    @settings(max_examples=150, deadline=None)
+    @given(case=model_and_budget())
+    def test_total_allocation_within_feasible_budget(self, case):
+        model, budget = case
+        sol = solve_alpha(model, budget)
+        assert sol.total_allocated_w <= budget * (1.0 + BUDGET_EPS) + BUDGET_EPS
+        # A binding budget is used (nearly) fully — Eq 5 holds with
+        # equality when α < 1.
+        if sol.constrained:
+            assert sol.total_allocated_w == pytest.approx(budget, rel=1e-9)
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        model=power_models(),
+        frac_lo=st.floats(0.0, 2.0),
+        frac_hi=st.floats(0.0, 2.0),
+    )
+    def test_alpha_monotone_in_budget(self, model, frac_lo, frac_hi):
+        lo_frac, hi_frac = sorted((frac_lo, frac_hi))
+        floor = model.total_min_w()
+        scale = max(model.total_span_w(), floor)
+        lo = solve_alpha(model, floor + lo_frac * scale)
+        hi = solve_alpha(model, floor + hi_frac * scale)
+        assert lo.alpha <= hi.alpha + 1e-12
+        assert lo.raw_alpha <= hi.raw_alpha + 1e-12
+
+    @settings(max_examples=60, deadline=None)
+    @given(case=model_and_budget(feasible=False))
+    def test_infeasible_budget_raises(self, case):
+        model, budget = case
+        with pytest.raises(InfeasibleBudgetError):
+            solve_alpha(model, budget)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        case=model_and_budget(),
+        chunk=st.integers(1, 64),
+    )
+    def test_chunked_solve_equivalent(self, case, chunk):
+        model, budget = case
+        # Chunked and pairwise summation can disagree by a ULP, which
+        # flips feasibility only when the budget sits *exactly* on the
+        # floor — step off the boundary for the equivalence property.
+        assume(budget > model.total_min_w() * (1.0 + 1e-9))
+        sol = solve_alpha(model, budget)
+        chunked = solve_alpha_chunked(model, budget, chunk_modules=chunk)
+        assert chunked.alpha == pytest.approx(sol.alpha, rel=1e-12, abs=1e-12)
+        assert chunked.raw_alpha == pytest.approx(
+            sol.raw_alpha, rel=1e-12, abs=1e-12
+        )
+        assert chunked.constrained == sol.constrained
+        np.testing.assert_allclose(chunked.pcpu_w, sol.pcpu_w, rtol=1e-12)
+        np.testing.assert_allclose(chunked.pdram_w, sol.pdram_w, rtol=1e-12)
+        np.testing.assert_allclose(chunked.pmodule_w, sol.pmodule_w, rtol=1e-12)
+
+
+class TestClassifyConsistency:
+    @settings(max_examples=100, deadline=None)
+    @given(case=model_and_budget())
+    def test_classify_agrees_with_solve(self, case):
+        model, budget = case
+        cell = classify_constraint(model, budget)
+        if cell == "--":
+            with pytest.raises(InfeasibleBudgetError):
+                solve_alpha(model, budget)
+        elif cell == "X":
+            sol = solve_alpha(model, budget)
+            assert sol.constrained
+        else:  # "•": budget at or above the fmax ceiling
+            sol = solve_alpha(model, budget)
+            assert sol.alpha == 1.0
+            assert not sol.constrained
+
+    @settings(max_examples=60, deadline=None)
+    @given(model=power_models())
+    def test_exact_boundary_budgets(self, model):
+        """The floor and ceiling are the cell boundaries themselves."""
+        floor = model.total_min_w()
+        ceiling = model.total_max_w()
+        # At exactly the floor: feasible, α = 0 (unless degenerate span).
+        assert classify_constraint(model, floor) in ("X", "•")
+        sol = solve_alpha(model, floor)
+        assert sol.alpha == pytest.approx(0.0 if ceiling > floor else 1.0)
+        # At exactly the ceiling: unconstrained, α = 1.
+        assert classify_constraint(model, ceiling) == "•"
+        sol = solve_alpha(model, ceiling)
+        assert sol.alpha == pytest.approx(1.0)
+        assert not sol.constrained
+
+
+class TestTable4BoundaryBudgets:
+    """classify vs solve on the paper's real PMTs at the Table 4 grid."""
+
+    def test_grid_budgets_consistent_for_every_app(self, ha8k_small):
+        n = ha8k_small.n_modules
+        for app_name in list_apps():
+            pmt = oracle_pmt(ha8k_small, get_app(app_name), noisy=False)
+            for cm in CM_GRID_W:
+                budget = float(cm) * n
+                cell = classify_constraint(pmt.model, budget)
+                if cell == "--":
+                    with pytest.raises(InfeasibleBudgetError):
+                        solve_alpha(pmt.model, budget)
+                    continue
+                sol = solve_alpha(pmt.model, budget)
+                assert sol.constrained == (cell == "X"), (app_name, cm)
+                assert (
+                    sol.total_allocated_w <= budget * (1.0 + BUDGET_EPS)
+                ), (app_name, cm)

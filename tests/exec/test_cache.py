@@ -93,6 +93,53 @@ class TestRunKeyDigest:
         )
         assert "uncapped" in key.describe()
 
+    @settings(max_examples=50, deadline=None)
+    @given(key=run_keys)
+    def test_numpy_scalar_fields_hash_like_python_scalars(self, key):
+        """The scalar *type* an experiment computed a field with must
+        never change the cache address (canonical-bytes hashing)."""
+        promoted = dataclasses.replace(
+            key,
+            n_modules=np.int64(key.n_modules),
+            seed=np.int64(key.seed),
+            budget_w=np.float64(key.budget_w),
+            fs_guardband_frac=np.float64(key.fs_guardband_frac),
+        )
+        assert promoted.digest() == key.digest()
+
+    def test_digest_pinned(self):
+        """Known digests at CACHE_SCHEMA_VERSION 2.
+
+        These pins make the canonical encoding part of the public
+        contract: any change to field canonicalisation, float byte
+        encoding, JSON layout, or the schema version shows up here as a
+        different address — i.e. a silently cold cache.
+        """
+        budgeted = RunKey(
+            system="ha8k", n_modules=1920, seed=2015, app="bt",
+            scheme="vafs", budget_w=96000.0, n_iters=None,
+        )
+        assert budgeted.digest() == (
+            "0a07390644a7cdb3c28e3b62054151c2809eb8a46d56f2a8c924cd257804d361"
+        )
+        uncapped = RunKey(
+            system="ha8k", n_modules=1920, seed=2015, app="bt",
+            scheme=None, budget_w=None,
+        )
+        assert uncapped.digest() == (
+            "5b90300c953fcaca96850cda6715021c948f37e9a81912bd7e755bf34bac94c6"
+        )
+
+    def test_negative_zero_collapses(self):
+        """-0.0 == 0.0, so the digests must coincide too."""
+        a = RunKey(
+            system="ha8k", n_modules=8, seed=1, app="bt",
+            scheme="vafs", budget_w=800.0, fs_guardband_frac=0.0,
+        )
+        b = dataclasses.replace(a, fs_guardband_frac=-0.0)
+        assert a == b
+        assert a.digest() == b.digest()
+
     def test_half_specified_budget_rejected(self):
         with pytest.raises(ConfigurationError):
             RunKey(

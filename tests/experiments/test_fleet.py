@@ -1,0 +1,146 @@
+"""The fleet-scale experiment: structure, physics, and chunked machinery.
+
+Small sizes keep the fast tier fast; the slow marker carries a true
+100k-module smoke run (the benchmark in ``benchmarks/test_fleet.py``
+additionally times it and records the throughput trajectory).
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps import get_app
+from repro.cluster.configs import build_system
+from repro.errors import ConfigurationError
+from repro.experiments.fleet import (
+    FLEET_CM_W,
+    FLEET_SCHEMES,
+    format_fleet,
+    run_fleet,
+    run_fleet_point,
+)
+
+
+@pytest.fixture(scope="module")
+def small_point():
+    return run_fleet_point(512)
+
+
+class TestFleetPoint:
+    def test_paper_physics_holds_at_synthetic_scale(self, small_point):
+        p = small_point
+        # Uniform caps expose manufacturing variation as frequency and
+        # runtime spread ...
+        assert p.vf["naive"] > 1.2
+        assert p.vt["naive"] > 1.05
+        # ... which the variation-aware oracle schemes flatten ...
+        assert p.vf["vapcor"] == pytest.approx(1.0, abs=1e-4)
+        assert p.vt["vapcor"] == pytest.approx(1.0, abs=1e-4)
+        # ... and convert into real speedup.
+        assert p.speedup["vapcor"] > 1.2
+        assert p.speedup["vafsor"] > 1.2
+        assert p.speedup["naive"] == 1.0
+
+    def test_budgets_respected(self, small_point):
+        p = small_point
+        assert p.budget_kw == pytest.approx(FLEET_CM_W * 512 / 1e3)
+        # Naive is deeply under budget (TDP-based over-throttling); FS
+        # never exceeds it; PC sits on the budget to float accuracy.
+        assert p.within_budget["naive"]
+        assert p.within_budget["vafsor"]
+
+    def test_bookkeeping(self, small_point):
+        p = small_point
+        assert set(p.vf) == set(p.vt) == set(p.speedup) == set(FLEET_SCHEMES)
+        assert p.wall_s > 0.0
+        assert p.ranks_per_sec > 0.0
+        assert p.fleet_fmax_power_kw > p.budget_kw  # the budget binds
+
+
+class TestFleetSweep:
+    def test_sweep_and_rendering(self):
+        points = run_fleet(sizes=(256, 512))
+        assert [p.n_modules for p in points] == [256, 512]
+        out = format_fleet(points)
+        assert "256" in out and "512" in out
+        assert "Fleet scaling" in out
+
+    def test_seed_determinism(self):
+        a = run_fleet_point(256, seed=7)
+        b = run_fleet_point(256, seed=7)
+        assert a.vf == b.vf
+        assert a.vt == b.vt
+        assert a.speedup == b.speedup
+
+
+class TestChunkedMachinery:
+    """The memory-bounded ModuleArray operations the sweep runs on."""
+
+    @pytest.fixture(scope="class")
+    def truth(self):
+        system = build_system("ha8k", n_modules=1000, seed=2015)
+        app = get_app("bt")
+        return system, app.specialize(
+            system.modules, system.rng.rng("app-residual/bt")
+        ), app
+
+    def test_take_slice_is_a_zero_copy_view(self, truth):
+        _, modules, _ = truth
+        view = modules.take_slice(100, 300)
+        assert view.n_modules == 200
+        assert np.shares_memory(view.variation.leak, modules.variation.leak)
+
+    def test_take_slice_rejects_bad_ranges(self, truth):
+        _, modules, _ = truth
+        with pytest.raises(ConfigurationError):
+            modules.variation.take_slice(-1, 10)
+        with pytest.raises(ConfigurationError):
+            modules.variation.take_slice(10, 1001)
+
+    def test_module_power_chunked_bit_identical(self, truth):
+        system, modules, app = truth
+        sig = app.signature
+        full = modules.module_power(system.arch.fmax, sig)
+        for chunk in (1, 7, 64, 10_000):
+            chunked = modules.module_power_chunked(
+                system.arch.fmax, sig, chunk_modules=chunk
+            )
+            np.testing.assert_array_equal(chunked, full)
+        # Per-module frequencies and a preallocated output.
+        freqs = np.linspace(system.arch.fmin, system.arch.fmax, 1000)
+        out = np.empty(1000)
+        got = modules.module_power_chunked(
+            freqs, sig, chunk_modules=128, out=out
+        )
+        assert got is out
+        np.testing.assert_array_equal(out, modules.module_power(freqs, sig))
+
+    def test_total_module_power_matches_sum(self, truth):
+        system, modules, app = truth
+        sig = app.signature
+        total = modules.total_module_power_w(
+            system.arch.fmax, sig, chunk_modules=37
+        )
+        assert total == pytest.approx(
+            float(modules.module_power(system.arch.fmax, sig).sum()), rel=1e-12
+        )
+
+    def test_chunk_validation(self, truth):
+        system, modules, app = truth
+        with pytest.raises(ConfigurationError):
+            list(modules.iter_chunks(0))
+        with pytest.raises(ConfigurationError):
+            modules.module_power_chunked(
+                np.ones(3), app.signature, chunk_modules=10
+            )
+
+
+@pytest.mark.slow
+class TestFleetSmoke100k:
+    def test_100k_point_completes_and_holds_the_headline(self):
+        p = run_fleet_point(100_000)
+        assert p.n_modules == 100_000
+        assert p.wall_s < 60.0
+        assert p.vf["naive"] > 1.5
+        assert p.speedup["vapcor"] > 1.3
+        assert p.speedup["vafsor"] > 1.3
+        assert p.vt["vapcor"] == pytest.approx(1.0, abs=1e-4)

@@ -16,6 +16,7 @@ model-change detector); this file pins the *exact regenerated values*
 import pytest
 
 from repro.experiments.fig7 import run_fig7, summarize_fig7
+from repro.experiments.fleet import run_fleet_point
 from repro.experiments.table4 import run_table4
 
 REL = 1e-6
@@ -98,3 +99,56 @@ class TestTable4Golden:
     def test_feasibility_matrix_matches_paper_cell_for_cell(self):
         result = run_table4()
         assert result.matches_paper, result.mismatches
+
+
+#: Fleet experiment at 4,096 synthetic HA8K modules, seed 2015, bt @
+#: Cm = 80 W, n_iters = 20 — regenerated with the vectorised fast path
+#: and the chunked α-solve (both exercised end to end by this pin).
+GOLDEN_FLEET_4096 = {
+    "vf_naive": 1.6932824799161936,
+    "vt_naive": 1.1522819317257338,
+    "speedup_vapcor": 1.5266250459700292,
+    "speedup_vafsor": 1.4757426708169046,
+    "vf_vapcor": 1.0000003157936261,
+    "vt_vapcor": 1.0000000626523768,
+    "fleet_fmax_power_kw": 335.71948831159204,
+}
+
+
+class TestFleetGolden:
+    @pytest.fixture(scope="class")
+    def point(self):
+        return run_fleet_point(4096)
+
+    def test_fleet_point_pinned(self, point):
+        g = GOLDEN_FLEET_4096
+        assert point.vf["naive"] == pytest.approx(g["vf_naive"], rel=REL)
+        assert point.vt["naive"] == pytest.approx(g["vt_naive"], rel=REL)
+        assert point.speedup["vapcor"] == pytest.approx(
+            g["speedup_vapcor"], rel=REL
+        )
+        assert point.speedup["vafsor"] == pytest.approx(
+            g["speedup_vafsor"], rel=REL
+        )
+        # The oracle PC scheme flattens Vf/Vt to ~1 — the paper's core
+        # claim, intact at twice the evaluation system's width.
+        assert point.vf["vapcor"] == pytest.approx(g["vf_vapcor"], rel=REL)
+        assert point.vt["vapcor"] == pytest.approx(g["vt_vapcor"], rel=REL)
+        assert point.fleet_fmax_power_kw == pytest.approx(
+            g["fleet_fmax_power_kw"], rel=REL
+        )
+
+    def test_chunk_size_never_changes_results(self, point):
+        """Chunking is an implementation detail: a tiny chunk size must
+        reproduce the same physics (well inside the golden tolerance)."""
+        tiny = run_fleet_point(4096, chunk_modules=777)
+        assert tiny.vf["naive"] == pytest.approx(point.vf["naive"], rel=1e-12)
+        assert tiny.speedup["vapcor"] == pytest.approx(
+            point.speedup["vapcor"], rel=1e-12
+        )
+        assert tiny.speedup["vafsor"] == pytest.approx(
+            point.speedup["vafsor"], rel=1e-12
+        )
+        assert tiny.fleet_fmax_power_kw == pytest.approx(
+            point.fleet_fmax_power_kw, rel=1e-12
+        )

@@ -1,0 +1,171 @@
+#!/usr/bin/env python
+"""Import-layering contract check (see docs/ARCHITECTURE.md).
+
+The array-first refactor depends on a one-way flow between layers:
+
+    hardware  ->  (errors, util)                    ground truth; imports nothing above
+    measurement, control, simmpi                    substrate; hardware only
+    core, cluster, apps                             budgeting framework
+    exec, experiments, cli                          orchestration; may import anything
+
+This script parses every module under ``src/repro`` with :mod:`ast`
+(no imports are executed) and fails if any package gains an import edge
+not present in the allowlist below.  The allowlist is a *ratchet*: it
+encodes the graph as it stands — including two grandfathered cycles
+(``cluster <-> core`` and ``apps <-> cluster``, both mediated through
+late imports and type-only uses) — and edges may be removed as layers
+untangle, but adding one requires editing this file, which is the
+point: layering violations become a reviewed decision, not drift.
+
+The hard rule the contract exists to protect: ``hardware`` (the ground
+truth the schemes are only allowed to observe through measurement) must
+never import ``core`` or ``experiments``.
+
+Exit status 0 = clean, 1 = violations (listed on stderr).
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+PACKAGE_ROOT = REPO_ROOT / "src" / "repro"
+
+#: source layer -> layers it may import.  A "layer" is a top-level
+#: subpackage of repro, or the stem of a top-level module ("errors",
+#: "cli"); the package's own __init__/__main__ are layer "repro".
+ALLOWED: dict[str, set[str]] = {
+    # Ground truth: the physical model.  NOTHING from the budgeting
+    # framework or above — schemes may only learn about hardware through
+    # measurement (the PVT) or declared oracle access.
+    "hardware": {"errors", "util"},
+    # Substrate over hardware.
+    "measurement": {"errors", "hardware"},
+    "control": {"errors", "hardware"},
+    "simmpi": {"errors", "util"},
+    # Budgeting framework.  cluster <-> core and apps <-> cluster are
+    # grandfathered cycles (ratchet: remove when untangled, never add).
+    "apps": {"cluster", "errors", "hardware", "simmpi"},
+    "cluster": {
+        "apps",
+        "control",
+        "core",
+        "errors",
+        "hardware",
+        "measurement",
+        "util",
+    },
+    "core": {
+        "apps",
+        "cluster",
+        "control",
+        "errors",
+        "hardware",
+        "measurement",
+        "simmpi",
+        "util",
+    },
+    # Orchestration: may reach down into everything.
+    "exec": {"apps", "cluster", "core", "errors", "hardware", "simmpi", "util"},
+    "experiments": {
+        "apps",
+        "cluster",
+        "control",
+        "core",
+        "errors",
+        "exec",
+        "hardware",
+        "measurement",
+        "util",
+    },
+    "cli": {"experiments", "errors", "util", "repro"},
+    # Leaves.
+    "errors": set(),
+    "util": {"errors"},
+    # The package facade re-exports the public API.
+    "repro": {"apps", "cli", "cluster", "core", "errors", "hardware", "util"},
+}
+
+#: The edges this contract was written to forbid — reported with a
+#: louder message than a plain allowlist miss.
+FORBIDDEN: set[tuple[str, str]] = {
+    ("hardware", "core"),
+    ("hardware", "experiments"),
+    ("hardware", "cluster"),
+    ("hardware", "apps"),
+}
+
+
+def _layer_of(path: Path) -> str:
+    rel = path.relative_to(PACKAGE_ROOT)
+    if len(rel.parts) > 1:
+        return rel.parts[0]
+    if rel.stem in ("__init__", "__main__"):
+        return "repro"
+    return rel.stem
+
+
+def _target_layer(module: str) -> str | None:
+    """Layer a ``repro[.x[.y]]`` import lands in; None for third-party."""
+    if module != "repro" and not module.startswith("repro."):
+        return None
+    parts = module.split(".")
+    return parts[1] if len(parts) > 1 else "repro"
+
+
+def collect_edges() -> list[tuple[str, str, str, int]]:
+    """All intra-repro import edges: (src_layer, dst_layer, file, lineno)."""
+    edges = []
+    for py in sorted(PACKAGE_ROOT.rglob("*.py")):
+        src = _layer_of(py)
+        tree = ast.parse(py.read_text(), filename=str(py))
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                targets = [(alias.name, node.lineno) for alias in node.names]
+            elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+                targets = [(node.module, node.lineno)]
+            else:
+                continue
+            for module, lineno in targets:
+                dst = _target_layer(module)
+                if dst is not None and dst != src:
+                    edges.append((src, dst, str(py.relative_to(REPO_ROOT)), lineno))
+    return edges
+
+
+def check() -> list[str]:
+    """Return a list of violation messages (empty = contract holds)."""
+    violations = []
+    for src, dst, path, lineno in collect_edges():
+        if src not in ALLOWED:
+            violations.append(
+                f"{path}:{lineno}: unknown layer {src!r} — register it in "
+                "scripts/check_layering.py"
+            )
+        elif dst not in ALLOWED[src]:
+            note = (
+                "FORBIDDEN by the layering contract (ground truth must not "
+                "import the budgeting framework)"
+                if (src, dst) in FORBIDDEN
+                else "not in the allowlist — layering is a ratchet; adding an "
+                "edge requires editing scripts/check_layering.py"
+            )
+            violations.append(f"{path}:{lineno}: {src} -> {dst}: {note}")
+    return violations
+
+
+def main() -> int:
+    violations = check()
+    if violations:
+        print("import-layering contract violated:", file=sys.stderr)
+        for v in violations:
+            print(f"  {v}", file=sys.stderr)
+        return 1
+    print(f"layering OK ({len(collect_edges())} intra-package edges checked)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

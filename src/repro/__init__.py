@@ -37,6 +37,7 @@ from repro.core import (
     ALL_SCHEMES,
     BudgetSolution,
     LinearPowerModel,
+    PowerAllocation,
     PowerModelTable,
     PowerVariationTable,
     RunResult,
@@ -88,6 +89,7 @@ __all__ = [
     "ALL_SCHEMES",
     "BudgetSolution",
     "LinearPowerModel",
+    "PowerAllocation",
     "PowerModelTable",
     "PowerVariationTable",
     "RunResult",

@@ -31,6 +31,7 @@ import numpy as np
 from repro.cluster.system import System
 from repro.errors import SchedulerError
 from repro.hardware.power_model import PowerSignature
+from repro.util.indexing import as_contiguous_slice
 
 __all__ = ["JobScheduler", "Allocation"]
 
@@ -51,6 +52,16 @@ class Allocation:
     def n_modules(self) -> int:
         """Number of modules granted."""
         return int(self.module_ids.size)
+
+    def as_slice(self) -> slice | None:
+        """The allocation as a contiguous slice, or ``None`` if scattered.
+
+        Contiguous allocations (the ``contiguous`` policy's first-fit
+        grants on an unfragmented machine) let every downstream consumer
+        — :meth:`System.subset`, PVT/PMT ``take`` — partition fleet
+        state by zero-copy array slicing instead of index-list copies.
+        """
+        return as_contiguous_slice(self.module_ids)
 
 
 class JobScheduler:

@@ -136,7 +136,13 @@ class System:
         return self.arch.supports_capping and self.meter_kind == "rapl"
 
     def subset(self, indices: np.ndarray | list[int]) -> "System":
-        """A system view restricted to the given modules (a job allocation)."""
+        """A system view restricted to the given modules (a job allocation).
+
+        Contiguous ascending allocations are zero-copy: the subset's
+        :class:`~repro.hardware.ModuleArray` shares the parent's
+        variation buffers (array slicing), so per-job views at fleet
+        scale allocate nothing.  Scattered allocations copy.
+        """
         return System(
             name=self.name,
             arch=self.arch,

@@ -60,6 +60,7 @@ from repro.core.pvt_selection import (
 from repro.core.runner import RunResult, run_budgeted, run_uncapped
 from repro.core.schemes import (
     ALL_SCHEMES,
+    PowerAllocation,
     Scheme,
     get_scheme,
     list_schemes,
@@ -80,6 +81,7 @@ __all__ = [
     "solve_alpha",
     "classify_constraint",
     "Scheme",
+    "PowerAllocation",
     "ALL_SCHEMES",
     "get_scheme",
     "list_schemes",

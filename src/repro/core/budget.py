@@ -21,12 +21,13 @@ modules cannot be operated even at fmin (Table 4's "–" entries).
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.core.model import LinearPowerModel
-from repro.errors import ConfigurationError, InfeasibleBudgetError
+from repro.errors import InfeasibleBudgetError
 
 __all__ = [
     "BudgetSolution",
@@ -84,8 +85,25 @@ def _raw_alpha(floor: float, span: float, budget_w: float) -> float:
     return (budget_w - floor) / span
 
 
-def solve_alpha(model: LinearPowerModel, budget_w: float) -> BudgetSolution:
+def solve_alpha(
+    model: LinearPowerModel,
+    budget_w: float,
+    *,
+    chunk_modules: int | None = None,
+) -> BudgetSolution:
     """Solve Eq (6) and derive the per-module allocations (Eq 7–9).
+
+    This is the single α-solve for every scale.  The whole fleet is
+    evaluated as array operations; ``chunk_modules`` is purely a memory
+    knob: ``None`` (the default) uses fused whole-fleet expressions,
+    while an integer bounds peak *temporary* memory to
+    O(``chunk_modules``) by accumulating the Eq (5)/(6) aggregates
+    chunk-wise and writing the Eq (7)–(9) allocations slice-by-slice
+    into preallocated outputs (the returned per-module arrays are still
+    O(n) — they are the *result*).  The fleet-scale sweeps (10k–200k
+    modules) set it so a solve never materialises several fleet-sized
+    temporaries at once; per-element allocation values are bit-identical
+    either way, and the aggregates differ only by summation association.
 
     Raises
     ------
@@ -94,16 +112,14 @@ def solve_alpha(model: LinearPowerModel, budget_w: float) -> BudgetSolution:
     """
     if not np.isfinite(budget_w) or budget_w <= 0:
         raise InfeasibleBudgetError(budget_w, model.total_min_w())
-    floor = model.total_min_w()
-    span = model.total_span_w()
+    floor, span = model.floor_and_span_w(chunk_modules=chunk_modules)
 
     raw = _raw_alpha(floor, span, budget_w)
     if raw < 0.0:
         raise InfeasibleBudgetError(budget_w, floor)
     alpha = min(raw, 1.0)
 
-    pcpu = model.cpu_power_at(alpha)
-    pdram = model.dram_power_at(alpha)
+    pcpu, pdram = model.allocations_at(alpha, chunk_modules=chunk_modules)
     return BudgetSolution(
         alpha=alpha,
         raw_alpha=raw,
@@ -116,72 +132,23 @@ def solve_alpha(model: LinearPowerModel, budget_w: float) -> BudgetSolution:
     )
 
 
+_CHUNKED_DEPRECATION_WARNED = False
+
+
 def solve_alpha_chunked(
     model: LinearPowerModel, budget_w: float, *, chunk_modules: int = 65536
 ) -> BudgetSolution:
-    """:func:`solve_alpha` evaluated in module chunks of bounded size.
-
-    Semantically identical to :func:`solve_alpha` (``allclose`` to within
-    summation reordering, i.e. a few ULP), but peak *temporary* memory is
-    O(``chunk_modules``) instead of O(n): the Eq (5)/(6) aggregates are
-    accumulated chunk-wise and the Eq (7)–(9) allocations are written
-    slice-by-slice into preallocated outputs.  The returned per-module
-    allocation arrays are still O(n) — they are the *result*.  Used by
-    the fleet-scale sweeps (10k–200k modules), where a single fused
-    numpy expression over six full-length operands would otherwise
-    allocate several intermediate fleet-sized temporaries per solve.
-    """
-    if chunk_modules <= 0:
-        raise ConfigurationError("chunk_modules must be positive")
-    n = model.n_modules
-    if not np.isfinite(budget_w) or budget_w <= 0:
-        raise InfeasibleBudgetError(budget_w, model.total_min_w())
-
-    # Aggregates: one pass, chunk-sized temporaries only.  Per-chunk
-    # partial sums are reduced at the end so the result differs from the
-    # unchunked np.sum only by floating-point association.
-    min_parts: list[float] = []
-    max_parts: list[float] = []
-    for lo in range(0, n, chunk_modules):
-        hi = min(lo + chunk_modules, n)
-        min_parts.append(
-            float(model.p_cpu_min[lo:hi].sum() + model.p_dram_min[lo:hi].sum())
+    """Deprecated alias for ``solve_alpha(..., chunk_modules=...)``."""
+    global _CHUNKED_DEPRECATION_WARNED
+    if not _CHUNKED_DEPRECATION_WARNED:
+        _CHUNKED_DEPRECATION_WARNED = True
+        warnings.warn(
+            "solve_alpha_chunked is deprecated; call "
+            "solve_alpha(model, budget_w, chunk_modules=...) instead",
+            DeprecationWarning,
+            stacklevel=2,
         )
-        max_parts.append(
-            float(model.p_cpu_max[lo:hi].sum() + model.p_dram_max[lo:hi].sum())
-        )
-    floor = float(np.sum(min_parts))
-    span = float(np.sum(max_parts)) - floor
-
-    raw = _raw_alpha(floor, span, budget_w)
-    if raw < 0.0:
-        raise InfeasibleBudgetError(budget_w, floor)
-    alpha = min(raw, 1.0)
-
-    pcpu = np.empty(n)
-    pdram = np.empty(n)
-    pmodule = np.empty(n)
-    for lo in range(0, n, chunk_modules):
-        hi = min(lo + chunk_modules, n)
-        pcpu[lo:hi] = (
-            alpha * (model.p_cpu_max[lo:hi] - model.p_cpu_min[lo:hi])
-            + model.p_cpu_min[lo:hi]
-        )
-        pdram[lo:hi] = (
-            alpha * (model.p_dram_max[lo:hi] - model.p_dram_min[lo:hi])
-            + model.p_dram_min[lo:hi]
-        )
-        pmodule[lo:hi] = pcpu[lo:hi] + pdram[lo:hi]
-    return BudgetSolution(
-        alpha=alpha,
-        raw_alpha=raw,
-        constrained=raw < 1.0,
-        freq_ghz=model.freq_at(alpha),
-        pmodule_w=pmodule,
-        pcpu_w=pcpu,
-        pdram_w=pdram,
-        budget_w=float(budget_w),
-    )
+    return solve_alpha(model, budget_w, chunk_modules=chunk_modules)
 
 
 def classify_constraint(model: LinearPowerModel, budget_w: float) -> str:

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.util.indexing import as_contiguous_slice
 
 __all__ = ["LinearPowerModel"]
 
@@ -72,6 +73,48 @@ class LinearPowerModel:
         """Number of modules the model covers."""
         return int(self.p_cpu_max.shape[0])
 
+    # -- partitioning (array-first: jobs are index ranges, not lists) ------------
+
+    def take_slice(self, start: int, stop: int) -> "LinearPowerModel":
+        """Zero-copy model over the contiguous module range ``[start, stop)``.
+
+        The endpoint columns are numpy slices sharing the parent's
+        buffers, so partitioning a fleet-sized model across jobs costs
+        nothing per job.
+        """
+        if not (0 <= start <= stop <= self.n_modules):
+            raise ConfigurationError(
+                f"slice [{start}, {stop}) out of range for "
+                f"{self.n_modules} modules"
+            )
+        return LinearPowerModel(
+            fmin=self.fmin,
+            fmax=self.fmax,
+            p_cpu_max=self.p_cpu_max[start:stop],
+            p_cpu_min=self.p_cpu_min[start:stop],
+            p_dram_max=self.p_dram_max[start:stop],
+            p_dram_min=self.p_dram_min[start:stop],
+        )
+
+    def take(self, indices: np.ndarray | list[int]) -> "LinearPowerModel":
+        """Model restricted to the given module indices.
+
+        Contiguous ascending index sets come back as zero-copy
+        :meth:`take_slice` views; scattered sets are copied.
+        """
+        sl = as_contiguous_slice(indices)
+        if sl is not None and sl.stop <= self.n_modules:
+            return self.take_slice(sl.start, sl.stop)
+        idx = np.asarray(indices, dtype=int)
+        return LinearPowerModel(
+            fmin=self.fmin,
+            fmax=self.fmax,
+            p_cpu_max=self.p_cpu_max[idx],
+            p_cpu_min=self.p_cpu_min[idx],
+            p_dram_max=self.p_dram_max[idx],
+            p_dram_min=self.p_dram_min[idx],
+        )
+
     # -- Equations (1)-(4) -------------------------------------------------------
 
     def freq_at(self, alpha: float) -> float:
@@ -110,3 +153,65 @@ class LinearPowerModel:
     def total_span_w(self) -> float:
         """Σᵢ (P_module_max,i − P_module_min,i) — Eq (6)'s denominator."""
         return self.total_max_w() - self.total_min_w()
+
+    def floor_and_span_w(
+        self, *, chunk_modules: int | None = None
+    ) -> tuple[float, float]:
+        """The Eq (5)/(6) aggregates ``(Σ P_min, Σ (P_max − P_min))``.
+
+        ``chunk_modules=None`` is the fused whole-fleet reduction.  An
+        integer bounds peak temporary memory to O(``chunk_modules``):
+        chunk partial sums are accumulated and reduced at the end, so
+        the result differs from the fused pass only by floating-point
+        association.  This is the single aggregation routine behind
+        :func:`repro.core.budget.solve_alpha` at every scale.
+        """
+        if chunk_modules is None:
+            floor = self.total_min_w()
+            return floor, self.total_max_w() - floor
+        if chunk_modules <= 0:
+            raise ConfigurationError("chunk_modules must be positive")
+        n = self.n_modules
+        min_parts: list[float] = []
+        max_parts: list[float] = []
+        for lo in range(0, n, chunk_modules):
+            hi = min(lo + chunk_modules, n)
+            min_parts.append(
+                float(self.p_cpu_min[lo:hi].sum() + self.p_dram_min[lo:hi].sum())
+            )
+            max_parts.append(
+                float(self.p_cpu_max[lo:hi].sum() + self.p_dram_max[lo:hi].sum())
+            )
+        floor = float(np.sum(min_parts))
+        return floor, float(np.sum(max_parts)) - floor
+
+    def allocations_at(
+        self, alpha: float, *, chunk_modules: int | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Whole-fleet Eq (2)/(3) evaluation: ``(P_cpu, P_dram)`` at α.
+
+        ``chunk_modules=None`` evaluates each equation as one fused
+        array expression; an integer writes the result slice-by-slice
+        into preallocated outputs so no fleet-sized temporary beyond the
+        two results themselves is ever built.  Element values are
+        bit-identical either way — chunking changes temporary lifetimes,
+        not arithmetic.
+        """
+        if chunk_modules is None:
+            return self.cpu_power_at(alpha), self.dram_power_at(alpha)
+        if chunk_modules <= 0:
+            raise ConfigurationError("chunk_modules must be positive")
+        n = self.n_modules
+        pcpu = np.empty(n)
+        pdram = np.empty(n)
+        for lo in range(0, n, chunk_modules):
+            hi = min(lo + chunk_modules, n)
+            pcpu[lo:hi] = (
+                alpha * (self.p_cpu_max[lo:hi] - self.p_cpu_min[lo:hi])
+                + self.p_cpu_min[lo:hi]
+            )
+            pdram[lo:hi] = (
+                alpha * (self.p_dram_max[lo:hi] - self.p_dram_min[lo:hi])
+                + self.p_dram_min[lo:hi]
+            )
+        return pcpu, pdram

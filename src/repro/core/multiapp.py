@@ -86,9 +86,24 @@ class PowerPartition:
             )
 
 
-def _job_pmt(system: System, job: Job, scheme: Scheme, pvt: PowerVariationTable | None) -> PowerModelTable:
+def _job_view(
+    system: System, pvt: PowerVariationTable | None, job: Job
+) -> tuple[System, PowerVariationTable | None]:
+    """Per-job system and PVT restricted to the job's allocation.
+
+    Partitioning is array slicing: contiguous allocations (the
+    scheduler's first-fit default) produce zero-copy views of the fleet
+    state — the job's :class:`~repro.hardware.ModuleArray` and PVT
+    columns share the system-wide buffers.  Scattered allocations fall
+    back to fancy-index copies.
+    """
     job_system = system.subset(job.allocation.module_ids)
     job_pvt = pvt.take(job.allocation.module_ids) if pvt is not None else None
+    return job_system, job_pvt
+
+
+def _job_pmt(system: System, job: Job, scheme: Scheme, pvt: PowerVariationTable | None) -> PowerModelTable:
+    job_system, job_pvt = _job_view(system, pvt, job)
     return scheme.build_pmt(job_system, job.app, pvt=job_pvt)
 
 
@@ -291,8 +306,7 @@ def run_multiapp(
     )
     results: dict[str, RunResult] = {}
     for job in jobs:
-        job_system = system.subset(job.allocation.module_ids)
-        job_pvt = pvt.take(job.allocation.module_ids) if pvt is not None else None
+        job_system, job_pvt = _job_view(system, pvt, job)
         results[job.name] = run_budgeted(
             job_system,
             job.app,

@@ -71,6 +71,29 @@ class PowerModelTable:
         """Number of modules covered."""
         return self.model.n_modules
 
+    def take(self, indices) -> "PowerModelTable":
+        """PMT restricted to the given module indices (provenance kept).
+
+        Contiguous ascending index sets return zero-copy views of the
+        endpoint columns (see
+        :meth:`~repro.core.model.LinearPowerModel.take`).
+        """
+        return PowerModelTable(
+            model=self.model.take(indices),
+            kind=self.kind,
+            app_name=self.app_name,
+            test_module=self.test_module,
+        )
+
+    def take_slice(self, start: int, stop: int) -> "PowerModelTable":
+        """Zero-copy PMT view of the contiguous range ``[start, stop)``."""
+        return PowerModelTable(
+            model=self.model.take_slice(start, stop),
+            kind=self.kind,
+            app_name=self.app_name,
+            test_module=self.test_module,
+        )
+
 
 def calibrate_pmt(
     pvt: PowerVariationTable,

@@ -26,6 +26,7 @@ from repro.cluster.system import System
 from repro.errors import ConfigurationError
 from repro.hardware.module import OperatingPoint
 from repro.measurement.rapl import RaplMeter
+from repro.util.indexing import as_contiguous_slice
 
 __all__ = ["PowerVariationTable", "generate_pvt"]
 
@@ -65,7 +66,15 @@ class PowerVariationTable:
         return int(self.scale_cpu_max.shape[0])
 
     def take(self, indices: np.ndarray | list[int]) -> "PowerVariationTable":
-        """PVT restricted to a job's module allocation."""
+        """PVT restricted to a job's module allocation.
+
+        Contiguous ascending allocations (the scheduler's first-fit
+        default) come back as zero-copy :meth:`take_slice` views;
+        scattered allocations are fancy-index copies.
+        """
+        sl = as_contiguous_slice(indices)
+        if sl is not None and sl.stop <= self.n_modules:
+            return self.take_slice(sl.start, sl.stop)
         idx = np.asarray(indices, dtype=int)
         return PowerVariationTable(
             system_name=self.system_name,
@@ -74,6 +83,27 @@ class PowerVariationTable:
             scale_cpu_min=self.scale_cpu_min[idx],
             scale_dram_max=self.scale_dram_max[idx],
             scale_dram_min=self.scale_dram_min[idx],
+        )
+
+    def take_slice(self, start: int, stop: int) -> "PowerVariationTable":
+        """Zero-copy PVT view of the contiguous module range ``[start, stop)``.
+
+        The four scale columns are numpy slices sharing the parent's
+        buffers — partitioning a fleet PVT across jobs allocates
+        nothing.
+        """
+        if not (0 <= start <= stop <= self.n_modules):
+            raise ConfigurationError(
+                f"slice [{start}, {stop}) out of range for "
+                f"{self.n_modules} modules"
+            )
+        return PowerVariationTable(
+            system_name=self.system_name,
+            microbenchmark=self.microbenchmark,
+            scale_cpu_max=self.scale_cpu_max[start:stop],
+            scale_cpu_min=self.scale_cpu_min[start:stop],
+            scale_dram_max=self.scale_dram_max[start:stop],
+            scale_dram_min=self.scale_dram_min[start:stop],
         )
 
     # -- persistence (the PVT is generated once at install time) -----------------

@@ -157,22 +157,25 @@ class PowerAwareRM:
 
     # -- admission predicates ---------------------------------------------------
 
-    def _power_floor(self, job: Job) -> float:
-        """The job's fmin module-power floor (what admission must cover)."""
-        truth = job.app.specialize(
+    def _job_truth(self, job: Job):
+        """The job's ground-truth module view — a zero-copy array slice
+        of the fleet state for contiguous allocations."""
+        return job.app.specialize(
             self.system.modules, self.system.rng.rng(f"app-residual/{job.app.name}")
         ).take(job.allocation.module_ids)
-        return float(
-            truth.module_power(self.system.arch.fmin, job.app.signature).sum()
+
+    def _power_floor(self, job: Job) -> float:
+        """The job's fmin module-power floor (what admission must cover)."""
+        truth = self._job_truth(job)
+        return truth.total_module_power_w(
+            self.system.arch.fmin, job.app.signature
         )
 
     def _power_worst_case(self, job: Job) -> float:
         """Uncapped draw of the job's allocation (worst-case admission)."""
-        truth = job.app.specialize(
-            self.system.modules, self.system.rng.rng(f"app-residual/{job.app.name}")
-        ).take(job.allocation.module_ids)
-        return float(
-            truth.module_power(self.system.arch.fmax, job.app.signature).sum()
+        truth = self._job_truth(job)
+        return truth.total_module_power_w(
+            self.system.arch.fmax, job.app.signature
         )
 
     def _power_need(self, job: Job) -> float:

@@ -3,12 +3,14 @@
 :func:`run_budgeted` executes the paper's full workflow (Fig 4) for one
 (system, application, scheme, budget) combination:
 
-1. build the scheme's PMT (PVT + single-module test runs, oracle, or
-   TDP defaults);
-2. solve for α and the module-level allocations (Eq 5–9);
-3. actuate — RAPL caps (PC) or a pinned common frequency (FS);
-4. simulate the application on the realised per-module work rates;
-5. measure realised power and collect the Vp/Vf/Vt statistics.
+1. plan — :meth:`Scheme.allocate <repro.core.schemes.Scheme.allocate>`
+   builds the scheme's PMT (PVT + single-module test runs, oracle, or
+   TDP defaults) and solves for α and the module-level allocations
+   (Eq 5–9), returning a
+   :class:`~repro.core.schemes.PowerAllocation`;
+2. actuate — RAPL caps (PC) or a pinned common frequency (FS);
+3. simulate the application on the realised per-module work rates;
+4. measure realised power and collect the Vp/Vf/Vt statistics.
 
 :func:`run_uncapped` provides the unconstrained reference execution the
 paper normalises against ("Cm = No" in Fig 2/3/8).
@@ -31,10 +33,11 @@ import numpy as np
 from repro.apps.base import AppModel
 from repro.cluster.system import System
 from repro.control.rapl_cap import RaplCapController
-from repro.core.budget import BudgetSolution, solve_alpha, solve_alpha_chunked
+from repro.core.budget import BudgetSolution
 from repro.core.pmmd import InstrumentedApp
 from repro.core.pvt import PowerVariationTable
-from repro.core.schemes import Scheme, get_scheme
+from repro.core.schemes import PowerAllocation, Scheme, get_scheme
+from repro.errors import ConfigurationError
 from repro.hardware.module import ModuleArray, OperatingPoint
 from repro.simmpi.fastpath import simulate_app
 from repro.simmpi.tracing import RankTrace
@@ -169,6 +172,7 @@ def run_budgeted(
     noisy: bool = True,
     fs_guardband_frac: float = 0.02,
     chunk_modules: int | None = None,
+    allocation: PowerAllocation | None = None,
 ) -> RunResult:
     """Run ``app`` on ``system`` under ``budget_w`` with one scheme.
 
@@ -193,11 +197,19 @@ def run_budgeted(
         push realised power past the constraint.  PC schemes need no
         planning margin — RAPL enforces the caps in hardware.
     chunk_modules:
-        When set, the α-solve runs through
-        :func:`~repro.core.budget.solve_alpha_chunked` with this chunk
-        size, bounding peak temporary memory at fleet scale (the
-        10k–200k-module sweeps).  ``None`` (the default) keeps the
-        one-shot vectorised solve.
+        Memory knob forwarded to the α-solve
+        (:func:`~repro.core.budget.solve_alpha`): when set, aggregates
+        and allocations are evaluated in chunks of this many modules,
+        bounding peak temporary memory at fleet scale (the 10k–200k
+        module sweeps).  ``None`` (the default) uses fused whole-fleet
+        expressions.
+    allocation:
+        A precomputed :class:`~repro.core.schemes.PowerAllocation` (from
+        :meth:`Scheme.allocate <repro.core.schemes.Scheme.allocate>`).
+        When given, the planning step is skipped and this allocation is
+        actuated directly — callers that plan once and run many times
+        (or inspect the plan before committing) pass it here.  It must
+        have been planned for this scheme and budget.
 
     Raises
     ------
@@ -212,37 +224,24 @@ def run_budgeted(
     arch = system.arch
     n = truth.n_modules
 
-    pmt = scheme.build_pmt(
-        system, model, pvt=pvt, test_module=test_module, noisy=noisy
-    )
-
-    def _solve(lpm, budget):
-        if chunk_modules is None:
-            return solve_alpha(lpm, budget)
-        return solve_alpha_chunked(lpm, budget, chunk_modules=chunk_modules)
-
-    if scheme.actuation == "fs" and fs_guardband_frac > 0.0:
-        # Derate the planning budget, but never below the fmin floor: the
-        # guardband must not turn a feasible budget infeasible (it would
-        # just mean "run at fmin").  A genuinely infeasible budget still
-        # raises via the probe solve below.
-        derated = budget_w * (1.0 - fs_guardband_frac)
-        floor = pmt.model.total_min_w()
-        if budget_w >= floor:
-            derated = max(derated, floor)
-        sol = _solve(pmt.model, derated)
-        sol = BudgetSolution(
-            alpha=sol.alpha,
-            raw_alpha=sol.raw_alpha,
-            constrained=sol.constrained,
-            freq_ghz=sol.freq_ghz,
-            pmodule_w=sol.pmodule_w,
-            pcpu_w=sol.pcpu_w,
-            pdram_w=sol.pdram_w,
-            budget_w=float(budget_w),
+    if allocation is None:
+        allocation = scheme.allocate(
+            system,
+            model,
+            budget_w,
+            pvt=pvt,
+            test_module=test_module,
+            noisy=noisy,
+            fs_guardband_frac=fs_guardband_frac,
+            chunk_modules=chunk_modules,
         )
-    else:
-        sol = _solve(pmt.model, budget_w)
+    elif allocation.scheme.name != scheme.name or allocation.n_modules != n:
+        raise ConfigurationError(
+            f"allocation was planned for scheme "
+            f"{allocation.scheme.name!r} over {allocation.n_modules} "
+            f"modules; run requested {scheme.name!r} over {n}"
+        )
+    sol = allocation.solution
 
     if scheme.actuation == "pc":
         rng = (

@@ -13,14 +13,26 @@ VaFsOr      yes               oracle           FS (cpufreq)
 
 A scheme is *how the PMT is obtained* plus *how the allocation is
 actuated*; everything downstream (α-solve, allocation, run) is shared.
+
+Every scheme exposes one uniform planning interface,
+:meth:`Scheme.allocate`: given the fleet (a :class:`System` or a bare
+:class:`~repro.hardware.ModuleArray`) and an application-level budget,
+it returns a :class:`PowerAllocation` — the scheme's PMT plus the
+α-solve — which :func:`repro.core.runner.run_budgeted` and the fleet
+experiments consume for actuation.  Planning is pure array work: the
+PMT is columnar, the α-solve vectorised, and ``chunk_modules`` bounds
+peak temporary memory at fleet scale.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.apps.base import AppModel
 from repro.cluster.system import System
+from repro.core.budget import BudgetSolution, solve_alpha
 from repro.core.pmt import (
     PowerModelTable,
     calibrate_pmt,
@@ -31,8 +43,16 @@ from repro.core.pmt import (
 from repro.core.pvt import PowerVariationTable
 from repro.core.test_run import single_module_test_run
 from repro.errors import ConfigurationError
+from repro.hardware.module import ModuleArray
+from repro.util.rng import RngFactory
 
-__all__ = ["Scheme", "ALL_SCHEMES", "get_scheme", "list_schemes"]
+__all__ = [
+    "Scheme",
+    "PowerAllocation",
+    "ALL_SCHEMES",
+    "get_scheme",
+    "list_schemes",
+]
 
 _PMT_KINDS = ("naive", "uniform", "calibrated", "oracle")
 _ACTUATIONS = ("pc", "fs")
@@ -106,6 +126,123 @@ class Scheme:
         profile = single_module_test_run(system, app, test_module, noisy=noisy)
         builder = calibrate_pmt if self.pmt_kind == "calibrated" else uniform_pmt
         return builder(pvt, profile, fmin=arch.fmin, fmax=arch.fmax)
+
+    def allocate(
+        self,
+        fleet: System | ModuleArray,
+        app: AppModel,
+        budget_w: float,
+        *,
+        pvt: PowerVariationTable | None = None,
+        test_module: int = 0,
+        noisy: bool = True,
+        fs_guardband_frac: float = 0.02,
+        chunk_modules: int | None = None,
+    ) -> "PowerAllocation":
+        """Plan this scheme's power allocation for (fleet, app, budget).
+
+        The uniform planning interface shared by every scheme: build the
+        scheme's PMT, apply the FS planning guardband where the
+        actuation cannot enforce power in hardware, and solve Eq (5)–(9)
+        for the per-module allocations.  ``fleet`` may be a full
+        :class:`System` or a bare
+        :class:`~repro.hardware.ModuleArray` (wrapped in a deterministic
+        system — useful for synthetic fleet studies).  ``chunk_modules``
+        bounds peak temporary memory of the α-solve at fleet scale.
+
+        Raises
+        ------
+        InfeasibleBudgetError
+            If the scheme's PMT says the budget cannot be met at fmin.
+        """
+        system = _as_system(fleet)
+        pmt = self.build_pmt(
+            system, app, pvt=pvt, test_module=test_module, noisy=noisy
+        )
+        if self.actuation == "fs" and fs_guardband_frac > 0.0:
+            # Derate the planning budget, but never below the fmin
+            # floor: the guardband must not turn a feasible budget
+            # infeasible (it would just mean "run at fmin").  A
+            # genuinely infeasible budget still raises from the solve.
+            derated = budget_w * (1.0 - fs_guardband_frac)
+            floor = pmt.model.total_min_w()
+            if budget_w >= floor:
+                derated = max(derated, floor)
+            sol = solve_alpha(pmt.model, derated, chunk_modules=chunk_modules)
+            sol = BudgetSolution(
+                alpha=sol.alpha,
+                raw_alpha=sol.raw_alpha,
+                constrained=sol.constrained,
+                freq_ghz=sol.freq_ghz,
+                pmodule_w=sol.pmodule_w,
+                pcpu_w=sol.pcpu_w,
+                pdram_w=sol.pdram_w,
+                budget_w=float(budget_w),
+            )
+        else:
+            sol = solve_alpha(pmt.model, budget_w, chunk_modules=chunk_modules)
+        return PowerAllocation(scheme=self, pmt=pmt, solution=sol)
+
+
+def _as_system(fleet: System | ModuleArray) -> System:
+    """Wrap a bare module array in a deterministic single-use system."""
+    if isinstance(fleet, System):
+        return fleet
+    return System(
+        name="fleet",
+        arch=fleet.arch,
+        modules=fleet,
+        procs_per_node=1,
+        meter_kind="rapl",
+        rng=RngFactory(0).child("system/fleet"),
+    )
+
+
+@dataclass(frozen=True)
+class PowerAllocation:
+    """A scheme's planned power allocation for one (fleet, app, budget).
+
+    The uniform currency between planning and actuation: produced by
+    :meth:`Scheme.allocate`, consumed by
+    :func:`repro.core.runner.run_budgeted` (RAPL caps or a pinned
+    common frequency) and by the fleet experiments.  All per-module
+    state is columnar (the PMT's endpoint arrays, the solution's
+    allocation arrays).
+    """
+
+    scheme: Scheme
+    pmt: PowerModelTable
+    solution: BudgetSolution
+
+    @property
+    def n_modules(self) -> int:
+        """Number of modules the allocation covers."""
+        return self.pmt.n_modules
+
+    @property
+    def alpha(self) -> float:
+        """The solved control coefficient."""
+        return self.solution.alpha
+
+    @property
+    def freq_ghz(self) -> float:
+        """The common planned frequency, Eq (1)."""
+        return self.solution.freq_ghz
+
+    @property
+    def budget_w(self) -> float:
+        """The application-level constraint this allocation honours."""
+        return self.solution.budget_w
+
+    @property
+    def pcpu_w(self) -> np.ndarray:
+        """Per-module CPU power caps, Eq (8)/(9)."""
+        return self.solution.pcpu_w
+
+    @property
+    def pmodule_w(self) -> np.ndarray:
+        """Per-module total allocations, Eq (7)."""
+        return self.solution.pmodule_w
 
 
 #: Schemes in the paper's Fig 7 legend order.

@@ -10,13 +10,18 @@ execution-time spread Vt it induces, and the speedup from
 variation-aware allocation) persist, grow, or wash out with scale.
 
 Scale is only tractable because everything in the loop is vectorised
-over modules: the variation draw, the PMTs, the α-solve (chunked here —
-:func:`~repro.core.budget.solve_alpha_chunked` — so peak temporary
-memory stays bounded), RAPL cap resolution, and the simulator's
-bulk-synchronous fast path (:mod:`repro.simmpi.fastpath`), which
-executes the application as whole-fleet array operations instead of
-per-rank Python.  A 100k-module run completes in seconds;
-``benchmarks/test_fleet.py`` tracks the ranks/sec trajectory.
+over modules: the variation draw, the PMTs, the α-solve
+(:func:`~repro.core.budget.solve_alpha` with its ``chunk_modules``
+memory knob, so peak temporary memory stays bounded), RAPL cap
+resolution, and the simulator's bulk-synchronous fast path
+(:mod:`repro.simmpi.fastpath`), which executes the application as
+whole-fleet array operations instead of per-rank Python.  Planning goes
+through the uniform :meth:`Scheme.allocate
+<repro.core.schemes.Scheme.allocate>` interface — each scheme's
+:class:`~repro.core.schemes.PowerAllocation` is computed up front and
+handed to :func:`~repro.core.runner.run_budgeted` for actuation.  A
+100k-module run completes in seconds; ``benchmarks/test_fleet.py``
+tracks the ranks/sec trajectory.
 
 Only the oracle schemes (VaPcOr, VaFsOr) join Naïve here: they bound
 what variation-awareness can buy without dragging PVT generation into
@@ -32,6 +37,7 @@ from time import perf_counter
 from repro.apps import get_app
 from repro.cluster.configs import build_system
 from repro.core.runner import run_budgeted
+from repro.core.schemes import get_scheme
 from repro.experiments.common import DEFAULT_SEED
 from repro.util.tables import render_table
 
@@ -110,6 +116,20 @@ def run_fleet_point(
     model = get_app(app)
     budget_w = cm_w * n_modules
 
+    # Plan first, actuate second — both through the array-first
+    # interfaces: each scheme's PowerAllocation is one vectorised
+    # (chunk-bounded) pass over the fleet columns, then run_budgeted
+    # consumes it without re-planning.
+    plans = {
+        scheme: get_scheme(scheme).allocate(
+            system,
+            model,
+            budget_w,
+            noisy=False,
+            chunk_modules=chunk_modules,
+        )
+        for scheme in FLEET_SCHEMES
+    }
     runs = {
         scheme: run_budgeted(
             system,
@@ -119,6 +139,7 @@ def run_fleet_point(
             n_iters=n_iters,
             noisy=False,
             chunk_modules=chunk_modules,
+            allocation=plans[scheme],
         )
         for scheme in FLEET_SCHEMES
     }

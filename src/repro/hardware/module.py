@@ -143,7 +143,12 @@ class ModuleArray:
         return self.n_modules
 
     def take(self, indices: np.ndarray | list[int]) -> "ModuleArray":
-        """A new array restricted to the given module indices."""
+        """A new array restricted to the given module indices.
+
+        Contiguous ascending index sets are returned as zero-copy views
+        (see :meth:`~repro.hardware.variability.ModuleVariation.take`);
+        scattered sets are fancy-index copies.
+        """
         return ModuleArray(self.arch, self.variation.take(indices))
 
     def take_slice(self, start: int, stop: int) -> "ModuleArray":
@@ -169,11 +174,7 @@ class ModuleArray:
             yield start, stop, self.take_slice(start, stop)
 
     def module(self, index: int) -> "Module":
-        """Scalar view of one module."""
-        if not (0 <= index < self.n_modules):
-            raise ConfigurationError(
-                f"module index {index} out of range [0, {self.n_modules})"
-            )
+        """Zero-copy scalar view of one module (see :class:`Module`)."""
         return Module(self, index)
 
     # -- true power draw ----------------------------------------------------
@@ -414,12 +415,54 @@ class ModuleArray:
 
 
 class Module:
-    """Scalar convenience view over one entry of a :class:`ModuleArray`."""
+    """Scalar view over one slot of a :class:`ModuleArray` — zero-copy.
+
+    The view is backed by a length-1 *slice* of the parent's variation
+    buffers (:meth:`ModuleArray.take_slice`), so constructing one costs
+    no allocation and always reflects the canonical array state.  Every
+    scalar it returns is a builtin :class:`float` computed by exactly
+    the same vectorised arithmetic as the full-array path, so view
+    results are bit-for-bit identical to indexing the array's output.
+    """
 
     def __init__(self, array: ModuleArray, index: int):
-        self._array = array.take([index])
-        self.index = int(index)
+        index = int(index)
+        if not (0 <= index < array.n_modules):
+            raise ConfigurationError(
+                f"module index {index} out of range [0, {array.n_modules})"
+            )
+        self._array = array.take_slice(index, index + 1)
+        self.index = index
         self.arch = array.arch
+
+    # -- backing-slot scalars ---------------------------------------------------
+
+    @property
+    def variation(self) -> ModuleVariation:
+        """Length-1 view of this module's variation factors."""
+        return self._array.variation
+
+    @property
+    def leak(self) -> float:
+        """Leakage (static-power) variation factor."""
+        return float(self._array.variation.leak[0])
+
+    @property
+    def dyn(self) -> float:
+        """Dynamic-power variation factor."""
+        return float(self._array.variation.dyn[0])
+
+    @property
+    def dram(self) -> float:
+        """DRAM power variation factor."""
+        return float(self._array.variation.dram[0])
+
+    @property
+    def perf(self) -> float:
+        """Performance-bin factor."""
+        return float(self._array.variation.perf[0])
+
+    # -- scalar power model -----------------------------------------------------
 
     def cpu_power(self, freq_ghz: float, sig: PowerSignature) -> float:
         """True CPU power (W) of this module at ``freq_ghz``."""
@@ -432,6 +475,22 @@ class Module:
     def module_power(self, freq_ghz: float, sig: PowerSignature) -> float:
         """True module (CPU + DRAM) power (W) at ``freq_ghz``."""
         return float(self._array.module_power(freq_ghz, sig)[0])
+
+    def static_cpu_power(self) -> float:
+        """Frequency-independent CPU power floor (W)."""
+        return float(self._array.static_cpu_power()[0])
+
+    def freq_for_cpu_power(self, cpu_power_w: float, sig: PowerSignature) -> float:
+        """Unclamped frequency at which this module draws ``cpu_power_w``."""
+        return float(self._array.freq_for_cpu_power(cpu_power_w, sig)[0])
+
+    def work_rate(self, effective_freq_ghz: float) -> float:
+        """Work rate (GHz-equivalents) including the performance bin."""
+        return float(self._array.work_rate(effective_freq_ghz)[0])
+
+    def turbo_frequency(self, sig: PowerSignature) -> float:
+        """Sustained all-core Turbo frequency (fmax on non-Turbo parts)."""
+        return float(self._array.turbo_frequency(sig)[0])
 
     def resolve_cpu_cap(self, cap_w: float, sig: PowerSignature) -> CapResolution:
         """Scalar cap resolution; arrays in the result have length 1."""

@@ -35,6 +35,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.util.indexing import as_contiguous_slice
 
 __all__ = ["VariationModel", "ModuleVariation", "sample_variation"]
 
@@ -105,7 +106,17 @@ class ModuleVariation:
         return int(self.leak.shape[0])
 
     def take(self, indices: np.ndarray | list[int]) -> "ModuleVariation":
-        """Variation factors restricted to a subset of module indices."""
+        """Variation factors restricted to a subset of module indices.
+
+        Contiguous ascending index sets (the common case: scheduler
+        first-fit allocations, single-module views) are routed through
+        :meth:`take_slice` and cost nothing — the returned object shares
+        the parent's buffers.  Scattered index sets fall back to a
+        fancy-index copy.
+        """
+        sl = as_contiguous_slice(indices)
+        if sl is not None and sl.stop <= self.n_modules:
+            return self.take_slice(sl.start, sl.stop)
         idx = np.asarray(indices, dtype=int)
         return ModuleVariation(
             leak=self.leak[idx],

@@ -1,5 +1,6 @@
 """Shared utilities: deterministic RNG plumbing, statistics, table rendering."""
 
+from repro.util.indexing import as_contiguous_slice
 from repro.util.rng import RngFactory, spawn_rng
 from repro.util.stats import (
     LinearFit,
@@ -11,6 +12,7 @@ from repro.util.stats import (
 from repro.util.tables import render_table
 
 __all__ = [
+    "as_contiguous_slice",
     "RngFactory",
     "spawn_rng",
     "LinearFit",

@@ -1,0 +1,38 @@
+"""Index-set helpers for the array-first core.
+
+The canonical fleet representation is columnar numpy arrays, so "give a
+job these modules" is an indexing operation.  Fancy indexing always
+copies; contiguous slices are zero-copy views.  The scheduler's default
+(contiguous first-fit) grants exactly the kind of index set that *can*
+be a slice, so every take-path in the stack first asks
+:func:`as_contiguous_slice` and only falls back to a fancy-index copy
+for genuinely scattered allocations (a fragmented machine).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["as_contiguous_slice"]
+
+
+def as_contiguous_slice(indices: np.ndarray | list[int]) -> slice | None:
+    """The ``slice`` equivalent of ``indices``, or ``None`` if scattered.
+
+    Returns ``slice(start, stop)`` (unit stride, ascending) when the
+    index set is a contiguous run ``start, start+1, ..., stop-1``; any
+    other shape — gaps, repeats, descending order, empty — returns
+    ``None`` and the caller must fancy-index.
+    """
+    idx = np.asarray(indices)
+    if idx.ndim != 1 or idx.size == 0:
+        return None
+    if not np.issubdtype(idx.dtype, np.integer):
+        idx = idx.astype(int)
+    start = int(idx[0])
+    stop = int(idx[-1]) + 1
+    if start < 0 or stop - start != idx.size:
+        return None
+    if idx.size > 1 and not np.array_equal(idx, np.arange(start, stop)):
+        return None
+    return slice(start, stop)

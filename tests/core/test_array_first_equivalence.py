@@ -1,0 +1,289 @@
+"""Array-first equivalence suite: views ≡ legacy scalar construction.
+
+The array-first refactor made :class:`~repro.hardware.module.Module` a
+zero-copy single-index view of :class:`ModuleArray` and the PVT/PMT
+builds pure column operations.  Three guarantees are pinned here:
+
+1. **View ≡ copy** — a ``Module`` view produces bit-for-bit the same
+   Pmax/Pmin powers and inverted frequencies as the legacy construction
+   it replaced (a fresh one-module ``ModuleArray`` built from *copied*
+   scalar factors), across hypothesis-random fleets.
+2. **Dtypes are frozen** — ``Module`` scalars are builtin ``float`` and
+   array containers stay ``float64``/``bool``, so values fed into
+   :class:`~repro.exec.cache.RunKey` canonicalise identically and cache
+   digests cannot drift (``CACHE_SCHEMA_VERSION`` must stay at 2 — this
+   refactor is required to be cache-compatible).
+3. **Vectorised builds are pinned** — golden values for the PVT and the
+   oracle/calibrated PMT columns at 4,096 HA8K modules (seed 2015), so
+   a rewrite of the build path that changes any number fails loudly.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps import get_app
+from repro.cluster.configs import build_system
+from repro.core.pmt import calibrate_pmt, oracle_pmt
+from repro.core.pvt import generate_pvt
+from repro.core.test_run import single_module_test_run
+from repro.exec.cache import CACHE_SCHEMA_VERSION, RunKey
+from repro.hardware import get_microarch
+from repro.hardware.module import ModuleArray, OperatingPoint
+from repro.hardware.variability import ModuleVariation
+
+ARCH = get_microarch("ivy-bridge-e5-2697v2")
+SIG = get_app("bt").signature
+
+
+def legacy_single_module_array(array: ModuleArray, index: int) -> ModuleArray:
+    """The pre-refactor construction: copy one module's factors out into
+    a fresh, independent one-module array (no shared buffers)."""
+    v = array.variation
+    return ModuleArray(
+        array.arch,
+        ModuleVariation(
+            leak=np.array([float(v.leak[index])]),
+            dyn=np.array([float(v.dyn[index])]),
+            dram=np.array([float(v.dram[index])]),
+            perf=np.array([float(v.perf[index])]),
+        ),
+    )
+
+
+@st.composite
+def fleets(draw):
+    """A random small fleet plus one in-range module index."""
+    n = draw(st.integers(1, 24))
+
+    def factors(lo, hi):
+        return np.array([draw(st.floats(lo, hi)) for _ in range(n)])
+
+    variation = ModuleVariation(
+        leak=factors(0.5, 2.0),
+        dyn=factors(0.7, 1.5),
+        dram=factors(0.3, 3.0),
+        perf=factors(0.9, 1.1),
+    )
+    index = draw(st.integers(0, n - 1))
+    return ModuleArray(ARCH, variation), index
+
+
+class TestViewEqualsLegacyConstruction:
+    """1,000 hypothesis-random fleets: the zero-copy view is bit-for-bit
+    the legacy scalar construction on every scalar the paper's workflow
+    reads (endpoint powers, inverted frequency, turbo, work rate)."""
+
+    @settings(max_examples=1000, deadline=None)
+    @given(case=fleets())
+    def test_bit_for_bit(self, case):
+        array, i = case
+        view = array.module(i)
+        legacy = legacy_single_module_array(array, i)
+
+        # Endpoint powers (the PMT's four columns) at fmax and fmin.
+        for freq in (ARCH.fmax, ARCH.fmin):
+            assert view.cpu_power(freq, SIG) == float(legacy.cpu_power(freq, SIG)[0])
+            assert view.dram_power(freq, SIG) == float(legacy.dram_power(freq, SIG)[0])
+            assert view.module_power(freq, SIG) == float(
+                legacy.module_power(freq, SIG)[0]
+            )
+        assert view.static_cpu_power() == float(legacy.static_cpu_power()[0])
+
+        # Model inversion (freq for a cap) and the derived quantities.
+        cap = view.cpu_power(ARCH.fmax, SIG) * 0.8
+        assert view.freq_for_cpu_power(cap, SIG) == float(
+            legacy.freq_for_cpu_power(cap, SIG)[0]
+        )
+        assert view.turbo_frequency(SIG) == float(legacy.turbo_frequency(SIG)[0])
+        assert view.work_rate(ARCH.fmax) == float(legacy.work_rate(ARCH.fmax)[0])
+
+        # Cap resolution: every CapResolution column agrees bit-for-bit.
+        res_v = view.resolve_cpu_cap(cap, SIG)
+        res_l = legacy.resolve_cpu_cap(cap, SIG)
+        for col in ("freq_ghz", "duty", "effective_freq_ghz", "cpu_power_w", "cap_met"):
+            assert np.array_equal(getattr(res_v, col), getattr(res_l, col))
+
+    @settings(max_examples=50, deadline=None)
+    @given(case=fleets())
+    def test_view_matches_whole_array_evaluation(self, case):
+        """The view is literally the array's arithmetic: indexing the
+        full-fleet vectorised result gives the same bits."""
+        array, i = case
+        view = array.module(i)
+        for freq in (ARCH.fmax, ARCH.fmin):
+            assert view.cpu_power(freq, SIG) == float(array.cpu_power(freq, SIG)[i])
+            assert view.module_power(freq, SIG) == float(
+                array.module_power(freq, SIG)[i]
+            )
+
+    def test_view_is_zero_copy(self):
+        rng = np.random.default_rng(7)
+        variation = ModuleVariation(
+            leak=1.0 + 0.1 * rng.random(8),
+            dyn=1.0 + 0.1 * rng.random(8),
+            dram=1.0 + 0.1 * rng.random(8),
+            perf=np.ones(8),
+        )
+        array = ModuleArray(ARCH, variation)
+        view = array.module(3)
+        assert np.shares_memory(view.variation.leak, variation.leak)
+        assert np.shares_memory(view.variation.dram, variation.dram)
+        legacy = legacy_single_module_array(array, 3)
+        assert not np.shares_memory(legacy.variation.leak, variation.leak)
+
+
+class TestDtypePins:
+    """Freeze the scalar/array types flowing toward RunKey digests.
+
+    ``RunKey`` canonicalises numpy scalars down to Python scalars, but
+    these pins keep the *producers* honest too: a future accessor that
+    starts returning ``np.float64`` (or an array that drifts to
+    ``float32``) would silently change downstream arithmetic even where
+    digests survive.
+    """
+
+    @pytest.fixture(scope="class")
+    def array(self):
+        return build_system("ha8k", n_modules=16, seed=2015).modules
+
+    def test_module_scalars_are_builtin_float(self, array):
+        m = array.module(5)
+        scalars = [
+            m.leak,
+            m.dyn,
+            m.dram,
+            m.perf,
+            m.cpu_power(ARCH.fmax, SIG),
+            m.dram_power(ARCH.fmin, SIG),
+            m.module_power(2.0, SIG),
+            m.static_cpu_power(),
+            m.freq_for_cpu_power(60.0, SIG),
+            m.work_rate(2.0),
+            m.turbo_frequency(SIG),
+        ]
+        for value in scalars:
+            assert type(value) is float
+
+    def test_operating_point_dtypes(self, array):
+        op = OperatingPoint.uniform(array.n_modules, ARCH.fmax, SIG)
+        assert op.freq_ghz.dtype == np.float64
+        assert op.duty.dtype == np.float64
+
+    def test_cap_resolution_dtypes(self, array):
+        res = array.resolve_cpu_cap(55.0, SIG)
+        for col in ("freq_ghz", "duty", "effective_freq_ghz", "cpu_power_w"):
+            assert getattr(res, col).dtype == np.float64
+        assert res.cap_met.dtype == np.bool_
+
+    def test_variation_and_table_columns_float64(self, array):
+        for col in ("leak", "dyn", "dram", "perf"):
+            assert getattr(array.variation, col).dtype == np.float64
+        system = build_system("ha8k", n_modules=16, seed=2015)
+        pvt = generate_pvt(system)
+        for col in (
+            "scale_cpu_max",
+            "scale_cpu_min",
+            "scale_dram_max",
+            "scale_dram_min",
+        ):
+            assert getattr(pvt, col).dtype == np.float64
+        model = oracle_pmt(system, get_app("bt"), noisy=False).model
+        for col in ("p_cpu_max", "p_cpu_min", "p_dram_max", "p_dram_min"):
+            assert getattr(model, col).dtype == np.float64
+
+    def test_cache_schema_not_bumped(self):
+        # The array-first refactor is value-preserving; the cache schema
+        # (and hence every stored digest) must survive it unchanged.
+        assert CACHE_SCHEMA_VERSION == 2
+
+    def test_runkey_digest_pinned_and_type_blind(self, array):
+        key = RunKey(
+            system="ha8k",
+            n_modules=96,
+            seed=2015,
+            app="bt",
+            scheme="vafs",
+            budget_w=70.0 * 96,
+        )
+        assert key.digest() == (
+            "06329d3adbc97926a6bb9182caaaeacb20cb0d2d8ba7f3413b3d9975dcccd1a5"
+        )
+        # A budget computed through numpy (as array-first code does)
+        # addresses the same cache slot.
+        via_numpy = RunKey(
+            system="ha8k",
+            n_modules=96,
+            seed=2015,
+            app="bt",
+            scheme="vafs",
+            budget_w=np.float64(70.0) * np.int64(96),
+        )
+        assert via_numpy.digest() == key.digest()
+        # And so does one built from a Module view's scalar output.
+        m = array.module(0)
+        assert type(m.cpu_power(ARCH.fmax, SIG)) is float  # canonical already
+
+
+# Golden pins for the vectorised PVT/PMT builds at 4,096 HA8K modules
+# (seed 2015): three spread-out modules plus the column total, captured
+# from the vectorised path at its introduction.  rel=1e-6 absorbs only
+# cross-platform libm differences (matching tests/experiments/test_golden.py).
+REL = 1e-6
+
+GOLDEN_PVT_4096 = {
+    "scale_cpu_max": (0.9813456864580737, 0.9798827553393641, 0.9853927221271028, 4096.0),
+    "scale_cpu_min": (0.9595551969366045, 0.9912130979091447, 0.9862496327422867, 4096.0),
+    "scale_dram_max": (1.074684658854437, 1.2716122107285328, 0.8113426627206612, 4096.0),
+    "scale_dram_min": (1.0746851168120695, 1.2716119923701346, 0.8113430689371458, 4096.0),
+}
+
+GOLDEN_ORACLE_PMT_4096 = {
+    "p_cpu_max": (69.5452880859375, 69.23323059082031, 69.43501281738281, 290758.4945373535),
+    "p_cpu_min": (39.816497802734375, 41.14451599121094, 40.69602966308594, 170347.2890777588),
+    "p_dram_max": (11.874099731445312, 13.486343383789062, 9.16326904296875, 45223.274353027344),
+    "p_dram_min": (8.3089599609375, 9.4371337890625, 6.4120330810546875, 31645.229904174805),
+}
+
+GOLDEN_CALIBRATED_PMT_4096 = {
+    "p_cpu_max": (69.43629455566406, 69.33278310452599, 69.72264743280996, 289817.4072854102),
+    "p_cpu_min": (39.75407409667969, 41.065651111765, 40.860016289870956, 169696.00917158907),
+    "p_dram_max": (11.855484008789062, 14.027908657171007, 8.950402226627471, 45185.40587688553),
+    "p_dram_min": (8.295944213867188, 9.816105187796966, 6.263096727510918, 31618.73833406974),
+}
+
+PIN_INDICES = (0, 2047, 4095)
+
+
+class TestVectorisedBuildGolden:
+    @pytest.fixture(scope="class")
+    def system4k(self):
+        return build_system("ha8k", n_modules=4096, seed=2015)
+
+    @pytest.fixture(scope="class")
+    def pvt4k(self, system4k):
+        return generate_pvt(system4k)
+
+    def _check(self, obj, golden):
+        for col, (a, b, c, total) in golden.items():
+            values = getattr(obj, col)
+            for idx, pin in zip(PIN_INDICES, (a, b, c)):
+                assert values[idx] == pytest.approx(pin, rel=REL), (col, idx)
+            assert float(values.sum()) == pytest.approx(total, rel=REL), col
+
+    def test_pvt_build_golden(self, pvt4k):
+        assert pvt4k.n_modules == 4096
+        self._check(pvt4k, GOLDEN_PVT_4096)
+
+    def test_oracle_pmt_build_golden(self, system4k):
+        pmt = oracle_pmt(system4k, get_app("bt"), noisy=False)
+        self._check(pmt.model, GOLDEN_ORACLE_PMT_4096)
+
+    def test_calibrated_pmt_build_golden(self, system4k, pvt4k):
+        profile = single_module_test_run(
+            system4k, get_app("bt"), module_index=0, noisy=True
+        )
+        pmt = calibrate_pmt(
+            pvt4k, profile, fmin=system4k.arch.fmin, fmax=system4k.arch.fmax
+        )
+        self._check(pmt.model, GOLDEN_CALIBRATED_PMT_4096)

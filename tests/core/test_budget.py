@@ -1,5 +1,7 @@
 """Tests for the alpha-solve (Eq 5-9) and Table 4 classification."""
 
+import warnings
+
 import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
@@ -106,6 +108,36 @@ class TestSolveAlpha:
             return
         assert sol.total_allocated_w <= budget + 1e-6
         assert 0.0 <= sol.alpha <= 1.0
+
+
+class TestChunkedShim:
+    def test_forwards_and_warns_once(self, monkeypatch):
+        import repro.core.budget as budget_mod
+
+        monkeypatch.setattr(budget_mod, "_CHUNKED_DEPRECATION_WARNED", False)
+        m = model(n=16, spread=0.05)
+        budget = (m.total_min_w() + m.total_max_w()) / 2
+        with pytest.warns(DeprecationWarning, match="solve_alpha_chunked"):
+            sol = budget_mod.solve_alpha_chunked(m, budget, chunk_modules=5)
+        unified = solve_alpha(m, budget, chunk_modules=5)
+        assert sol.alpha == unified.alpha
+        assert np.array_equal(sol.pmodule_w, unified.pmodule_w)
+        # The warning fires once per process, not once per call.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            budget_mod.solve_alpha_chunked(m, budget, chunk_modules=5)
+
+    def test_chunk_knob_bit_identical_allocations(self):
+        # Chunking is a memory knob: at a given α the per-element
+        # allocations are bit-for-bit identical to the fused pass (the
+        # aggregates may differ by summation association, so the solved
+        # α itself is compared to tolerance elsewhere).
+        m = model(n=37, spread=0.08)
+        fused_cpu, fused_dram = m.allocations_at(0.4375)
+        for chunk in (1, 7, 37, 64):
+            pcpu, pdram = m.allocations_at(0.4375, chunk_modules=chunk)
+            assert np.array_equal(pcpu, fused_cpu)
+            assert np.array_equal(pdram, fused_dram)
 
 
 class TestClassify:

@@ -11,8 +11,8 @@ solver's algebraic contract:
 * :func:`classify_constraint` agrees with the solved α, including at
   the exact boundary budgets (the fmin floor and the fmax ceiling,
   which delimit Table 4's "--" / "X" / "•" cells);
-* :func:`solve_alpha_chunked` is equivalent to :func:`solve_alpha` for
-  any chunk size.
+* the chunked evaluation (``chunk_modules=...``) is equivalent to the
+  fused whole-fleet pass for any chunk size.
 """
 
 import numpy as np
@@ -20,11 +20,7 @@ import pytest
 from hypothesis import assume, given, settings, strategies as st
 
 from repro.apps import get_app, list_apps
-from repro.core.budget import (
-    classify_constraint,
-    solve_alpha,
-    solve_alpha_chunked,
-)
+from repro.core.budget import classify_constraint, solve_alpha
 from repro.core.model import LinearPowerModel
 from repro.core.pmt import oracle_pmt
 from repro.errors import InfeasibleBudgetError
@@ -127,7 +123,7 @@ class TestAlphaContract:
         # floor — step off the boundary for the equivalence property.
         assume(budget > model.total_min_w() * (1.0 + 1e-9))
         sol = solve_alpha(model, budget)
-        chunked = solve_alpha_chunked(model, budget, chunk_modules=chunk)
+        chunked = solve_alpha(model, budget, chunk_modules=chunk)
         assert chunked.alpha == pytest.approx(sol.alpha, rel=1e-12, abs=1e-12)
         assert chunked.raw_alpha == pytest.approx(
             sol.raw_alpha, rel=1e-12, abs=1e-12

@@ -44,6 +44,20 @@ class TestReadme:
                 assert hasattr(importlib.import_module(parent), attr), mod
 
 
+class TestArchitectureDoc:
+    def test_linked_from_readme_and_reproducing(self):
+        for doc in ("README.md", Path("docs") / "REPRODUCING.md"):
+            assert "ARCHITECTURE.md" in (ROOT / doc).read_text(), doc
+
+    def test_where_to_look_paths_exist(self):
+        text = (ROOT / "docs" / "ARCHITECTURE.md").read_text()
+        referenced = re.findall(r"`((?:repro|scripts|tests|benchmarks)/[\w/]+\.py)`", text)
+        assert referenced, "ARCHITECTURE.md must reference concrete modules"
+        for rel in referenced:
+            path = ROOT / ("src/" + rel if rel.startswith("repro/") else rel)
+            assert path.exists(), rel
+
+
 class TestDesignDoc:
     def test_module_map_entries_exist(self):
         text = (ROOT / "DESIGN.md").read_text()

@@ -1,0 +1,59 @@
+"""The import-layering contract, enforced as a test.
+
+``scripts/check_layering.py`` is the single source of truth (CI also
+runs it as a standalone step so the failure is visible even when the
+test run aborts earlier); this wrapper makes the contract part of the
+plain ``pytest`` loop and adds direct pins for the load-bearing rule:
+``hardware`` — the simulator's ground truth — must stay importable in
+total isolation from the budgeting framework it is modelling.
+"""
+
+import importlib.util
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+SCRIPT = REPO_ROOT / "scripts" / "check_layering.py"
+
+
+def _load_checker():
+    spec = importlib.util.spec_from_file_location("check_layering", SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_layering_contract_holds():
+    checker = _load_checker()
+    violations = checker.check()
+    assert violations == [], "\n".join(violations)
+
+
+def test_every_layer_is_registered():
+    checker = _load_checker()
+    on_disk = {
+        p.name for p in checker.PACKAGE_ROOT.iterdir() if p.is_dir() and p.name != "__pycache__"
+    }
+    registered = set(checker.ALLOWED) - {"repro", "errors", "cli"}
+    assert on_disk == registered, (
+        "packages on disk and the allowlist in scripts/check_layering.py "
+        f"disagree: {sorted(on_disk ^ registered)}"
+    )
+
+
+def test_hardware_never_allowed_to_import_core_or_experiments():
+    # The ratchet can loosen other edges, but these must stay forbidden.
+    checker = _load_checker()
+    assert checker.ALLOWED["hardware"] == {"errors", "util"}
+    assert ("hardware", "core") in checker.FORBIDDEN
+    assert ("hardware", "experiments") in checker.FORBIDDEN
+
+
+def test_script_entrypoint_exits_zero():
+    # CI invokes the script directly; keep that path working too.
+    result = subprocess.run(
+        [sys.executable, str(SCRIPT)], capture_output=True, text=True, cwd=REPO_ROOT
+    )
+    assert result.returncode == 0, result.stderr
+    assert "layering OK" in result.stdout

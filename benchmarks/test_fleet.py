@@ -173,3 +173,64 @@ def test_pvt_pmt_build_throughput_recorded(benchmark):
         f"scalar {scalar_rate / 1e3:.1f}k modules/s -> {speedup:.0f}x "
         f"-> {BENCH_FILE.name}"
     )
+
+
+# -- telemetry overhead gate (telemetry subsystem acceptance) ------------------
+
+#: Fleet size for the overhead measurement: big enough that the fast
+#: path dominates, small enough to repeat.
+OVERHEAD_MODULES = 50_000
+OVERHEAD_REPEATS = 4
+MAX_TELEMETRY_OVERHEAD_FRAC = 0.05
+
+
+def test_telemetry_overhead_under_5pct(benchmark):
+    """The telemetry acceptance gate: enabling spans + metrics + phase
+    timelines must cost <5 % of fleet fast-path throughput.  Min-of-N
+    walls on alternating off/on runs cancel machine noise; the ratio is
+    appended to ``BENCH_fleet.json`` so creep shows up as a trend."""
+    import repro.telemetry as telemetry
+
+    walls: dict[bool, list[float]] = {False: [], True: []}
+    telemetry.disable()
+    run_fleet_point(OVERHEAD_MODULES)  # warm module caches outside timers
+    for _ in range(OVERHEAD_REPEATS):
+        for enabled in (False, True):
+            if enabled:
+                telemetry.enable()  # fresh collector per repeat
+            t0 = perf_counter()
+            run_fleet_point(OVERHEAD_MODULES)
+            walls[enabled].append(perf_counter() - t0)
+            telemetry.disable()
+
+    # One representative run under the benchmark timer, telemetry on.
+    telemetry.enable()
+    run_once(benchmark, run_fleet_point, OVERHEAD_MODULES)
+    collector = telemetry.disable()
+    assert collector.n_spans > 0  # the gate measured instrumented code
+
+    off_s = min(walls[False])
+    on_s = min(walls[True])
+    overhead = on_s / off_s - 1.0
+    assert overhead < MAX_TELEMETRY_OVERHEAD_FRAC, (
+        f"telemetry costs {overhead:+.1%} of fleet fast-path wall time "
+        f"({on_s:.2f} s on vs {off_s:.2f} s off; "
+        f"gate {MAX_TELEMETRY_OVERHEAD_FRAC:.0%})"
+    )
+
+    _append_record(
+        {
+            "kind": "telemetry_overhead",
+            "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+            "n_modules": OVERHEAD_MODULES,
+            "repeats": OVERHEAD_REPEATS,
+            "wall_off_s": round(off_s, 3),
+            "wall_on_s": round(on_s, 3),
+            "overhead_frac": round(overhead, 4),
+        }
+    )
+    print(
+        f"\ntelemetry overhead @ {OVERHEAD_MODULES // 1000}k modules: "
+        f"{overhead:+.2%} (on {on_s:.2f} s / off {off_s:.2f} s, "
+        f"min of {OVERHEAD_REPEATS}) -> {BENCH_FILE.name}"
+    )

@@ -7,6 +7,7 @@ The array-first refactor depends on a one-way flow between layers:
     measurement, control, simmpi                    substrate; hardware only
     core, cluster, apps                             budgeting framework
     exec, experiments, cli                          orchestration; may import anything
+    telemetry ->  (errors, util)                    pure leaf; importable from anywhere
 
 This script parses every module under ``src/repro`` with :mod:`ast`
 (no imports are executed) and fails if any package gains an import edge
@@ -40,14 +41,14 @@ ALLOWED: dict[str, set[str]] = {
     # Ground truth: the physical model.  NOTHING from the budgeting
     # framework or above — schemes may only learn about hardware through
     # measurement (the PVT) or declared oracle access.
-    "hardware": {"errors", "util"},
+    "hardware": {"errors", "telemetry", "util"},
     # Substrate over hardware.
-    "measurement": {"errors", "hardware"},
-    "control": {"errors", "hardware"},
-    "simmpi": {"errors", "util"},
+    "measurement": {"errors", "hardware", "telemetry"},
+    "control": {"errors", "hardware", "telemetry"},
+    "simmpi": {"errors", "telemetry", "util"},
     # Budgeting framework.  cluster <-> core and apps <-> cluster are
     # grandfathered cycles (ratchet: remove when untangled, never add).
-    "apps": {"cluster", "errors", "hardware", "simmpi"},
+    "apps": {"cluster", "errors", "hardware", "simmpi", "telemetry"},
     "cluster": {
         "apps",
         "control",
@@ -55,6 +56,7 @@ ALLOWED: dict[str, set[str]] = {
         "errors",
         "hardware",
         "measurement",
+        "telemetry",
         "util",
     },
     "core": {
@@ -65,10 +67,20 @@ ALLOWED: dict[str, set[str]] = {
         "hardware",
         "measurement",
         "simmpi",
+        "telemetry",
         "util",
     },
     # Orchestration: may reach down into everything.
-    "exec": {"apps", "cluster", "core", "errors", "hardware", "simmpi", "util"},
+    "exec": {
+        "apps",
+        "cluster",
+        "core",
+        "errors",
+        "hardware",
+        "simmpi",
+        "telemetry",
+        "util",
+    },
     "experiments": {
         "apps",
         "cluster",
@@ -78,14 +90,27 @@ ALLOWED: dict[str, set[str]] = {
         "exec",
         "hardware",
         "measurement",
+        "telemetry",
         "util",
     },
-    "cli": {"experiments", "errors", "util", "repro"},
-    # Leaves.
+    "cli": {"experiments", "errors", "telemetry", "util", "repro"},
+    # Leaves.  telemetry is observation-only: any layer may import it,
+    # but it must never import the things it observes (see FORBIDDEN).
     "errors": set(),
     "util": {"errors"},
+    "telemetry": {"errors", "util"},
     # The package facade re-exports the public API.
-    "repro": {"apps", "cli", "cluster", "core", "errors", "hardware", "util"},
+    "repro": {
+        "apps",
+        "cli",
+        "cluster",
+        "core",
+        "errors",
+        "exec",
+        "hardware",
+        "telemetry",
+        "util",
+    },
 }
 
 #: The edges this contract was written to forbid — reported with a
@@ -95,6 +120,11 @@ FORBIDDEN: set[tuple[str, str]] = {
     ("hardware", "experiments"),
     ("hardware", "cluster"),
     ("hardware", "apps"),
+    # Telemetry observes every layer, so it must depend on none of them —
+    # otherwise enabling it could change what it measures.
+    ("telemetry", "core"),
+    ("telemetry", "exec"),
+    ("telemetry", "experiments"),
 }
 
 
@@ -147,7 +177,8 @@ def check() -> list[str]:
         elif dst not in ALLOWED[src]:
             note = (
                 "FORBIDDEN by the layering contract (ground truth must not "
-                "import the budgeting framework)"
+                "import the budgeting framework; telemetry must not import "
+                "what it observes)"
                 if (src, dst) in FORBIDDEN
                 else "not in the allowlist — layering is a ratchet; adding an "
                 "edge requires editing scripts/check_layering.py"

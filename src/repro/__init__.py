@@ -17,8 +17,16 @@ Manufacturing Variability in Power-Constrained Supercomputing"*
 * the variation-aware budgeting framework itself — PVT, PMT
   calibration, the α-solve, six allocation schemes, and an end-to-end
   runner (:mod:`repro.core`),
+* a caching, parallel experiment execution engine (:mod:`repro.exec`),
+* low-overhead structured tracing, metrics, and phase timelines
+  (:mod:`repro.telemetry`),
 * an experiment harness regenerating every table and figure
   (:mod:`repro.experiments`).
+
+This module is the *stable public surface*: everything in ``__all__``
+is covered by the API snapshot test (``tests/test_public_api.py``) and
+the compatibility policy in ``docs/API.md``.  Reach into submodules for
+internals at your own risk.
 
 Quickstart::
 
@@ -29,8 +37,22 @@ Quickstart::
     result = run_budgeted(system, get_app("mhd"), "vafs",
                           70.0 * system.n_modules, pvt=pvt)
     print(result.makespan_s, result.total_power_w, result.within_budget)
+
+Schemes come from a registry — list them, derive variants, or register
+your own::
+
+    from repro import available_schemes, get_scheme
+    fs_variant = get_scheme("vapc", actuation="fs")
+
+Telemetry observes any of the above without changing results::
+
+    from repro import telemetry
+    telemetry.enable()
+    run_budgeted(...)
+    print(telemetry.report())
 """
 
+import repro.telemetry as telemetry
 from repro.apps import APPS, AppModel, get_app, list_apps
 from repro.cluster import JobScheduler, System, build_system
 from repro.core import (
@@ -42,6 +64,7 @@ from repro.core import (
     PowerVariationTable,
     RunResult,
     Scheme,
+    available_schemes,
     calibrate_pmt,
     classify_constraint,
     generate_pvt,
@@ -50,6 +73,7 @@ from repro.core import (
     list_schemes,
     naive_pmt,
     oracle_pmt,
+    register_scheme,
     run_budgeted,
     run_uncapped,
     single_module_test_run,
@@ -62,6 +86,7 @@ from repro.errors import (
     MeasurementError,
     ReproError,
 )
+from repro.exec import ExperimentEngine, RunKey, configure, get_engine
 from repro.hardware import (
     Microarchitecture,
     Module,
@@ -94,6 +119,7 @@ __all__ = [
     "PowerVariationTable",
     "RunResult",
     "Scheme",
+    "available_schemes",
     "calibrate_pmt",
     "classify_constraint",
     "generate_pvt",
@@ -102,6 +128,7 @@ __all__ = [
     "list_schemes",
     "naive_pmt",
     "oracle_pmt",
+    "register_scheme",
     "run_budgeted",
     "run_uncapped",
     "single_module_test_run",
@@ -114,6 +141,13 @@ __all__ = [
     "PowerSignature",
     "get_microarch",
     "list_microarchs",
+    # exec (experiment engine)
+    "ExperimentEngine",
+    "RunKey",
+    "configure",
+    "get_engine",
+    # telemetry (submodule facade: telemetry.enable() / span() / report())
+    "telemetry",
     # errors
     "ReproError",
     "ConfigurationError",

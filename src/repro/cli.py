@@ -3,9 +3,13 @@
 Lists and runs the paper's tables/figures and the ablation studies::
 
     python -m repro list
+    python -m repro schemes
     python -m repro fig7 --jobs 4
     python -m repro table4 --modules 512
     python -m repro all --stats
+    python -m repro fleet --telemetry
+    python -m repro trace fig7
+    python -m repro trace traces/fleet.jsonl
 
 Sweep experiments route through the execution engine
 (:mod:`repro.exec`): ``--jobs`` fans cache misses out over a process
@@ -13,6 +17,14 @@ pool, ``--cache-dir``/``--no-cache`` control the persistent run cache,
 and ``--stats`` prints per-run observability afterwards.  Engine results
 are bit-identical regardless of ``--jobs`` and cache state (see
 ``tests/exec/``), so the flags trade time, never accuracy.
+
+Telemetry: ``--telemetry`` records spans, metrics, and phase timelines
+while an experiment runs and prints the session report afterwards
+(results are unchanged — ``tests/exec/test_telemetry_determinism.py``);
+``--telemetry-dir DIR`` additionally exports the JSONL + NPZ sink pair.
+``repro trace <target>`` either re-renders a saved ``.jsonl`` sink or
+runs an experiment with telemetry on — cheap on a warm cache, where the
+trace shows the cache traffic itself.
 """
 
 from __future__ import annotations
@@ -21,12 +33,15 @@ import argparse
 import sys
 import traceback
 from collections.abc import Callable
+from pathlib import Path
 from time import perf_counter
 
+import repro.telemetry as telemetry
 from repro import exec as engine_mod
+from repro.errors import ConfigurationError
 from repro.util.tables import render_table
 
-__all__ = ["main", "build_parser", "EXPERIMENTS", "run_all"]
+__all__ = ["main", "build_parser", "EXPERIMENTS", "run_all", "format_schemes"]
 
 
 def _lazy(module: str) -> Callable[[], None]:
@@ -80,7 +95,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        help="experiment name, 'list' to enumerate, or 'all' to run everything",
+        help="experiment name, 'list' to enumerate, 'schemes' to show the "
+        "power-allocation scheme registry, 'all' to run everything, or "
+        "'trace' to render telemetry (see 'target')",
+    )
+    parser.add_argument(
+        "target",
+        nargs="?",
+        default=None,
+        help="for 'trace': a telemetry .jsonl sink to render, or an "
+        "experiment name to run with telemetry enabled",
     )
     parser.add_argument(
         "-j",
@@ -108,6 +132,19 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print engine run statistics (cache hits/misses, per-run "
         "wall times) after the experiment(s)",
+    )
+    parser.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="record spans/metrics/phase timelines during the run and "
+        "print the session report afterwards (results are unchanged)",
+    )
+    parser.add_argument(
+        "--telemetry-dir",
+        default=None,
+        metavar="DIR",
+        help="export the telemetry session as <DIR>/<experiment>.jsonl "
+        "+ .npz (implies --telemetry)",
     )
     return parser
 
@@ -147,6 +184,78 @@ def run_all(stats: bool = False) -> int:
     return 1 if failed else 0
 
 
+def format_schemes() -> str:
+    """Render the power-allocation scheme registry as a table."""
+    from repro import available_schemes
+
+    rows = [
+        [
+            s.name,
+            s.label,
+            s.pmt_kind,
+            s.actuation,
+            "yes" if s.variation_aware else "no",
+            "yes" if s.app_dependent else "no",
+        ]
+        for s in available_schemes().values()
+    ]
+    return render_table(
+        ["Name", "Label", "PMT", "Actuation", "Variation-aware", "App-dependent"],
+        rows,
+        title="power-allocation schemes (paper Fig 7 legend order)",
+    )
+
+
+def _finish_telemetry(name: str, telemetry_dir: str | None) -> None:
+    """Print the session report, export the sinks, and switch back off."""
+    print()
+    print(telemetry.report(f"telemetry: {name}"))
+    if telemetry_dir is not None:
+        collector = telemetry.collector()
+        if collector is not None:
+            jsonl, npz = telemetry.write_sinks(collector, telemetry_dir, name)
+            print(f"-- telemetry written to {jsonl} and {npz}")
+    telemetry.disable()
+
+
+def _run_trace(args: argparse.Namespace) -> int:
+    """``repro trace <target>``: render a sink, or run traced."""
+    target = args.target
+    if target is None:
+        print(
+            "trace needs a target: a telemetry .jsonl file or an "
+            "experiment name",
+            file=sys.stderr,
+        )
+        return 2
+    path = Path(target)
+    if path.suffix == ".jsonl" or path.exists():
+        try:
+            collector = telemetry.read_jsonl(path)
+        except ConfigurationError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        print(telemetry.format_report(collector, f"telemetry: {path.name}"))
+        return 0
+    name = target.lower()
+    if name not in EXPERIMENTS:
+        known = ", ".join(EXPERIMENTS)
+        print(
+            f"trace target {target!r} is neither a telemetry .jsonl file "
+            f"nor an experiment; experiments: {known}",
+            file=sys.stderr,
+        )
+        return 2
+    engine_mod.configure(
+        jobs=args.jobs, cache_dir=args.cache_dir, use_cache=not args.no_cache
+    )
+    telemetry.enable()
+    _, runner = EXPERIMENTS[name]
+    runner()
+    _finish_telemetry(name, args.telemetry_dir)
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Run the CLI; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -158,6 +267,13 @@ def main(argv: list[str] | None = None) -> int:
             print(f"{key.ljust(width)}  {desc}")
         return 0
 
+    if name == "schemes":
+        print(format_schemes())
+        return 0
+
+    if name == "trace":
+        return _run_trace(args)
+
     if name != "all" and name not in EXPERIMENTS:
         known = ", ".join(EXPERIMENTS)
         print(f"unknown experiment {name!r}; known: list, all, {known}", file=sys.stderr)
@@ -168,12 +284,20 @@ def main(argv: list[str] | None = None) -> int:
         cache_dir=args.cache_dir,
         use_cache=not args.no_cache,
     )
+    with_telemetry = args.telemetry or args.telemetry_dir is not None
+    if with_telemetry:
+        telemetry.enable()
 
     if name == "all":
-        return run_all(stats=args.stats)
+        code = run_all(stats=args.stats)
+        if with_telemetry:
+            _finish_telemetry("all", args.telemetry_dir)
+        return code
 
     _, runner = EXPERIMENTS[name]
     runner()
     if args.stats:
         print(engine_mod.get_engine().stats.format_summary())
+    if with_telemetry:
+        _finish_telemetry(name, args.telemetry_dir)
     return 0

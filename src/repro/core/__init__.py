@@ -62,8 +62,10 @@ from repro.core.schemes import (
     ALL_SCHEMES,
     PowerAllocation,
     Scheme,
+    available_schemes,
     get_scheme,
     list_schemes,
+    register_scheme,
 )
 from repro.core.test_run import SingleModuleProfile, single_module_test_run
 
@@ -83,8 +85,10 @@ __all__ = [
     "Scheme",
     "PowerAllocation",
     "ALL_SCHEMES",
+    "available_schemes",
     "get_scheme",
     "list_schemes",
+    "register_scheme",
     "PMMDRegion",
     "instrument",
     "RunResult",

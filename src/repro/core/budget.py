@@ -26,6 +26,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+import repro.telemetry as telemetry
 from repro.core.model import LinearPowerModel
 from repro.errors import InfeasibleBudgetError
 
@@ -110,26 +111,35 @@ def solve_alpha(
     InfeasibleBudgetError
         If the budget lies below the fmin power floor (Table 4 "–").
     """
-    if not np.isfinite(budget_w) or budget_w <= 0:
-        raise InfeasibleBudgetError(budget_w, model.total_min_w())
-    floor, span = model.floor_and_span_w(chunk_modules=chunk_modules)
+    with telemetry.span("solve_alpha", budget_w=float(budget_w)) as sp:
+        if not np.isfinite(budget_w) or budget_w <= 0:
+            raise InfeasibleBudgetError(budget_w, model.total_min_w())
+        floor, span = model.floor_and_span_w(chunk_modules=chunk_modules)
 
-    raw = _raw_alpha(floor, span, budget_w)
-    if raw < 0.0:
-        raise InfeasibleBudgetError(budget_w, floor)
-    alpha = min(raw, 1.0)
+        raw = _raw_alpha(floor, span, budget_w)
+        if raw < 0.0:
+            raise InfeasibleBudgetError(budget_w, floor)
+        alpha = min(raw, 1.0)
 
-    pcpu, pdram = model.allocations_at(alpha, chunk_modules=chunk_modules)
-    return BudgetSolution(
-        alpha=alpha,
-        raw_alpha=raw,
-        constrained=raw < 1.0,
-        freq_ghz=model.freq_at(alpha),
-        pmodule_w=pcpu + pdram,
-        pcpu_w=pcpu,
-        pdram_w=pdram,
-        budget_w=float(budget_w),
-    )
+        pcpu, pdram = model.allocations_at(alpha, chunk_modules=chunk_modules)
+        telemetry.count("budget.solve_alpha")
+        telemetry.gauge("budget.alpha", alpha)
+        telemetry.observe("budget.modules", pcpu.size)
+        if chunk_modules is not None:
+            telemetry.observe(
+                "budget.chunks", -(-pcpu.size // max(int(chunk_modules), 1))
+            )
+        sp.set(alpha=round(alpha, 6), constrained=raw < 1.0, modules=int(pcpu.size))
+        return BudgetSolution(
+            alpha=alpha,
+            raw_alpha=raw,
+            constrained=raw < 1.0,
+            freq_ghz=model.freq_at(alpha),
+            pmodule_w=pcpu + pdram,
+            pcpu_w=pcpu,
+            pdram_w=pdram,
+            budget_w=float(budget_w),
+        )
 
 
 _CHUNKED_DEPRECATION_WARNED = False

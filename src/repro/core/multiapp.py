@@ -33,6 +33,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+import repro.telemetry as telemetry
 from repro.apps.base import AppModel
 from repro.cluster.scheduler import Allocation
 from repro.cluster.system import System
@@ -140,26 +141,32 @@ def partition_power(
             f"unknown policy {policy!r}; available: {', '.join(_POLICIES)}"
         )
 
-    pmts = {j.name: _job_pmt(system, j, scheme, pvt) for j in jobs}
-    floors = {name: pmt.model.total_min_w() for name, pmt in pmts.items()}
-    ceilings = {name: pmt.model.total_max_w() for name, pmt in pmts.items()}
-    floor_total = sum(floors.values())
-    if total_budget_w < floor_total:
-        raise InfeasibleBudgetError(total_budget_w, floor_total)
+    with telemetry.span(
+        "multiapp.partition", policy=policy, jobs=len(jobs)
+    ):
+        telemetry.count(f"multiapp.partition[{policy}]")
+        pmts = {j.name: _job_pmt(system, j, scheme, pvt) for j in jobs}
+        floors = {name: pmt.model.total_min_w() for name, pmt in pmts.items()}
+        ceilings = {name: pmt.model.total_max_w() for name, pmt in pmts.items()}
+        floor_total = sum(floors.values())
+        if total_budget_w < floor_total:
+            raise InfeasibleBudgetError(total_budget_w, floor_total)
 
-    if policy == "uniform":
-        weights = {j.name: float(j.n_modules) for j in jobs}
-        budgets = _proportional(total_budget_w, weights, floors, ceilings)
-    elif policy == "demand":
-        weights = dict(ceilings)
-        budgets = _proportional(total_budget_w, weights, floors, ceilings)
-    else:  # throughput
-        budgets = _waterfill(
-            total_budget_w, jobs, pmts, floors, ceilings, increment_w
+        if policy == "uniform":
+            weights = {j.name: float(j.n_modules) for j in jobs}
+            budgets = _proportional(total_budget_w, weights, floors, ceilings)
+        elif policy == "demand":
+            weights = dict(ceilings)
+            budgets = _proportional(total_budget_w, weights, floors, ceilings)
+        else:  # throughput
+            budgets = _waterfill(
+                total_budget_w, jobs, pmts, floors, ceilings, increment_w
+            )
+        return PowerPartition(
+            policy=policy,
+            total_budget_w=float(total_budget_w),
+            job_budget_w=budgets,
         )
-    return PowerPartition(
-        policy=policy, total_budget_w=float(total_budget_w), job_budget_w=budgets
-    )
 
 
 def _proportional(

@@ -30,6 +30,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+import repro.telemetry as telemetry
 from repro.apps.base import AppModel
 from repro.cluster.system import System
 from repro.control.rapl_cap import RaplCapController
@@ -116,6 +117,22 @@ def _unwrap(app: AppModel | InstrumentedApp) -> tuple[AppModel, InstrumentedApp 
     return app, None
 
 
+def _record_run(result: RunResult) -> None:
+    """Retain the run's per-module arrays under the active run scope.
+
+    The ``enabled()`` guard avoids materialising ``module_power_w``
+    (a fleet-sized sum) when telemetry is off.
+    """
+    if not telemetry.enabled():
+        return
+    telemetry.record_arrays(
+        "run",
+        module_power_w=result.module_power_w,
+        effective_freq_ghz=result.effective_freq_ghz,
+        elapsed_s=result.trace.total_s,
+    )
+
+
 def run_uncapped(
     system: System,
     app: AppModel | InstrumentedApp,
@@ -132,32 +149,36 @@ def run_uncapped(
     :meth:`~repro.hardware.ModuleArray.turbo_frequency`).
     """
     model, pmmd = _unwrap(app)
-    truth = _truth_view(system, model)
-    n = truth.n_modules
-    if turbo:
-        eff = truth.turbo_frequency(model.signature)
-        op = OperatingPoint(
-            freq_ghz=eff, duty=np.ones(n), signature=model.signature
+    with telemetry.span("run.uncapped", app=model.name, turbo=turbo):
+        telemetry.count("run.uncapped")
+        truth = _truth_view(system, model)
+        n = truth.n_modules
+        if turbo:
+            eff = truth.turbo_frequency(model.signature)
+            op = OperatingPoint(
+                freq_ghz=eff, duty=np.ones(n), signature=model.signature
+            )
+        else:
+            op = OperatingPoint.uniform(n, system.arch.fmax, model.signature)
+            eff = np.full(n, system.arch.fmax)
+        rates = truth.work_rate(eff)
+        with telemetry.span("run.simulate"):
+            trace = simulate_app(model, rates, system.arch.fmax, n_iters=n_iters)
+        result = RunResult(
+            app_name=model.name,
+            scheme_name=None,
+            budget_w=None,
+            solution=None,
+            effective_freq_ghz=eff,
+            cpu_power_w=truth.cpu_power_at(op),
+            dram_power_w=truth.dram_power_at(op),
+            cap_met=np.ones(n, dtype=bool),
+            trace=trace,
         )
-    else:
-        op = OperatingPoint.uniform(n, system.arch.fmax, model.signature)
-        eff = np.full(n, system.arch.fmax)
-    rates = truth.work_rate(eff)
-    trace = simulate_app(model, rates, system.arch.fmax, n_iters=n_iters)
-    result = RunResult(
-        app_name=model.name,
-        scheme_name=None,
-        budget_w=None,
-        solution=None,
-        effective_freq_ghz=eff,
-        cpu_power_w=truth.cpu_power_at(op),
-        dram_power_w=truth.dram_power_at(op),
-        cap_met=np.ones(n, dtype=bool),
-        trace=trace,
-    )
-    if pmmd is not None:
-        pmmd.record(result.makespan_s, result.total_power_w, plan=None)
-    return result
+        _record_run(result)
+        if pmmd is not None:
+            pmmd.record(result.makespan_s, result.total_power_w, plan=None)
+        return result
 
 
 def run_budgeted(
@@ -220,70 +241,84 @@ def run_budgeted(
     model, pmmd = _unwrap(app)
     if isinstance(scheme, str):
         scheme = get_scheme(scheme)
-    truth = _truth_view(system, model)
-    arch = system.arch
-    n = truth.n_modules
-
-    if allocation is None:
-        allocation = scheme.allocate(
-            system,
-            model,
-            budget_w,
-            pvt=pvt,
-            test_module=test_module,
-            noisy=noisy,
-            fs_guardband_frac=fs_guardband_frac,
-            chunk_modules=chunk_modules,
-        )
-    elif allocation.scheme.name != scheme.name or allocation.n_modules != n:
-        raise ConfigurationError(
-            f"allocation was planned for scheme "
-            f"{allocation.scheme.name!r} over {allocation.n_modules} "
-            f"modules; run requested {scheme.name!r} over {n}"
-        )
-    sol = allocation.solution
-
-    if scheme.actuation == "pc":
-        rng = (
-            system.rng.rng(f"rapl/{model.name}/{scheme.name}/{budget_w:.0f}")
-            if noisy
-            else None
-        )
-        controller = RaplCapController(
-            truth,
-            rng=rng,
-            dither_loss_frac=0.02 if noisy else 0.0,
-            guardband_frac=0.01 if noisy else 0.0,
-        )
-        enf = controller.enforce(sol.pcpu_w, model.signature)
-        op = enf.op
-        eff = enf.effective_freq_ghz
-        cpu_power = enf.cpu_power_w
-        cap_met = enf.cap_met
-    else:  # fs
-        # Round the common frequency *down* onto the ladder: requesting
-        # the next P-state up could push total power past the budget.
-        f_common = float(arch.ladder.quantize_down(sol.freq_ghz))
-        op = OperatingPoint.uniform(n, f_common, model.signature)
-        eff = np.full(n, f_common)
-        cpu_power = truth.cpu_power_at(op)
-        # FS never throttles, so the *derived* CPU cap may be exceeded on
-        # leaky modules (paper Section 5.3) — report it honestly.
-        cap_met = cpu_power <= sol.pcpu_w + 1e-9
-
-    rates = truth.work_rate(eff)
-    trace = simulate_app(model, rates, arch.fmax, n_iters=n_iters)
-    result = RunResult(
-        app_name=model.name,
-        scheme_name=scheme.name,
+    with telemetry.span(
+        "run.budgeted",
+        app=model.name,
+        scheme=scheme.name,
         budget_w=float(budget_w),
-        solution=sol,
-        effective_freq_ghz=np.asarray(eff, dtype=float),
-        cpu_power_w=cpu_power,
-        dram_power_w=truth.dram_power_at(op),
-        cap_met=np.asarray(cap_met, dtype=bool),
-        trace=trace,
-    )
-    if pmmd is not None:
-        pmmd.record(result.makespan_s, result.total_power_w, plan=scheme.name)
-    return result
+    ):
+        telemetry.count("run.budgeted")
+        telemetry.count(f"run.scheme[{scheme.name}]")
+        truth = _truth_view(system, model)
+        arch = system.arch
+        n = truth.n_modules
+
+        if allocation is None:
+            with telemetry.span("run.plan", scheme=scheme.name):
+                allocation = scheme.allocate(
+                    system,
+                    model,
+                    budget_w,
+                    pvt=pvt,
+                    test_module=test_module,
+                    noisy=noisy,
+                    fs_guardband_frac=fs_guardband_frac,
+                    chunk_modules=chunk_modules,
+                )
+        elif allocation.scheme.name != scheme.name or allocation.n_modules != n:
+            raise ConfigurationError(
+                f"allocation was planned for scheme "
+                f"{allocation.scheme.name!r} over {allocation.n_modules} "
+                f"modules; run requested {scheme.name!r} over {n}"
+            )
+        sol = allocation.solution
+
+        with telemetry.span("run.actuate", actuation=scheme.actuation):
+            if scheme.actuation == "pc":
+                rng = (
+                    system.rng.rng(f"rapl/{model.name}/{scheme.name}/{budget_w:.0f}")
+                    if noisy
+                    else None
+                )
+                controller = RaplCapController(
+                    truth,
+                    rng=rng,
+                    dither_loss_frac=0.02 if noisy else 0.0,
+                    guardband_frac=0.01 if noisy else 0.0,
+                )
+                enf = controller.enforce(sol.pcpu_w, model.signature)
+                op = enf.op
+                eff = enf.effective_freq_ghz
+                cpu_power = enf.cpu_power_w
+                cap_met = enf.cap_met
+            else:  # fs
+                # Round the common frequency *down* onto the ladder:
+                # requesting the next P-state up could push total power
+                # past the budget.
+                f_common = float(arch.ladder.quantize_down(sol.freq_ghz))
+                op = OperatingPoint.uniform(n, f_common, model.signature)
+                eff = np.full(n, f_common)
+                cpu_power = truth.cpu_power_at(op)
+                # FS never throttles, so the *derived* CPU cap may be
+                # exceeded on leaky modules (paper Section 5.3) — report
+                # it honestly.
+                cap_met = cpu_power <= sol.pcpu_w + 1e-9
+
+        rates = truth.work_rate(eff)
+        with telemetry.span("run.simulate"):
+            trace = simulate_app(model, rates, arch.fmax, n_iters=n_iters)
+        result = RunResult(
+            app_name=model.name,
+            scheme_name=scheme.name,
+            budget_w=float(budget_w),
+            solution=sol,
+            effective_freq_ghz=np.asarray(eff, dtype=float),
+            cpu_power_w=cpu_power,
+            dram_power_w=truth.dram_power_at(op),
+            cap_met=np.asarray(cap_met, dtype=bool),
+            trace=trace,
+        )
+        _record_run(result)
+        if pmmd is not None:
+            pmmd.record(result.makespan_s, result.total_power_w, plan=scheme.name)
+        return result

@@ -26,10 +26,11 @@ peak temporary memory at fleet scale.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields, replace
 
 import numpy as np
 
+import repro.telemetry as telemetry
 from repro.apps.base import AppModel
 from repro.cluster.system import System
 from repro.core.budget import BudgetSolution, solve_alpha
@@ -52,6 +53,8 @@ __all__ = [
     "ALL_SCHEMES",
     "get_scheme",
     "list_schemes",
+    "available_schemes",
+    "register_scheme",
 ]
 
 _PMT_KINDS = ("naive", "uniform", "calibrated", "oracle")
@@ -110,22 +113,24 @@ class Scheme:
         "calibrated"); generate it once per system with
         :func:`repro.core.generate_pvt` and reuse it across apps.
         """
-        arch = system.arch
-        if self.pmt_kind == "naive":
-            return naive_pmt(arch, system.n_modules)
-        if self.pmt_kind == "oracle":
-            return oracle_pmt(system, app, noisy=False)
-        if pvt is None:
-            raise ConfigurationError(
-                f"scheme {self.name!r} needs a PowerVariationTable"
-            )
-        if pvt.n_modules != system.n_modules:
-            raise ConfigurationError(
-                f"PVT covers {pvt.n_modules} modules, system has {system.n_modules}"
-            )
-        profile = single_module_test_run(system, app, test_module, noisy=noisy)
-        builder = calibrate_pmt if self.pmt_kind == "calibrated" else uniform_pmt
-        return builder(pvt, profile, fmin=arch.fmin, fmax=arch.fmax)
+        with telemetry.span("scheme.build_pmt", kind=self.pmt_kind):
+            arch = system.arch
+            if self.pmt_kind == "naive":
+                return naive_pmt(arch, system.n_modules)
+            if self.pmt_kind == "oracle":
+                return oracle_pmt(system, app, noisy=False)
+            if pvt is None:
+                raise ConfigurationError(
+                    f"scheme {self.name!r} needs a PowerVariationTable"
+                )
+            if pvt.n_modules != system.n_modules:
+                raise ConfigurationError(
+                    f"PVT covers {pvt.n_modules} modules, system has "
+                    f"{system.n_modules}"
+                )
+            profile = single_module_test_run(system, app, test_module, noisy=noisy)
+            builder = calibrate_pmt if self.pmt_kind == "calibrated" else uniform_pmt
+            return builder(pvt, profile, fmin=arch.fmin, fmax=arch.fmax)
 
     def allocate(
         self,
@@ -155,33 +160,35 @@ class Scheme:
         InfeasibleBudgetError
             If the scheme's PMT says the budget cannot be met at fmin.
         """
-        system = _as_system(fleet)
-        pmt = self.build_pmt(
-            system, app, pvt=pvt, test_module=test_module, noisy=noisy
-        )
-        if self.actuation == "fs" and fs_guardband_frac > 0.0:
-            # Derate the planning budget, but never below the fmin
-            # floor: the guardband must not turn a feasible budget
-            # infeasible (it would just mean "run at fmin").  A
-            # genuinely infeasible budget still raises from the solve.
-            derated = budget_w * (1.0 - fs_guardband_frac)
-            floor = pmt.model.total_min_w()
-            if budget_w >= floor:
-                derated = max(derated, floor)
-            sol = solve_alpha(pmt.model, derated, chunk_modules=chunk_modules)
-            sol = BudgetSolution(
-                alpha=sol.alpha,
-                raw_alpha=sol.raw_alpha,
-                constrained=sol.constrained,
-                freq_ghz=sol.freq_ghz,
-                pmodule_w=sol.pmodule_w,
-                pcpu_w=sol.pcpu_w,
-                pdram_w=sol.pdram_w,
-                budget_w=float(budget_w),
+        with telemetry.span("scheme.allocate", scheme=self.name):
+            telemetry.count(f"scheme.allocate[{self.name}]")
+            system = _as_system(fleet)
+            pmt = self.build_pmt(
+                system, app, pvt=pvt, test_module=test_module, noisy=noisy
             )
-        else:
-            sol = solve_alpha(pmt.model, budget_w, chunk_modules=chunk_modules)
-        return PowerAllocation(scheme=self, pmt=pmt, solution=sol)
+            if self.actuation == "fs" and fs_guardband_frac > 0.0:
+                # Derate the planning budget, but never below the fmin
+                # floor: the guardband must not turn a feasible budget
+                # infeasible (it would just mean "run at fmin").  A
+                # genuinely infeasible budget still raises from the solve.
+                derated = budget_w * (1.0 - fs_guardband_frac)
+                floor = pmt.model.total_min_w()
+                if budget_w >= floor:
+                    derated = max(derated, floor)
+                sol = solve_alpha(pmt.model, derated, chunk_modules=chunk_modules)
+                sol = BudgetSolution(
+                    alpha=sol.alpha,
+                    raw_alpha=sol.raw_alpha,
+                    constrained=sol.constrained,
+                    freq_ghz=sol.freq_ghz,
+                    pmodule_w=sol.pmodule_w,
+                    pcpu_w=sol.pcpu_w,
+                    pdram_w=sol.pdram_w,
+                    budget_w=float(budget_w),
+                )
+            else:
+                sol = solve_alpha(pmt.model, budget_w, chunk_modules=chunk_modules)
+            return PowerAllocation(scheme=self, pmt=pmt, solution=sol)
 
 
 def _as_system(fleet: System | ModuleArray) -> System:
@@ -259,13 +266,66 @@ ALL_SCHEMES: dict[str, Scheme] = {
 }
 
 
-def get_scheme(name: str) -> Scheme:
-    """Look up a scheme by name (case-insensitive)."""
+_SCHEME_FIELDS = frozenset(f.name for f in fields(Scheme))
+
+
+def get_scheme(name: str, **opts) -> Scheme:
+    """Look up a scheme by name (case-insensitive), optionally deriving
+    a variant.
+
+    ``opts`` override :class:`Scheme` fields on the registered entry —
+    e.g. ``get_scheme("vapc", actuation="fs")`` is the PVT-calibrated
+    scheme actuated by frequency selection instead of RAPL.  Overrides
+    are validated (unknown fields and invalid values raise
+    :class:`~repro.errors.ConfigurationError`) and never mutate the
+    registry: the result is a derived frozen :class:`Scheme`.
+    """
     try:
-        return ALL_SCHEMES[name.lower()]
+        scheme = ALL_SCHEMES[name.lower()]
     except KeyError:
         known = ", ".join(ALL_SCHEMES)
         raise ConfigurationError(f"unknown scheme {name!r}; known: {known}") from None
+    if opts:
+        unknown = sorted(set(opts) - _SCHEME_FIELDS)
+        if unknown:
+            raise ConfigurationError(
+                f"unknown scheme option(s) {unknown}; "
+                f"Scheme fields are {sorted(_SCHEME_FIELDS)}"
+            )
+        scheme = replace(scheme, **opts)  # __post_init__ re-validates
+    return scheme
+
+
+def available_schemes() -> dict[str, Scheme]:
+    """Snapshot of the registry, in the paper's Fig 7 legend order.
+
+    Returns a copy: mutating it does not affect the registry (use
+    :func:`register_scheme` for that).
+    """
+    return dict(ALL_SCHEMES)
+
+
+def register_scheme(scheme: Scheme, *, replace_existing: bool = False) -> Scheme:
+    """Add a scheme to the registry (e.g. a derived variant under its
+    own name), making it reachable by name from the CLI, the fleet
+    experiment, and multi-app scheduling.
+
+    Raises :class:`~repro.errors.ConfigurationError` if the name is
+    already taken and ``replace_existing`` is not set — the six paper
+    schemes should be shadowed deliberately, never by accident.
+    """
+    key = scheme.name.lower()
+    if key != scheme.name:
+        raise ConfigurationError(
+            f"scheme names are lower-case registry keys; got {scheme.name!r}"
+        )
+    if key in ALL_SCHEMES and not replace_existing:
+        raise ConfigurationError(
+            f"scheme {key!r} is already registered; pass "
+            "replace_existing=True to shadow it"
+        )
+    ALL_SCHEMES[key] = scheme
+    return scheme
 
 
 def list_schemes() -> list[str]:

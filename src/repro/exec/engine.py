@@ -33,6 +33,7 @@ from time import perf_counter
 
 import numpy as np
 
+import repro.telemetry as telemetry
 from repro.apps.registry import get_app
 from repro.cluster.configs import build_system
 from repro.cluster.system import System
@@ -110,11 +111,25 @@ def execute_key(key: RunKey) -> RunResult:
 
     Raises :class:`InfeasibleBudgetError` for budgets below the fmin
     floor, exactly like :func:`~repro.core.runner.run_budgeted`.
+
+    When telemetry is enabled, everything the run records (spans,
+    timelines, per-module arrays) is scoped to the key's digest prefix —
+    the same identity the result cache uses — so exported traces join
+    back to cached results.
     """
     # Defensive per-run seeding (see module docstring): nothing in this
     # package draws from the legacy global generator, but pinning it per
     # key keeps any future stray draw schedule-independent.
-    np.random.seed(int(key.digest()[:8], 16))
+    digest = key.digest()
+    np.random.seed(int(digest[:8], 16))
+    if not telemetry.enabled():
+        return _execute_key(key)
+    with telemetry.run_scope(digest[:12], key.describe()):
+        with telemetry.span("engine.execute"):
+            return _execute_key(key)
+
+
+def _execute_key(key: RunKey) -> RunResult:
     spec = _spec(key)
     system = _system_for(spec)
     app = get_app(key.app)

@@ -11,12 +11,21 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import repro.telemetry as telemetry
 from repro.util.tables import render_table
 
 __all__ = ["RunRecord", "RunStats"]
 
 #: Where a dispatched run's result came from.
 SOURCES = ("hit", "miss", "exec")
+
+#: Telemetry counter names per source (every dispatch funnels through
+#: :meth:`RunStats.record`, so this one hook observes the whole engine).
+_SOURCE_COUNTERS = {
+    "hit": "engine.cache.hit",
+    "miss": "engine.cache.miss",
+    "exec": "engine.exec",
+}
 
 
 @dataclass(frozen=True)
@@ -39,6 +48,8 @@ class RunStats:
         if source not in SOURCES:
             raise ValueError(f"source must be one of {SOURCES}, got {source!r}")
         self.records.append(RunRecord(label=label, source=source, wall_s=wall_s))
+        telemetry.count(_SOURCE_COUNTERS[source])
+        telemetry.observe("engine.dispatch_wall_s", wall_s)
 
     def merge(self, other: "RunStats") -> None:
         """Fold another stats object (e.g. from a worker batch) into this one."""

@@ -34,6 +34,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from time import perf_counter
 
+import repro.telemetry as telemetry
 from repro.apps import get_app
 from repro.cluster.configs import build_system
 from repro.core.runner import run_budgeted
@@ -112,61 +113,72 @@ def run_fleet_point(
     vectorised fast path), and collects the variation statistics.
     """
     t0 = perf_counter()
-    system = build_system("ha8k", n_modules=n_modules, seed=seed)
-    model = get_app(app)
-    budget_w = cm_w * n_modules
+    with telemetry.run_scope(
+        f"fleet-{n_modules}", f"fleet {app} n={n_modules:,} Cm={cm_w:.0f}W"
+    ), telemetry.span("fleet.point", modules=n_modules, app=app):
+        system = build_system("ha8k", n_modules=n_modules, seed=seed)
+        model = get_app(app)
+        budget_w = cm_w * n_modules
 
-    # Plan first, actuate second — both through the array-first
-    # interfaces: each scheme's PowerAllocation is one vectorised
-    # (chunk-bounded) pass over the fleet columns, then run_budgeted
-    # consumes it without re-planning.
-    plans = {
-        scheme: get_scheme(scheme).allocate(
-            system,
-            model,
-            budget_w,
-            noisy=False,
-            chunk_modules=chunk_modules,
+        # Plan first, actuate second — both through the array-first
+        # interfaces: each scheme's PowerAllocation is one vectorised
+        # (chunk-bounded) pass over the fleet columns, then run_budgeted
+        # consumes it without re-planning.
+        plans = {
+            scheme: get_scheme(scheme).allocate(
+                system,
+                model,
+                budget_w,
+                noisy=False,
+                chunk_modules=chunk_modules,
+            )
+            for scheme in FLEET_SCHEMES
+        }
+        runs = {
+            scheme: run_budgeted(
+                system,
+                model,
+                scheme,
+                budget_w,
+                n_iters=n_iters,
+                noisy=False,
+                chunk_modules=chunk_modules,
+                allocation=plans[scheme],
+            )
+            for scheme in FLEET_SCHEMES
+        }
+        naive = runs["naive"]
+        # Uncapped fleet draw at fmax — the headroom the budget cuts
+        # into — accumulated chunk-wise so no fleet-sized temporary is
+        # ever built.
+        fmax_kw = (
+            system.modules.total_module_power_w(
+                system.arch.fmax, model.signature, chunk_modules=chunk_modules
+            )
+            / 1e3
         )
-        for scheme in FLEET_SCHEMES
-    }
-    runs = {
-        scheme: run_budgeted(
-            system,
-            model,
-            scheme,
-            budget_w,
-            n_iters=n_iters,
-            noisy=False,
-            chunk_modules=chunk_modules,
-            allocation=plans[scheme],
+        wall = perf_counter() - t0
+        point = FleetPoint(
+            n_modules=n_modules,
+            app=app,
+            budget_kw=budget_w / 1e3,
+            fleet_fmax_power_kw=fmax_kw,
+            vf={s: r.vf for s, r in runs.items()},
+            vt={s: r.vt for s, r in runs.items()},
+            speedup={
+                s: 1.0 if s == "naive" else r.speedup_over(naive)
+                for s, r in runs.items()
+            },
+            within_budget={s: bool(r.within_budget) for s, r in runs.items()},
+            wall_s=wall,
         )
-        for scheme in FLEET_SCHEMES
-    }
-    naive = runs["naive"]
-    # Uncapped fleet draw at fmax — the headroom the budget cuts into —
-    # accumulated chunk-wise so no fleet-sized temporary is ever built.
-    fmax_kw = (
-        system.modules.total_module_power_w(
-            system.arch.fmax, model.signature, chunk_modules=chunk_modules
-        )
-        / 1e3
-    )
-    wall = perf_counter() - t0
-    return FleetPoint(
-        n_modules=n_modules,
-        app=app,
-        budget_kw=budget_w / 1e3,
-        fleet_fmax_power_kw=fmax_kw,
-        vf={s: r.vf for s, r in runs.items()},
-        vt={s: r.vt for s, r in runs.items()},
-        speedup={
-            s: 1.0 if s == "naive" else r.speedup_over(naive)
-            for s, r in runs.items()
-        },
-        within_budget={s: bool(r.within_budget) for s, r in runs.items()},
-        wall_s=wall,
-    )
+        if telemetry.enabled():
+            for s in FLEET_SCHEMES:
+                telemetry.gauge(f"fleet.vf[{s}]", point.vf[s])
+                telemetry.gauge(f"fleet.vt[{s}]", point.vt[s])
+                telemetry.gauge(f"fleet.speedup[{s}]", point.speedup[s])
+            telemetry.observe("fleet.ranks_per_sec", point.ranks_per_sec)
+        return point
 
 
 def run_fleet(

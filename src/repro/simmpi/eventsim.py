@@ -129,6 +129,10 @@ class EventDrivenMachine:
         self.rates = r
         self.latency_s = float(latency_s)
         self.bandwidth_gbps = float(bandwidth_gbps)
+        #: Optional sync observer (duck-typed: ``on_sync(op, clock_s,
+        #: wait_s)``), notified at each global collective release —
+        #: the event-driven counterpart of the BSP machine's observer.
+        self.observer = None
 
     @property
     def n_ranks(self) -> int:
@@ -207,6 +211,11 @@ class EventDrivenMachine:
                     if len(barrier_waiting) == n:
                         release = max(ranks[i].clock for i in barrier_waiting)
                         cost = self._collective_cost(barrier_kind)
+                        obs = self.observer
+                        if obs is not None:
+                            wait_s = np.zeros(n)
+                            for i in barrier_waiting:
+                                wait_s[i] = release - ranks[i].clock
                         for i in barrier_waiting:
                             r = ranks[i]
                             r.wait += release - r.clock
@@ -215,6 +224,13 @@ class EventDrivenMachine:
                             r.blocked_on = None
                             if i != idx:
                                 runnable.append(i)
+                        if obs is not None:
+                            kind = (
+                                "allreduce"
+                                if any(isinstance(o, Allreduce) for o in barrier_kind)
+                                else "barrier"
+                            )
+                            obs.on_sync(kind, np.full(n, release + cost), wait_s)
                         barrier_waiting.clear()
                         barrier_kind.clear()
                         continue  # this rank proceeds past the barrier
@@ -235,12 +251,18 @@ class EventDrivenMachine:
             details = {i: ranks[i].blocked_on for i in stuck}
             raise SimulationError(f"deadlock: ranks {details} never completed")
 
-        return RankTrace(
+        trace = RankTrace(
             total_s=np.array([st.clock for st in ranks]),
             compute_s=np.array([st.compute for st in ranks]),
             wait_s=np.array([st.wait for st in ranks]),
             comm_s=np.array([st.comm for st in ranks]),
         )
+        obs = self.observer
+        if obs is not None:
+            # Terminal snapshot, so programs with no collectives (pure
+            # point-to-point pipelines) still produce a timeline event.
+            obs.on_sync("finish", trace.total_s, trace.wait_s)
+        return trace
 
     def _complete_recv(self, st: _RankState, avail: float) -> None:
         wait = max(0.0, avail - st.clock)

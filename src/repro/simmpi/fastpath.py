@@ -51,6 +51,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+import repro.telemetry as telemetry
 from repro.errors import ConfigurationError, SimulationError
 from repro.simmpi.eventsim import (
     Allreduce,
@@ -305,6 +306,8 @@ def _exec_loop(machine: BspMachine, loop: VLoop) -> None:
             stable += 1
             if stable >= _FF_STABLE_ITERS:
                 machine.fast_forward(delta, remaining)
+                telemetry.count("sim.fast_forward")
+                telemetry.observe("sim.ff_saved_iters", remaining)
                 return
         else:
             stable = 0
@@ -325,7 +328,9 @@ def run_fast(
             f"rates shape {r.shape} != program ranks ({program.n_ranks},)"
         )
     machine = BspMachine(r, latency_s=latency_s, bandwidth_gbps=bandwidth_gbps)
-    _exec_ops(machine, program.ops)
+    machine.observer = telemetry.timeline("fastpath")
+    with telemetry.span("sim.run_fast", ranks=program.n_ranks):
+        _exec_ops(machine, program.ops)
     return machine.trace()
 
 
@@ -528,13 +533,19 @@ def simulate_app(
         raise ConfigurationError("n_iters must be positive")
     n_ranks = int(rates.shape[0]) if rates.ndim == 1 else 0
     if is_bsp_expressible(app):
+        telemetry.count("sim.route.fast")
         program = bsp_app_program(app, n_ranks or 1, fmax_ghz, iters, work_imbalance)
         return run_fast(
             program, rates, latency_s=latency_s, bandwidth_gbps=bandwidth_gbps
         )
+    telemetry.count("sim.route.event")
     machine = EventDrivenMachine(
         rates, latency_s=latency_s, bandwidth_gbps=bandwidth_gbps
     )
-    return machine.run(
-        event_app_program(app, machine.n_ranks, fmax_ghz, iters, work_imbalance)
-    )
+    machine.observer = telemetry.timeline("eventsim")
+    with telemetry.span(
+        "sim.run_event", ranks=machine.n_ranks, comm=app.comm.kind
+    ):
+        return machine.run(
+            event_app_program(app, machine.n_ranks, fmax_ghz, iters, work_imbalance)
+        )

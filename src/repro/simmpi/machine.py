@@ -115,6 +115,10 @@ class BspMachine:
         self._compute_s = np.zeros(r.size)
         self._wait_s = np.zeros(r.size)
         self._comm_s = np.zeros(r.size)
+        #: Optional sync observer (duck-typed: ``on_sync(op, clock_s,
+        #: wait_s)``), e.g. a telemetry PhaseTimeline.  ``None`` keeps
+        #: the sync path free of any telemetry cost.
+        self.observer = None
 
     @property
     def n_ranks(self) -> int:
@@ -207,7 +211,7 @@ class BspMachine:
 
     def barrier(self) -> None:
         """Global synchronisation: everyone waits for the slowest rank."""
-        self._sync_to(np.full(self.n_ranks, self.clock_s.max()), 0.0)
+        self._sync_to(np.full(self.n_ranks, self.clock_s.max()), 0.0, "barrier")
 
     def allreduce(self, message_bytes: float = 8.0) -> None:
         """Synchronising reduction: barrier semantics plus tree cost.
@@ -219,7 +223,7 @@ class BspMachine:
         cost = 2 * (
             hops * self.latency_s + message_bytes / (self.bandwidth_gbps * 1e9)
         )
-        self._sync_to(np.full(self.n_ranks, self.clock_s.max()), cost)
+        self._sync_to(np.full(self.n_ranks, self.clock_s.max()), cost, "allreduce")
 
     def sendrecv(self, neighbors: np.ndarray, message_bytes: float = 0.0) -> None:
         """Halo exchange: each rank waits for its neighbours.
@@ -238,13 +242,19 @@ class BspMachine:
         if nb.size and (nb.min() < 0 or nb.max() >= self.n_ranks):
             raise SimulationError("neighbor indices out of range")
         ready = np.maximum(self.clock_s, self.clock_s[nb].max(axis=1))
-        self._sync_to(ready, self._transfer_cost(message_bytes * nb.shape[1]))
+        self._sync_to(
+            ready, self._transfer_cost(message_bytes * nb.shape[1]), "sendrecv"
+        )
 
-    def _sync_to(self, ready_s: np.ndarray, transfer_cost_s: float) -> None:
+    def _sync_to(
+        self, ready_s: np.ndarray, transfer_cost_s: float, op: str
+    ) -> None:
         wait = ready_s - self.clock_s
         self._wait_s = self._wait_s + wait
         self._comm_s = self._comm_s + transfer_cost_s
         self.clock_s = ready_s + transfer_cost_s
+        if self.observer is not None:
+            self.observer.on_sync(op, self.clock_s, wait)
 
     # -- results ---------------------------------------------------------------
 

@@ -1,0 +1,121 @@
+"""Typed metric instruments: counters, gauges, histograms.
+
+The instruments are deliberately minimal — a flat name, a scalar state,
+O(1) updates — because they sit on hot paths (the engine's cache lookups,
+the fast path's routing decision, the α-solve).  Label dimensions are
+encoded into the name by the caller (``"fleet.vf[vafsor]"``), which keeps
+lookup a single dict probe.
+
+All state lives in a :class:`MetricsRegistry` owned by one
+:class:`~repro.telemetry.trace.TelemetryCollector`; instruments are
+created on first use and never deleted, so a reference obtained once can
+be updated forever.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+
+class Counter:
+    """Monotonically increasing count (cache hits, routing decisions)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        """Add ``n`` (must be non-negative) to the count."""
+        if n < 0:
+            raise ValueError("counters only go up; use a Gauge for levels")
+        self.value += n
+
+
+class Gauge:
+    """Last-written level (the solved α, a fleet Vf, a queue depth)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: float | None = None
+
+    def set(self, value: float) -> None:
+        """Record the current level (overwrites the previous one)."""
+        self.value = float(value)
+
+
+class Histogram:
+    """Streaming summary of an observed distribution.
+
+    Keeps count / sum / min / max — enough for the mean and the range
+    without retaining samples, so a histogram on a hot path costs four
+    scalar updates per observation.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        """Fold one sample into the summary."""
+        v = float(value)
+        self.count += 1
+        self.total += v
+        if v < self.min:
+            self.min = v
+        if v > self.max:
+            self.max = v
+
+    @property
+    def mean(self) -> float:
+        """Mean of the observed samples (0.0 before any observation)."""
+        return self.total / self.count if self.count else 0.0
+
+
+class MetricsRegistry:
+    """Name → instrument maps with get-or-create access.
+
+    One registry per collector; iteration order is creation order
+    (plain dicts), which the renderer and sinks preserve.
+    """
+
+    __slots__ = ("counters", "gauges", "histograms")
+
+    def __init__(self):
+        self.counters: dict[str, Counter] = {}
+        self.gauges: dict[str, Gauge] = {}
+        self.histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        """The counter called ``name``, created on first use."""
+        c = self.counters.get(name)
+        if c is None:
+            c = self.counters[name] = Counter(name)
+        return c
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge called ``name``, created on first use."""
+        g = self.gauges.get(name)
+        if g is None:
+            g = self.gauges[name] = Gauge(name)
+        return g
+
+    def histogram(self, name: str) -> Histogram:
+        """The histogram called ``name``, created on first use."""
+        h = self.histograms.get(name)
+        if h is None:
+            h = self.histograms[name] = Histogram(name)
+        return h
+
+    def __len__(self) -> int:
+        return len(self.counters) + len(self.gauges) + len(self.histograms)

@@ -1,0 +1,132 @@
+"""Text rendering of a telemetry session: span tree + metrics tables.
+
+Everything here is presentation over the collector's plain data
+structures, so it renders live sessions and sessions re-loaded from a
+JSONL sink (:func:`repro.telemetry.sinks.read_jsonl`) identically.
+"""
+
+from __future__ import annotations
+
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.timeline import PhaseTimeline
+from repro.telemetry.trace import SpanRecord, TelemetryCollector
+from repro.util.tables import render_table
+
+__all__ = ["format_span_tree", "format_metrics", "format_report"]
+
+
+def _fmt_dur(dur_s: float) -> str:
+    if dur_s >= 1.0:
+        return f"{dur_s:.2f} s"
+    if dur_s >= 1e-3:
+        return f"{dur_s * 1e3:.1f} ms"
+    return f"{dur_s * 1e6:.0f} µs"
+
+
+def _fmt_attrs(attrs: dict) -> str:
+    if not attrs:
+        return ""
+    inner = ", ".join(f"{k}={v}" for k, v in attrs.items())
+    return f" ({inner})"
+
+
+def format_span_tree(
+    spans: list[SpanRecord], run_labels: dict[str, str] | None = None
+) -> str:
+    """Render completed spans as per-run trees, durations right-hand.
+
+    Spans are grouped by run scope; within a run, the parent/child ids
+    recorded at completion rebuild the nesting and siblings are ordered
+    by start time.
+    """
+    if not spans:
+        return "-- no spans recorded"
+    run_labels = run_labels or {}
+    by_run: dict[str, list[SpanRecord]] = {}
+    for s in spans:
+        by_run.setdefault(s.run, []).append(s)
+
+    lines: list[str] = []
+    for run, group in by_run.items():
+        children: dict[int, list[SpanRecord]] = {}
+        for s in group:
+            children.setdefault(s.parent, []).append(s)
+        for sibs in children.values():
+            sibs.sort(key=lambda s: s.t_start_s)
+
+        if run:
+            label = run_labels.get(run, "")
+            lines.append(f"run {run}" + (f"  [{label}]" if label else ""))
+        else:
+            lines.append("(unscoped)")
+
+        rows: list[tuple[str, float]] = []
+
+        def walk(parent: int, prefix: str) -> None:
+            sibs = children.get(parent, [])
+            for i, s in enumerate(sibs):
+                last = i == len(sibs) - 1
+                branch = "└─ " if last else "├─ "
+                rows.append((f"{prefix}{branch}{s.name}{_fmt_attrs(s.attrs)}", s.dur_s))
+                walk(s.id, prefix + ("   " if last else "│  "))
+
+        walk(-1, "")
+        width = max((len(text) for text, _ in rows), default=0)
+        for text, dur_s in rows:
+            pad = " " * (width - len(text) + 2)
+            lines.append(f"{text}{pad}{_fmt_dur(dur_s):>10}")
+    return "\n".join(lines)
+
+
+def format_metrics(metrics: MetricsRegistry) -> str:
+    """Render every instrument as one merged table."""
+    if len(metrics) == 0:
+        return "-- no metrics recorded"
+    rows: list[list[object]] = []
+    for c in metrics.counters.values():
+        rows.append([c.name, "counter", str(c.value), "", "", ""])
+    for g in metrics.gauges.values():
+        value = "-" if g.value is None else f"{g.value:.6g}"
+        rows.append([g.name, "gauge", value, "", "", ""])
+    for h in metrics.histograms.values():
+        rows.append(
+            [
+                h.name,
+                "histogram",
+                str(h.count),
+                f"{h.mean:.6g}",
+                f"{h.min:.6g}" if h.count else "",
+                f"{h.max:.6g}" if h.count else "",
+            ]
+        )
+    return render_table(
+        ["Metric", "Type", "Count/Value", "Mean", "Min", "Max"],
+        rows,
+        title="metrics",
+    )
+
+
+def _format_timelines(timelines: list[PhaseTimeline]) -> str:
+    rows = [
+        [t.run or "-", t.kind, str(t.n_events), str(t.dropped), t.summary()]
+        for t in timelines
+    ]
+    return render_table(
+        ["Run", "Path", "Syncs", "Dropped", "Phases"],
+        rows,
+        title="phase timelines (barrier granularity)",
+    )
+
+
+def format_report(collector: TelemetryCollector, title: str = "telemetry") -> str:
+    """The full human-readable session report (``repro trace`` output)."""
+    head = (
+        f"== {title}: {collector.n_spans} spans, {len(collector.metrics)} "
+        f"metrics, {len(collector.timelines)} timelines, "
+        f"{len(collector.run_arrays)} run-array records"
+    )
+    parts = [head, format_span_tree(collector.spans, collector.run_labels)]
+    if collector.timelines:
+        parts.append(_format_timelines(collector.timelines))
+    parts.append(format_metrics(collector.metrics))
+    return "\n".join(parts)

@@ -1,0 +1,252 @@
+"""Telemetry persistence: JSONL (structured records) + NPZ (arrays).
+
+One session exports to a pair of files:
+
+* ``<stem>.jsonl`` — one JSON object per line: a header, every span,
+  every metric instrument, per-timeline event summaries, and the key
+  index of the companion NPZ.  Self-contained for ``repro trace
+  <file>``: :func:`read_jsonl` reconstructs a renderable collector.
+* ``<stem>.npz`` — the per-module arrays (timeline snapshots, the
+  runner's power/frequency/elapsed records), too large for JSON.  Keys
+  are ``tl<i>/ev<j>/<field>`` and ``arr<i>/<field>``; every indexed
+  object carries its ``run`` scope — under the engine, the
+  :class:`~repro.exec.cache.RunKey` digest prefix — so arrays join back
+  to cached results by key, not by position.
+
+Both files are written atomically (temp file + ``os.replace``), matching
+the result cache's torn-write guarantee.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.telemetry.timeline import PhaseTimeline, RunArrays, SyncEvent
+from repro.telemetry.trace import SpanRecord, TelemetryCollector
+
+__all__ = ["write_jsonl", "write_npz", "write_sinks", "read_jsonl"]
+
+#: Bump when the sink layout changes incompatibly.
+SINK_SCHEMA_VERSION = 1
+
+
+def _atomic_write(path: Path, data: bytes) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            fh.write(data)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def _finite(v: float) -> float | None:
+    return None if not math.isfinite(v) else v
+
+
+def _records(collector: TelemetryCollector) -> list[dict]:
+    recs: list[dict] = [
+        {
+            "kind": "header",
+            "schema": SINK_SCHEMA_VERSION,
+            "n_spans": collector.n_spans,
+            "n_timelines": len(collector.timelines),
+            "n_run_arrays": len(collector.run_arrays),
+            "run_labels": dict(collector.run_labels),
+        }
+    ]
+    for s in collector.spans:
+        recs.append(
+            {
+                "kind": "span",
+                "id": s.id,
+                "parent": s.parent,
+                "run": s.run,
+                "name": s.name,
+                "t_start_s": s.t_start_s,
+                "dur_s": s.dur_s,
+                "attrs": s.attrs,
+            }
+        )
+    m = collector.metrics
+    for c in m.counters.values():
+        recs.append({"kind": "counter", "name": c.name, "value": c.value})
+    for g in m.gauges.values():
+        recs.append({"kind": "gauge", "name": g.name, "value": g.value})
+    for h in m.histograms.values():
+        recs.append(
+            {
+                "kind": "histogram",
+                "name": h.name,
+                "count": h.count,
+                "total": h.total,
+                "min": _finite(h.min),
+                "max": _finite(h.max),
+            }
+        )
+    for i, t in enumerate(collector.timelines):
+        recs.append(
+            {
+                "kind": "timeline",
+                "index": i,
+                "run": t.run,
+                "timeline_kind": t.kind,
+                "dropped": t.dropped,
+                "events": [
+                    {
+                        "op": e.op,
+                        "t_max_s": e.t_max_s,
+                        "detailed": e.clock_s is not None,
+                    }
+                    for e in t.events
+                ],
+            }
+        )
+    for i, a in enumerate(collector.run_arrays):
+        recs.append(
+            {
+                "kind": "arrays",
+                "index": i,
+                "run": a.run,
+                "name": a.name,
+                "keys": sorted(a.arrays),
+            }
+        )
+    return recs
+
+
+def write_jsonl(collector: TelemetryCollector, path: str | Path) -> Path:
+    """Export the structured records; returns the path written."""
+    path = Path(path)
+    body = "\n".join(
+        json.dumps(r, sort_keys=True, separators=(",", ":"))
+        for r in _records(collector)
+    )
+    _atomic_write(path, (body + "\n").encode("utf-8"))
+    return path
+
+
+def write_npz(collector: TelemetryCollector, path: str | Path) -> Path:
+    """Export the per-module arrays; returns the path written.
+
+    The ``meta`` entry is a JSON index mapping every array key to its
+    run scope, so the file is interpretable on its own via
+    :func:`numpy.load`.
+    """
+    path = Path(path)
+    arrays: dict[str, np.ndarray] = {}
+    index: list[dict] = []
+    for i, t in enumerate(collector.timelines):
+        for j, e in enumerate(t.events):
+            if e.clock_s is None:
+                continue
+            arrays[f"tl{i}/ev{j}/clock_s"] = e.clock_s
+            arrays[f"tl{i}/ev{j}/wait_s"] = e.wait_s
+            index.append(
+                {"key": f"tl{i}/ev{j}", "run": t.run, "kind": t.kind, "op": e.op}
+            )
+    for i, a in enumerate(collector.run_arrays):
+        for field, arr in a.arrays.items():
+            arrays[f"arr{i}/{field}"] = arr
+        index.append({"key": f"arr{i}", "run": a.run, "name": a.name})
+    meta = {"schema": SINK_SCHEMA_VERSION, "index": index}
+    import io
+
+    buf = io.BytesIO()
+    np.savez(buf, meta=np.array(json.dumps(meta)), **arrays)
+    _atomic_write(path, buf.getvalue())
+    return path
+
+
+def write_sinks(
+    collector: TelemetryCollector, directory: str | Path, stem: str
+) -> tuple[Path, Path]:
+    """Write the ``<stem>.jsonl`` / ``<stem>.npz`` pair into ``directory``."""
+    directory = Path(directory)
+    return (
+        write_jsonl(collector, directory / f"{stem}.jsonl"),
+        write_npz(collector, directory / f"{stem}.npz"),
+    )
+
+
+def read_jsonl(path: str | Path) -> TelemetryCollector:
+    """Rebuild a renderable collector from a JSONL sink.
+
+    Timeline events come back with their summaries only (the arrays
+    live in the companion NPZ); everything the trace report shows —
+    span tree, metrics, phase structure, run labels — round-trips.
+    """
+    path = Path(path)
+    collector = TelemetryCollector()
+    try:
+        lines = path.read_text(encoding="utf-8").splitlines()
+    except OSError as exc:
+        raise ConfigurationError(f"cannot read telemetry sink {path}: {exc}") from None
+    for lineno, line in enumerate(lines, 1):
+        if not line.strip():
+            continue
+        try:
+            rec = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(
+                f"{path}:{lineno}: not a telemetry JSONL record ({exc})"
+            ) from None
+        kind = rec.get("kind")
+        if kind == "header":
+            if rec.get("schema") != SINK_SCHEMA_VERSION:
+                raise ConfigurationError(
+                    f"{path}: sink schema {rec.get('schema')!r} != "
+                    f"{SINK_SCHEMA_VERSION} (re-export the trace)"
+                )
+            collector.run_labels.update(rec.get("run_labels", {}))
+        elif kind == "span":
+            collector.spans.append(
+                SpanRecord(
+                    id=rec["id"],
+                    parent=rec["parent"],
+                    run=rec["run"],
+                    name=rec["name"],
+                    t_start_s=rec["t_start_s"],
+                    dur_s=rec["dur_s"],
+                    attrs=rec.get("attrs", {}),
+                )
+            )
+        elif kind == "counter":
+            collector.metrics.counter(rec["name"]).inc(rec["value"])
+        elif kind == "gauge":
+            if rec["value"] is not None:
+                collector.metrics.gauge(rec["name"]).set(rec["value"])
+            else:
+                collector.metrics.gauge(rec["name"])
+        elif kind == "histogram":
+            h = collector.metrics.histogram(rec["name"])
+            h.count = rec["count"]
+            h.total = rec["total"]
+            h.min = rec["min"] if rec["min"] is not None else math.inf
+            h.max = rec["max"] if rec["max"] is not None else -math.inf
+        elif kind == "timeline":
+            t = PhaseTimeline(kind=rec["timeline_kind"], run=rec["run"])
+            t.dropped = rec["dropped"]
+            t.events = [
+                SyncEvent(op=e["op"], t_max_s=e["t_max_s"]) for e in rec["events"]
+            ]
+            collector.timelines.append(t)
+        elif kind == "arrays":
+            # The payloads live in the companion NPZ; keep a stub so
+            # the report's record counts round-trip.
+            collector.run_arrays.append(
+                RunArrays(run=rec["run"], name=rec["name"], arrays={})
+            )
+    return collector

@@ -1,0 +1,125 @@
+"""Per-run phase timelines captured at barrier granularity.
+
+The simulators call :meth:`PhaseTimeline.on_sync` at every *executed*
+synchronisation point (barrier, allreduce, halo exchange) — the phase
+boundaries of a bulk-synchronous run.  Each event always records the op
+kind and the fleet-wide clock maximum (one reduction pass); the first
+``detail_events`` events additionally snapshot the full per-module clock
+and wait arrays, so a trace shows both the whole run's phase structure
+and the per-module spread where it develops.  Full snapshots are capped
+because the fast path's steady-state fast-forwarding makes executed
+syncs rare, but an event-driven fallback run could execute thousands —
+the cap keeps telemetry overhead bounded no matter which path ran.
+
+:class:`RunArrays` carries run-constant per-module arrays (realised
+power, effective frequency, final elapsed time) that the runner records
+once per managed execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["SyncEvent", "PhaseTimeline", "RunArrays"]
+
+#: Full per-module snapshots retained per timeline (events beyond this
+#: still record kind + clock max, just not the arrays).
+DEFAULT_DETAIL_EVENTS = 8
+
+#: Total snapshot *elements* retained per timeline.  The event budget
+#: alone would make telemetry cost scale with fleet size (8 events × 2
+#: arrays × 200k modules is real memory bandwidth); the element budget
+#: keeps small runs fully detailed while fleet-scale timelines degrade
+#: to summaries after the first event or two.
+DEFAULT_DETAIL_ELEMS = 131_072
+
+#: Hard cap on events per timeline; overflow increments ``dropped``.
+DEFAULT_MAX_EVENTS = 4096
+
+
+@dataclass(frozen=True)
+class SyncEvent:
+    """One executed synchronisation point.
+
+    ``clock_s`` / ``wait_s`` are per-module snapshots (``None`` once the
+    timeline's detail budget is spent).
+    """
+
+    op: str
+    t_max_s: float
+    clock_s: np.ndarray | None = None
+    wait_s: np.ndarray | None = None
+
+
+@dataclass
+class PhaseTimeline:
+    """Barrier-granularity record of one simulated execution.
+
+    Attributes
+    ----------
+    kind:
+        Which simulator produced it (``"fastpath"`` or ``"eventsim"``).
+    run:
+        The run scope active when the timeline was created (the
+        :class:`~repro.exec.cache.RunKey` digest prefix under the
+        engine, an experiment-chosen label otherwise).
+    """
+
+    kind: str
+    run: str = ""
+    detail_events: int = DEFAULT_DETAIL_EVENTS
+    detail_elems: int = DEFAULT_DETAIL_ELEMS
+    max_events: int = DEFAULT_MAX_EVENTS
+    events: list[SyncEvent] = field(default_factory=list)
+    dropped: int = 0
+    detail_elems_used: int = 0
+
+    def on_sync(self, op: str, clock_s: np.ndarray, wait_s: np.ndarray) -> None:
+        """Record one synchronisation point (called by the machines).
+
+        Pure observation: the arrays are copied (or only reduced), never
+        mutated, so attaching a timeline cannot change a result.
+        """
+        n = len(self.events)
+        if n >= self.max_events:
+            self.dropped += 1
+            return
+        cost = 2 * int(clock_s.size)
+        if n < self.detail_events and self.detail_elems_used + cost <= self.detail_elems:
+            self.detail_elems_used += cost
+            self.events.append(
+                SyncEvent(
+                    op=op,
+                    t_max_s=float(clock_s.max()),
+                    clock_s=np.array(clock_s, dtype=float),
+                    wait_s=np.array(wait_s, dtype=float),
+                )
+            )
+        else:
+            self.events.append(SyncEvent(op=op, t_max_s=float(clock_s.max())))
+
+    @property
+    def n_events(self) -> int:
+        """Synchronisation points recorded (excluding dropped ones)."""
+        return len(self.events)
+
+    def summary(self) -> str:
+        """One-line description for the trace report."""
+        kinds: dict[str, int] = {}
+        for e in self.events:
+            kinds[e.op] = kinds.get(e.op, 0) + 1
+        ops = ", ".join(f"{k}×{v}" for k, v in kinds.items()) or "no syncs"
+        tail = f" (+{self.dropped} dropped)" if self.dropped else ""
+        last = f", t_max {self.events[-1].t_max_s:.4g} s" if self.events else ""
+        return f"{self.kind}: {ops}{last}{tail}"
+
+
+@dataclass(frozen=True)
+class RunArrays:
+    """Run-constant per-module arrays recorded once per managed run."""
+
+    run: str
+    name: str
+    arrays: dict[str, np.ndarray]

@@ -1,0 +1,180 @@
+"""Span-based structured tracing and the per-process collector.
+
+A *span* is one named, timed region of work (``solve_alpha``, an
+engine-dispatched run, a fleet point); spans nest, forming a tree that
+shows where a run's wall-clock time went.  The design constraint is the
+disabled path: instrumentation stays compiled into the hot code
+permanently, so when telemetry is off a ``span(...)`` call must cost one
+attribute load and a ``None`` check — the facade in
+:mod:`repro.telemetry` returns a shared no-op context manager and never
+touches this module.
+
+When enabled, every span costs two :func:`~time.perf_counter` calls, a
+list append, and a dict probe — microseconds, which is what keeps the
+fleet fast-path overhead gate (<5 %) comfortable.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from time import perf_counter
+
+import numpy as np
+
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.timeline import PhaseTimeline, RunArrays
+
+__all__ = ["SpanRecord", "Span", "TelemetryCollector"]
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One completed span.
+
+    ``parent`` is the id of the enclosing span (−1 for a root);
+    ``t_start_s`` is relative to the collector's epoch (its creation),
+    so records from one session share a timeline.
+    """
+
+    id: int
+    parent: int
+    run: str
+    name: str
+    t_start_s: float
+    dur_s: float
+    attrs: dict
+
+
+class Span:
+    """Live span handle — a reusable-once context manager.
+
+    Attributes set before exit (via constructor kwargs or :meth:`set`)
+    are frozen into the :class:`SpanRecord` on completion.
+    """
+
+    __slots__ = ("_collector", "_name", "_attrs", "_id", "_t0")
+
+    def __init__(self, collector: "TelemetryCollector", name: str, attrs: dict):
+        self._collector = collector
+        self._name = name
+        self._attrs = attrs
+        self._id = -1
+        self._t0 = 0.0
+
+    def set(self, **attrs) -> None:
+        """Attach attributes discovered mid-span (chunk counts, sizes)."""
+        self._attrs.update(attrs)
+
+    def __enter__(self) -> "Span":
+        c = self._collector
+        self._id = c._next_id
+        c._next_id += 1
+        c._stack.append(self._id)
+        self._t0 = perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        t1 = perf_counter()
+        c = self._collector
+        c._stack.pop()
+        parent = c._stack[-1] if c._stack else -1
+        if exc_type is not None:
+            self._attrs["error"] = exc_type.__name__
+        c.spans.append(
+            SpanRecord(
+                id=self._id,
+                parent=parent,
+                run=c.current_run,
+                name=self._name,
+                t_start_s=self._t0 - c._epoch,
+                dur_s=t1 - self._t0,
+                attrs=self._attrs,
+            )
+        )
+        return False
+
+
+@dataclass
+class TelemetryCollector:
+    """All telemetry of one enabled session, in memory.
+
+    Holds the completed spans, the metric instruments, the phase
+    timelines and run-constant arrays, plus the *run scope* — a label
+    (under the engine: the :class:`~repro.exec.cache.RunKey` digest
+    prefix) stamped onto every span, timeline, and array record created
+    while the scope is active, which is what keys the exported sinks
+    back to cached runs.
+    """
+
+    spans: list[SpanRecord] = field(default_factory=list)
+    metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
+    timelines: list[PhaseTimeline] = field(default_factory=list)
+    run_arrays: list[RunArrays] = field(default_factory=list)
+    run_labels: dict[str, str] = field(default_factory=dict)
+    timeline_detail_events: int = 8
+    current_run: str = ""
+    _epoch: float = field(default_factory=perf_counter)
+    _stack: list[int] = field(default_factory=list)
+    _next_id: int = 0
+
+    # -- spans -----------------------------------------------------------------
+
+    def span(self, name: str, attrs: dict | None = None) -> Span:
+        """A new live span; use as ``with collector.span("name"):``."""
+        return Span(self, name, {} if attrs is None else attrs)
+
+    @contextmanager
+    def run_scope(self, run: str, label: str = ""):
+        """Stamp everything recorded inside the block with ``run``.
+
+        Scopes nest (the inner run wins and the outer is restored), so
+        an engine dispatch inside a fleet-point scope re-keys correctly.
+        """
+        prev = self.current_run
+        self.current_run = run
+        if label:
+            self.run_labels[run] = label
+        try:
+            yield self
+        finally:
+            self.current_run = prev
+
+    # -- timelines and arrays --------------------------------------------------
+
+    def new_timeline(self, kind: str) -> PhaseTimeline:
+        """Create (and retain) a phase timeline tagged with the run scope."""
+        tl = PhaseTimeline(
+            kind=kind, run=self.current_run,
+            detail_events=self.timeline_detail_events,
+        )
+        self.timelines.append(tl)
+        return tl
+
+    def record_arrays(self, name: str, **arrays: np.ndarray) -> None:
+        """Retain run-constant per-module arrays under the run scope."""
+        self.run_arrays.append(
+            RunArrays(
+                run=self.current_run,
+                name=name,
+                arrays={k: np.asarray(v) for k, v in arrays.items()},
+            )
+        )
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def n_spans(self) -> int:
+        """Completed spans recorded so far."""
+        return len(self.spans)
+
+    def runs(self) -> list[str]:
+        """Distinct run scopes, in first-seen order ("" = unscoped)."""
+        seen: dict[str, None] = {}
+        for s in self.spans:
+            seen.setdefault(s.run, None)
+        for t in self.timelines:
+            seen.setdefault(t.run, None)
+        for a in self.run_arrays:
+            seen.setdefault(a.run, None)
+        return list(seen)

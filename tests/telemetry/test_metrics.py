@@ -1,0 +1,69 @@
+"""Typed metrics: counters, gauges, histograms, and the registry."""
+
+import math
+
+import pytest
+
+from repro.telemetry import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        c = Counter("x")
+        assert c.value == 0
+        c.inc()
+        c.inc(5)
+        assert c.value == 6
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError):
+            Counter("x").inc(-1)
+
+
+class TestGauge:
+    def test_set_overwrites(self):
+        g = Gauge("alpha")
+        g.set(0.5)
+        g.set(0.25)
+        assert g.value == 0.25
+
+
+class TestHistogram:
+    def test_summary_stats(self):
+        h = Histogram("wall")
+        for v in (1.0, 2.0, 3.0):
+            h.observe(v)
+        assert h.count == 3
+        assert h.total == 6.0
+        assert h.min == 1.0
+        assert h.max == 3.0
+        assert h.mean == 2.0
+
+    def test_empty_histogram_is_safe_to_render(self):
+        h = Histogram("empty")
+        assert h.count == 0
+        assert h.mean == 0.0
+        assert math.isinf(h.min)
+        assert math.isinf(h.max)
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        reg = MetricsRegistry()
+        c = reg.counter("a")
+        assert reg.counter("a") is c
+        g = reg.gauge("b")
+        assert reg.gauge("b") is g
+        h = reg.histogram("c")
+        assert reg.histogram("c") is h
+        assert len(reg) == 3
+
+    def test_kinds_are_separate_namespaces(self):
+        # Instrument kinds live in separate maps: the same name used as
+        # a counter and a gauge yields two independent instruments.
+        reg = MetricsRegistry()
+        reg.counter("x").inc()
+        reg.gauge("x").set(2.0)
+        assert reg.counter("x").value == 1
+        assert reg.gauge("x").value == 2.0
+        assert len(reg) == 2

@@ -1,0 +1,117 @@
+"""The JSONL + NPZ sink pair: export, reload, render — and failure modes."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.telemetry import (
+    TelemetryCollector,
+    format_report,
+    read_jsonl,
+    write_npz,
+    write_sinks,
+)
+from repro.telemetry.sinks import SINK_SCHEMA_VERSION
+
+
+@pytest.fixture
+def session() -> TelemetryCollector:
+    """A small but fully-populated telemetry session."""
+    c = TelemetryCollector(timeline_detail_events=2)
+    with c.run_scope("run-a", "ha8k/mhd/vafs@4480W"):
+        with c.span("run.budgeted", {"scheme": "vafs"}):
+            with c.span("solve_alpha"):
+                c.metrics.counter("budget.solve_alpha").inc()
+            c.metrics.gauge("budget.alpha").set(0.75)
+            c.metrics.histogram("wall_s").observe(0.25)
+            tl = c.new_timeline("fastpath")
+            clock = np.array([1.0, 2.0])
+            for _ in range(3):  # one event past the detail budget
+                tl.on_sync("barrier", clock, clock)
+            c.record_arrays(
+                "run", power_w=np.array([10.0, 20.0]), freq_ghz=np.array([2.0, 2.0])
+            )
+    return c
+
+
+class TestRoundTrip:
+    def test_jsonl_reloads_to_identical_report(self, session, tmp_path):
+        jsonl, npz = write_sinks(session, tmp_path, "t")
+        assert jsonl == tmp_path / "t.jsonl"
+        assert npz == tmp_path / "t.npz"
+
+        loaded = read_jsonl(jsonl)
+        assert loaded.n_spans == session.n_spans
+        assert loaded.run_labels == session.run_labels
+        assert loaded.metrics.counter("budget.solve_alpha").value == 1
+        assert loaded.metrics.gauge("budget.alpha").value == 0.75
+        assert loaded.metrics.histogram("wall_s").count == 1
+        assert [t.summary() for t in loaded.timelines] == [
+            t.summary() for t in session.timelines
+        ]
+        # The rendered report is identical modulo the array payloads
+        # (which live in the NPZ, not the JSONL).
+        assert format_report(loaded, "x") == format_report(session, "x")
+
+    def test_npz_carries_detailed_snapshots_and_index(self, session, tmp_path):
+        path = write_npz(session, tmp_path / "t.npz")
+        with np.load(path) as data:
+            keys = set(data.files)
+            # 2 detailed events × 2 fields, 1 run-array record × 2 fields.
+            assert keys == {
+                "meta",
+                "tl0/ev0/clock_s",
+                "tl0/ev0/wait_s",
+                "tl0/ev1/clock_s",
+                "tl0/ev1/wait_s",
+                "arr0/power_w",
+                "arr0/freq_ghz",
+            }
+            np.testing.assert_array_equal(
+                data["arr0/power_w"], np.array([10.0, 20.0])
+            )
+            meta = json.loads(str(data["meta"]))
+        assert meta["schema"] == SINK_SCHEMA_VERSION
+        # Every NPZ key joins back to its run scope through the index.
+        assert {e["run"] for e in meta["index"]} == {"run-a"}
+
+    def test_jsonl_is_one_valid_json_object_per_line(self, session, tmp_path):
+        jsonl, _ = write_sinks(session, tmp_path, "t")
+        lines = jsonl.read_text().splitlines()
+        records = [json.loads(line) for line in lines]
+        assert records[0]["kind"] == "header"
+        assert records[0]["schema"] == SINK_SCHEMA_VERSION
+        kinds = {r["kind"] for r in records}
+        assert kinds == {"header", "span", "counter", "gauge", "histogram",
+                         "timeline", "arrays"}
+
+
+class TestFailureModes:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="cannot read"):
+            read_jsonl(tmp_path / "absent.jsonl")
+
+    def test_not_jsonl(self, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("this is not json\n")
+        with pytest.raises(ConfigurationError, match="not a telemetry"):
+            read_jsonl(bad)
+
+    def test_wrong_schema_version(self, session, tmp_path):
+        jsonl, _ = write_sinks(session, tmp_path, "t")
+        lines = jsonl.read_text().splitlines()
+        header = json.loads(lines[0])
+        header["schema"] = SINK_SCHEMA_VERSION + 1
+        lines[0] = json.dumps(header)
+        jsonl.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ConfigurationError, match="schema"):
+            read_jsonl(jsonl)
+
+    def test_empty_session_exports_cleanly(self, tmp_path):
+        jsonl, npz = write_sinks(TelemetryCollector(), tmp_path, "empty")
+        loaded = read_jsonl(jsonl)
+        assert loaded.n_spans == 0
+        with np.load(npz) as data:
+            assert data.files == ["meta"]

@@ -1,0 +1,186 @@
+"""Spans, run scopes, and the facade's enabled/disabled switch."""
+
+import numpy as np
+import pytest
+
+import repro.telemetry as telemetry
+from repro.telemetry import PhaseTimeline, TelemetryCollector
+
+
+@pytest.fixture(autouse=True)
+def _disabled_after():
+    yield
+    telemetry.disable()
+
+
+class TestCollectorSpans:
+    def test_nesting_records_parent_links(self):
+        c = TelemetryCollector()
+        with c.span("outer"):
+            with c.span("inner"):
+                pass
+        inner, outer = c.spans  # completion order: inner closes first
+        assert inner.name == "inner"
+        assert outer.name == "outer"
+        assert inner.parent == outer.id
+        assert outer.parent == -1
+        assert inner.dur_s >= 0.0
+        assert outer.dur_s >= inner.dur_s
+
+    def test_siblings_share_parent(self):
+        c = TelemetryCollector()
+        with c.span("root"):
+            with c.span("a"):
+                pass
+            with c.span("b"):
+                pass
+        by_name = {s.name: s for s in c.spans}
+        assert by_name["a"].parent == by_name["root"].id
+        assert by_name["b"].parent == by_name["root"].id
+
+    def test_attrs_merge_constructor_and_set(self):
+        c = TelemetryCollector()
+        with c.span("s", {"fixed": 1}) as sp:
+            sp.set(found=2)
+        assert c.spans[0].attrs == {"fixed": 1, "found": 2}
+
+    def test_exception_is_recorded_and_propagates(self):
+        c = TelemetryCollector()
+        with pytest.raises(ValueError):
+            with c.span("boom"):
+                raise ValueError("x")
+        assert c.spans[0].attrs["error"] == "ValueError"
+        assert c._stack == []  # the stack unwound cleanly
+
+    def test_run_scope_stamps_and_restores(self):
+        c = TelemetryCollector()
+        with c.run_scope("outer-run", "outer label"):
+            with c.span("a"):
+                pass
+            with c.run_scope("inner-run"):
+                with c.span("b"):
+                    pass
+            with c.span("c"):
+                pass
+        runs = {s.name: s.run for s in c.spans}
+        assert runs == {"a": "outer-run", "b": "inner-run", "c": "outer-run"}
+        assert c.current_run == ""
+        assert c.run_labels == {"outer-run": "outer label"}
+        assert c.runs() == ["outer-run", "inner-run"]
+
+
+class TestFacade:
+    def test_disabled_by_default_and_noop(self):
+        assert not telemetry.enabled()
+        assert telemetry.collector() is None
+        # Every facade helper must be callable with telemetry off.
+        with telemetry.span("x", attr=1) as sp:
+            sp.set(more=2)
+        telemetry.count("c")
+        telemetry.gauge("g", 1.0)
+        telemetry.observe("h", 2.0)
+        telemetry.record_arrays("r", a=np.zeros(3))
+        with telemetry.run_scope("run"):
+            pass
+        assert telemetry.timeline("fastpath") is None
+        assert "disabled" in telemetry.report()
+
+    def test_enable_collects_and_disable_detaches(self):
+        c = telemetry.enable()
+        assert telemetry.enabled()
+        assert telemetry.collector() is c
+        with telemetry.span("work", size=3):
+            telemetry.count("hits", 2)
+            telemetry.gauge("level", 0.5)
+            telemetry.observe("wall", 1.25)
+        tl = telemetry.timeline("fastpath")
+        assert isinstance(tl, PhaseTimeline)
+        telemetry.record_arrays("run", power_w=np.ones(4))
+
+        assert c.n_spans == 1
+        assert c.metrics.counter("hits").value == 2
+        assert c.metrics.gauge("level").value == 0.5
+        assert c.metrics.histogram("wall").count == 1
+        assert c.timelines == [tl]
+        assert c.run_arrays[0].name == "run"
+
+        detached = telemetry.disable()
+        assert detached is c
+        assert not telemetry.enabled()
+        # The detached collector is still readable after disable.
+        assert detached.n_spans == 1
+
+    def test_enable_fresh_replaces_collector(self):
+        first = telemetry.enable()
+        with telemetry.span("x"):
+            pass
+        second = telemetry.enable()
+        assert second is not first
+        assert second.n_spans == 0
+        kept = telemetry.enable(fresh=False)
+        assert kept is second
+
+    def test_report_renders_spans_and_metrics(self):
+        telemetry.enable()
+        with telemetry.run_scope("abc123", "ha8k/mhd/vafs"):
+            with telemetry.span("solve_alpha", alpha=0.5):
+                telemetry.count("budget.solve_alpha")
+        out = telemetry.report("unit test")
+        assert "unit test" in out
+        assert "solve_alpha" in out
+        assert "abc123" in out
+        assert "ha8k/mhd/vafs" in out
+        assert "budget.solve_alpha" in out
+
+
+class TestTimeline:
+    def test_detail_budget_then_summary_only(self):
+        tl = PhaseTimeline(kind="fastpath", detail_events=2)
+        clock = np.array([1.0, 2.0, 3.0])
+        wait = np.array([0.1, 0.2, 0.3])
+        for _ in range(4):
+            tl.on_sync("barrier", clock, wait)
+        assert tl.n_events == 4
+        assert tl.events[0].clock_s is not None
+        assert tl.events[1].wait_s is not None
+        assert tl.events[2].clock_s is None
+        assert tl.events[3].t_max_s == 3.0
+
+    def test_snapshots_are_copies(self):
+        tl = PhaseTimeline(kind="fastpath")
+        clock = np.array([1.0, 2.0])
+        tl.on_sync("barrier", clock, clock)
+        clock[0] = 99.0
+        assert tl.events[0].clock_s[0] == 1.0
+
+    def test_element_budget_degrades_fleet_scale_snapshots(self):
+        # The element budget stops full-array copies long before the
+        # event budget at fleet scale, bounding absolute overhead.
+        tl = PhaseTimeline(kind="fastpath", detail_events=8, detail_elems=5_000)
+        clock = np.zeros(2_000)  # 4k elements per detailed event
+        for _ in range(4):
+            tl.on_sync("sendrecv", clock, clock)
+        assert tl.events[0].clock_s is not None  # 4k <= 5k: detailed
+        assert tl.events[1].clock_s is None  # 8k > 5k: summary only
+        assert tl.n_events == 4  # summaries keep flowing
+        assert tl.detail_elems_used == 4_000
+
+    def test_max_events_cap_counts_drops(self):
+        tl = PhaseTimeline(kind="eventsim", detail_events=0, max_events=3)
+        clock = np.array([1.0])
+        for _ in range(5):
+            tl.on_sync("allreduce", clock, clock)
+        assert tl.n_events == 3
+        assert tl.dropped == 2
+        assert "+2 dropped" in tl.summary()
+
+    def test_summary_groups_ops(self):
+        tl = PhaseTimeline(kind="fastpath")
+        clock = np.array([4.0])
+        tl.on_sync("sendrecv", clock, clock)
+        tl.on_sync("sendrecv", clock, clock)
+        tl.on_sync("barrier", clock, clock)
+        s = tl.summary()
+        assert "sendrecv×2" in s
+        assert "barrier×1" in s
+        assert "t_max 4 s" in s

@@ -149,3 +149,95 @@ class TestRunAll:
         )
         assert main(["all", "--no-cache", "--stats"]) == 0
         assert "engine stats" in capsys.readouterr().out
+
+
+class TestSchemesCommand:
+    def test_lists_registry_in_legend_order(self, capsys):
+        assert main(["schemes"]) == 0
+        out = capsys.readouterr().out
+        assert "power-allocation schemes" in out
+        for name in ("naive", "pc", "vapcor", "vapc", "vafsor", "vafs"):
+            assert name in out
+        # Legend order, not alphabetical.
+        assert out.index("naive") < out.index("vapcor") < out.index("vafs")
+
+    def test_shows_registered_variant(self, capsys):
+        from repro import ALL_SCHEMES, Scheme, register_scheme
+
+        register_scheme(Scheme("extra", "Extra", "calibrated", "fs"))
+        try:
+            assert main(["schemes"]) == 0
+            assert "extra" in capsys.readouterr().out
+        finally:
+            del ALL_SCHEMES["extra"]
+
+
+class TestTelemetryFlags:
+    @pytest.fixture(autouse=True)
+    def _telemetry_off(self):
+        import repro.telemetry as telemetry
+
+        telemetry.disable()
+        yield
+        telemetry.disable()
+
+    def test_telemetry_flag_prints_report_and_disables_after(self, capsys):
+        import repro.telemetry as telemetry
+
+        assert main(["table1", "--no-cache", "--telemetry"]) == 0
+        out = capsys.readouterr().out
+        assert "telemetry: table1" in out
+        assert not telemetry.enabled()
+
+    def test_telemetry_dir_exports_sinks(self, tmp_path, capsys):
+        sink_dir = tmp_path / "traces"
+        assert main(
+            ["fig4", "--no-cache", "--telemetry-dir", str(sink_dir)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "telemetry: fig4" in out
+        assert (sink_dir / "fig4.jsonl").exists()
+        assert (sink_dir / "fig4.npz").exists()
+
+    def test_without_flag_no_report(self, capsys):
+        assert main(["table1", "--no-cache"]) == 0
+        assert "telemetry:" not in capsys.readouterr().out
+
+
+class TestTraceCommand:
+    @pytest.fixture(autouse=True)
+    def _telemetry_off(self):
+        import repro.telemetry as telemetry
+
+        telemetry.disable()
+        yield
+        telemetry.disable()
+
+    def test_no_target_is_an_error(self, capsys):
+        assert main(["trace"]) == 2
+        assert "trace needs a target" in capsys.readouterr().err
+
+    def test_unknown_target_is_an_error(self, capsys):
+        assert main(["trace", "not-a-thing"]) == 2
+        assert "neither a telemetry .jsonl file" in capsys.readouterr().err
+
+    def test_unreadable_jsonl_is_an_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("definitely not json\n")
+        assert main(["trace", str(bad)]) == 2
+        assert "not a telemetry" in capsys.readouterr().err
+
+    def test_trace_experiment_then_rerender_sink(self, tmp_path, capsys):
+        sink_dir = tmp_path / "traces"
+        assert main(
+            ["trace", "fig4", "--no-cache", "--telemetry-dir", str(sink_dir)]
+        ) == 0
+        first = capsys.readouterr().out
+        assert "telemetry: fig4" in first
+        assert "run.budgeted" in first  # the span tree rendered
+
+        # Second invocation renders the saved sink without running anything.
+        assert main(["trace", str(sink_dir / "fig4.jsonl")]) == 0
+        second = capsys.readouterr().out
+        assert "fig4.jsonl" in second
+        assert "run.budgeted" in second

@@ -45,9 +45,24 @@ def test_every_layer_is_registered():
 def test_hardware_never_allowed_to_import_core_or_experiments():
     # The ratchet can loosen other edges, but these must stay forbidden.
     checker = _load_checker()
-    assert checker.ALLOWED["hardware"] == {"errors", "util"}
+    assert checker.ALLOWED["hardware"] == {"errors", "telemetry", "util"}
     assert ("hardware", "core") in checker.FORBIDDEN
     assert ("hardware", "experiments") in checker.FORBIDDEN
+
+
+def test_telemetry_is_a_pure_leaf():
+    # Telemetry is observation-only: importable from every layer, but it
+    # may depend on nothing it observes — otherwise enabling it could
+    # perturb the thing being measured.
+    checker = _load_checker()
+    assert checker.ALLOWED["telemetry"] == {"errors", "util"}
+    for layer, allowed in checker.ALLOWED.items():
+        if layer in ("errors", "util", "telemetry"):
+            continue
+        assert "telemetry" in allowed, f"{layer} cannot import telemetry"
+    assert ("telemetry", "core") in checker.FORBIDDEN
+    assert ("telemetry", "exec") in checker.FORBIDDEN
+    assert ("telemetry", "experiments") in checker.FORBIDDEN
 
 
 def test_script_entrypoint_exits_zero():

@@ -22,6 +22,8 @@ from repro.apps import get_app
 from repro.cluster.configs import build_system
 from repro.core.pmt import oracle_pmt
 from repro.core.pvt import generate_pvt
+from repro.exec import ExperimentEngine, RunKey
+from repro.experiments.common import DEFAULT_SEED
 from repro.experiments.fleet import run_fleet_point
 
 BENCH_FILE = Path(__file__).resolve().parents[1] / "BENCH_fleet.json"
@@ -68,7 +70,7 @@ def test_fleet_100k_under_60s_and_trajectory_recorded(benchmark):
     assert top.ranks_per_sec > 50_000
 
     record = {
-        "kind": "fleet_trajectory",
+        "kind": "fleet_throughput",
         "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
         "peak_rss_mb": round(_peak_rss_mb(), 1),
         "points": [
@@ -233,4 +235,108 @@ def test_telemetry_overhead_under_5pct(benchmark):
         f"\ntelemetry overhead @ {OVERHEAD_MODULES // 1000}k modules: "
         f"{overhead:+.2%} (on {on_s:.2f} s / off {off_s:.2f} s, "
         f"min of {OVERHEAD_REPEATS}) -> {BENCH_FILE.name}"
+    )
+
+
+# -- config-batched sweep (batched evaluation layer acceptance) ----------------
+
+#: The acceptance workload: one vectorised pass over a 32-budget sweep
+#: of a 50k-module fleet must beat the sequential per-config loop ≥3×,
+#: while writing bit-identical cache payloads under unchanged digests.
+SWEEP_MODULES = 50_000
+SWEEP_BUDGETS = 32
+SWEEP_APP = "bt"
+SWEEP_CM_RANGE_W = (52.0, 72.0)
+SWEEP_ITERS = 20
+SWEEP_REPEATS = 3
+MIN_SWEEP_SPEEDUP = 3.0
+
+
+def _sweep_keys() -> list[RunKey]:
+    lo, hi = SWEEP_CM_RANGE_W
+    return [
+        RunKey(
+            system="ha8k",
+            n_modules=SWEEP_MODULES,
+            seed=DEFAULT_SEED,
+            app=SWEEP_APP,
+            scheme="vafsor",
+            budget_w=float(cm) * SWEEP_MODULES,
+            n_iters=SWEEP_ITERS,
+        )
+        for cm in np.linspace(lo, hi, SWEEP_BUDGETS)
+    ]
+
+
+def test_batched_sweep_speedup_and_bit_identity(benchmark, tmp_path):
+    """The batched-evaluation acceptance gate: ≥3× over the per-config
+    loop at 32 budgets × 50k modules, with the batched path writing
+    bit-identical NPZ payloads under the same RunKey digests.  The
+    measured speedup is appended to ``BENCH_fleet.json`` (kind
+    ``batched_sweep``) and ratcheted by
+    ``scripts/check_bench_regression.py``."""
+    keys = _sweep_keys()
+
+    # Identity leg (doubles as warm-up): both paths populate a cache,
+    # which must agree file-by-file, entry-by-entry.
+    seq_dir, bat_dir = tmp_path / "seq", tmp_path / "bat"
+    ExperimentEngine(jobs=1, batch=False, cache_dir=seq_dir).submit_sweep(keys)
+    bat_engine = ExperimentEngine(jobs=1, batch=True, cache_dir=bat_dir)
+    bat_engine.submit_sweep(keys)
+    assert bat_engine.stats.n_batches == 1
+    assert bat_engine.stats.batched_keys == SWEEP_BUDGETS
+    names = sorted(p.name for p in seq_dir.glob("*.npz"))
+    assert names == sorted(p.name for p in bat_dir.glob("*.npz"))
+    assert names == sorted(f"{k.digest()}.npz" for k in keys)  # digests unchanged
+    for name in names:
+        with np.load(seq_dir / name, allow_pickle=True) as a, \
+             np.load(bat_dir / name, allow_pickle=True) as b:
+            assert sorted(a.files) == sorted(b.files)
+            for entry in a.files:
+                assert np.array_equal(a[entry], b[entry]), (name, entry)
+
+    # Timing leg: alternating uncached repeats, min-of-N walls.
+    walls: dict[bool, list[float]] = {False: [], True: []}
+    for _ in range(SWEEP_REPEATS):
+        for batch in (False, True):
+            engine = ExperimentEngine(jobs=1, batch=batch)
+            t0 = perf_counter()
+            engine.submit_sweep(keys)
+            walls[batch].append(perf_counter() - t0)
+
+    # One representative batched run under the benchmark timer.
+    run_once(
+        benchmark,
+        lambda: ExperimentEngine(jobs=1, batch=True).submit_sweep(keys),
+    )
+
+    seq_s, bat_s = min(walls[False]), min(walls[True])
+    speedup = seq_s / bat_s
+    assert speedup >= MIN_SWEEP_SPEEDUP, (
+        f"batched sweep is only {speedup:.2f}x the sequential per-config "
+        f"loop ({bat_s:.3f} s vs {seq_s:.3f} s; floor "
+        f"{MIN_SWEEP_SPEEDUP:.0f}x)"
+    )
+
+    _append_record(
+        {
+            "kind": "batched_sweep",
+            "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+            "n_modules": SWEEP_MODULES,
+            "n_budgets": SWEEP_BUDGETS,
+            "app": SWEEP_APP,
+            "scheme": "vafsor",
+            "n_iters": SWEEP_ITERS,
+            "repeats": SWEEP_REPEATS,
+            "seq_wall_s": round(seq_s, 3),
+            "batched_wall_s": round(bat_s, 3),
+            "speedup": round(speedup, 2),
+            "amortized_ms_per_key": round(bat_s / SWEEP_BUDGETS * 1e3, 2),
+        }
+    )
+    print(
+        f"\nbatched sweep @ {SWEEP_BUDGETS} budgets x "
+        f"{SWEEP_MODULES // 1000}k modules: {speedup:.2f}x "
+        f"(batched {bat_s:.3f} s vs sequential {seq_s:.3f} s, "
+        f"min of {SWEEP_REPEATS}) -> {BENCH_FILE.name}"
     )

@@ -1,0 +1,175 @@
+#!/usr/bin/env python
+"""Benchmark regression guard for the fleet fast path.
+
+Measures two throughput numbers fresh on the current checkout and
+compares each against the best *committed* baseline in
+``BENCH_fleet.json``:
+
+* **fleet_throughput** — ``run_fleet_point`` ranks/sec at 50k modules
+  (the vectorised simulation fast path);
+* **batched_sweep** — the config-batched sweep's speedup over the
+  sequential per-config loop at 32 budgets × 50k modules (the batched
+  evaluation layer), which must also clear its 3× acceptance floor
+  regardless of history.
+
+A fresh number more than 25 % below its best committed baseline fails
+the check.  Wall-clock baselines are machine-relative, so the guard is
+skippable for underpowered runners: set ``REPRO_BENCH_SKIP=1`` (CI wires
+this to the ``skip-bench-guard`` PR label).
+
+The guard never writes to ``BENCH_fleet.json`` — committed baselines
+only change when the benchmark suite (``benchmarks/test_fleet.py``)
+appends a record and that file is committed.
+
+Exit status 0 = clean (or skipped), 1 = regression.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+from pathlib import Path
+from time import perf_counter
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+BENCH_FILE = REPO_ROOT / "BENCH_fleet.json"
+
+#: Allowed fractional drop from the best committed baseline.
+TOLERANCE = 0.25
+
+#: Both measurements run at this fleet size: large enough that the
+#: vectorised paths dominate, small enough for a CI smoke job.
+GUARD_MODULES = 50_000
+
+#: The batched-sweep acceptance workload (mirrors
+#: ``benchmarks/test_fleet.py::test_batched_sweep_speedup_and_bit_identity``).
+SWEEP_BUDGETS = 32
+SWEEP_APP = "bt"
+SWEEP_CM_RANGE_W = (52.0, 72.0)
+SWEEP_ITERS = 20
+MIN_SWEEP_SPEEDUP = 3.0
+
+REPEATS = 2
+
+
+def _baselines() -> tuple[list[float], list[float]]:
+    """(fleet ranks/sec at GUARD_MODULES, batched-sweep speedups) from
+    every committed record; corrupt or missing files yield no baselines
+    (first run on a branch must still pass the absolute floors)."""
+    if not BENCH_FILE.exists():
+        return [], []
+    try:
+        runs = json.loads(BENCH_FILE.read_text())["runs"]
+    except (json.JSONDecodeError, KeyError, TypeError):
+        return [], []
+    fleet = [
+        float(p["ranks_per_sec"])
+        for r in runs
+        if r.get("kind") == "fleet_throughput"
+        for p in r.get("points", [])
+        if p.get("n_modules") == GUARD_MODULES
+    ]
+    sweeps = [
+        float(r["speedup"]) for r in runs if r.get("kind") == "batched_sweep"
+    ]
+    return fleet, sweeps
+
+
+def _fresh_fleet_rate() -> float:
+    """Best-of-N ranks/sec of the fleet fast path at GUARD_MODULES."""
+    from repro.experiments.fleet import run_fleet_point
+
+    run_fleet_point(GUARD_MODULES)  # warm system/PVT caches and pages
+    return max(
+        run_fleet_point(GUARD_MODULES).ranks_per_sec for _ in range(REPEATS)
+    )
+
+
+def _fresh_sweep_speedup() -> float:
+    """Min-of-N walls for the batched vs sequential engine sweep."""
+    import numpy as np
+
+    from repro.exec import ExperimentEngine, RunKey
+    from repro.experiments.common import DEFAULT_SEED
+
+    lo, hi = SWEEP_CM_RANGE_W
+    keys = [
+        RunKey(
+            system="ha8k",
+            n_modules=GUARD_MODULES,
+            seed=DEFAULT_SEED,
+            app=SWEEP_APP,
+            scheme="vafsor",
+            budget_w=float(cm) * GUARD_MODULES,
+            n_iters=SWEEP_ITERS,
+        )
+        for cm in np.linspace(lo, hi, SWEEP_BUDGETS)
+    ]
+    ExperimentEngine(jobs=1, batch=True).submit_sweep(keys)  # warm
+    walls: dict[bool, list[float]] = {False: [], True: []}
+    for _ in range(REPEATS):
+        for batch in (False, True):
+            engine = ExperimentEngine(jobs=1, batch=batch)
+            t0 = perf_counter()
+            engine.submit_sweep(keys)
+            walls[batch].append(perf_counter() - t0)
+    return min(walls[False]) / min(walls[True])
+
+
+def main() -> int:
+    if os.environ.get("REPRO_BENCH_SKIP"):
+        print("bench guard: skipped (REPRO_BENCH_SKIP set)")
+        return 0
+
+    fleet_base, sweep_base = _baselines()
+    failures: list[str] = []
+
+    rate = _fresh_fleet_rate()
+    if fleet_base:
+        best = max(fleet_base)
+        floor = best * (1.0 - TOLERANCE)
+        print(
+            f"fleet throughput @ {GUARD_MODULES // 1000}k: "
+            f"{rate:,.0f} ranks/s (best committed {best:,.0f}, "
+            f"floor {floor:,.0f})"
+        )
+        if rate < floor:
+            failures.append(
+                f"fleet throughput regressed >{TOLERANCE:.0%}: "
+                f"{rate:,.0f} ranks/s vs best committed {best:,.0f}"
+            )
+    else:
+        print(
+            f"fleet throughput @ {GUARD_MODULES // 1000}k: "
+            f"{rate:,.0f} ranks/s (no committed baseline)"
+        )
+
+    speedup = _fresh_sweep_speedup()
+    floors = [MIN_SWEEP_SPEEDUP]
+    if sweep_base:
+        floors.append(max(sweep_base) * (1.0 - TOLERANCE))
+    floor = max(floors)
+    print(
+        f"batched sweep @ {SWEEP_BUDGETS} budgets x "
+        f"{GUARD_MODULES // 1000}k: {speedup:.2f}x sequential "
+        f"(floor {floor:.2f}x)"
+    )
+    if speedup < floor:
+        failures.append(
+            f"batched-sweep speedup regressed: {speedup:.2f}x "
+            f"vs floor {floor:.2f}x"
+        )
+
+    if failures:
+        for f in failures:
+            print(f"REGRESSION: {f}", file=sys.stderr)
+        return 1
+    print("bench guard: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

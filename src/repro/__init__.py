@@ -57,6 +57,7 @@ from repro.apps import APPS, AppModel, get_app, list_apps
 from repro.cluster import JobScheduler, System, build_system
 from repro.core import (
     ALL_SCHEMES,
+    BatchBudgetSolution,
     BudgetSolution,
     LinearPowerModel,
     PowerAllocation,
@@ -67,6 +68,7 @@ from repro.core import (
     available_schemes,
     calibrate_pmt,
     classify_constraint,
+    classify_constraint_batched,
     generate_pvt,
     get_scheme,
     instrument,
@@ -75,9 +77,11 @@ from repro.core import (
     oracle_pmt,
     register_scheme,
     run_budgeted,
+    run_budgeted_batched,
     run_uncapped,
     single_module_test_run,
     solve_alpha,
+    solve_alpha_batched,
 )
 from repro.errors import (
     CappingUnsupportedError,
@@ -112,6 +116,7 @@ __all__ = [
     "JobScheduler",
     # core
     "ALL_SCHEMES",
+    "BatchBudgetSolution",
     "BudgetSolution",
     "LinearPowerModel",
     "PowerAllocation",
@@ -122,6 +127,7 @@ __all__ = [
     "available_schemes",
     "calibrate_pmt",
     "classify_constraint",
+    "classify_constraint_batched",
     "generate_pvt",
     "get_scheme",
     "instrument",
@@ -130,9 +136,11 @@ __all__ = [
     "oracle_pmt",
     "register_scheme",
     "run_budgeted",
+    "run_budgeted_batched",
     "run_uncapped",
     "single_module_test_run",
     "solve_alpha",
+    "solve_alpha_batched",
     # hardware
     "Microarchitecture",
     "Module",

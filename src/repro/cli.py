@@ -14,9 +14,14 @@ Lists and runs the paper's tables/figures and the ablation studies::
 Sweep experiments route through the execution engine
 (:mod:`repro.exec`): ``--jobs`` fans cache misses out over a process
 pool, ``--cache-dir``/``--no-cache`` control the persistent run cache,
-and ``--stats`` prints per-run observability afterwards.  Engine results
-are bit-identical regardless of ``--jobs`` and cache state (see
-``tests/exec/``), so the flags trade time, never accuracy.
+``--batch``/``--no-batch`` toggles config-batched execution (on by
+default: misses sharing a system/fleet/app run as one vectorised pass,
+with fleets handed to workers once via shared memory), and ``--stats``
+prints per-run observability afterwards.  Engine results are
+bit-identical regardless of ``--jobs``, ``--batch``, and cache state
+(see ``tests/exec/``), so the flags trade time, never accuracy.
+``repro stats <experiment>`` runs one experiment with telemetry on and
+reports the batching/amortisation counters.
 
 Telemetry: ``--telemetry`` records spans, metrics, and phase timelines
 while an experiment runs and prints the session report afterwards
@@ -96,15 +101,17 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "experiment",
         help="experiment name, 'list' to enumerate, 'schemes' to show the "
-        "power-allocation scheme registry, 'all' to run everything, or "
-        "'trace' to render telemetry (see 'target')",
+        "power-allocation scheme registry, 'all' to run everything, "
+        "'trace' to render telemetry, or 'stats' to run an experiment "
+        "and report batching/amortisation counters (see 'target')",
     )
     parser.add_argument(
         "target",
         nargs="?",
         default=None,
         help="for 'trace': a telemetry .jsonl sink to render, or an "
-        "experiment name to run with telemetry enabled",
+        "experiment name to run with telemetry enabled; for 'stats': "
+        "the experiment to profile",
     )
     parser.add_argument(
         "-j",
@@ -126,6 +133,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-cache",
         action="store_true",
         help="disable the persistent run cache entirely",
+    )
+    parser.add_argument(
+        "--batch",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="batch cache misses sharing a system/fleet/app into single "
+        "vectorised passes (default: on; --no-batch restores per-key "
+        "execution — results are bit-identical either way)",
     )
     parser.add_argument(
         "--stats",
@@ -247,12 +262,91 @@ def _run_trace(args: argparse.Namespace) -> int:
         )
         return 2
     engine_mod.configure(
-        jobs=args.jobs, cache_dir=args.cache_dir, use_cache=not args.no_cache
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        use_cache=not args.no_cache,
+        batch=args.batch,
     )
     telemetry.enable()
     _, runner = EXPERIMENTS[name]
     runner()
     _finish_telemetry(name, args.telemetry_dir)
+    return 0
+
+
+def _format_batch_counters() -> str:
+    """Render the batching/amortisation metrics of the live telemetry
+    session (the ``repro stats`` payload)."""
+    collector = telemetry.collector()
+    if collector is None:
+        return "-- batching: telemetry was not enabled"
+    m = collector.metrics
+    rows: list[list[object]] = []
+    for cname, label in (
+        ("engine.batched.groups", "batched groups dispatched"),
+        ("engine.cache.hit", "cache hits"),
+        ("engine.cache.miss", "cache misses"),
+        ("engine.exec", "uncached executions"),
+        ("run.budgeted_batched", "batched runner passes"),
+        ("budget.solve_alpha_batched", "batched alpha-solves"),
+    ):
+        counter = m.counters.get(cname)
+        if counter is not None and counter.value:
+            rows.append([label, counter.value, "", ""])
+    for hname, label, scale, unit in (
+        ("engine.batch_size", "engine batch size [keys]", 1.0, ""),
+        ("run.batch_size", "runner batch size [configs]", 1.0, ""),
+        (
+            "engine.batch_amortized_wall_s",
+            "amortised wall per key [ms]",
+            1e3,
+            "",
+        ),
+        ("budget.batch_size", "alpha-solve batch size [budgets]", 1.0, ""),
+    ):
+        hist = m.histograms.get(hname)
+        if hist is not None and hist.count:
+            rows.append(
+                [
+                    label,
+                    hist.count,
+                    f"{hist.mean * scale:.1f}",
+                    f"{hist.min * scale:.1f}..{hist.max * scale:.1f}",
+                ]
+            )
+    if not rows:
+        return "-- batching: no batched dispatches recorded (was --no-batch set?)"
+    return render_table(
+        ["Metric", "Count", "Mean", "Range"],
+        rows,
+        title="batching and amortisation",
+    )
+
+
+def _run_stats(args: argparse.Namespace) -> int:
+    """``repro stats <experiment>``: run it and report batching counters."""
+    target = args.target
+    if target is None or target.lower() not in EXPERIMENTS:
+        known = ", ".join(EXPERIMENTS)
+        print(
+            f"stats needs an experiment to profile; experiments: {known}",
+            file=sys.stderr,
+        )
+        return 2
+    name = target.lower()
+    eng = engine_mod.configure(
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        use_cache=not args.no_cache,
+        batch=args.batch,
+    )
+    telemetry.enable()
+    _, runner = EXPERIMENTS[name]
+    runner()
+    print()
+    print(eng.stats.format_summary())
+    print(_format_batch_counters())
+    telemetry.disable()
     return 0
 
 
@@ -274,6 +368,9 @@ def main(argv: list[str] | None = None) -> int:
     if name == "trace":
         return _run_trace(args)
 
+    if name == "stats":
+        return _run_stats(args)
+
     if name != "all" and name not in EXPERIMENTS:
         known = ", ".join(EXPERIMENTS)
         print(f"unknown experiment {name!r}; known: list, all, {known}", file=sys.stderr)
@@ -283,6 +380,7 @@ def main(argv: list[str] | None = None) -> int:
         jobs=args.jobs,
         cache_dir=args.cache_dir,
         use_cache=not args.no_cache,
+        batch=args.batch,
     )
     with_telemetry = args.telemetry or args.telemetry_dir is not None
     if with_telemetry:

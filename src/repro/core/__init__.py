@@ -18,7 +18,14 @@ Workflow (paper Fig 4):
    and the end-to-end run orchestration.
 """
 
-from repro.core.budget import BudgetSolution, classify_constraint, solve_alpha
+from repro.core.budget import (
+    BatchBudgetSolution,
+    BudgetSolution,
+    classify_constraint,
+    classify_constraint_batched,
+    solve_alpha,
+    solve_alpha_batched,
+)
 from repro.core.dynamic import DynamicResult, run_dynamic
 from repro.core.hetero import (
     HeteroAssignment,
@@ -57,7 +64,12 @@ from repro.core.pvt_selection import (
     generate_pvt_suite,
     select_pvt,
 )
-from repro.core.runner import RunResult, run_budgeted, run_uncapped
+from repro.core.runner import (
+    RunResult,
+    run_budgeted,
+    run_budgeted_batched,
+    run_uncapped,
+)
 from repro.core.schemes import (
     ALL_SCHEMES,
     PowerAllocation,
@@ -79,9 +91,12 @@ __all__ = [
     "naive_pmt",
     "SingleModuleProfile",
     "single_module_test_run",
+    "BatchBudgetSolution",
     "BudgetSolution",
     "solve_alpha",
+    "solve_alpha_batched",
     "classify_constraint",
+    "classify_constraint_batched",
     "Scheme",
     "PowerAllocation",
     "ALL_SCHEMES",
@@ -93,6 +108,7 @@ __all__ = [
     "instrument",
     "RunResult",
     "run_budgeted",
+    "run_budgeted_batched",
     "run_uncapped",
     # extensions (paper Sections 6.1 and 7)
     "Job",

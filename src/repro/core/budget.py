@@ -32,9 +32,12 @@ from repro.errors import InfeasibleBudgetError
 
 __all__ = [
     "BudgetSolution",
+    "BatchBudgetSolution",
     "solve_alpha",
+    "solve_alpha_batched",
     "solve_alpha_chunked",
     "classify_constraint",
+    "classify_constraint_batched",
 ]
 
 
@@ -142,22 +145,141 @@ def solve_alpha(
         )
 
 
-_CHUNKED_DEPRECATION_WARNED = False
+@dataclass(frozen=True)
+class BatchBudgetSolution:
+    """Result of one batched α-solve over many budgets.
+
+    All per-budget fields are aligned with the ``budgets_w`` the batch
+    was solved for; the allocation matrices have shape
+    ``(n_budgets, n_modules)``.  Rows whose ``feasible`` flag is False
+    carry undefined allocation values — :meth:`solution` raises the
+    same :class:`~repro.errors.InfeasibleBudgetError` the scalar
+    :func:`solve_alpha` would for that budget.
+    """
+
+    budgets_w: np.ndarray
+    raw_alphas: np.ndarray
+    alphas: np.ndarray
+    feasible: np.ndarray
+    freq_ghz: np.ndarray
+    pcpu_w: np.ndarray
+    pdram_w: np.ndarray
+    floor_w: np.ndarray
+
+    @property
+    def n_budgets(self) -> int:
+        """Number of budgets the batch covers."""
+        return int(self.budgets_w.shape[0])
+
+    @property
+    def n_modules(self) -> int:
+        """Number of modules each allocation row covers."""
+        return int(self.pcpu_w.shape[1])
+
+    def solution(self, i: int) -> BudgetSolution:
+        """The i-th budget's :class:`BudgetSolution` (allocation rows
+        are views into the batch matrices).
+
+        Raises
+        ------
+        InfeasibleBudgetError
+            If budget *i* was infeasible, with the same (budget, floor)
+            payload the scalar solve would have raised.
+        """
+        if not bool(self.feasible[i]):
+            raise InfeasibleBudgetError(
+                float(self.budgets_w[i]), float(self.floor_w[i])
+            )
+        pcpu = self.pcpu_w[i]
+        pdram = self.pdram_w[i]
+        return BudgetSolution(
+            alpha=float(self.alphas[i]),
+            raw_alpha=float(self.raw_alphas[i]),
+            constrained=bool(self.raw_alphas[i] < 1.0),
+            freq_ghz=float(self.freq_ghz[i]),
+            pmodule_w=pcpu + pdram,
+            pcpu_w=pcpu,
+            pdram_w=pdram,
+            budget_w=float(self.budgets_w[i]),
+        )
+
+    def solutions(self) -> list[BudgetSolution]:
+        """All feasible solutions, in batch order (raises on the first
+        infeasible budget — use :attr:`feasible` to pre-filter)."""
+        return [self.solution(i) for i in range(self.n_budgets)]
+
+
+def solve_alpha_batched(
+    model: LinearPowerModel,
+    budgets_w,
+    *,
+    chunk_modules: int | None = None,
+) -> BatchBudgetSolution:
+    """Solve Eq (6)–(9) for *all* budgets in one broadcasted pass.
+
+    The Eq (5)/(6) aggregates are reduced once and shared by every
+    budget; the Eq (7)–(9) allocations are produced as one
+    ``(n_budgets, n_modules)`` broadcast.  Every value is bit-identical
+    to the per-budget :func:`solve_alpha` at the same ``chunk_modules``
+    — the broadcast performs the exact same elementwise multiply-add
+    the scalar path does, and ``raw = (budget − floor) / span`` is the
+    same scalar arithmetic per budget.
+
+    Infeasible budgets do **not** raise here: the corresponding
+    ``feasible`` entries are False and :meth:`BatchBudgetSolution.solution`
+    raises lazily with the exact error payload the scalar solve uses
+    (the fused power floor for invalid budgets, the possibly-chunked
+    Eq (5) floor for budgets below it).
+    """
+    budgets = np.atleast_1d(np.asarray(budgets_w, dtype=float))
+    with telemetry.span("solve_alpha_batched", n_budgets=int(budgets.size)) as sp:
+        valid = np.isfinite(budgets) & (budgets > 0.0)
+        floor, span = model.floor_and_span_w(chunk_modules=chunk_modules)
+        if span <= 0.0:
+            raws = np.where(budgets >= floor, 1.0, -1.0)
+        else:
+            raws = (budgets - floor) / span
+        feasible = valid & (raws >= 0.0)
+        alphas = np.minimum(raws, 1.0)
+        # The scalar solve reports the *fused* floor for invalid budgets
+        # (it raises before the chunked aggregation) and the chunked
+        # floor for sub-floor ones; mirror both raise sites exactly.
+        floor_err = np.where(valid, floor, model.total_min_w())
+        pcpu, pdram = model.allocations_at_batch(alphas)
+        telemetry.count("budget.solve_alpha_batched")
+        telemetry.observe("budget.batch_size", budgets.size)
+        telemetry.observe("budget.modules", model.n_modules)
+        sp.set(
+            feasible=int(feasible.sum()),
+            modules=model.n_modules,
+        )
+        return BatchBudgetSolution(
+            budgets_w=budgets,
+            raw_alphas=raws,
+            alphas=alphas,
+            feasible=feasible,
+            freq_ghz=alphas * (model.fmax - model.fmin) + model.fmin,
+            pcpu_w=pcpu,
+            pdram_w=pdram,
+            floor_w=floor_err,
+        )
 
 
 def solve_alpha_chunked(
     model: LinearPowerModel, budget_w: float, *, chunk_modules: int = 65536
 ) -> BudgetSolution:
-    """Deprecated alias for ``solve_alpha(..., chunk_modules=...)``."""
-    global _CHUNKED_DEPRECATION_WARNED
-    if not _CHUNKED_DEPRECATION_WARNED:
-        _CHUNKED_DEPRECATION_WARNED = True
-        warnings.warn(
-            "solve_alpha_chunked is deprecated; call "
-            "solve_alpha(model, budget_w, chunk_modules=...) instead",
-            DeprecationWarning,
-            stacklevel=2,
-        )
+    """Deprecated alias for ``solve_alpha(..., chunk_modules=...)``.
+
+    Kept for one release as a loud stub: every call raises a
+    :class:`DeprecationWarning` before forwarding.  It will be removed
+    in the next release — call :func:`solve_alpha` directly.
+    """
+    warnings.warn(
+        "solve_alpha_chunked is deprecated and will be removed; call "
+        "solve_alpha(model, budget_w, chunk_modules=...) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     return solve_alpha(model, budget_w, chunk_modules=chunk_modules)
 
 
@@ -173,3 +295,20 @@ def classify_constraint(model: LinearPowerModel, budget_w: float) -> str:
     if budget_w >= model.total_max_w():
         return "•"
     return "X"
+
+
+def classify_constraint_batched(
+    model: LinearPowerModel, budgets_w
+) -> list[str]:
+    """Table 4 cells for many budgets against one model.
+
+    The floor/ceiling aggregates are reduced once; each cell is the
+    same comparison :func:`classify_constraint` performs, so the
+    results are identical entry-by-entry.
+    """
+    budgets = np.atleast_1d(np.asarray(budgets_w, dtype=float))
+    floor = model.total_min_w()
+    ceiling = model.total_max_w()
+    return [
+        "--" if b < floor else ("•" if b >= ceiling else "X") for b in budgets
+    ]

@@ -185,6 +185,22 @@ class LinearPowerModel:
         floor = float(np.sum(min_parts))
         return floor, float(np.sum(max_parts)) - floor
 
+    def allocations_at_batch(
+        self, alphas: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Eq (2)/(3) for a whole *batch* of coefficients at once.
+
+        ``alphas`` has shape ``(n_configs,)``; the result arrays have
+        shape ``(n_configs, n_modules)``.  Each row is elementwise
+        bit-identical to :meth:`allocations_at` at that row's α — the
+        broadcast performs the exact same scalar multiply-add per
+        element, so batching changes memory layout, not arithmetic.
+        """
+        a = np.asarray(alphas, dtype=float)[:, None]
+        pcpu = a * (self.p_cpu_max - self.p_cpu_min) + self.p_cpu_min
+        pdram = a * (self.p_dram_max - self.p_dram_min) + self.p_dram_min
+        return pcpu, pdram
+
     def allocations_at(
         self, alpha: float, *, chunk_modules: int | None = None
     ) -> tuple[np.ndarray, np.ndarray]:

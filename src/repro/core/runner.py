@@ -38,13 +38,13 @@ from repro.core.budget import BudgetSolution
 from repro.core.pmmd import InstrumentedApp
 from repro.core.pvt import PowerVariationTable
 from repro.core.schemes import PowerAllocation, Scheme, get_scheme
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, InfeasibleBudgetError
 from repro.hardware.module import ModuleArray, OperatingPoint
-from repro.simmpi.fastpath import simulate_app
+from repro.simmpi.fastpath import simulate_app, simulate_app_batched
 from repro.simmpi.tracing import RankTrace
 from repro.util.stats import worst_case_variation
 
-__all__ = ["RunResult", "run_budgeted", "run_uncapped"]
+__all__ = ["RunResult", "run_budgeted", "run_budgeted_batched", "run_uncapped"]
 
 
 @dataclass(frozen=True)
@@ -181,6 +181,62 @@ def run_uncapped(
         return result
 
 
+def _fs_operating_point(
+    truth: ModuleArray, model: AppModel, f_common: float
+) -> tuple[OperatingPoint, np.ndarray, np.ndarray]:
+    """Realised operating point at one common (ladder) frequency.
+
+    Budget-independent — configs of a batched sweep that quantize onto
+    the same ladder step share ``(op, eff, cpu_power)`` exactly, which
+    is what lets :func:`run_budgeted_batched` deduplicate them.
+    """
+    n = truth.n_modules
+    op = OperatingPoint.uniform(n, f_common, model.signature)
+    eff = np.full(n, f_common)
+    return op, eff, truth.cpu_power_at(op)
+
+
+def _actuate(
+    system: System,
+    truth: ModuleArray,
+    model: AppModel,
+    scheme: Scheme,
+    sol: BudgetSolution,
+    budget_w: float,
+    noisy: bool,
+) -> tuple[OperatingPoint, np.ndarray, np.ndarray, np.ndarray]:
+    """Turn a planned allocation into realised operating points.
+
+    Returns ``(op, effective_freq_ghz, cpu_power_w, cap_met)``.  The
+    RAPL dither stream is keyed by (app, scheme, budget), so actuation
+    is config-local — identical whether the config runs alone or inside
+    a batch.
+    """
+    arch = system.arch
+    if scheme.actuation == "pc":
+        rng = (
+            system.rng.rng(f"rapl/{model.name}/{scheme.name}/{budget_w:.0f}")
+            if noisy
+            else None
+        )
+        controller = RaplCapController(
+            truth,
+            rng=rng,
+            dither_loss_frac=0.02 if noisy else 0.0,
+            guardband_frac=0.01 if noisy else 0.0,
+        )
+        enf = controller.enforce(sol.pcpu_w, model.signature)
+        return enf.op, enf.effective_freq_ghz, enf.cpu_power_w, enf.cap_met
+    # fs: round the common frequency *down* onto the ladder — requesting
+    # the next P-state up could push total power past the budget.
+    f_common = float(arch.ladder.quantize_down(sol.freq_ghz))
+    op, eff, cpu_power = _fs_operating_point(truth, model, f_common)
+    # FS never throttles, so the *derived* CPU cap may be exceeded on
+    # leaky modules (paper Section 5.3) — report it honestly.
+    cap_met = cpu_power <= sol.pcpu_w + 1e-9
+    return op, eff, cpu_power, cap_met
+
+
 def run_budgeted(
     system: System,
     app: AppModel | InstrumentedApp,
@@ -274,35 +330,9 @@ def run_budgeted(
         sol = allocation.solution
 
         with telemetry.span("run.actuate", actuation=scheme.actuation):
-            if scheme.actuation == "pc":
-                rng = (
-                    system.rng.rng(f"rapl/{model.name}/{scheme.name}/{budget_w:.0f}")
-                    if noisy
-                    else None
-                )
-                controller = RaplCapController(
-                    truth,
-                    rng=rng,
-                    dither_loss_frac=0.02 if noisy else 0.0,
-                    guardband_frac=0.01 if noisy else 0.0,
-                )
-                enf = controller.enforce(sol.pcpu_w, model.signature)
-                op = enf.op
-                eff = enf.effective_freq_ghz
-                cpu_power = enf.cpu_power_w
-                cap_met = enf.cap_met
-            else:  # fs
-                # Round the common frequency *down* onto the ladder:
-                # requesting the next P-state up could push total power
-                # past the budget.
-                f_common = float(arch.ladder.quantize_down(sol.freq_ghz))
-                op = OperatingPoint.uniform(n, f_common, model.signature)
-                eff = np.full(n, f_common)
-                cpu_power = truth.cpu_power_at(op)
-                # FS never throttles, so the *derived* CPU cap may be
-                # exceeded on leaky modules (paper Section 5.3) — report
-                # it honestly.
-                cap_met = cpu_power <= sol.pcpu_w + 1e-9
+            op, eff, cpu_power, cap_met = _actuate(
+                system, truth, model, scheme, sol, budget_w, noisy
+            )
 
         rates = truth.work_rate(eff)
         with telemetry.span("run.simulate"):
@@ -322,3 +352,166 @@ def run_budgeted(
         if pmmd is not None:
             pmmd.record(result.makespan_s, result.total_power_w, plan=scheme.name)
         return result
+
+
+def run_budgeted_batched(
+    system: System,
+    app: AppModel | InstrumentedApp,
+    configs,
+    *,
+    pvt: PowerVariationTable | None = None,
+    test_module: int = 0,
+    n_iters: int | None = None,
+    noisy: bool = True,
+    fs_guardband_frac: float = 0.02,
+    chunk_modules: int | None = None,
+) -> list["RunResult | InfeasibleBudgetError"]:
+    """Run many (scheme, budget) configs of one app in a single batched pass.
+
+    ``configs`` is a sequence of ``(scheme_or_name, budget_w)`` pairs.
+    Planning is grouped per scheme (one PMT build + one batched α-solve
+    each, :meth:`Scheme.allocate_batched`), actuation stays per config
+    (the RAPL dither stream is keyed by app/scheme/budget), and all
+    simulations execute as one 2-D vectorised pass
+    (:func:`~repro.simmpi.fastpath.simulate_app_batched`).
+
+    Entry *i* is the :class:`RunResult` a per-config
+    :func:`run_budgeted` call would return — bit-identical, every stage
+    performs the same elementwise arithmetic on the same deterministic
+    RNG streams — or the :class:`~repro.errors.InfeasibleBudgetError` it
+    would raise.
+    """
+    model, pmmd = _unwrap(app)
+    resolved = [
+        ((get_scheme(s) if isinstance(s, str) else s), float(b))
+        for s, b in configs
+    ]
+    n_configs = len(resolved)
+    if n_configs == 0:
+        return []
+    with telemetry.span(
+        "run.budgeted_batched", app=model.name, n_configs=n_configs
+    ):
+        telemetry.count("run.budgeted_batched")
+        telemetry.observe("run.batch_size", n_configs)
+        truth = _truth_view(system, model)
+        arch = system.arch
+
+        # One batched plan per distinct scheme in the batch.
+        allocations: list = [None] * n_configs
+        by_scheme: dict[str, list[int]] = {}
+        schemes: dict[str, Scheme] = {}
+        for i, (scheme, _b) in enumerate(resolved):
+            by_scheme.setdefault(scheme.name, []).append(i)
+            schemes[scheme.name] = scheme
+        for name, idxs in by_scheme.items():
+            plans = schemes[name].allocate_batched(
+                system,
+                model,
+                [resolved[i][1] for i in idxs],
+                pvt=pvt,
+                test_module=test_module,
+                noisy=noisy,
+                fs_guardband_frac=fs_guardband_frac,
+                chunk_modules=chunk_modules,
+            )
+            for i, plan in zip(idxs, plans):
+                allocations[i] = plan
+
+        acts: list = [None] * n_configs
+        fs_points: dict[float, tuple] = {}
+        fs_key: list[float | None] = [None] * n_configs
+        for i, (scheme, budget_w) in enumerate(resolved):
+            plan = allocations[i]
+            if isinstance(plan, InfeasibleBudgetError):
+                continue
+            telemetry.count(f"run.scheme[{scheme.name}]")
+            with telemetry.span("run.actuate", actuation=scheme.actuation):
+                if scheme.actuation == "fs":
+                    # The ladder is discrete, so many budgets of a sweep
+                    # quantize onto the same frequency; their realised
+                    # operating points are identical and shared.  Only
+                    # cap_met depends on the budget's derived caps.
+                    sol = plan.solution
+                    f_common = float(arch.ladder.quantize_down(sol.freq_ghz))
+                    shared = fs_points.get(f_common)
+                    if shared is None:
+                        shared = fs_points[f_common] = _fs_operating_point(
+                            truth, model, f_common
+                        )
+                    op, eff, cpu_power = shared
+                    acts[i] = (op, eff, cpu_power, cpu_power <= sol.pcpu_w + 1e-9)
+                    fs_key[i] = f_common
+                else:
+                    acts[i] = _actuate(
+                        system, truth, model, scheme, plan.solution, budget_w, noisy
+                    )
+
+        results: list = list(allocations)  # infeasible errors stay in place
+        live = [i for i in range(n_configs) if acts[i] is not None]
+        if live:
+            # Configs on the same operating point are indistinguishable
+            # downstream: simulate and measure each distinct point once
+            # and fan the arrays back out (row-independence makes the
+            # subset execution bit-identical to the full stack).
+            row_of: dict[object, int] = {}
+            row: list[int] = []
+            unique_rates: list[np.ndarray] = []
+            for i in live:
+                key = fs_key[i] if fs_key[i] is not None else ("cfg", i)
+                r = row_of.get(key)
+                if r is None:
+                    r = row_of[key] = len(unique_rates)
+                    unique_rates.append(truth.work_rate(acts[i][1]))
+                row.append(r)
+            rates = np.stack(unique_rates)
+            telemetry.observe("run.unique_rows", rates.shape[0])
+            with telemetry.span(
+                "run.simulate_batched",
+                n_configs=len(live),
+                n_unique=rates.shape[0],
+            ):
+                traces = simulate_app_batched(
+                    model, rates, arch.fmax, n_iters=n_iters
+                )
+            dram_of: dict[int, np.ndarray] = {}
+            taken = [False] * rates.shape[0]
+            for c, i in zip(row, live):
+                scheme, budget_w = resolved[i]
+                op, eff, cpu_power, cap_met = acts[i]
+                dram_power = dram_of.get(c)
+                if dram_power is None:
+                    dram_power = dram_of[c] = truth.dram_power_at(op)
+                trace = traces[c]
+                if taken[c]:
+                    # Later consumers of a shared row copy, so every
+                    # result owns its arrays exactly as per-config runs
+                    # would have.
+                    trace = RankTrace(
+                        total_s=trace.total_s.copy(),
+                        compute_s=trace.compute_s.copy(),
+                        wait_s=trace.wait_s.copy(),
+                        comm_s=trace.comm_s.copy(),
+                    )
+                    eff = eff.copy()
+                    cpu_power = cpu_power.copy()
+                    dram_power = dram_power.copy()
+                taken[c] = True
+                result = RunResult(
+                    app_name=model.name,
+                    scheme_name=scheme.name,
+                    budget_w=budget_w,
+                    solution=allocations[i].solution,
+                    effective_freq_ghz=np.asarray(eff, dtype=float),
+                    cpu_power_w=cpu_power,
+                    dram_power_w=dram_power,
+                    cap_met=np.asarray(cap_met, dtype=bool),
+                    trace=trace,
+                )
+                _record_run(result)
+                if pmmd is not None:
+                    pmmd.record(
+                        result.makespan_s, result.total_power_w, plan=scheme.name
+                    )
+                results[i] = result
+        return results

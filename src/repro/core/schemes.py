@@ -33,7 +33,7 @@ import numpy as np
 import repro.telemetry as telemetry
 from repro.apps.base import AppModel
 from repro.cluster.system import System
-from repro.core.budget import BudgetSolution, solve_alpha
+from repro.core.budget import BudgetSolution, solve_alpha, solve_alpha_batched
 from repro.core.pmt import (
     PowerModelTable,
     calibrate_pmt,
@@ -43,7 +43,7 @@ from repro.core.pmt import (
 )
 from repro.core.pvt import PowerVariationTable
 from repro.core.test_run import single_module_test_run
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, InfeasibleBudgetError
 from repro.hardware.module import ModuleArray
 from repro.util.rng import RngFactory
 
@@ -189,6 +189,79 @@ class Scheme:
             else:
                 sol = solve_alpha(pmt.model, budget_w, chunk_modules=chunk_modules)
             return PowerAllocation(scheme=self, pmt=pmt, solution=sol)
+
+    def allocate_batched(
+        self,
+        fleet: System | ModuleArray,
+        app: AppModel,
+        budgets_w,
+        *,
+        pvt: PowerVariationTable | None = None,
+        test_module: int = 0,
+        noisy: bool = True,
+        fs_guardband_frac: float = 0.02,
+        chunk_modules: int | None = None,
+    ) -> list["PowerAllocation | InfeasibleBudgetError"]:
+        """Plan this scheme for *many* budgets: one PMT build, one
+        batched α-solve.
+
+        Entry *i* is either the :class:`PowerAllocation` the per-budget
+        :meth:`allocate` would return for ``budgets_w[i]`` — bit-identical,
+        because the PMT build is deterministic (every RNG stream restarts
+        per call) and the batched solve performs the same elementwise
+        arithmetic — or the :class:`~repro.errors.InfeasibleBudgetError`
+        it would raise (same (budget, floor) payload), so callers decide
+        per budget instead of losing the whole sweep to one infeasible
+        point.
+        """
+        budgets = np.atleast_1d(np.asarray(budgets_w, dtype=float))
+        with telemetry.span(
+            "scheme.allocate_batched",
+            scheme=self.name,
+            n_budgets=int(budgets.size),
+        ):
+            telemetry.count(f"scheme.allocate[{self.name}]", int(budgets.size))
+            system = _as_system(fleet)
+            pmt = self.build_pmt(
+                system, app, pvt=pvt, test_module=test_module, noisy=noisy
+            )
+            fs_derated = self.actuation == "fs" and fs_guardband_frac > 0.0
+            if fs_derated:
+                # Same per-budget derating as allocate(): never below
+                # the fmin floor for feasible budgets, and infeasible
+                # ones carry the *derated* budget in their error.
+                derated = budgets * (1.0 - fs_guardband_frac)
+                floor = pmt.model.total_min_w()
+                derated = np.where(
+                    budgets >= floor, np.maximum(derated, floor), derated
+                )
+                batch = solve_alpha_batched(
+                    pmt.model, derated, chunk_modules=chunk_modules
+                )
+            else:
+                batch = solve_alpha_batched(
+                    pmt.model, budgets, chunk_modules=chunk_modules
+                )
+            out: list[PowerAllocation | InfeasibleBudgetError] = []
+            for i in range(budgets.size):
+                try:
+                    sol = batch.solution(i)
+                except InfeasibleBudgetError as err:
+                    out.append(err)
+                    continue
+                if fs_derated:
+                    sol = BudgetSolution(
+                        alpha=sol.alpha,
+                        raw_alpha=sol.raw_alpha,
+                        constrained=sol.constrained,
+                        freq_ghz=sol.freq_ghz,
+                        pmodule_w=sol.pmodule_w,
+                        pcpu_w=sol.pcpu_w,
+                        pdram_w=sol.pdram_w,
+                        budget_w=float(budgets[i]),
+                    )
+                out.append(PowerAllocation(scheme=self, pmt=pmt, solution=sol))
+            return out
 
 
 def _as_system(fleet: System | ModuleArray) -> System:

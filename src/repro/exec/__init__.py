@@ -22,7 +22,14 @@ from repro.exec.engine import (
     get_engine,
     reset,
 )
-from repro.exec.metrics import RunRecord, RunStats
+from repro.exec.metrics import BatchRecord, RunRecord, RunStats
+from repro.exec.shared import (
+    SharedFleet,
+    attach_fleet,
+    destroy_fleet,
+    export_fleet,
+    fleet_pvt,
+)
 
 __all__ = [
     "CACHE_SCHEMA_VERSION",
@@ -34,6 +41,12 @@ __all__ = [
     "execute_key",
     "get_engine",
     "reset",
+    "BatchRecord",
     "RunRecord",
     "RunStats",
+    "SharedFleet",
+    "attach_fleet",
+    "destroy_fleet",
+    "export_fleet",
+    "fleet_pvt",
 ]

@@ -38,10 +38,22 @@ from repro.apps.registry import get_app
 from repro.cluster.configs import build_system
 from repro.cluster.system import System
 from repro.core.pvt import PowerVariationTable, generate_pvt
-from repro.core.runner import RunResult, run_budgeted, run_uncapped
+from repro.core.runner import (
+    RunResult,
+    run_budgeted,
+    run_budgeted_batched,
+    run_uncapped,
+)
 from repro.errors import InfeasibleBudgetError
 from repro.exec.cache import ResultCache, RunKey
 from repro.exec.metrics import RunStats
+from repro.exec.shared import (
+    SharedFleet,
+    attach_fleet,
+    destroy_fleet,
+    export_fleet,
+    fleet_pvt,
+)
 from repro.hardware.microarch import Microarchitecture, get_microarch
 
 __all__ = [
@@ -106,6 +118,8 @@ def _pvt_for(spec: _SystemSpec) -> PowerVariationTable:
     return generate_pvt(_system_for(spec))
 
 
+
+
 def execute_key(key: RunKey) -> RunResult:
     """Execute the run a :class:`RunKey` describes (no cache involved).
 
@@ -162,6 +176,72 @@ def _pool_run(key: RunKey) -> tuple[str, object, float]:
     return "ok", result, perf_counter() - t0
 
 
+# -- config-batched group execution -------------------------------------------
+
+def _group_signature(key: RunKey) -> tuple:
+    """Keys sharing this signature run as one batched group: same system,
+    fleet, app, and run knobs — only (scheme, budget) vary within it."""
+    return (
+        _spec(key),
+        key.app,
+        key.app_overrides,
+        key.n_iters,
+        key.noisy,
+        key.fs_guardband_frac,
+        key.test_module,
+    )
+
+
+def _run_group(
+    keys: Sequence[RunKey], handle: SharedFleet | None = None
+) -> list[tuple[str, object]]:
+    """Execute one batched group; per-key tagged outcomes, input order.
+
+    ``handle`` selects the fleet source: ``None`` builds/caches the
+    system in-process (:func:`_system_for`), a :class:`SharedFleet`
+    attaches the parent-exported block (worker side).  Either way the
+    runs are bit-identical to per-key :func:`execute_key` calls.
+    """
+    key0 = keys[0]
+    spec = _spec(key0)
+    if handle is None:
+        system = _system_for(spec)
+        pvt = _pvt_for(spec)
+    else:
+        system = attach_fleet(handle)
+        pvt = fleet_pvt(handle)
+    app = get_app(key0.app)
+    if key0.app_overrides:
+        app = app.with_(**dict(key0.app_overrides))
+    # Defensive group-level seeding, mirroring execute_key.
+    np.random.seed(int(key0.digest()[:8], 16))
+    outs = run_budgeted_batched(
+        system,
+        app,
+        [(k.scheme, k.budget_w) for k in keys],
+        pvt=pvt,
+        test_module=key0.test_module,
+        n_iters=key0.n_iters,
+        noisy=key0.noisy,
+        fs_guardband_frac=key0.fs_guardband_frac,
+    )
+    return [
+        ("infeasible", (out.budget_w, out.floor_w))
+        if isinstance(out, InfeasibleBudgetError)
+        else ("ok", out)
+        for out in outs
+    ]
+
+
+def _pool_run_group(
+    handle: SharedFleet | None, keys: tuple[RunKey, ...]
+) -> tuple[list[tuple[str, object]], float]:
+    """Worker-side group wrapper: tagged per-key outcomes + group wall."""
+    t0 = perf_counter()
+    tagged = _run_group(keys, handle=handle)
+    return tagged, perf_counter() - t0
+
+
 class ExperimentEngine:
     """Cached, parallel dispatcher for :class:`RunKey` sweeps.
 
@@ -180,6 +260,12 @@ class ExperimentEngine:
     stats:
         Share an existing :class:`RunStats` collector (defaults to a
         fresh one, exposed as :attr:`stats`).
+    batch:
+        Route :meth:`submit_sweep` through :meth:`submit_batched_sweep`
+        (the default): cache misses sharing a system/fleet/app execute
+        as one vectorised pass instead of per-key loops.  Results are
+        bit-identical either way; ``batch=False`` restores the per-key
+        path (also the automatic fallback for keys that cannot batch).
     """
 
     def __init__(
@@ -188,6 +274,7 @@ class ExperimentEngine:
         cache_dir: str | None = None,
         use_cache: bool | None = None,
         stats: RunStats | None = None,
+        batch: bool = True,
     ):
         self.jobs = max(1, int(jobs))
         if use_cache is None:
@@ -196,6 +283,7 @@ class ExperimentEngine:
             ResultCache(cache_dir) if use_cache else None
         )
         self.stats = stats if stats is not None else RunStats()
+        self.batch = bool(batch)
 
     # -- single runs ---------------------------------------------------------
 
@@ -246,7 +334,47 @@ class ExperimentEngine:
         in its slot instead of raising (sweeps over feasibility edges,
         e.g. the uncertainty study).
         """
+        if self.batch:
+            return self.submit_batched_sweep(keys, skip_infeasible=skip_infeasible)
         results: list[RunResult | None] = [None] * len(keys)
+        pending = self._scan_cache(keys, results, skip_infeasible)
+        if not pending:
+            return results
+
+        if self.jobs > 1 and len(pending) > 1:
+            workers = min(self.jobs, len(pending))
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                outcomes = list(pool.map(_pool_run, [k for _, k in pending]))
+        else:
+            outcomes = [_pool_run(k) for _, k in pending]
+
+        source = "miss" if self.cache is not None else "exec"
+        for (i, key), (tag, payload, wall_s) in zip(pending, outcomes):
+            self.stats.record(key.describe(), source, wall_s)
+            if tag == "infeasible":
+                budget_w, floor_w = payload
+                exc = InfeasibleBudgetError(budget_w, floor_w)
+                if self.cache is not None:
+                    self.cache.put_infeasible(key, exc)
+                if skip_infeasible:
+                    continue
+                raise exc
+            assert isinstance(payload, RunResult)
+            if self.cache is not None:
+                self.cache.put(key, payload)
+            results[i] = payload
+        return results
+
+    # -- batched sweeps ------------------------------------------------------
+
+    def _scan_cache(
+        self,
+        keys: Sequence[RunKey],
+        results: list,
+        skip_infeasible: bool,
+    ) -> list[tuple[int, RunKey]]:
+        """The shared cache pass: fill ``results`` with hits, record
+        their stats, and return the (index, key) list still to execute."""
         pending: list[tuple[int, RunKey]] = []
         for i, key in enumerate(keys):
             t0 = perf_counter()
@@ -265,19 +393,105 @@ class ExperimentEngine:
                 results[i] = cached
             else:
                 pending.append((i, key))
+        return pending
 
+    def submit_batched_sweep(
+        self,
+        keys: Sequence[RunKey],
+        *,
+        skip_infeasible: bool = False,
+    ) -> list[RunResult | None]:
+        """Run every key with cache misses batched per system/fleet/app.
+
+        The cache pass is identical to :meth:`submit_sweep`.  Pending
+        budgeted keys sharing a :func:`_group_signature` then execute as
+        **one** vectorised :func:`~repro.core.runner.run_budgeted_batched`
+        pass per group — one fleet build, one PMT + batched α-solve per
+        scheme, one 2-D simulation.  Keys that cannot batch (uncapped
+        runs, singleton groups) fall back to the per-key path.  With
+        ``jobs > 1`` each distinct fleet ships to the worker pool once
+        through :mod:`repro.exec.shared` (zero-copy shared-memory views)
+        and each group is a single pool task.
+
+        Results, cache payloads, key digests, and infeasible semantics
+        are bit-identical to the sequential path; per-key stats record
+        the group wall time amortised over its members.
+        """
+        results: list[RunResult | None] = [None] * len(keys)
+        pending = self._scan_cache(keys, results, skip_infeasible)
         if not pending:
             return results
 
-        if self.jobs > 1 and len(pending) > 1:
-            workers = min(self.jobs, len(pending))
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                outcomes = list(pool.map(_pool_run, [k for _, k in pending]))
-        else:
-            outcomes = [_pool_run(k) for _, k in pending]
+        # Partition: batched groups (>= 2 budgeted keys sharing a
+        # signature) vs everything else on the per-key path.
+        by_sig: dict[tuple, list[tuple[int, RunKey]]] = {}
+        singles: list[tuple[int, RunKey]] = []
+        for i, key in pending:
+            if key.scheme is None:
+                singles.append((i, key))
+            else:
+                by_sig.setdefault(_group_signature(key), []).append((i, key))
+        groups: list[list[tuple[int, RunKey]]] = []
+        for members in by_sig.values():
+            if len(members) > 1:
+                groups.append(members)
+            else:
+                singles.extend(members)
+        singles.sort()
 
+        #: index -> (tag, payload, amortised wall seconds)
+        outcome: dict[int, tuple[str, object, float]] = {}
+
+        def _fold_group(members, tagged, wall_s) -> None:
+            per_key = wall_s / len(members)
+            for (i, _key), (tag, payload) in zip(members, tagged):
+                outcome[i] = (tag, payload, per_key)
+            self.stats.record_batch(len(members), wall_s)
+
+        n_tasks = len(groups) + len(singles)
+        if self.jobs > 1 and n_tasks > 1:
+            handles: dict[tuple, SharedFleet] = {}
+            try:
+                for members in groups:
+                    spec = _spec(members[0][1])
+                    if spec not in handles:
+                        handles[spec] = export_fleet(_system_for(spec))
+                workers = min(self.jobs, n_tasks)
+                with ProcessPoolExecutor(max_workers=workers) as pool:
+                    group_futs = [
+                        pool.submit(
+                            _pool_run_group,
+                            handles[_spec(members[0][1])],
+                            tuple(k for _, k in members),
+                        )
+                        for members in groups
+                    ]
+                    single_futs = [
+                        pool.submit(_pool_run, key) for _, key in singles
+                    ]
+                    for members, fut in zip(groups, group_futs):
+                        tagged, wall_s = fut.result()
+                        _fold_group(members, tagged, wall_s)
+                    for (i, _key), fut in zip(singles, single_futs):
+                        tag, payload, wall_s = fut.result()
+                        outcome[i] = (tag, payload, wall_s)
+            finally:
+                for handle in handles.values():
+                    destroy_fleet(handle)
+        else:
+            for members in groups:
+                t0 = perf_counter()
+                tagged = _run_group([k for _, k in members])
+                _fold_group(members, tagged, perf_counter() - t0)
+            for i, key in singles:
+                tag, payload, wall_s = _pool_run(key)
+                outcome[i] = (tag, payload, wall_s)
+
+        # Fold outcomes back in *pending* order so stats, cache writes,
+        # and the first-infeasible raise match the sequential path.
         source = "miss" if self.cache is not None else "exec"
-        for (i, key), (tag, payload, wall_s) in zip(pending, outcomes):
+        for i, key in pending:
+            tag, payload, wall_s = outcome[i]
             self.stats.record(key.describe(), source, wall_s)
             if tag == "infeasible":
                 budget_w, floor_w = payload
@@ -322,10 +536,13 @@ def configure(
     jobs: int = 1,
     cache_dir: str | None = None,
     use_cache: bool | None = None,
+    batch: bool = True,
 ) -> ExperimentEngine:
     """Install the process-global engine (called by the CLI front-end)."""
     global _engine
-    _engine = ExperimentEngine(jobs=jobs, cache_dir=cache_dir, use_cache=use_cache)
+    _engine = ExperimentEngine(
+        jobs=jobs, cache_dir=cache_dir, use_cache=use_cache, batch=batch
+    )
     return _engine
 
 

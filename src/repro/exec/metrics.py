@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 import repro.telemetry as telemetry
 from repro.util.tables import render_table
 
-__all__ = ["RunRecord", "RunStats"]
+__all__ = ["BatchRecord", "RunRecord", "RunStats"]
 
 #: Where a dispatched run's result came from.
 SOURCES = ("hit", "miss", "exec")
@@ -37,11 +37,25 @@ class RunRecord:
     wall_s: float
 
 
+@dataclass(frozen=True)
+class BatchRecord:
+    """One config-batched group dispatch: how many keys, total wall time."""
+
+    n_keys: int
+    wall_s: float
+
+    @property
+    def amortized_wall_s(self) -> float:
+        """Wall time per key once the group overhead is shared out."""
+        return self.wall_s / self.n_keys if self.n_keys else 0.0
+
+
 @dataclass
 class RunStats:
     """Counters and per-run wall-times for one engine's lifetime."""
 
     records: list[RunRecord] = field(default_factory=list)
+    batches: list[BatchRecord] = field(default_factory=list)
 
     def record(self, label: str, source: str, wall_s: float) -> None:
         """Append one run record (``source`` must be in :data:`SOURCES`)."""
@@ -51,9 +65,19 @@ class RunStats:
         telemetry.count(_SOURCE_COUNTERS[source])
         telemetry.observe("engine.dispatch_wall_s", wall_s)
 
+    def record_batch(self, n_keys: int, wall_s: float) -> None:
+        """Append one batched-group record (the member runs are recorded
+        individually through :meth:`record` with amortised wall times)."""
+        rec = BatchRecord(n_keys=int(n_keys), wall_s=wall_s)
+        self.batches.append(rec)
+        telemetry.count("engine.batched.groups")
+        telemetry.observe("engine.batch_size", rec.n_keys)
+        telemetry.observe("engine.batch_amortized_wall_s", rec.amortized_wall_s)
+
     def merge(self, other: "RunStats") -> None:
         """Fold another stats object (e.g. from a worker batch) into this one."""
         self.records.extend(other.records)
+        self.batches.extend(other.batches)
 
     # -- counters ------------------------------------------------------------
 
@@ -92,6 +116,29 @@ class RunStats:
         """The ``n`` slowest runs, slowest first."""
         return sorted(self.records, key=lambda r: r.wall_s, reverse=True)[:n]
 
+    # -- batching ------------------------------------------------------------
+
+    @property
+    def n_batches(self) -> int:
+        """Config-batched group dispatches."""
+        return len(self.batches)
+
+    @property
+    def batched_keys(self) -> int:
+        """Total keys executed through batched groups."""
+        return sum(b.n_keys for b in self.batches)
+
+    @property
+    def mean_batch_size(self) -> float:
+        """Average keys per batched group."""
+        return self.batched_keys / self.n_batches if self.n_batches else 0.0
+
+    @property
+    def amortized_wall_s(self) -> float:
+        """Mean per-key wall time across all batched keys."""
+        total = sum(b.wall_s for b in self.batches)
+        return total / self.batched_keys if self.batched_keys else 0.0
+
     # -- rendering -----------------------------------------------------------
 
     def format_summary(self, top: int = 5) -> str:
@@ -104,6 +151,12 @@ class RunStats:
             f"{self.executed} uncached), hit rate {self.hit_rate:.0%}, "
             f"total {self.total_wall_s:.2f} s"
         )
+        if self.batches:
+            head += (
+                f"\n-- batched dispatch: {self.batched_keys} keys in "
+                f"{self.n_batches} groups (avg batch {self.mean_batch_size:.1f}, "
+                f"amortized {self.amortized_wall_s * 1e3:.1f} ms/key)"
+            )
         rows = [
             [r.label, r.source, f"{r.wall_s * 1e3:.1f}"]
             for r in self.slowest(top)

@@ -1,0 +1,223 @@
+"""Zero-copy fleet handoff to pool workers via POSIX shared memory.
+
+A batched sweep ships each distinct fleet to the worker pool **once**:
+the parent exports the four :class:`~repro.hardware.variability.ModuleVariation`
+arrays (``leak``, ``dyn``, ``dram``, ``perf``) into one
+:class:`multiprocessing.shared_memory.SharedMemory` block and pickles
+only a small :class:`SharedFleet` handle per task.  Workers attach the
+block and rebuild the :class:`~repro.cluster.system.System` around
+read-only ndarray *views* of the mapping — no per-task pickling of
+fleet-sized arrays, no re-sampling of variation in every worker.
+
+Bit-identity is inherited rather than argued: the exported arrays are
+byte-for-byte the parent's ground truth, and everything else a run
+depends on (the :class:`~repro.util.rng.RngFactory`, the
+microarchitecture) rides along in the handle, so a worker-side run sees
+exactly the state an in-process run would.
+
+Lifecycle: the parent calls :func:`export_fleet` before submitting a
+group and :func:`destroy_fleet` after the pool has drained (POSIX keeps
+existing worker mappings valid across the unlink).  Workers cache their
+attachment per shared-memory name for the life of the process.
+"""
+
+from __future__ import annotations
+
+import atexit
+import gc
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro.cluster.system import System
+from repro.core.pvt import PowerVariationTable, generate_pvt
+from repro.hardware.microarch import Microarchitecture
+from repro.hardware.module import ModuleArray
+from repro.hardware.variability import ModuleVariation
+from repro.util.rng import RngFactory
+
+__all__ = [
+    "SharedFleet",
+    "export_fleet",
+    "attach_fleet",
+    "destroy_fleet",
+    "fleet_pvt",
+]
+
+#: ModuleVariation fields, in on-disk segment order.
+_FIELDS = ("leak", "dyn", "dram", "perf")
+
+
+@dataclass(frozen=True)
+class SharedFleet:
+    """Picklable handle describing a fleet exported to shared memory.
+
+    Everything needed to rebuild the owning :class:`System` in another
+    process: the shared-memory block name plus the small non-array
+    attributes (the :class:`RngFactory` is what keeps worker-side PVT
+    generation and RAPL noise bit-identical to the parent's).
+    """
+
+    shm_name: str
+    n_modules: int
+    name: str
+    arch: Microarchitecture
+    procs_per_node: int
+    meter_kind: str
+    dram_measurable: bool
+    rng: RngFactory
+
+
+def export_fleet(system: System) -> SharedFleet:
+    """Copy ``system``'s variation arrays into a new shared-memory block.
+
+    Returns the handle to pass to workers; the parent owns the block and
+    must eventually call :func:`destroy_fleet`.
+    """
+    n = system.n_modules
+    itemsize = np.dtype(np.float64).itemsize
+    shm = shared_memory.SharedMemory(create=True, size=len(_FIELDS) * n * itemsize)
+    try:
+        variation = system.modules.variation
+        for seg, field in enumerate(_FIELDS):
+            view = np.ndarray((n,), dtype=np.float64, buffer=shm.buf, offset=seg * n * itemsize)
+            np.copyto(view, np.asarray(getattr(variation, field), dtype=np.float64))
+        handle = SharedFleet(
+            shm_name=shm.name,
+            n_modules=n,
+            name=system.name,
+            arch=system.arch,
+            procs_per_node=system.procs_per_node,
+            meter_kind=system.meter_kind,
+            dram_measurable=system.dram_measurable,
+            rng=system.rng,
+        )
+    except BaseException:
+        shm.close()
+        shm.unlink()
+        raise
+    # The exporter keeps its own mapping open until destroy_fleet() so the
+    # block outlives any worker-side attach/close races.
+    _OWNED[handle.shm_name] = shm
+    return handle
+
+
+#: Parent-side open mappings, keyed by block name (closed by destroy_fleet).
+_OWNED: dict[str, shared_memory.SharedMemory] = {}
+
+#: Worker-side attachments: one (mapping, System) per block name for the
+#: life of the process — repeated groups over the same fleet attach once.
+_ATTACHED: dict[str, tuple[shared_memory.SharedMemory, System]] = {}
+
+
+def _attach_block(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing block without registering it for cleanup.
+
+    Attaching normally registers the segment with this process's
+    ``resource_tracker``, which would unlink the parent-owned block when
+    the worker exits.  Python 3.13 grew ``track=False`` for exactly this;
+    on older interpreters the registration is suppressed for the duration
+    of the attach instead.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)  # type: ignore[call-arg]
+    except TypeError:
+        pass
+    from multiprocessing import resource_tracker
+
+    original = resource_tracker.register
+
+    def _skip_shm(rname: str, rtype: str) -> None:
+        if rtype != "shared_memory":
+            original(rname, rtype)
+
+    resource_tracker.register = _skip_shm  # type: ignore[assignment]
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original  # type: ignore[assignment]
+
+
+def attach_fleet(handle: SharedFleet) -> System:
+    """Rebuild the :class:`System` around read-only views of the block.
+
+    Cached per block name: a worker that executes several groups over
+    the same fleet maps and validates it once.
+    """
+    cached = _ATTACHED.get(handle.shm_name)
+    if cached is not None:
+        return cached[1]
+    shm = _attach_block(handle.shm_name)
+    n = handle.n_modules
+    itemsize = np.dtype(np.float64).itemsize
+    views = {}
+    for seg, field in enumerate(_FIELDS):
+        view = np.ndarray((n,), dtype=np.float64, buffer=shm.buf, offset=seg * n * itemsize)
+        view.flags.writeable = False
+        views[field] = view
+    system = System(
+        name=handle.name,
+        arch=handle.arch,
+        modules=ModuleArray(handle.arch, ModuleVariation(**views)),
+        procs_per_node=handle.procs_per_node,
+        meter_kind=handle.meter_kind,
+        rng=handle.rng,
+        dram_measurable=handle.dram_measurable,
+    )
+    _ATTACHED[handle.shm_name] = (shm, system)
+    return system
+
+
+#: Worker-side PVT cache for attached fleets, keyed by block name.
+_ATTACHED_PVT: dict[str, PowerVariationTable] = {}
+
+
+def fleet_pvt(handle: SharedFleet) -> PowerVariationTable:
+    """The attached fleet's Power Variation Table, built once per process.
+
+    :func:`~repro.core.pvt.generate_pvt` draws only from the system's
+    keyed :class:`RngFactory` streams (restarted per call), so a
+    worker-built table is bit-identical to one the parent built for the
+    same fleet.
+    """
+    pvt = _ATTACHED_PVT.get(handle.shm_name)
+    if pvt is None:
+        pvt = _ATTACHED_PVT[handle.shm_name] = generate_pvt(attach_fleet(handle))
+    return pvt
+
+
+@atexit.register
+def _release_attachments() -> None:
+    """Drop worker-side views before their mappings are torn down.
+
+    ndarray views export the mapping's buffer; closing it while they are
+    alive raises ``BufferError`` from ``SharedMemory.__del__`` during
+    interpreter shutdown.  Releasing the Systems first (refcounting frees
+    the views immediately) makes the close clean.
+    """
+    while _ATTACHED:
+        _name, (shm, system) = _ATTACHED.popitem()
+        del system
+        gc.collect()
+        try:
+            shm.close()
+        except BufferError:  # a view escaped into user code; let GC finish
+            pass
+
+
+def destroy_fleet(handle: SharedFleet) -> None:
+    """Release the parent's mapping and unlink the block.
+
+    Safe after the pool has drained: workers that still hold a mapping
+    keep valid views (POSIX semantics); new attaches will fail, which is
+    the point.
+    """
+    shm = _OWNED.pop(handle.shm_name, None)
+    if shm is None:
+        return
+    shm.close()
+    try:
+        shm.unlink()
+    except FileNotFoundError:  # already unlinked (e.g. double destroy)
+        pass

@@ -37,8 +37,9 @@ from time import perf_counter
 import repro.telemetry as telemetry
 from repro.apps import get_app
 from repro.cluster.configs import build_system
-from repro.core.runner import run_budgeted
+from repro.core.runner import run_budgeted, run_budgeted_batched
 from repro.core.schemes import get_scheme
+from repro.exec import get_engine
 from repro.experiments.common import DEFAULT_SEED
 from repro.util.tables import render_table
 
@@ -104,6 +105,7 @@ def run_fleet_point(
     n_iters: int = FLEET_ITERS,
     seed: int = DEFAULT_SEED,
     chunk_modules: int = FLEET_CHUNK,
+    batch: bool | None = None,
 ) -> FleetPoint:
     """Run the scheme comparison on one synthetic fleet size.
 
@@ -111,7 +113,14 @@ def run_fleet_point(
     runs each scheme in :data:`FLEET_SCHEMES` deterministically
     (``noisy=False`` — which also routes the simulation through the
     vectorised fast path), and collects the variation statistics.
+
+    ``batch`` (default: the global engine's ``--batch`` setting) runs
+    all three schemes as one config-batched pass — one truth view, one
+    2-D simulation — instead of three sequential runs; results are
+    bit-identical either way.
     """
+    if batch is None:
+        batch = get_engine().batch
     t0 = perf_counter()
     with telemetry.run_scope(
         f"fleet-{n_modules}", f"fleet {app} n={n_modules:,} Cm={cm_w:.0f}W"
@@ -120,33 +129,50 @@ def run_fleet_point(
         model = get_app(app)
         budget_w = cm_w * n_modules
 
-        # Plan first, actuate second — both through the array-first
-        # interfaces: each scheme's PowerAllocation is one vectorised
-        # (chunk-bounded) pass over the fleet columns, then run_budgeted
-        # consumes it without re-planning.
-        plans = {
-            scheme: get_scheme(scheme).allocate(
+        if batch:
+            # One vectorised pass over all schemes: planning is still one
+            # (chunk-bounded) α-solve per scheme, but actuation feeds a
+            # single (n_schemes, n_modules) simulation.
+            outs = run_budgeted_batched(
                 system,
                 model,
-                budget_w,
-                noisy=False,
-                chunk_modules=chunk_modules,
-            )
-            for scheme in FLEET_SCHEMES
-        }
-        runs = {
-            scheme: run_budgeted(
-                system,
-                model,
-                scheme,
-                budget_w,
+                [(scheme, budget_w) for scheme in FLEET_SCHEMES],
                 n_iters=n_iters,
                 noisy=False,
                 chunk_modules=chunk_modules,
-                allocation=plans[scheme],
             )
-            for scheme in FLEET_SCHEMES
-        }
+            for out in outs:
+                if isinstance(out, Exception):
+                    raise out
+            runs = dict(zip(FLEET_SCHEMES, outs))
+        else:
+            # Plan first, actuate second — both through the array-first
+            # interfaces: each scheme's PowerAllocation is one vectorised
+            # (chunk-bounded) pass over the fleet columns, then
+            # run_budgeted consumes it without re-planning.
+            plans = {
+                scheme: get_scheme(scheme).allocate(
+                    system,
+                    model,
+                    budget_w,
+                    noisy=False,
+                    chunk_modules=chunk_modules,
+                )
+                for scheme in FLEET_SCHEMES
+            }
+            runs = {
+                scheme: run_budgeted(
+                    system,
+                    model,
+                    scheme,
+                    budget_w,
+                    n_iters=n_iters,
+                    noisy=False,
+                    chunk_modules=chunk_modules,
+                    allocation=plans[scheme],
+                )
+                for scheme in FLEET_SCHEMES
+            }
         naive = runs["naive"]
         # Uncapped fleet draw at fmax — the headroom the budget cuts
         # into — accumulated chunk-wise so no fleet-sized temporary is
@@ -189,6 +215,7 @@ def run_fleet(
     n_iters: int = FLEET_ITERS,
     seed: int = DEFAULT_SEED,
     chunk_modules: int = FLEET_CHUNK,
+    batch: bool | None = None,
 ) -> list[FleetPoint]:
     """The full size sweep (one :class:`FleetPoint` per entry)."""
     return [
@@ -199,6 +226,7 @@ def run_fleet(
             n_iters=n_iters,
             seed=seed,
             chunk_modules=chunk_modules,
+            batch=batch,
         )
         for n in sizes
     ]

@@ -17,7 +17,15 @@ from dataclasses import dataclass
 
 from repro.cluster.workloads import WorkloadSpec, generate_workload
 from repro.core.resource_manager import PowerAwareRM
-from repro.exec import ExperimentEngine, get_engine
+from repro.exec import (
+    ExperimentEngine,
+    SharedFleet,
+    attach_fleet,
+    destroy_fleet,
+    export_fleet,
+    fleet_pvt,
+    get_engine,
+)
 from repro.experiments.common import ha8k, ha8k_pvt
 from repro.util.tables import render_table
 
@@ -53,13 +61,20 @@ class ThroughputPoint:
 
 
 def _run_schedule(
-    args: tuple[int, int, float, float, str],
+    args: tuple[int, int, float, float, str, SharedFleet | None],
 ) -> tuple[float, float, float]:
     """One (load, admission-policy) scheduling run (picklable fan-out
-    unit; rebuilds the cached system/PVT inside the worker)."""
-    n_modules, n_jobs, ia, cm_w, admission = args
-    system = ha8k(1920).subset(range(n_modules))
-    pvt = ha8k_pvt(1920).take(range(n_modules))
+    unit).  With a :class:`SharedFleet` handle the worker attaches the
+    parent-exported fleet (zero-copy views, PVT regenerated once per
+    process — bit-identical); without one it rebuilds the cached
+    system/PVT in-process."""
+    n_modules, n_jobs, ia, cm_w, admission, handle = args
+    if handle is not None:
+        base, base_pvt = attach_fleet(handle), fleet_pvt(handle)
+    else:
+        base, base_pvt = ha8k(1920), ha8k_pvt(1920)
+    system = base.subset(range(n_modules))
+    pvt = base_pvt.take(range(n_modules))
     spec = WorkloadSpec(
         n_jobs=n_jobs,
         mean_interarrival_s=ia,
@@ -82,12 +97,25 @@ def run_throughput(
 ) -> list[ThroughputPoint]:
     """Sweep offered load and run both admission policies."""
     engine = engine if engine is not None else get_engine()
+    # Worker fan-out ships the base fleet once via shared memory instead
+    # of rebuilding 1,920 modules of variation in every worker.
+    handle = (
+        export_fleet(ha8k(1920))
+        if engine.jobs > 1 and engine.batch
+        else None
+    )
     tasks = [
-        (n_modules, n_jobs, ia, cm_w, admission)
+        (n_modules, n_jobs, ia, cm_w, admission, handle)
         for ia in interarrivals
         for admission in ("power-aware", "worst-case")
     ]
-    outcomes = iter(engine.map(_run_schedule, tasks, label="throughput/schedule"))
+    try:
+        outcomes = iter(
+            engine.map(_run_schedule, tasks, label="throughput/schedule")
+        )
+    finally:
+        if handle is not None:
+            destroy_fleet(handle)
     points = []
     for ia in interarrivals:
         aware = next(outcomes)

@@ -62,7 +62,7 @@ from repro.simmpi.eventsim import (
     Recv,
     Send,
 )
-from repro.simmpi.machine import BspMachine
+from repro.simmpi.machine import BatchedBspMachine, BspMachine, MachineState
 from repro.simmpi.tracing import RankTrace
 
 __all__ = [
@@ -74,12 +74,14 @@ __all__ = [
     "VLoop",
     "BspProgram",
     "run_fast",
+    "run_fast_batched",
     "run_event",
     "to_event_program",
     "is_bsp_expressible",
     "bsp_app_program",
     "event_app_program",
     "simulate_app",
+    "simulate_app_batched",
     "BSP_COMM_KINDS",
 ]
 
@@ -289,17 +291,24 @@ def _exec_loop(machine: BspMachine, loop: VLoop) -> None:
     are dense at fleet scale).
     """
     remaining = loop.iters
-    prev_delta = None
+    # Preallocated snapshot/delta buffers reused across iterations: the
+    # steady-state detector would otherwise allocate ~8 fleet-sized
+    # arrays per superstep.  Values are identical — the buffers only
+    # change where the temporaries live.
+    n = machine.n_ranks
+    _blank = lambda: MachineState(*(np.empty(n) for _ in range(4)))  # noqa: E731
+    before, delta, prev_delta = _blank(), _blank(), _blank()
+    have_prev = False
     stable = 0
     while remaining > 0:
-        before = machine.state()
+        machine.state_into(before)
         _exec_ops(machine, loop.body)
         remaining -= 1
         if remaining < _MIN_FF_REMAINING:
             continue
-        delta = machine.state().delta_from(before)
+        machine.delta_into(before, delta)
         if (
-            prev_delta is not None
+            have_prev
             and delta.allclose(prev_delta)
             and _is_uniform_shift(delta.clock_s)
         ):
@@ -311,7 +320,8 @@ def _exec_loop(machine: BspMachine, loop: VLoop) -> None:
                 return
         else:
             stable = 0
-        prev_delta = delta
+        prev_delta, delta = delta, prev_delta
+        have_prev = True
 
 
 def run_fast(
@@ -332,6 +342,187 @@ def run_fast(
     with telemetry.span("sim.run_fast", ranks=program.n_ranks):
         _exec_ops(machine, program.ops)
     return machine.trace()
+
+
+# -- the config-batched executor -----------------------------------------------
+
+
+def _local_dt_batched(ops: Sequence[_VOp], rates: np.ndarray) -> np.ndarray:
+    """Combined per-rank seconds of a communication-free op sequence,
+    for every config row at once (row-wise identical to :func:`_local_dt`)."""
+    n = rates.shape[1]
+    dt = np.zeros(rates.shape)
+    for op in ops:
+        if isinstance(op, VCompute):
+            dt += np.broadcast_to(
+                np.asarray(op.ghz_seconds, dtype=float), (n,)
+            ) / rates
+        elif isinstance(op, VElapse):
+            dt += np.broadcast_to(np.asarray(op.seconds, dtype=float), (n,))
+        elif isinstance(op, VLoop):
+            dt += op.iters * _local_dt_batched(op.body, rates)
+        else:  # pragma: no cover - guarded by _has_sync
+            raise SimulationError(f"{op!r} is not a local op")
+    return dt
+
+
+def _exec_ops_batched(machine: BatchedBspMachine, ops: Sequence[_VOp]) -> None:
+    """Execute an op sequence on the 2-D machine, fusing communication-free
+    runs exactly where :func:`_exec_ops` does (fusion boundaries depend
+    only on op types, so the two paths fuse identically)."""
+    i, n_ops = 0, len(ops)
+    while i < n_ops:
+        op = ops[i]
+        if isinstance(op, _LOCAL_OPS) or (
+            isinstance(op, VLoop) and not _has_sync(op.body)
+        ):
+            j = i
+            while j < n_ops and (
+                isinstance(ops[j], _LOCAL_OPS)
+                or (isinstance(ops[j], VLoop) and not _has_sync(ops[j].body))
+            ):
+                j += 1
+            machine.advance_local(_local_dt_batched(ops[i:j], machine.rates))
+            i = j
+            continue
+        if isinstance(op, VBarrier):
+            machine.barrier()
+        elif isinstance(op, VAllreduce):
+            machine.allreduce(op.message_bytes)
+        elif isinstance(op, VSendrecv):
+            machine.sendrecv(np.asarray(op.neighbors), op.message_bytes)
+        elif isinstance(op, VLoop):
+            _exec_loop_batched(machine, op)
+        else:  # pragma: no cover - programs are validated on construction
+            raise SimulationError(f"unknown fast-path op {op!r}")
+        i += 1
+
+
+def _rows_close(delta: tuple, prev: tuple, scratch: tuple) -> np.ndarray:
+    """Per-row equivalent of :meth:`MachineState.allclose`: True where a
+    row's four increments all match the previous iteration's.
+
+    Evaluates ``np.isclose``'s finite-operand predicate
+    ``|d - p| <= atol + rtol * |p|`` directly into the two caller-owned
+    scratch arrays — same decision, none of ``isclose``'s
+    machine-sized temporaries (sim deltas are always finite).
+    """
+    diff, tol = scratch[0], scratch[1]
+    ok = np.ones(delta[0].shape[0], dtype=bool)
+    for d, p in zip(delta, prev):
+        np.subtract(d, p, out=diff)
+        np.abs(diff, out=diff)
+        np.abs(p, out=tol)
+        tol *= 1e-12
+        tol += 1e-15
+        ok &= (diff <= tol).all(axis=1)
+    return ok
+
+
+def _rows_uniform(clock_delta: np.ndarray, scratch: np.ndarray) -> np.ndarray:
+    """Per-row equivalent of :func:`_is_uniform_shift` (same
+    allocation-free ``isclose`` predicate as :func:`_rows_close`;
+    the reference column's tolerance is a ``(rows, 1)`` broadcast)."""
+    ref = clock_delta[:, :1]
+    np.subtract(clock_delta, ref, out=scratch)
+    np.abs(scratch, out=scratch)
+    tol = 1e-12 * np.abs(ref)
+    tol += 1e-15
+    return (scratch <= tol).all(axis=1)
+
+
+def _exec_loop_batched(machine: BatchedBspMachine, loop: VLoop) -> None:
+    """Run a synchronising loop for all configs, fast-forwarding each
+    config's steady state *independently*.
+
+    The timing invariant that makes this bit-identical to per-config
+    :func:`_exec_loop`: a config must be fast-forwarded at exactly the
+    iteration its 1-D run would be, because ``c + k·d`` and
+    ``(c + d) + (k−1)·d`` differ in the last ulp.  The per-row
+    ``(prev, stable)`` detector state therefore survives the active-set
+    shrink — retired configs leave the batch, the rest carry their
+    streak across the extraction.  Every machine op is row-independent,
+    so executing the surviving subset alone reproduces exactly what the
+    full batch would have computed for those rows.
+    """
+    remaining = loop.iters
+    parent = machine
+    sub = machine
+    rows = np.arange(machine.n_configs)
+    shape = (machine.n_configs, machine.n_ranks)
+    before = tuple(np.empty(shape) for _ in range(4))
+    delta = tuple(np.empty(shape) for _ in range(4))
+    prev = tuple(np.empty(shape) for _ in range(4))
+    have_prev = False
+    stable = np.zeros(machine.n_configs, dtype=np.int64)
+    while remaining > 0:
+        sub.state_into(before)
+        _exec_ops_batched(sub, loop.body)
+        remaining -= 1
+        if remaining < _MIN_FF_REMAINING:
+            continue
+        sub.delta_into(before, delta)
+        if have_prev:
+            # `before` is dead until the next state_into: reuse it as the
+            # detector's scratch space.
+            ok = _rows_close(delta, prev, before) & _rows_uniform(
+                delta[0], before[2]
+            )
+            stable = np.where(ok, stable + 1, 0)
+        else:
+            stable[:] = 0
+        retire = stable >= _FF_STABLE_ITERS
+        if np.any(retire):
+            sub.fast_forward_rows(retire, delta, remaining)
+            telemetry.count("sim.fast_forward", int(retire.sum()))
+            telemetry.observe("sim.ff_saved_iters", remaining)
+            if sub is not parent:
+                parent.write_rows(rows[retire], sub, retire)
+            keep = ~retire
+            rows = rows[keep]
+            if rows.size == 0:
+                return
+            sub = sub.extract_rows(keep)
+            shape = (rows.size, sub.n_ranks)
+            prev = tuple(d[keep] for d in delta)
+            before = tuple(np.empty(shape) for _ in range(4))
+            delta = tuple(np.empty(shape) for _ in range(4))
+            stable = stable[keep]
+            have_prev = True
+        else:
+            prev, delta = delta, prev
+            have_prev = True
+    if sub is not parent:
+        parent.write_rows(rows, sub)
+
+
+def run_fast_batched(
+    program: BspProgram,
+    rates: np.ndarray,
+    *,
+    latency_s: float = 5e-6,
+    bandwidth_gbps: float = 5.0,
+) -> list[RankTrace]:
+    """Execute one :class:`BspProgram` for many rate configurations at
+    once on the 2-D vectorised path.
+
+    ``rates`` has shape ``(n_configs, n_ranks)``; the result is one
+    :class:`RankTrace` per config, bit-identical to ``n_configs``
+    separate :func:`run_fast` calls at the corresponding rate rows.
+    """
+    r = np.asarray(rates, dtype=float)
+    if r.ndim != 2 or r.shape[1] != program.n_ranks:
+        raise ConfigurationError(
+            f"rates shape {r.shape} != (n_configs, {program.n_ranks})"
+        )
+    machine = BatchedBspMachine(
+        r, latency_s=latency_s, bandwidth_gbps=bandwidth_gbps
+    )
+    with telemetry.span(
+        "sim.run_fast_batched", configs=int(r.shape[0]), ranks=program.n_ranks
+    ):
+        _exec_ops_batched(machine, program.ops)
+    return machine.traces()
 
 
 # -- lowering to the event-driven machine --------------------------------------
@@ -549,3 +740,53 @@ def simulate_app(
         return machine.run(
             event_app_program(app, machine.n_ranks, fmax_ghz, iters, work_imbalance)
         )
+
+
+def simulate_app_batched(
+    app,
+    rates_ghz: np.ndarray,
+    fmax_ghz: float,
+    *,
+    n_iters: int | None = None,
+    latency_s: float = 5e-6,
+    bandwidth_gbps: float = 5.0,
+    work_imbalance: np.ndarray | None = None,
+) -> list[RankTrace]:
+    """Simulate one application under many rate configurations at once.
+
+    ``rates_ghz`` has shape ``(n_configs, n_ranks)``.  BSP-expressible
+    apps run as a single 2-D pass (:func:`run_fast_batched`); the
+    program is built once — :func:`bsp_app_program` is deterministic in
+    its arguments, so the shared program equals what each per-config
+    :func:`simulate_app` call would build.  Non-BSP comm (``"pipeline"``)
+    has genuinely per-rank control flow and falls back to per-config
+    dispatch, which is the sequential path verbatim.
+    """
+    rates = np.asarray(rates_ghz, dtype=float)
+    if rates.ndim != 2:
+        raise ConfigurationError(
+            f"rates must have shape (n_configs, n_ranks); got {rates.shape}"
+        )
+    iters = int(app.default_iters if n_iters is None else n_iters)
+    if iters <= 0:
+        raise ConfigurationError("n_iters must be positive")
+    if is_bsp_expressible(app):
+        telemetry.count("sim.route.fast_batched")
+        program = bsp_app_program(
+            app, int(rates.shape[1]), fmax_ghz, iters, work_imbalance
+        )
+        return run_fast_batched(
+            program, rates, latency_s=latency_s, bandwidth_gbps=bandwidth_gbps
+        )
+    return [
+        simulate_app(
+            app,
+            rates[c],
+            fmax_ghz,
+            n_iters=iters,
+            latency_s=latency_s,
+            bandwidth_gbps=bandwidth_gbps,
+            work_imbalance=work_imbalance,
+        )
+        for c in range(rates.shape[0])
+    ]

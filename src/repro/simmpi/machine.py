@@ -25,7 +25,7 @@ import numpy as np
 from repro.errors import SimulationError
 from repro.simmpi.tracing import RankTrace
 
-__all__ = ["BspMachine", "MachineState"]
+__all__ = ["BspMachine", "BatchedBspMachine", "MachineState"]
 
 
 @dataclass(frozen=True)
@@ -115,6 +115,18 @@ class BspMachine:
         self._compute_s = np.zeros(r.size)
         self._wait_s = np.zeros(r.size)
         self._comm_s = np.zeros(r.size)
+        # Preallocated scratch reused across supersteps.  At fleet scale
+        # (100k+ ranks) per-op temporaries exceed the allocator's mmap
+        # threshold, so allocating them per superstep costs a
+        # mmap/munmap + page-fault cycle each — reuse keeps the arrays
+        # resident and the throughput trajectory flat in fleet size.
+        # All updates stay elementwise identical: ``a += b`` and
+        # ``np.op(..., out=...)`` perform the same IEEE-754 operations
+        # as their allocating forms.
+        self._dt_scratch = np.empty(r.size)
+        self._ready_scratch = np.empty(r.size)
+        self._wait_scratch = np.empty(r.size)
+        self._gather_scratch: dict[int, np.ndarray] = {}
         #: Optional sync observer (duck-typed: ``on_sync(op, clock_s,
         #: wait_s)``), e.g. a telemetry PhaseTimeline.  ``None`` keeps
         #: the sync path free of any telemetry cost.
@@ -152,11 +164,11 @@ class BspMachine:
         work = np.broadcast_to(np.asarray(ghz_seconds, dtype=float), (self.n_ranks,))
         if np.any(work < 0):
             raise SimulationError("compute work must be non-negative")
-        dt = work / self.rates
+        dt = np.divide(work, self.rates, out=self._dt_scratch)
         if self._noise_frac > 0.0:
             dt = dt * (1.0 + self._noise_frac * self._noise_rng.exponential(size=self.n_ranks))
-        self.clock_s = self.clock_s + dt
-        self._compute_s = self._compute_s + dt
+        self.clock_s += dt
+        self._compute_s += dt
 
     def elapse(self, seconds: np.ndarray | float) -> None:
         """Advance each rank by frequency-*insensitive* time (memory stalls,
@@ -164,8 +176,8 @@ class BspMachine:
         dt = np.broadcast_to(np.asarray(seconds, dtype=float), (self.n_ranks,))
         if np.any(dt < 0):
             raise SimulationError("elapsed time must be non-negative")
-        self.clock_s = self.clock_s + dt
-        self._compute_s = self._compute_s + dt
+        self.clock_s += dt
+        self._compute_s += dt
 
     def advance_local(self, dt_seconds: np.ndarray | float) -> None:
         """Advance each rank by precomputed local time (fast-path entry).
@@ -178,8 +190,8 @@ class BspMachine:
         dt = np.broadcast_to(np.asarray(dt_seconds, dtype=float), (self.n_ranks,))
         if np.any(dt < 0):
             raise SimulationError("local time must be non-negative")
-        self.clock_s = self.clock_s + dt
-        self._compute_s = self._compute_s + dt
+        self.clock_s += dt
+        self._compute_s += dt
 
     # -- fast-path state access ------------------------------------------------
 
@@ -191,6 +203,23 @@ class BspMachine:
             wait_s=self._wait_s.copy(),
             comm_s=self._comm_s.copy(),
         )
+
+    def state_into(self, out: MachineState) -> None:
+        """Snapshot the accumulators into a caller-preallocated state
+        (the fast path reuses two such buffers per loop instead of
+        allocating four fleet-sized arrays per iteration)."""
+        np.copyto(out.clock_s, self.clock_s)
+        np.copyto(out.compute_s, self._compute_s)
+        np.copyto(out.wait_s, self._wait_s)
+        np.copyto(out.comm_s, self._comm_s)
+
+    def delta_into(self, earlier: MachineState, out: MachineState) -> None:
+        """Per-rank increments since ``earlier``, written into ``out``
+        (same subtraction :meth:`MachineState.delta_from` performs)."""
+        np.subtract(self.clock_s, earlier.clock_s, out=out.clock_s)
+        np.subtract(self._compute_s, earlier.compute_s, out=out.compute_s)
+        np.subtract(self._wait_s, earlier.wait_s, out=out.wait_s)
+        np.subtract(self._comm_s, earlier.comm_s, out=out.comm_s)
 
     def fast_forward(self, delta: MachineState, repeats: int) -> None:
         """Apply ``repeats`` copies of a per-iteration state increment.
@@ -204,14 +233,15 @@ class BspMachine:
             raise SimulationError("repeats must be non-negative")
         if repeats == 0:
             return
-        self.clock_s = self.clock_s + repeats * delta.clock_s
-        self._compute_s = self._compute_s + repeats * delta.compute_s
-        self._wait_s = self._wait_s + repeats * delta.wait_s
-        self._comm_s = self._comm_s + repeats * delta.comm_s
+        self.clock_s += np.multiply(delta.clock_s, repeats, out=self._dt_scratch)
+        self._compute_s += np.multiply(delta.compute_s, repeats, out=self._dt_scratch)
+        self._wait_s += np.multiply(delta.wait_s, repeats, out=self._dt_scratch)
+        self._comm_s += np.multiply(delta.comm_s, repeats, out=self._dt_scratch)
 
     def barrier(self) -> None:
         """Global synchronisation: everyone waits for the slowest rank."""
-        self._sync_to(np.full(self.n_ranks, self.clock_s.max()), 0.0, "barrier")
+        self._ready_scratch.fill(self.clock_s.max())
+        self._sync_to(self._ready_scratch, 0.0, "barrier")
 
     def allreduce(self, message_bytes: float = 8.0) -> None:
         """Synchronising reduction: barrier semantics plus tree cost.
@@ -223,7 +253,8 @@ class BspMachine:
         cost = 2 * (
             hops * self.latency_s + message_bytes / (self.bandwidth_gbps * 1e9)
         )
-        self._sync_to(np.full(self.n_ranks, self.clock_s.max()), cost, "allreduce")
+        self._ready_scratch.fill(self.clock_s.max())
+        self._sync_to(self._ready_scratch, cost, "allreduce")
 
     def sendrecv(self, neighbors: np.ndarray, message_bytes: float = 0.0) -> None:
         """Halo exchange: each rank waits for its neighbours.
@@ -241,7 +272,13 @@ class BspMachine:
             )
         if nb.size and (nb.min() < 0 or nb.max() >= self.n_ranks):
             raise SimulationError("neighbor indices out of range")
-        ready = np.maximum(self.clock_s, self.clock_s[nb].max(axis=1))
+        k = int(nb.shape[1])
+        gather = self._gather_scratch.get(k)
+        if gather is None:
+            gather = self._gather_scratch[k] = np.empty(nb.shape)
+        np.take(self.clock_s, nb, out=gather)
+        ready = np.max(gather, axis=1, out=self._ready_scratch)
+        np.maximum(self.clock_s, ready, out=ready)
         self._sync_to(
             ready, self._transfer_cost(message_bytes * nb.shape[1]), "sendrecv"
         )
@@ -249,10 +286,10 @@ class BspMachine:
     def _sync_to(
         self, ready_s: np.ndarray, transfer_cost_s: float, op: str
     ) -> None:
-        wait = ready_s - self.clock_s
-        self._wait_s = self._wait_s + wait
-        self._comm_s = self._comm_s + transfer_cost_s
-        self.clock_s = ready_s + transfer_cost_s
+        wait = np.subtract(ready_s, self.clock_s, out=self._wait_scratch)
+        self._wait_s += wait
+        self._comm_s += transfer_cost_s
+        np.add(ready_s, transfer_cost_s, out=self.clock_s)
         if self.observer is not None:
             self.observer.on_sync(op, self.clock_s, wait)
 
@@ -266,3 +303,245 @@ class BspMachine:
             wait_s=self._wait_s.copy(),
             comm_s=self._comm_s.copy(),
         )
+
+
+class BatchedBspMachine:
+    """Many independent :class:`BspMachine` runs as one 2-D machine.
+
+    State arrays have shape ``(n_configs, n_ranks)``: row *c* is exactly
+    the machine a :class:`BspMachine` built from ``rates[c]`` would be.
+    Every operation is row-independent — config rows never interact — and
+    each is implemented with the same elementwise IEEE-754 operations as
+    the 1-D machine, so row *c*'s results are bit-identical to a 1-D run
+    at ``rates[c]``.  Sweeps exploit this: one batched pass over all
+    budgets replaces ``n_configs`` Python-level fleet traversals.
+
+    No noise and no observer: the batched path exists for the managed
+    (deterministic) sweeps, which never enable per-run noise, and
+    telemetry timelines are per-run by construction.
+    """
+
+    def __init__(
+        self,
+        rates: np.ndarray,
+        *,
+        latency_s: float = 5e-6,
+        bandwidth_gbps: float = 5.0,
+    ):
+        r = np.asarray(rates, dtype=float)
+        if r.ndim != 2 or r.size == 0:
+            raise SimulationError(
+                "rates must be a non-empty (n_configs, n_ranks) array"
+            )
+        if np.any(~np.isfinite(r)) or np.any(r <= 0):
+            raise SimulationError("rates must be finite and positive")
+        if latency_s < 0 or bandwidth_gbps <= 0:
+            raise SimulationError("latency must be >= 0 and bandwidth > 0")
+        self.rates = r
+        self.latency_s = float(latency_s)
+        self.bandwidth_gbps = float(bandwidth_gbps)
+        shape = r.shape
+        self.clock_s = np.zeros(shape)
+        self._compute_s = np.zeros(shape)
+        self._wait_s = np.zeros(shape)
+        self._comm_s = np.zeros(shape)
+        # Scratch reused across supersteps (see BspMachine.__init__).
+        self._dt_scratch = np.empty(shape)
+        self._ready_scratch = np.empty(shape)
+        self._wait_scratch = np.empty(shape)
+        self._take_scratch = np.empty(shape)
+        self._rowmax_scratch = np.empty((shape[0], 1))
+
+    @property
+    def n_configs(self) -> int:
+        """Number of stacked configurations (rows)."""
+        return int(self.rates.shape[0])
+
+    @property
+    def n_ranks(self) -> int:
+        """Number of ranks per configuration (columns)."""
+        return int(self.rates.shape[1])
+
+    @classmethod
+    def _from_state(
+        cls,
+        rates: np.ndarray,
+        latency_s: float,
+        bandwidth_gbps: float,
+        clock_s: np.ndarray,
+        compute_s: np.ndarray,
+        wait_s: np.ndarray,
+        comm_s: np.ndarray,
+    ) -> "BatchedBspMachine":
+        m = cls(rates, latency_s=latency_s, bandwidth_gbps=bandwidth_gbps)
+        np.copyto(m.clock_s, clock_s)
+        np.copyto(m._compute_s, compute_s)
+        np.copyto(m._wait_s, wait_s)
+        np.copyto(m._comm_s, comm_s)
+        return m
+
+    def extract_rows(self, keep: np.ndarray) -> "BatchedBspMachine":
+        """A new machine holding only the selected config rows (copies;
+        the fast path uses this to drop fast-forwarded configs from the
+        active set mid-loop)."""
+        return self._from_state(
+            self.rates[keep],
+            self.latency_s,
+            self.bandwidth_gbps,
+            self.clock_s[keep],
+            self._compute_s[keep],
+            self._wait_s[keep],
+            self._comm_s[keep],
+        )
+
+    def write_rows(
+        self,
+        rows: np.ndarray,
+        sub: "BatchedBspMachine",
+        sub_rows: np.ndarray | None = None,
+    ) -> None:
+        """Copy a sub-machine's state (or a row subset of it) back into
+        the given parent rows."""
+        sel = slice(None) if sub_rows is None else sub_rows
+        self.clock_s[rows] = sub.clock_s[sel]
+        self._compute_s[rows] = sub._compute_s[sel]
+        self._wait_s[rows] = sub._wait_s[sel]
+        self._comm_s[rows] = sub._comm_s[sel]
+
+    # -- operations (row-wise identical to BspMachine) ---------------------------
+
+    def advance_local(self, dt_seconds: np.ndarray) -> None:
+        """Advance every config's ranks by precomputed local time."""
+        dt = np.broadcast_to(
+            np.asarray(dt_seconds, dtype=float), self.rates.shape
+        )
+        if np.any(dt < 0):
+            raise SimulationError("local time must be non-negative")
+        self.clock_s += dt
+        self._compute_s += dt
+
+    def _row_ready(self) -> np.ndarray:
+        """Per-row clock maximum broadcast across ranks (barrier target)."""
+        np.max(self.clock_s, axis=1, keepdims=True, out=self._rowmax_scratch)
+        np.copyto(self._ready_scratch, self._rowmax_scratch)
+        return self._ready_scratch
+
+    def barrier(self) -> None:
+        """Per-config global synchronisation."""
+        self._sync_to(self._row_ready(), 0.0)
+
+    def allreduce(self, message_bytes: float = 8.0) -> None:
+        """Per-config synchronising reduction (same closed-form cost as
+        :meth:`BspMachine.allreduce`)."""
+        hops = max(1, int(np.ceil(np.log2(max(self.n_ranks, 2)))))
+        cost = 2 * (
+            hops * self.latency_s + message_bytes / (self.bandwidth_gbps * 1e9)
+        )
+        self._sync_to(self._row_ready(), cost)
+
+    def sendrecv(self, neighbors: np.ndarray, message_bytes: float = 0.0) -> None:
+        """Per-config halo exchange on a shared neighbour table."""
+        nb = np.asarray(neighbors)
+        if nb.ndim != 2 or nb.shape[0] != self.n_ranks:
+            raise SimulationError(
+                f"neighbors must have shape (n_ranks, k); got {nb.shape}"
+            )
+        if nb.size and (nb.min() < 0 or nb.max() >= self.n_ranks):
+            raise SimulationError("neighbor indices out of range")
+        # Partner-at-a-time gathers into (C, R) scratch instead of one
+        # (C, R, k) fancy-indexed temporary: max is exact and selects an
+        # operand, so the accumulation order cannot change the result and
+        # the row-wise outcome stays bit-identical to the 1-D machine's.
+        ready = self._ready_scratch
+        np.take(self.clock_s, nb[:, 0], axis=1, out=ready)
+        for j in range(1, nb.shape[1]):
+            np.take(self.clock_s, nb[:, j], axis=1, out=self._take_scratch)
+            np.maximum(ready, self._take_scratch, out=ready)
+        np.maximum(self.clock_s, ready, out=ready)
+        cost = self.latency_s + message_bytes * nb.shape[1] / (
+            self.bandwidth_gbps * 1e9
+        )
+        self._sync_to(self._ready_scratch, cost)
+
+    def _sync_to(self, ready_s: np.ndarray, transfer_cost_s: float) -> None:
+        wait = np.subtract(ready_s, self.clock_s, out=self._wait_scratch)
+        self._wait_s += wait
+        self._comm_s += transfer_cost_s
+        np.add(ready_s, transfer_cost_s, out=self.clock_s)
+
+    # -- fast-path state access --------------------------------------------------
+
+    def state_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Copies of the four ``(n_configs, n_ranks)`` accumulators."""
+        return (
+            self.clock_s.copy(),
+            self._compute_s.copy(),
+            self._wait_s.copy(),
+            self._comm_s.copy(),
+        )
+
+    def state_into(
+        self, out: tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]
+    ) -> None:
+        """Snapshot the accumulators into preallocated buffers (the
+        loop detector's per-iteration path, allocation-free)."""
+        np.copyto(out[0], self.clock_s)
+        np.copyto(out[1], self._compute_s)
+        np.copyto(out[2], self._wait_s)
+        np.copyto(out[3], self._comm_s)
+
+    def delta_into(
+        self,
+        earlier: tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray],
+        out: tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray],
+    ) -> None:
+        """Per-element increments since ``earlier``, written into ``out``."""
+        np.subtract(self.clock_s, earlier[0], out=out[0])
+        np.subtract(self._compute_s, earlier[1], out=out[1])
+        np.subtract(self._wait_s, earlier[2], out=out[2])
+        np.subtract(self._comm_s, earlier[3], out=out[3])
+
+    def fast_forward_rows(
+        self,
+        rows: np.ndarray,
+        delta: tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray],
+        repeats: int,
+    ) -> None:
+        """Apply ``repeats`` per-iteration increments to selected rows
+        (``delta`` arrays are machine-shaped; only ``rows`` are read).
+
+        Per element this is the same ``a + repeats * d`` multiply-add
+        :meth:`BspMachine.fast_forward` performs.
+        """
+        if repeats <= 0:
+            return
+        d_clock, d_compute, d_wait, d_comm = delta
+        rows = np.asarray(rows)
+        if rows.dtype == bool and rows.all():
+            # Whole batch retires at once (the common case for uniform
+            # sweeps): same multiply-add, without the masked copies.
+            self.clock_s += np.multiply(d_clock, repeats, out=self._dt_scratch)
+            self._compute_s += np.multiply(
+                d_compute, repeats, out=self._dt_scratch
+            )
+            self._wait_s += np.multiply(d_wait, repeats, out=self._dt_scratch)
+            self._comm_s += np.multiply(d_comm, repeats, out=self._dt_scratch)
+            return
+        self.clock_s[rows] += repeats * d_clock[rows]
+        self._compute_s[rows] += repeats * d_compute[rows]
+        self._wait_s[rows] += repeats * d_wait[rows]
+        self._comm_s[rows] += repeats * d_comm[rows]
+
+    # -- results ---------------------------------------------------------------
+
+    def traces(self) -> list[RankTrace]:
+        """One :class:`RankTrace` per configuration row (copies)."""
+        return [
+            RankTrace(
+                total_s=self.clock_s[c].copy(),
+                compute_s=self._compute_s[c].copy(),
+                wait_s=self._wait_s[c].copy(),
+                comm_s=self._comm_s[c].copy(),
+            )
+            for c in range(self.n_configs)
+        ]

@@ -1,6 +1,5 @@
 """Tests for the alpha-solve (Eq 5-9) and Table 4 classification."""
 
-import warnings
 
 import numpy as np
 import pytest
@@ -111,10 +110,11 @@ class TestSolveAlpha:
 
 
 class TestChunkedShim:
-    def test_forwards_and_warns_once(self, monkeypatch):
+    def test_forwards_and_warns_every_call(self):
+        # Final-release stub: the shim now warns on *every* call (so no
+        # caller can miss the notice before removal) and forwards.
         import repro.core.budget as budget_mod
 
-        monkeypatch.setattr(budget_mod, "_CHUNKED_DEPRECATION_WARNED", False)
         m = model(n=16, spread=0.05)
         budget = (m.total_min_w() + m.total_max_w()) / 2
         with pytest.warns(DeprecationWarning, match="solve_alpha_chunked"):
@@ -122,9 +122,7 @@ class TestChunkedShim:
         unified = solve_alpha(m, budget, chunk_modules=5)
         assert sol.alpha == unified.alpha
         assert np.array_equal(sol.pmodule_w, unified.pmodule_w)
-        # The warning fires once per process, not once per call.
-        with warnings.catch_warnings():
-            warnings.simplefilter("error")
+        with pytest.warns(DeprecationWarning, match="solve_alpha_chunked"):
             budget_mod.solve_alpha_chunked(m, budget, chunk_modules=5)
 
     def test_chunk_knob_bit_identical_allocations(self):

@@ -32,6 +32,7 @@ PUBLIC_API = [
     "JobScheduler",
     # core
     "ALL_SCHEMES",
+    "BatchBudgetSolution",
     "BudgetSolution",
     "LinearPowerModel",
     "PowerAllocation",
@@ -42,6 +43,7 @@ PUBLIC_API = [
     "available_schemes",
     "calibrate_pmt",
     "classify_constraint",
+    "classify_constraint_batched",
     "generate_pvt",
     "get_scheme",
     "instrument",
@@ -50,9 +52,11 @@ PUBLIC_API = [
     "oracle_pmt",
     "register_scheme",
     "run_budgeted",
+    "run_budgeted_batched",
     "run_uncapped",
     "single_module_test_run",
     "solve_alpha",
+    "solve_alpha_batched",
     # hardware
     "Microarchitecture",
     "Module",

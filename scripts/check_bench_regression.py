@@ -13,7 +13,16 @@ compares each against the best *committed* baseline in
   regardless of history.
 
 A fresh number more than 25 % below its best committed baseline fails
-the check.  Wall-clock baselines are machine-relative, so the guard is
+the check.
+
+It also audits the *latest committed* ``fleet_throughput`` record for a
+cache cliff: scaling the fleet up must not cost throughput, so each
+point's ranks/sec has to stay within :data:`MONO_TOLERANCE` of the best
+rate at any smaller size in the same record.  The 50k-point guard above
+cannot see this — a checkout whose 50k rate is fine but whose 1M rate
+collapses (the working set falling out of cache) passed it silently.
+Only the newest record is audited because older ones legitimately
+predate the sharded executor and contain the cliff.  Wall-clock baselines are machine-relative, so the guard is
 skippable for underpowered runners: set ``REPRO_BENCH_SKIP=1`` (CI wires
 this to the ``skip-bench-guard`` PR label).
 
@@ -54,6 +63,68 @@ MIN_SWEEP_SPEEDUP = 3.0
 
 REPEATS = 2
 
+#: The fleet-rate measurement is cheap (~0.3 s per run at 50k modules),
+#: so it takes more repeats than the sweep: on a shared runner a
+#: best-of-2 can land 25-30% under the quiet-box rate the committed
+#: baseline was recorded at, tripping the ratchet on noise alone.
+FLEET_REPEATS = 4
+
+#: Allowed fractional dip below the best smaller-fleet rate inside one
+#: committed ``fleet_throughput`` record (the cache-cliff audit).  The
+#: mid-size points run L3-resident while the million-module point
+#: streams from DRAM, so some dip is physical on any single-socket
+#: runner; the sharded executor holds the measured transition to ~0.48x
+#: of peak (best-of-2 points), while the unsharded path collapsed to
+#: ~0.38x — the tolerance's floor (0.45x of peak) sits between the two.
+MONO_TOLERANCE = 0.55
+
+
+def monotonic_violations(points, tolerance: float = MONO_TOLERANCE) -> list[str]:
+    """Cache-cliff audit of one ``fleet_throughput`` record's points.
+
+    Sorted by fleet size, every point's ranks/sec must stay within
+    ``tolerance`` of the best rate observed at any *smaller* size —
+    throughput may keep improving with scale, but a larger fleet must
+    never fall off a cliff the small-fleet guard cannot see.  Returns
+    human-readable violation strings (empty = clean); malformed points
+    are reported rather than skipped so a schema drift cannot silently
+    disable the audit.
+    """
+    try:
+        pts = sorted(
+            ((int(p["n_modules"]), float(p["ranks_per_sec"])) for p in points),
+            key=lambda p: p[0],
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        return [f"fleet_throughput record is malformed: {exc!r}"]
+    violations: list[str] = []
+    best = best_n = None
+    for n, rate in pts:
+        if best is not None and rate < best * (1.0 - tolerance):
+            violations.append(
+                f"fleet throughput cliff: {rate:,.0f} ranks/s at {n:,} "
+                f"modules is >{tolerance:.0%} below {best:,.0f} at "
+                f"{best_n:,} modules"
+            )
+        if best is None or rate > best:
+            best, best_n = rate, n
+    return violations
+
+
+def _latest_fleet_points() -> list[dict]:
+    """Points of the newest committed ``fleet_throughput`` record
+    (empty when the file is missing, corrupt, or has no such record)."""
+    if not BENCH_FILE.exists():
+        return []
+    try:
+        runs = json.loads(BENCH_FILE.read_text())["runs"]
+    except (json.JSONDecodeError, KeyError, TypeError):
+        return []
+    for r in reversed(runs):
+        if isinstance(r, dict) and r.get("kind") == "fleet_throughput":
+            return list(r.get("points", []))
+    return []
+
 
 def _baselines() -> tuple[list[float], list[float]]:
     """(fleet ranks/sec at GUARD_MODULES, batched-sweep speedups) from
@@ -84,7 +155,8 @@ def _fresh_fleet_rate() -> float:
 
     run_fleet_point(GUARD_MODULES)  # warm system/PVT caches and pages
     return max(
-        run_fleet_point(GUARD_MODULES).ranks_per_sec for _ in range(REPEATS)
+        run_fleet_point(GUARD_MODULES).ranks_per_sec
+        for _ in range(FLEET_REPEATS)
     )
 
 
@@ -126,6 +198,16 @@ def main() -> int:
 
     fleet_base, sweep_base = _baselines()
     failures: list[str] = []
+
+    latest = _latest_fleet_points()
+    if latest:
+        cliffs = monotonic_violations(latest)
+        sizes = "/".join(f"{p.get('n_modules', 0) // 1000}k" for p in latest)
+        print(
+            f"fleet scaling audit ({sizes}): "
+            + ("OK" if not cliffs else f"{len(cliffs)} cliff(s)")
+        )
+        failures.extend(cliffs)
 
     rate = _fresh_fleet_rate()
     if fleet_base:

@@ -143,6 +143,24 @@ def build_parser() -> argparse.ArgumentParser:
         "execution — results are bit-identical either way)",
     )
     parser.add_argument(
+        "--shard-ranks",
+        type=int,
+        default=None,
+        metavar="W",
+        help="pin the sharded fast path's column-tile width to W ranks "
+        "(default: auto-tuned from the cache working-set budget; "
+        "sharding is execution layout only — results are bit-identical "
+        "at any value)",
+    )
+    parser.add_argument(
+        "--shard-workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="thread-pool workers executing shards (default: one per "
+        "CPU core, capped at the shard count)",
+    )
+    parser.add_argument(
         "--stats",
         action="store_true",
         help="print engine run statistics (cache hits/misses, per-run "
@@ -162,6 +180,16 @@ def build_parser() -> argparse.ArgumentParser:
         "+ .npz (implies --telemetry)",
     )
     return parser
+
+
+def _shard_arg(args: argparse.Namespace):
+    """The engine ``shard`` value for the parsed flags: ``"auto"`` when
+    neither knob was given, else a pinned ShardSpec."""
+    if args.shard_ranks is None and args.shard_workers is None:
+        return "auto"
+    return engine_mod.ShardSpec(
+        shard_ranks=args.shard_ranks, shard_workers=args.shard_workers
+    )
 
 
 def run_all(stats: bool = False) -> int:
@@ -266,6 +294,7 @@ def _run_trace(args: argparse.Namespace) -> int:
         cache_dir=args.cache_dir,
         use_cache=not args.no_cache,
         batch=args.batch,
+        shard=_shard_arg(args),
     )
     telemetry.enable()
     _, runner = EXPERIMENTS[name]
@@ -339,6 +368,7 @@ def _run_stats(args: argparse.Namespace) -> int:
         cache_dir=args.cache_dir,
         use_cache=not args.no_cache,
         batch=args.batch,
+        shard=_shard_arg(args),
     )
     telemetry.enable()
     _, runner = EXPERIMENTS[name]
@@ -381,6 +411,7 @@ def main(argv: list[str] | None = None) -> int:
         cache_dir=args.cache_dir,
         use_cache=not args.no_cache,
         batch=args.batch,
+        shard=_shard_arg(args),
     )
     with_telemetry = args.telemetry or args.telemetry_dir is not None
     if with_telemetry:

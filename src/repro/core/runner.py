@@ -365,6 +365,7 @@ def run_budgeted_batched(
     noisy: bool = True,
     fs_guardband_frac: float = 0.02,
     chunk_modules: int | None = None,
+    shard="auto",
 ) -> list["RunResult | InfeasibleBudgetError"]:
     """Run many (scheme, budget) configs of one app in a single batched pass.
 
@@ -374,6 +375,13 @@ def run_budgeted_batched(
     (the RAPL dither stream is keyed by app/scheme/budget), and all
     simulations execute as one 2-D vectorised pass
     (:func:`~repro.simmpi.fastpath.simulate_app_batched`).
+
+    ``shard`` controls the memory layout of that pass — ``"auto"``
+    (default) tiles the (configs, ranks) plane once it outgrows the
+    cache working-set budget, a
+    :class:`~repro.simmpi.sharding.ShardSpec`/:class:`~repro.simmpi.sharding.ShardPlan`
+    pins the tiling, ``None`` forces the unsharded path.  Sharding is
+    pure execution layout: results are bit-identical either way.
 
     Entry *i* is the :class:`RunResult` a per-config
     :func:`run_budgeted` call would return — bit-identical, every stage
@@ -472,7 +480,7 @@ def run_budgeted_batched(
                 n_unique=rates.shape[0],
             ):
                 traces = simulate_app_batched(
-                    model, rates, arch.fmax, n_iters=n_iters
+                    model, rates, arch.fmax, n_iters=n_iters, shard=shard
                 )
             dram_of: dict[int, np.ndarray] = {}
             taken = [False] * rates.shape[0]

@@ -23,6 +23,10 @@ from repro.exec.engine import (
     reset,
 )
 from repro.exec.metrics import BatchRecord, RunRecord, RunStats
+
+# Re-exported so front-ends (the CLI) can pin shard layout without a
+# direct cli -> simmpi import edge; the engine owns the shard knob.
+from repro.simmpi.sharding import ShardPlan, ShardSpec
 from repro.exec.shared import (
     SharedFleet,
     attach_fleet,
@@ -44,6 +48,8 @@ __all__ = [
     "BatchRecord",
     "RunRecord",
     "RunStats",
+    "ShardPlan",
+    "ShardSpec",
     "SharedFleet",
     "attach_fleet",
     "destroy_fleet",

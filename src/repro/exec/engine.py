@@ -193,7 +193,7 @@ def _group_signature(key: RunKey) -> tuple:
 
 
 def _run_group(
-    keys: Sequence[RunKey], handle: SharedFleet | None = None
+    keys: Sequence[RunKey], handle: SharedFleet | None = None, shard="auto"
 ) -> list[tuple[str, object]]:
     """Execute one batched group; per-key tagged outcomes, input order.
 
@@ -201,6 +201,11 @@ def _run_group(
     system in-process (:func:`_system_for`), a :class:`SharedFleet`
     attaches the parent-exported block (worker side).  Either way the
     runs are bit-identical to per-key :func:`execute_key` calls.
+
+    ``shard`` forwards to :func:`~repro.core.runner.run_budgeted_batched`
+    unchanged.  It is execution layout only — results, and therefore
+    cache payloads and key digests, do not depend on it, which is why it
+    is *not* part of :func:`_group_signature` or :class:`RunKey`.
     """
     key0 = keys[0]
     spec = _spec(key0)
@@ -224,6 +229,7 @@ def _run_group(
         n_iters=key0.n_iters,
         noisy=key0.noisy,
         fs_guardband_frac=key0.fs_guardband_frac,
+        shard=shard,
     )
     return [
         ("infeasible", (out.budget_w, out.floor_w))
@@ -234,11 +240,11 @@ def _run_group(
 
 
 def _pool_run_group(
-    handle: SharedFleet | None, keys: tuple[RunKey, ...]
+    handle: SharedFleet | None, keys: tuple[RunKey, ...], shard="auto"
 ) -> tuple[list[tuple[str, object]], float]:
     """Worker-side group wrapper: tagged per-key outcomes + group wall."""
     t0 = perf_counter()
-    tagged = _run_group(keys, handle=handle)
+    tagged = _run_group(keys, handle=handle, shard=shard)
     return tagged, perf_counter() - t0
 
 
@@ -266,6 +272,14 @@ class ExperimentEngine:
         as one vectorised pass instead of per-key loops.  Results are
         bit-identical either way; ``batch=False`` restores the per-key
         path (also the automatic fallback for keys that cannot batch).
+    shard:
+        Execution layout for batched groups, forwarded to
+        :func:`~repro.core.runner.run_budgeted_batched`: ``"auto"``
+        (the default) tiles the simulation plane when it outgrows the
+        cache working-set budget, a
+        :class:`~repro.simmpi.sharding.ShardSpec` pins the tiling,
+        ``None`` forces the unsharded path.  Layout only — results and
+        cache digests never depend on it.
     """
 
     def __init__(
@@ -275,6 +289,7 @@ class ExperimentEngine:
         use_cache: bool | None = None,
         stats: RunStats | None = None,
         batch: bool = True,
+        shard="auto",
     ):
         self.jobs = max(1, int(jobs))
         if use_cache is None:
@@ -284,6 +299,7 @@ class ExperimentEngine:
         )
         self.stats = stats if stats is not None else RunStats()
         self.batch = bool(batch)
+        self.shard = shard
 
     # -- single runs ---------------------------------------------------------
 
@@ -463,6 +479,7 @@ class ExperimentEngine:
                             _pool_run_group,
                             handles[_spec(members[0][1])],
                             tuple(k for _, k in members),
+                            self.shard,
                         )
                         for members in groups
                     ]
@@ -481,7 +498,7 @@ class ExperimentEngine:
         else:
             for members in groups:
                 t0 = perf_counter()
-                tagged = _run_group([k for _, k in members])
+                tagged = _run_group([k for _, k in members], shard=self.shard)
                 _fold_group(members, tagged, perf_counter() - t0)
             for i, key in singles:
                 tag, payload, wall_s = _pool_run(key)
@@ -537,11 +554,13 @@ def configure(
     cache_dir: str | None = None,
     use_cache: bool | None = None,
     batch: bool = True,
+    shard="auto",
 ) -> ExperimentEngine:
     """Install the process-global engine (called by the CLI front-end)."""
     global _engine
     _engine = ExperimentEngine(
-        jobs=jobs, cache_dir=cache_dir, use_cache=use_cache, batch=batch
+        jobs=jobs, cache_dir=cache_dir, use_cache=use_cache, batch=batch,
+        shard=shard,
     )
     return _engine
 

@@ -106,6 +106,7 @@ def run_fleet_point(
     seed: int = DEFAULT_SEED,
     chunk_modules: int = FLEET_CHUNK,
     batch: bool | None = None,
+    shard="auto",
 ) -> FleetPoint:
     """Run the scheme comparison on one synthetic fleet size.
 
@@ -118,6 +119,12 @@ def run_fleet_point(
     all three schemes as one config-batched pass — one truth view, one
     2-D simulation — instead of three sequential runs; results are
     bit-identical either way.
+
+    ``shard`` forwards to :func:`~repro.core.runner.run_budgeted_batched`
+    (batched path only): ``"auto"`` tiles the (schemes, modules)
+    simulation plane once the fleet outgrows the cache working-set
+    budget; a :class:`~repro.simmpi.sharding.ShardSpec` pins the tiling;
+    ``None`` forces unsharded.  Layout only — results are bit-identical.
     """
     if batch is None:
         batch = get_engine().batch
@@ -140,6 +147,7 @@ def run_fleet_point(
                 n_iters=n_iters,
                 noisy=False,
                 chunk_modules=chunk_modules,
+                shard=shard,
             )
             for out in outs:
                 if isinstance(out, Exception):

@@ -47,7 +47,9 @@ golden-pin tolerance.
 from __future__ import annotations
 
 from collections.abc import Callable, Iterator, Sequence
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
+from time import perf_counter
 
 import numpy as np
 
@@ -63,6 +65,7 @@ from repro.simmpi.eventsim import (
     Send,
 )
 from repro.simmpi.machine import BatchedBspMachine, BspMachine, MachineState
+from repro.simmpi.sharding import ShardPlan, ShardSpec, plan_shards
 from repro.simmpi.tracing import RankTrace
 
 __all__ = [
@@ -75,6 +78,7 @@ __all__ = [
     "BspProgram",
     "run_fast",
     "run_fast_batched",
+    "run_fast_sharded",
     "run_event",
     "to_event_program",
     "is_bsp_expressible",
@@ -496,12 +500,556 @@ def _exec_loop_batched(machine: BatchedBspMachine, loop: VLoop) -> None:
         parent.write_rows(rows, sub)
 
 
+# -- the sharded executor ------------------------------------------------------
+#
+# Tiling strategy: the unsharded loop body makes one full-plane pass per
+# numpy op (~30 per superstep with the detector), so beyond cache size
+# every op streams from DRAM.  The sharded executor reorganises each
+# superstep into 2-3 fused *tile passes* — per tile: [finish previous
+# sync; snapshot; advance locals; partial row-max], [halo gathers], and
+# [finish sync; delta; detector verdicts] — so each tile's ~20 arrays
+# are touched many times while cache-hot and streamed from DRAM only
+# once per pass.  Per-segment local dt is computed once per loop entry
+# (it is loop-invariant) instead of once per iteration.
+#
+# Bit-identity (ARCHITECTURE.md invariant 8): every tiled update applies
+# the same elementwise IEEE-754 ops as its full-width original on the
+# same operands; the only cross-column couplings — the barrier row max,
+# the halo gathers, and the detector's row reductions — are exact
+# operand selections / AND-reductions, which commute with any column
+# partition.  Cross-row coupling does not exist, so row blocks are
+# trivially exact.
+
+
+def _shard_segments(
+    ops: Sequence[_VOp],
+) -> list[tuple[tuple, _VOp | None]]:
+    """Split an op sequence at its synchronisation points.
+
+    Returns ``(locals, sync)`` pairs where ``locals`` is a maximal
+    sync-free run — exactly the runs :func:`_exec_ops_batched` fuses,
+    since the boundaries depend only on op types — and ``sync`` is the
+    following barrier / allreduce / sendrecv / sync-bearing loop, or
+    ``None`` for a trailing local run.
+    """
+    segs: list[tuple[tuple, _VOp | None]] = []
+    run: list[_VOp] = []
+    for op in ops:
+        if isinstance(op, _LOCAL_OPS) or (
+            isinstance(op, VLoop) and not _has_sync(op.body)
+        ):
+            run.append(op)
+        else:
+            segs.append((tuple(run), op))
+            run = []
+    if run:
+        segs.append((tuple(run), None))
+    return segs
+
+
+def _local_dt_tile(
+    ops: Sequence[_VOp], rates: np.ndarray, a: int, b: int
+) -> np.ndarray:
+    """:func:`_local_dt_batched` restricted to columns ``[a, b)`` —
+    elementwise identical to slicing the full result, since every term
+    is per-element."""
+    sub = rates[:, a:b]
+    w = b - a
+    dt = np.zeros(sub.shape)
+    for op in ops:
+        if isinstance(op, VCompute):
+            pay = np.asarray(op.ghz_seconds, dtype=float)
+            dt += np.broadcast_to(pay if pay.ndim == 0 else pay[a:b], (w,)) / sub
+        elif isinstance(op, VElapse):
+            pay = np.asarray(op.seconds, dtype=float)
+            dt += np.broadcast_to(pay if pay.ndim == 0 else pay[a:b], (w,))
+        elif isinstance(op, VLoop):
+            dt += op.iters * _local_dt_tile(op.body, rates, a, b)
+        else:  # pragma: no cover - guarded by _has_sync
+            raise SimulationError(f"{op!r} is not a local op")
+    return dt
+
+
+class _ShardedExec:
+    """Execution state of one row block on a column-tiled plan.
+
+    Owns the machine, the tile boundaries, the full-width gathered-ready
+    plane, the per-tile partial buffers, and the (shared) thread pool.
+    Per-tile scratch makes every tile pass race-free: concurrent visits
+    write only their own column range and their own scratch.  ``busy_s``
+    accumulates per-tile busy seconds across the whole run (shared
+    through :meth:`shrink` so retirement does not reset the telemetry).
+    """
+
+    __slots__ = (
+        "machine", "bounds", "pool", "busy_s",
+        "ready", "partials", "wait_scr", "diff_scr", "tol_scr", "gather_scr",
+    )
+
+    def __init__(
+        self,
+        machine: BatchedBspMachine,
+        bounds: tuple[tuple[int, int], ...],
+        pool: ThreadPoolExecutor | None,
+        busy_s: list[float],
+    ):
+        self.machine = machine
+        self.bounds = bounds
+        self.pool = pool
+        self.busy_s = busy_s
+        c = machine.n_configs
+        self.ready = np.empty(machine.rates.shape)
+        self.partials = np.empty((c, len(bounds)))
+        self.wait_scr = [np.empty((c, b - a)) for a, b in bounds]
+        self.diff_scr = [np.empty((c, b - a)) for a, b in bounds]
+        self.tol_scr = [np.empty((c, b - a)) for a, b in bounds]
+        self.gather_scr: list[tuple[np.ndarray, np.ndarray] | None]
+        self.gather_scr = [None] * len(bounds)
+
+    def shrink(self, keep: np.ndarray) -> "_ShardedExec":
+        """A new exec over the kept config rows, same column tiling."""
+        return _ShardedExec(
+            self.machine.extract_rows(keep), self.bounds, self.pool, self.busy_s
+        )
+
+    def gather_pair(self, t: int) -> tuple[np.ndarray, np.ndarray]:
+        """Tile *t*'s halo-gather scratch, allocated on first exchange."""
+        pair = self.gather_scr[t]
+        if pair is None:
+            a, b = self.bounds[t]
+            c = self.machine.n_configs
+            pair = (np.empty((c, b - a)), np.empty((c, b - a)))
+            self.gather_scr[t] = pair
+        return pair
+
+    def apply_sync(self, pend: tuple, t: int, a: int, b: int) -> None:
+        """Apply a pending sync's phase 2 to tile *t* (wait/comm/clock)."""
+        kind, ready, cost = pend
+        self.machine.sync_cols(
+            a, b, ready if kind == "row" else ready[:, a:b], cost,
+            self.wait_scr[t],
+        )
+
+    def foreach(self, visit) -> None:
+        """Run ``visit(t, a, b)`` over every tile — on the pool when one
+        is attached, else inline.  Returns only once all tiles are done,
+        so consecutive passes are separated by a full barrier; worker
+        exceptions propagate."""
+        bounds = self.bounds
+        busy = self.busy_s
+
+        def run(t: int) -> None:
+            a, b = bounds[t]
+            t0 = perf_counter()
+            visit(t, a, b)
+            busy[t] += perf_counter() - t0
+
+        if self.pool is None:
+            for t in range(len(bounds)):
+                run(t)
+        else:
+            list(self.pool.map(run, range(len(bounds))))
+
+
+def _dt_tiles(ex: _ShardedExec, ops: tuple) -> list[np.ndarray] | None:
+    """Per-tile local-time caches for one sync-free run (``None`` when
+    the run is empty).  Loop-invariant, so loops build these once per
+    entry; :meth:`BatchedBspMachine.advance_local`'s non-negativity
+    guard is hoisted here."""
+    if not ops:
+        return None
+    tiles = []
+    for a, b in ex.bounds:
+        dt = _local_dt_tile(ops, ex.machine.rates, a, b)
+        if np.any(dt < 0):
+            raise SimulationError("local time must be non-negative")
+        tiles.append(dt)
+    return tiles
+
+
+def _fused_pass(
+    ex: _ShardedExec,
+    *,
+    pend: tuple | None = None,
+    snap: tuple | None = None,
+    dt: list[np.ndarray] | None = None,
+    partial: bool = False,
+) -> None:
+    """One tiled pass: finish a pending sync, snapshot, advance local
+    time, and/or compute barrier partial row-maxima — fused so each
+    tile's arrays are touched together while cache-hot."""
+    m = ex.machine
+
+    def visit(t: int, a: int, b: int) -> None:
+        if pend is not None:
+            ex.apply_sync(pend, t, a, b)
+        if snap is not None:
+            m.snapshot_cols(a, b, snap)
+        if dt is not None:
+            m.advance_cols(a, b, dt[t])
+        if partial:
+            m.rowmax_cols(a, b, ex.partials[:, t])
+
+    ex.foreach(visit)
+
+
+def _barrier_pend(ex: _ShardedExec, op: _VOp) -> tuple:
+    """Reduce the tiles' partial row maxima (max of maxes is the exact
+    full-row max) and price the collective; a ``partial`` pass must have
+    just filled ``ex.partials``."""
+    m = ex.machine
+    ready_row = np.max(ex.partials, axis=1)[:, None]
+    if isinstance(op, VAllreduce):
+        hops = max(1, int(np.ceil(np.log2(max(m.n_ranks, 2)))))
+        cost = 2 * (
+            hops * m.latency_s + op.message_bytes / (m.bandwidth_gbps * 1e9)
+        )
+    else:
+        cost = 0.0
+    return ("row", ready_row, cost)
+
+
+def _sendrecv_phase1(ex: _ShardedExec, op: VSendrecv) -> tuple:
+    """The halo exchange's gather pass: fill ``ex.ready`` tile by tile.
+
+    Gathers read *other* tiles' clocks, so this runs as its own pass —
+    :meth:`_ShardedExec.foreach`'s completion barrier guarantees every
+    tile's local advance finished before any gather starts, and no
+    clock is written until the pass completes.
+    """
+    m = ex.machine
+    nb = np.asarray(op.neighbors)
+    if nb.ndim != 2 or nb.shape[0] != m.n_ranks:
+        raise SimulationError(
+            f"neighbors must have shape (n_ranks, k); got {nb.shape}"
+        )
+    if nb.size and (nb.min() < 0 or nb.max() >= m.n_ranks):
+        raise SimulationError("neighbor indices out of range")
+
+    def visit(t: int, a: int, b: int) -> None:
+        m.gather_ready_cols(a, b, nb, ex.ready[:, a:b], ex.gather_pair(t))
+
+    ex.foreach(visit)
+    cost = m.latency_s + op.message_bytes * nb.shape[1] / (
+        m.bandwidth_gbps * 1e9
+    )
+    return ("full", ex.ready, cost)
+
+
+def _ref_delta(
+    ex: _ShardedExec,
+    pend: tuple | None,
+    tail_dt: list[np.ndarray] | None,
+    before: tuple,
+) -> tuple[np.ndarray, np.ndarray]:
+    """The detector's reference column — column 0's clock delta for this
+    iteration, computed ahead of the closing pass so worker tiles never
+    read another tile's in-flight delta.  Replays the exact IEEE-754 ops
+    the closing pass performs on column 0 (``ready + cost``, ``+ dt``,
+    ``- before``), so the result is bitwise equal to ``delta[0][:, :1]``.
+    Returns ``(ref, tolerance)`` as :func:`_rows_uniform` computes them.
+    """
+    if pend is not None:
+        _kind, ready, cost = pend
+        post = ready[:, 0] + cost
+    else:
+        post = ex.machine.clock_s[:, 0].copy()
+    if tail_dt is not None:
+        post = post + tail_dt[0][:, 0]
+    ref = (post - before[0][:, 0])[:, None]
+    rtol = 1e-12 * np.abs(ref)
+    rtol += 1e-15
+    return ref, rtol
+
+
+def _closing_pass(
+    ex: _ShardedExec,
+    pend: tuple | None,
+    tail_dt: list[np.ndarray] | None,
+    before: tuple,
+    delta: tuple,
+    prev: tuple,
+    ref: np.ndarray | None,
+    rtol: np.ndarray | None,
+    ok_parts: np.ndarray,
+    uni_parts: np.ndarray,
+) -> None:
+    """End-of-iteration pass: finish the superstep (pending sync +
+    trailing locals), write the per-tile delta, and — when ``ref`` is
+    given — evaluate the steady-state detector's per-tile verdicts with
+    the same predicate as :func:`_rows_close` / :func:`_rows_uniform`
+    (a row's full-width ``.all`` is the AND of its tile ``.all``\\ s)."""
+    m = ex.machine
+
+    def visit(t: int, a: int, b: int) -> None:
+        if pend is not None:
+            ex.apply_sync(pend, t, a, b)
+        if tail_dt is not None:
+            m.advance_cols(a, b, tail_dt[t])
+        m.delta_cols(a, b, before, delta)
+        if ref is None:
+            return
+        diff, tol = ex.diff_scr[t], ex.tol_scr[t]
+        ok = None
+        for d, p in zip(delta, prev):
+            np.subtract(d[:, a:b], p[:, a:b], out=diff)
+            np.abs(diff, out=diff)
+            np.abs(p[:, a:b], out=tol)
+            tol *= 1e-12
+            tol += 1e-15
+            good = (diff <= tol).all(axis=1)
+            ok = good if ok is None else ok & good
+        ok_parts[:, t] = ok
+        np.subtract(delta[0][:, a:b], ref, out=diff)
+        np.abs(diff, out=diff)
+        uni_parts[:, t] = (diff <= rtol).all(axis=1)
+
+    ex.foreach(visit)
+
+
+def _exec_loop_sharded(ex: _ShardedExec, loop: VLoop) -> None:
+    """The sharded twin of :func:`_exec_loop_batched`.
+
+    Identical control flow — the same per-row ``(prev, stable)``
+    detector state machine, retiring each config at exactly the
+    iteration the unsharded executor would, with the same active-set
+    extraction — but the per-iteration work is reorganised into the
+    fused tile passes described at the top of this section, and each
+    segment's local dt is cached across iterations (it is
+    loop-invariant; the cache is row-sliced on extraction).
+    """
+    segs = _shard_segments(loop.body)
+    tail_ops: tuple = ()
+    if segs and segs[-1][1] is None:
+        tail_ops = segs.pop()[0]
+    remaining = loop.iters
+    parent = ex.machine
+    rows = np.arange(parent.n_configs)
+    n_tiles = len(ex.bounds)
+    shape = parent.rates.shape
+    seg_dt = [_dt_tiles(ex, locs) for locs, _ in segs]
+    tail_dt = _dt_tiles(ex, tail_ops)
+    before = tuple(np.empty(shape) for _ in range(4))
+    delta = tuple(np.empty(shape) for _ in range(4))
+    prev = tuple(np.empty(shape) for _ in range(4))
+    ok_parts = np.empty((shape[0], n_tiles), dtype=bool)
+    uni_parts = np.empty((shape[0], n_tiles), dtype=bool)
+    have_prev = False
+    stable = np.zeros(shape[0], dtype=np.int64)
+    while remaining > 0:
+        # Mirrors _exec_loop_batched's post-decrement `remaining <
+        # _MIN_FF_REMAINING: continue`: iterations that skip the
+        # detector also skip the snapshot and delta.
+        detect = remaining - 1 >= _MIN_FF_REMAINING
+        pend: tuple | None = None
+        snap = before if detect else None
+        for si, (locs, sync) in enumerate(segs):
+            dts = seg_dt[si]
+            if isinstance(sync, (VBarrier, VAllreduce)):
+                _fused_pass(ex, pend=pend, snap=snap, dt=dts, partial=True)
+                pend = _barrier_pend(ex, sync)
+            else:
+                if pend is not None or snap is not None or dts is not None:
+                    _fused_pass(ex, pend=pend, snap=snap, dt=dts)
+                if isinstance(sync, VSendrecv):
+                    pend = _sendrecv_phase1(ex, sync)
+                else:  # a sync-bearing nested loop
+                    pend = None
+                    _exec_loop_sharded(ex, sync)
+            snap = None
+        remaining -= 1
+        if not detect:
+            if pend is not None or tail_dt is not None:
+                _fused_pass(ex, pend=pend, dt=tail_dt)
+            continue
+        if have_prev:
+            ref, rtol = _ref_delta(ex, pend, tail_dt, before)
+        else:
+            ref = rtol = None
+        _closing_pass(
+            ex, pend, tail_dt, before, delta, prev, ref, rtol,
+            ok_parts, uni_parts,
+        )
+        if have_prev:
+            ok = ok_parts.all(axis=1)
+            ok &= uni_parts.all(axis=1)
+            stable = np.where(ok, stable + 1, 0)
+        else:
+            stable[:] = 0
+        retire = stable >= _FF_STABLE_ITERS
+        if np.any(retire):
+            m = ex.machine
+            whole = bool(retire.all())
+            repeats = remaining
+
+            def ff_visit(t: int, a: int, b: int) -> None:
+                m.fast_forward_rows_cols(
+                    a, b, retire, delta, repeats, ex.diff_scr[t], whole
+                )
+
+            ex.foreach(ff_visit)
+            telemetry.count("sim.fast_forward", int(retire.sum()))
+            telemetry.observe("sim.ff_saved_iters", remaining)
+            if ex.machine is not parent:
+                parent.write_rows(rows[retire], ex.machine, retire)
+            keep = ~retire
+            rows = rows[keep]
+            if rows.size == 0:
+                return
+            ex = ex.shrink(keep)
+            shape = ex.machine.rates.shape
+            prev = tuple(d[keep] for d in delta)
+            before = tuple(np.empty(shape) for _ in range(4))
+            delta = tuple(np.empty(shape) for _ in range(4))
+            ok_parts = np.empty((shape[0], n_tiles), dtype=bool)
+            uni_parts = np.empty((shape[0], n_tiles), dtype=bool)
+            stable = stable[keep]
+            seg_dt = [
+                None if c is None else [dt[keep] for dt in c] for c in seg_dt
+            ]
+            tail_dt = (
+                None if tail_dt is None else [dt[keep] for dt in tail_dt]
+            )
+            have_prev = True
+        else:
+            prev, delta = delta, prev
+            have_prev = True
+    if ex.machine is not parent:
+        parent.write_rows(rows, ex.machine)
+
+
+def _exec_ops_sharded(ex: _ShardedExec, ops: Sequence[_VOp]) -> None:
+    """Top-level sharded op walk (fusion boundaries identical to
+    :func:`_exec_ops_batched`).  Top-level sequences are a handful of
+    ops, so only loop bodies get the cross-segment pass fusion."""
+    for locs, sync in _shard_segments(ops):
+        dts = _dt_tiles(ex, locs)
+        if isinstance(sync, (VBarrier, VAllreduce)):
+            _fused_pass(ex, dt=dts, partial=True)
+            _fused_pass(ex, pend=_barrier_pend(ex, sync))
+        elif isinstance(sync, VSendrecv):
+            if dts is not None:
+                _fused_pass(ex, dt=dts)
+            _fused_pass(ex, pend=_sendrecv_phase1(ex, sync))
+        elif isinstance(sync, VLoop):
+            if dts is not None:
+                _fused_pass(ex, dt=dts)
+            _exec_loop_sharded(ex, sync)
+        elif dts is not None:
+            _fused_pass(ex, dt=dts)
+
+
+def _resolve_shard_plan(shard, shape: tuple[int, int]) -> ShardPlan | None:
+    """Normalise :func:`run_fast_batched`'s ``shard`` argument
+    (``None`` stays ``None``: the unsharded path)."""
+    if shard is None:
+        return None
+    if isinstance(shard, ShardPlan):
+        if (shard.n_configs, shard.n_ranks) != shape:
+            raise ConfigurationError(
+                f"plan is for a {(shard.n_configs, shard.n_ranks)} plane; "
+                f"rates have shape {shape}"
+            )
+        return shard
+    if isinstance(shard, str):
+        if shard != "auto":
+            raise ConfigurationError(
+                f"shard must be None, 'auto', a ShardSpec, or a ShardPlan; "
+                f"got {shard!r}"
+            )
+        shard = ShardSpec()
+    if isinstance(shard, ShardSpec):
+        return shard.plan(shape[0], shape[1])
+    raise ConfigurationError(
+        f"shard must be None, 'auto', a ShardSpec, or a ShardPlan; "
+        f"got {shard!r}"
+    )
+
+
+def run_fast_sharded(
+    program: BspProgram,
+    rates: np.ndarray,
+    *,
+    latency_s: float = 5e-6,
+    bandwidth_gbps: float = 5.0,
+    plan: ShardPlan | None = None,
+) -> list[RankTrace]:
+    """Execute :func:`run_fast_batched`'s contract on a tiled plan.
+
+    Row blocks run sequentially through the column-tiled executor (or
+    plain :func:`_exec_ops_batched` when the plan has a single column
+    tile); column tiles within a pass run on a thread pool when the plan
+    asks for more than one worker.  Results are bit-identical to the
+    unsharded path — ARCHITECTURE.md invariant 8.  ``plan=None``
+    auto-tunes via :func:`~repro.simmpi.sharding.plan_shards`.
+    """
+    r = np.asarray(rates, dtype=float)
+    if r.ndim != 2 or r.shape[1] != program.n_ranks:
+        raise ConfigurationError(
+            f"rates shape {r.shape} != (n_configs, {program.n_ranks})"
+        )
+    if plan is None:
+        plan = plan_shards(r.shape[0], r.shape[1])
+    elif (plan.n_configs, plan.n_ranks) != r.shape:
+        raise ConfigurationError(
+            f"plan is for a {(plan.n_configs, plan.n_ranks)} plane; "
+            f"rates have shape {r.shape}"
+        )
+    tiles = plan.col_tiles()
+    busy = [0.0] * len(tiles)
+    pool: ThreadPoolExecutor | None = None
+    traces: list[RankTrace] = []
+    t0 = perf_counter()
+    with telemetry.span(
+        "sim.run_fast_sharded",
+        configs=int(r.shape[0]),
+        ranks=program.n_ranks,
+        row_blocks=plan.n_row_blocks,
+        col_shards=plan.n_col_shards,
+        workers=plan.n_workers,
+    ):
+        try:
+            if plan.n_workers > 1 and plan.n_col_shards > 1:
+                pool = ThreadPoolExecutor(
+                    max_workers=plan.n_workers,
+                    thread_name_prefix="repro-shard",
+                )
+            for r0, r1 in plan.row_blocks():
+                machine = BatchedBspMachine(
+                    r[r0:r1], latency_s=latency_s, bandwidth_gbps=bandwidth_gbps
+                )
+                if plan.n_col_shards == 1:
+                    _exec_ops_batched(machine, program.ops)
+                else:
+                    _exec_ops_sharded(
+                        _ShardedExec(machine, tiles, pool, busy), program.ops
+                    )
+                traces.extend(machine.traces())
+        finally:
+            if pool is not None:
+                pool.shutdown(wait=True)
+        if telemetry.enabled():
+            wall = perf_counter() - t0
+            for t, (a, b) in enumerate(tiles):
+                telemetry.observe("sim.shard_ranks", b - a)
+                telemetry.record_span(
+                    "sim.shard", busy[t], tile=t, cols=f"{a}:{b}"
+                )
+            if wall > 0.0:
+                telemetry.observe(
+                    "sim.shard_occupancy",
+                    min(1.0, sum(busy) / (wall * plan.n_workers)),
+                )
+    return traces
+
+
 def run_fast_batched(
     program: BspProgram,
     rates: np.ndarray,
     *,
     latency_s: float = 5e-6,
     bandwidth_gbps: float = 5.0,
+    shard: ShardPlan | ShardSpec | str | None = None,
 ) -> list[RankTrace]:
     """Execute one :class:`BspProgram` for many rate configurations at
     once on the 2-D vectorised path.
@@ -509,11 +1057,25 @@ def run_fast_batched(
     ``rates`` has shape ``(n_configs, n_ranks)``; the result is one
     :class:`RankTrace` per config, bit-identical to ``n_configs``
     separate :func:`run_fast` calls at the corresponding rate rows.
+
+    ``shard`` selects the execution layout — never the results:
+    ``None`` runs the whole plane unsharded, ``"auto"`` (or a
+    :class:`~repro.simmpi.sharding.ShardSpec`) tiles it to the
+    working-set budget via :func:`~repro.simmpi.sharding.plan_shards`,
+    and an explicit :class:`~repro.simmpi.sharding.ShardPlan` is used
+    as given.  Plans that degenerate to one whole-plane tile fall
+    through to the unsharded executor.
     """
     r = np.asarray(rates, dtype=float)
     if r.ndim != 2 or r.shape[1] != program.n_ranks:
         raise ConfigurationError(
             f"rates shape {r.shape} != (n_configs, {program.n_ranks})"
+        )
+    plan = _resolve_shard_plan(shard, r.shape)
+    if plan is not None and not plan.is_unsharded:
+        return run_fast_sharded(
+            program, r,
+            latency_s=latency_s, bandwidth_gbps=bandwidth_gbps, plan=plan,
         )
     machine = BatchedBspMachine(
         r, latency_s=latency_s, bandwidth_gbps=bandwidth_gbps
@@ -751,6 +1313,7 @@ def simulate_app_batched(
     latency_s: float = 5e-6,
     bandwidth_gbps: float = 5.0,
     work_imbalance: np.ndarray | None = None,
+    shard: ShardPlan | ShardSpec | str | None = None,
 ) -> list[RankTrace]:
     """Simulate one application under many rate configurations at once.
 
@@ -761,6 +1324,10 @@ def simulate_app_batched(
     :func:`simulate_app` call would build.  Non-BSP comm (``"pipeline"``)
     has genuinely per-rank control flow and falls back to per-config
     dispatch, which is the sequential path verbatim.
+
+    ``shard`` is forwarded to :func:`run_fast_batched` (execution
+    layout only — results are bit-identical either way); the per-config
+    fallback ignores it, as 1-D runs have nothing to tile.
     """
     rates = np.asarray(rates_ghz, dtype=float)
     if rates.ndim != 2:
@@ -776,7 +1343,8 @@ def simulate_app_batched(
             app, int(rates.shape[1]), fmax_ghz, iters, work_imbalance
         )
         return run_fast_batched(
-            program, rates, latency_s=latency_s, bandwidth_gbps=bandwidth_gbps
+            program, rates,
+            latency_s=latency_s, bandwidth_gbps=bandwidth_gbps, shard=shard,
         )
     return [
         simulate_app(

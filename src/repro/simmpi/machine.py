@@ -532,6 +532,119 @@ class BatchedBspMachine:
         self._wait_s[rows] += repeats * d_wait[rows]
         self._comm_s[rows] += repeats * d_comm[rows]
 
+    # -- column-tiled twins (the sharded fast path) ------------------------------
+    #
+    # Each method below is the restriction of a full-width operation to
+    # the column range [a, b).  Every update is elementwise (or, for the
+    # maxima, exact operand selection), so applying a full-width op is
+    # bit-identical to applying its twin on each tile of any column
+    # partition — the invariant the sharded executor in
+    # :mod:`repro.simmpi.fastpath` is built on.  Tiles never overlap, so
+    # concurrent twin calls on disjoint ranges are race-free.
+
+    def advance_cols(self, a: int, b: int, dt: np.ndarray) -> None:
+        """:meth:`advance_local` on columns ``[a, b)``.
+
+        ``dt`` is the caller's cached ``(n_configs, b - a)`` local-time
+        tile, validated non-negative when the cache was built.
+        """
+        self.clock_s[:, a:b] += dt
+        self._compute_s[:, a:b] += dt
+
+    def rowmax_cols(self, a: int, b: int, out: np.ndarray) -> None:
+        """Per-row clock maximum over columns ``[a, b)`` — one tile's
+        contribution to the barrier/allreduce ready value.  Max is exact
+        operand selection, so the max of these partials equals the
+        full-row max bit for bit."""
+        np.max(self.clock_s[:, a:b], axis=1, out=out)
+
+    def gather_ready_cols(
+        self,
+        a: int,
+        b: int,
+        nb: np.ndarray,
+        out: np.ndarray,
+        scratch: tuple[np.ndarray, np.ndarray],
+    ) -> None:
+        """:meth:`sendrecv`'s ready-value gather for columns ``[a, b)``.
+
+        Reads the *whole* clock plane (neighbours live in other tiles),
+        writes only ``out`` — callers must not mutate clocks anywhere
+        while a gather pass is in flight.  Partner-at-a-time maxima in
+        the same order as the full-width gather.
+        """
+        g, h = scratch
+        np.take(self.clock_s, nb[a:b, 0], axis=1, out=g)
+        for j in range(1, nb.shape[1]):
+            np.take(self.clock_s, nb[a:b, j], axis=1, out=h)
+            np.maximum(g, h, out=g)
+        np.maximum(self.clock_s[:, a:b], g, out=out)
+
+    def sync_cols(
+        self,
+        a: int,
+        b: int,
+        ready_s: np.ndarray,
+        transfer_cost_s: float,
+        wait_scratch: np.ndarray,
+    ) -> None:
+        """:meth:`_sync_to` on columns ``[a, b)``.  ``ready_s`` is either
+        the ``(n_configs, 1)`` row-ready vector (barrier/allreduce) or
+        the tile's slice of a full gathered ready plane (sendrecv)."""
+        cl = self.clock_s[:, a:b]
+        np.subtract(ready_s, cl, out=wait_scratch)
+        self._wait_s[:, a:b] += wait_scratch
+        self._comm_s[:, a:b] += transfer_cost_s
+        np.add(ready_s, transfer_cost_s, out=cl)
+
+    def snapshot_cols(
+        self, a: int, b: int, out: tuple[np.ndarray, ...]
+    ) -> None:
+        """:meth:`state_into` on columns ``[a, b)`` of machine-shaped
+        buffers."""
+        np.copyto(out[0][:, a:b], self.clock_s[:, a:b])
+        np.copyto(out[1][:, a:b], self._compute_s[:, a:b])
+        np.copyto(out[2][:, a:b], self._wait_s[:, a:b])
+        np.copyto(out[3][:, a:b], self._comm_s[:, a:b])
+
+    def delta_cols(
+        self,
+        a: int,
+        b: int,
+        earlier: tuple[np.ndarray, ...],
+        out: tuple[np.ndarray, ...],
+    ) -> None:
+        """:meth:`delta_into` on columns ``[a, b)``."""
+        np.subtract(self.clock_s[:, a:b], earlier[0][:, a:b], out=out[0][:, a:b])
+        np.subtract(
+            self._compute_s[:, a:b], earlier[1][:, a:b], out=out[1][:, a:b]
+        )
+        np.subtract(self._wait_s[:, a:b], earlier[2][:, a:b], out=out[2][:, a:b])
+        np.subtract(self._comm_s[:, a:b], earlier[3][:, a:b], out=out[3][:, a:b])
+
+    def fast_forward_rows_cols(
+        self,
+        a: int,
+        b: int,
+        rows: np.ndarray,
+        delta: tuple[np.ndarray, ...],
+        repeats: int,
+        scratch: np.ndarray,
+        whole: bool,
+    ) -> None:
+        """:meth:`fast_forward_rows` on columns ``[a, b)``; ``whole``
+        precomputes ``rows.all()`` once for all tiles, ``scratch`` is a
+        tile-shaped multiply buffer."""
+        if repeats <= 0:
+            return
+        arrays = (self.clock_s, self._compute_s, self._wait_s, self._comm_s)
+        if whole:
+            for arr, d in zip(arrays, delta):
+                arr[:, a:b] += np.multiply(d[:, a:b], repeats, out=scratch)
+            return
+        for arr, d in zip(arrays, delta):
+            arr[rows, a:b] += repeats * d[rows, a:b]
+
     # -- results ---------------------------------------------------------------
 
     def traces(self) -> list[RankTrace]:

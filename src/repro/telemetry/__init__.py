@@ -49,6 +49,7 @@ __all__ = [
     "collector",
     # recording
     "span",
+    "record_span",
     "count",
     "gauge",
     "observe",
@@ -143,6 +144,15 @@ def span(name: str, **attrs):
     if c is None:
         return _NULL_SPAN
     return c.span(name, attrs or None)
+
+
+def record_span(name: str, dur_s: float, **attrs) -> None:
+    """Record an externally timed span — e.g. one shard worker's
+    accumulated busy seconds, timed inside the worker and reported once
+    the pass completes (no-op when disabled)."""
+    c = _collector
+    if c is not None:
+        c.add_span(name, dur_s, attrs or None)
 
 
 def count(name: str, n: int = 1) -> None:

@@ -10,11 +10,20 @@ All state lives in a :class:`MetricsRegistry` owned by one
 :class:`~repro.telemetry.trace.TelemetryCollector`; instruments are
 created on first use and never deleted, so a reference obtained once can
 be updated forever.
+
+Instruments are thread-safe: the sharded fast path updates them from
+shard worker threads, and a read-modify-write count or histogram fold
+would silently drop updates under the GIL's preemption points.  Each
+instrument carries its own lock (update paths never take two locks, so
+there is no ordering to get wrong), and the registry's get-or-create
+probes share one registry lock so two threads can never race a distinct
+instrument into the same name.
 """
 
 from __future__ import annotations
 
 import math
+import threading
 
 __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
 
@@ -22,31 +31,36 @@ __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
 class Counter:
     """Monotonically increasing count (cache hits, routing decisions)."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str):
         self.name = name
         self.value = 0
+        self._lock = threading.Lock()
 
     def inc(self, n: int = 1) -> None:
         """Add ``n`` (must be non-negative) to the count."""
         if n < 0:
             raise ValueError("counters only go up; use a Gauge for levels")
-        self.value += n
+        with self._lock:
+            self.value += n
 
 
 class Gauge:
     """Last-written level (the solved α, a fleet Vf, a queue depth)."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str):
         self.name = name
         self.value: float | None = None
+        self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
         """Record the current level (overwrites the previous one)."""
-        self.value = float(value)
+        v = float(value)
+        with self._lock:
+            self.value = v
 
 
 class Histogram:
@@ -57,7 +71,7 @@ class Histogram:
     scalar updates per observation.
     """
 
-    __slots__ = ("name", "count", "total", "min", "max")
+    __slots__ = ("name", "count", "total", "min", "max", "_lock")
 
     def __init__(self, name: str):
         self.name = name
@@ -65,16 +79,18 @@ class Histogram:
         self.total = 0.0
         self.min = math.inf
         self.max = -math.inf
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
         """Fold one sample into the summary."""
         v = float(value)
-        self.count += 1
-        self.total += v
-        if v < self.min:
-            self.min = v
-        if v > self.max:
-            self.max = v
+        with self._lock:
+            self.count += 1
+            self.total += v
+            if v < self.min:
+                self.min = v
+            if v > self.max:
+                self.max = v
 
     @property
     def mean(self) -> float:
@@ -89,32 +105,42 @@ class MetricsRegistry:
     (plain dicts), which the renderer and sinks preserve.
     """
 
-    __slots__ = ("counters", "gauges", "histograms")
+    __slots__ = ("counters", "gauges", "histograms", "_lock")
 
     def __init__(self):
         self.counters: dict[str, Counter] = {}
         self.gauges: dict[str, Gauge] = {}
         self.histograms: dict[str, Histogram] = {}
+        self._lock = threading.Lock()
 
     def counter(self, name: str) -> Counter:
         """The counter called ``name``, created on first use."""
         c = self.counters.get(name)
         if c is None:
-            c = self.counters[name] = Counter(name)
+            with self._lock:
+                c = self.counters.get(name)
+                if c is None:
+                    c = self.counters[name] = Counter(name)
         return c
 
     def gauge(self, name: str) -> Gauge:
         """The gauge called ``name``, created on first use."""
         g = self.gauges.get(name)
         if g is None:
-            g = self.gauges[name] = Gauge(name)
+            with self._lock:
+                g = self.gauges.get(name)
+                if g is None:
+                    g = self.gauges[name] = Gauge(name)
         return g
 
     def histogram(self, name: str) -> Histogram:
         """The histogram called ``name``, created on first use."""
         h = self.histograms.get(name)
         if h is None:
-            h = self.histograms[name] = Histogram(name)
+            with self._lock:
+                h = self.histograms.get(name)
+                if h is None:
+                    h = self.histograms[name] = Histogram(name)
         return h
 
     def __len__(self) -> int:

@@ -12,10 +12,18 @@ touches this module.
 When enabled, every span costs two :func:`~time.perf_counter` calls, a
 list append, and a dict probe — microseconds, which is what keeps the
 fleet fast-path overhead gate (<5 %) comfortable.
+
+The collector is thread-safe: the sharded fast path opens spans and
+records pre-timed per-shard spans from worker threads.  Id allocation
+and the ``spans`` append share one collector lock; the *open-span stack*
+(which determines each record's parent) is thread-local, so a worker's
+spans nest under whatever that worker opened, never under another
+thread's unrelated frame.
 """
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from time import perf_counter
@@ -68,8 +76,9 @@ class Span:
 
     def __enter__(self) -> "Span":
         c = self._collector
-        self._id = c._next_id
-        c._next_id += 1
+        with c._lock:
+            self._id = c._next_id
+            c._next_id += 1
         c._stack.append(self._id)
         self._t0 = perf_counter()
         return self
@@ -77,21 +86,22 @@ class Span:
     def __exit__(self, exc_type, exc, tb) -> bool:
         t1 = perf_counter()
         c = self._collector
-        c._stack.pop()
-        parent = c._stack[-1] if c._stack else -1
+        stack = c._stack
+        stack.pop()
+        parent = stack[-1] if stack else -1
         if exc_type is not None:
             self._attrs["error"] = exc_type.__name__
-        c.spans.append(
-            SpanRecord(
-                id=self._id,
-                parent=parent,
-                run=c.current_run,
-                name=self._name,
-                t_start_s=self._t0 - c._epoch,
-                dur_s=t1 - self._t0,
-                attrs=self._attrs,
-            )
+        record = SpanRecord(
+            id=self._id,
+            parent=parent,
+            run=c.current_run,
+            name=self._name,
+            t_start_s=self._t0 - c._epoch,
+            dur_s=t1 - self._t0,
+            attrs=self._attrs,
         )
+        with c._lock:
+            c.spans.append(record)
         return False
 
 
@@ -115,14 +125,58 @@ class TelemetryCollector:
     timeline_detail_events: int = 8
     current_run: str = ""
     _epoch: float = field(default_factory=perf_counter)
-    _stack: list[int] = field(default_factory=list)
     _next_id: int = 0
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+    _tls: threading.local = field(
+        default_factory=threading.local, repr=False, compare=False
+    )
+
+    @property
+    def _stack(self) -> list[int]:
+        """The calling thread's open-span stack (created on first use)."""
+        stack = getattr(self._tls, "stack", None)
+        if stack is None:
+            stack = self._tls.stack = []
+        return stack
 
     # -- spans -----------------------------------------------------------------
 
     def span(self, name: str, attrs: dict | None = None) -> Span:
         """A new live span; use as ``with collector.span("name"):``."""
         return Span(self, name, {} if attrs is None else attrs)
+
+    def add_span(
+        self,
+        name: str,
+        dur_s: float,
+        attrs: dict | None = None,
+        *,
+        started_at: float | None = None,
+    ) -> None:
+        """Record an externally timed span (e.g. one shard's accumulated
+        busy time).  ``started_at`` is a :func:`~time.perf_counter`
+        value; omitted, the span is backdated so it *ends* now.  The
+        parent is the calling thread's innermost open span."""
+        if started_at is None:
+            started_at = perf_counter() - dur_s
+        stack = self._stack
+        parent = stack[-1] if stack else -1
+        with self._lock:
+            sid = self._next_id
+            self._next_id += 1
+            self.spans.append(
+                SpanRecord(
+                    id=sid,
+                    parent=parent,
+                    run=self.current_run,
+                    name=name,
+                    t_start_s=started_at - self._epoch,
+                    dur_s=float(dur_s),
+                    attrs={} if attrs is None else attrs,
+                )
+            )
 
     @contextmanager
     def run_scope(self, run: str, label: str = ""):

@@ -1,0 +1,125 @@
+"""Unit proof for the bench guard's cache-cliff audit.
+
+``scripts/check_bench_regression.py`` gained a scaling audit: within the
+latest committed ``fleet_throughput`` record, a larger fleet's ranks/sec
+must stay within tolerance of the best smaller-fleet rate.  The 50k
+point guard alone is blind to exactly the regression the sharded
+executor exists to prevent — a throughput collapse that only appears
+once the working set outgrows the cache — so the audit logic is pinned
+here against hand-built records, including the historical pre-sharding
+cliff shape it must flag.
+"""
+
+import importlib.util
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+SCRIPT = REPO_ROOT / "scripts" / "check_bench_regression.py"
+
+
+def _load_guard():
+    spec = importlib.util.spec_from_file_location("check_bench_regression", SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _points(*pairs):
+    return [{"n_modules": n, "ranks_per_sec": r} for n, r in pairs]
+
+
+class TestMonotonicViolations:
+    def test_flat_scaling_is_clean(self):
+        guard = _load_guard()
+        pts = _points((10_000, 500e3), (50_000, 510e3), (1_000_000, 495e3))
+        assert guard.monotonic_violations(pts) == []
+
+    def test_improving_scaling_is_clean(self):
+        guard = _load_guard()
+        pts = _points((10_000, 400e3), (100_000, 500e3), (1_000_000, 600e3))
+        assert guard.monotonic_violations(pts) == []
+
+    def test_cache_cliff_is_flagged(self):
+        """The pre-sharding shape: 489k -> 403k -> 297k config-ranks/s
+        at 50k/100k/400k ranks, a 39% collapse the 50k guard passed."""
+        guard = _load_guard()
+        pts = _points((50_000, 489e3), (100_000, 403e3), (400_000, 297e3))
+        violations = guard.monotonic_violations(pts, tolerance=0.25)
+        assert len(violations) == 1
+        assert "400,000" in violations[0]
+
+    def test_dip_within_tolerance_is_clean(self):
+        guard = _load_guard()
+        pts = _points((50_000, 100e3), (1_000_000, 76e3))
+        assert guard.monotonic_violations(pts, tolerance=0.25) == []
+        assert guard.monotonic_violations(pts, tolerance=0.20) != []
+
+    def test_compares_against_best_not_previous(self):
+        """A slow mid-size point must not reset the bar: the 1M point is
+        judged against the *best* smaller rate, and the mid-size dip is
+        itself flagged."""
+        guard = _load_guard()
+        pts = _points((10_000, 600e3), (100_000, 300e3), (1_000_000, 580e3))
+        violations = guard.monotonic_violations(pts, tolerance=0.25)
+        assert len(violations) == 1
+        assert "100,000" in violations[0]
+
+    def test_unsorted_points_are_sorted_by_size(self):
+        guard = _load_guard()
+        pts = _points((1_000_000, 100e3), (10_000, 600e3))
+        assert guard.monotonic_violations(pts, tolerance=0.25) != []
+
+    def test_single_point_and_empty_are_clean(self):
+        guard = _load_guard()
+        assert guard.monotonic_violations([]) == []
+        assert guard.monotonic_violations(_points((50_000, 1.0))) == []
+
+    def test_malformed_points_reported_not_skipped(self):
+        guard = _load_guard()
+        assert guard.monotonic_violations([{"n_modules": 5}]) != []
+        assert guard.monotonic_violations([{"ranks_per_sec": "fast"}]) != []
+
+
+class TestLatestRecordSelection:
+    def test_only_newest_record_is_audited(self, tmp_path, monkeypatch):
+        """Older records legitimately predate the sharded executor and
+        contain the cliff; only the newest one is load-bearing."""
+        import json
+
+        guard = _load_guard()
+        bench = tmp_path / "BENCH_fleet.json"
+        bench.write_text(
+            json.dumps(
+                {
+                    "schema": 1,
+                    "runs": [
+                        {
+                            "kind": "fleet_throughput",
+                            "points": _points((50_000, 489e3), (400_000, 297e3)),
+                        },
+                        {"kind": "batched_sweep", "speedup": 4.0},
+                        {
+                            "kind": "fleet_throughput",
+                            "points": _points((50_000, 500e3), (1_000_000, 480e3)),
+                        },
+                    ],
+                }
+            )
+        )
+        monkeypatch.setattr(guard, "BENCH_FILE", bench)
+        latest = guard._latest_fleet_points()
+        assert [p["n_modules"] for p in latest] == [50_000, 1_000_000]
+        assert guard.monotonic_violations(latest) == []
+
+    def test_missing_file_yields_no_points(self, tmp_path, monkeypatch):
+        guard = _load_guard()
+        monkeypatch.setattr(guard, "BENCH_FILE", tmp_path / "absent.json")
+        assert guard._latest_fleet_points() == []
+
+    def test_committed_latest_record_is_cliff_free(self):
+        """The acceptance bar on the repo's own committed data: whatever
+        record is newest in BENCH_fleet.json must pass the audit."""
+        guard = _load_guard()
+        points = guard._latest_fleet_points()
+        assert points, "BENCH_fleet.json has no fleet_throughput record"
+        assert guard.monotonic_violations(points) == []

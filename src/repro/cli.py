@@ -161,6 +161,15 @@ def build_parser() -> argparse.ArgumentParser:
         "CPU core, capped at the shard count)",
     )
     parser.add_argument(
+        "--shard-mode",
+        choices=engine_mod.SHARD_MODES,
+        default=None,
+        help="sharded-executor backend: 'threads' tiles in-process "
+        "(default), 'processes' spreads row blocks over a worker-process "
+        "pool via shared memory — execution layout only, results are "
+        "bit-identical either way",
+    )
+    parser.add_argument(
         "--stats",
         action="store_true",
         help="print engine run statistics (cache hits/misses, per-run "
@@ -184,11 +193,19 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _shard_arg(args: argparse.Namespace):
     """The engine ``shard`` value for the parsed flags: ``"auto"`` when
-    neither knob was given, else a pinned ShardSpec."""
-    if args.shard_ranks is None and args.shard_workers is None:
+    no knob was given, else a pinned ShardSpec (auto geometry unless
+    ``--shard-ranks``/``--shard-workers`` pin it; ``--shard-mode``
+    picks the thread vs worker-process executor)."""
+    if (
+        args.shard_ranks is None
+        and args.shard_workers is None
+        and args.shard_mode is None
+    ):
         return "auto"
     return engine_mod.ShardSpec(
-        shard_ranks=args.shard_ranks, shard_workers=args.shard_workers
+        shard_ranks=args.shard_ranks,
+        shard_workers=args.shard_workers,
+        mode=args.shard_mode or "threads",
     )
 
 

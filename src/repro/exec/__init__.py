@@ -24,14 +24,18 @@ from repro.exec.engine import (
 )
 from repro.exec.metrics import BatchRecord, RunRecord, RunStats
 
-# Re-exported so front-ends (the CLI) can pin shard layout without a
-# direct cli -> simmpi import edge; the engine owns the shard knob.
-from repro.simmpi.sharding import ShardPlan, ShardSpec
+# Re-exported so front-ends (the CLI) can pin shard layout and mode
+# without a direct cli -> simmpi import edge; the engine owns the knob.
+from repro.simmpi.sharding import SHARD_MODES, ShardPlan, ShardSpec
 from repro.exec.shared import (
     SharedFleet,
+    SharedPlane,
     attach_fleet,
+    attach_plane,
     destroy_fleet,
+    destroy_plane,
     export_fleet,
+    export_plane,
     fleet_pvt,
 )
 
@@ -48,11 +52,16 @@ __all__ = [
     "BatchRecord",
     "RunRecord",
     "RunStats",
+    "SHARD_MODES",
     "ShardPlan",
     "ShardSpec",
     "SharedFleet",
+    "SharedPlane",
     "attach_fleet",
+    "attach_plane",
     "destroy_fleet",
+    "destroy_plane",
     "export_fleet",
+    "export_plane",
     "fleet_pvt",
 ]

@@ -277,7 +277,8 @@ class ExperimentEngine:
         :func:`~repro.core.runner.run_budgeted_batched`: ``"auto"``
         (the default) tiles the simulation plane when it outgrows the
         cache working-set budget, a
-        :class:`~repro.simmpi.sharding.ShardSpec` pins the tiling,
+        :class:`~repro.simmpi.sharding.ShardSpec` pins the tiling (and
+        its ``mode`` picks threads vs worker processes for row blocks),
         ``None`` forces the unsharded path.  Layout only — results and
         cache digests never depend on it.
     """

@@ -19,6 +19,14 @@ Lifecycle: the parent calls :func:`export_fleet` before submitting a
 group and :func:`destroy_fleet` after the pool has drained (POSIX keeps
 existing worker mappings valid across the unlink).  Workers cache their
 attachment per shared-memory name for the life of the process.
+
+Fleets are not the only thing that crosses the process boundary this
+way: the cross-process sharded executor exports the batched
+``(n_configs, n_ranks)`` *state plane* itself as a named segment.  That
+surface (:class:`SharedPlane` / :func:`export_plane` /
+:func:`attach_plane` / :func:`destroy_plane`) is implemented in
+:mod:`repro.simmpi.procshard` — ``simmpi`` may not import ``exec`` — and
+re-exported here so front-ends keep one shared-memory entry point.
 """
 
 from __future__ import annotations
@@ -35,7 +43,14 @@ from repro.core.pvt import PowerVariationTable, generate_pvt
 from repro.hardware.microarch import Microarchitecture
 from repro.hardware.module import ModuleArray
 from repro.hardware.variability import ModuleVariation
+from repro.simmpi.procshard import (
+    SharedPlane,
+    attach_plane,
+    destroy_plane,
+    export_plane,
+)
 from repro.util.rng import RngFactory
+from repro.util.shm import attach_block as _attach_block
 
 __all__ = [
     "SharedFleet",
@@ -43,6 +58,10 @@ __all__ = [
     "attach_fleet",
     "destroy_fleet",
     "fleet_pvt",
+    "SharedPlane",
+    "export_plane",
+    "attach_plane",
+    "destroy_plane",
 ]
 
 #: ModuleVariation fields, in on-disk segment order.
@@ -109,34 +128,6 @@ _OWNED: dict[str, shared_memory.SharedMemory] = {}
 #: Worker-side attachments: one (mapping, System) per block name for the
 #: life of the process — repeated groups over the same fleet attach once.
 _ATTACHED: dict[str, tuple[shared_memory.SharedMemory, System]] = {}
-
-
-def _attach_block(name: str) -> shared_memory.SharedMemory:
-    """Attach to an existing block without registering it for cleanup.
-
-    Attaching normally registers the segment with this process's
-    ``resource_tracker``, which would unlink the parent-owned block when
-    the worker exits.  Python 3.13 grew ``track=False`` for exactly this;
-    on older interpreters the registration is suppressed for the duration
-    of the attach instead.
-    """
-    try:
-        return shared_memory.SharedMemory(name=name, track=False)  # type: ignore[call-arg]
-    except TypeError:
-        pass
-    from multiprocessing import resource_tracker
-
-    original = resource_tracker.register
-
-    def _skip_shm(rname: str, rtype: str) -> None:
-        if rtype != "shared_memory":
-            original(rname, rtype)
-
-    resource_tracker.register = _skip_shm  # type: ignore[assignment]
-    try:
-        return shared_memory.SharedMemory(name=name)
-    finally:
-        resource_tracker.register = original  # type: ignore[assignment]
 
 
 def attach_fleet(handle: SharedFleet) -> System:

@@ -1,0 +1,516 @@
+"""Cross-process sharded execution of the batched ``(n_configs, n_ranks)`` plane.
+
+The thread-sharded executor (:func:`~repro.simmpi.fastpath.run_fast_sharded`)
+runs one row block at a time and parallelises only the column tiles
+inside it — per-tile Python dispatch and the GIL cap how much of a
+multi-socket box one process can use.  This module is the next scale
+step (ROADMAP "cross-process sharding"): the plane itself is exported as
+a named POSIX shared-memory segment and a persistent pool of worker
+*processes* executes :class:`~repro.simmpi.sharding.ShardPlan` row
+blocks in-place on attached views.
+
+Why row blocks are the right unit: config rows never interact
+(ARCHITECTURE.md invariant 7), so the invariant-8 superstep reduction —
+partial row maxima combined by ``np.max`` and ANDed detector verdicts —
+closes *within* a row block.  A worker therefore runs the exact same
+fused tile passes the thread-sharded executor runs for that block, with
+zero per-superstep IPC, and the only cross-process protocol is the
+shared plane itself: the parent owns the segment (creates, unlinks),
+writes the rates plane once, and each worker writes the four trace
+accumulators for its disjoint row range.  Traces assembled from the
+plane are bit-identical to the unsharded and thread-sharded paths —
+ARCHITECTURE.md invariant 9, proven adversarially by
+``tests/simmpi/test_procshard_differential.py``.
+
+Lifecycle robustness: the pool is created lazily and reused across
+runs; a worker death (:class:`BrokenProcessPool`), a stuck worker
+(``REPRO_PROCSHARD_TIMEOUT_S``, default 900 s), or any other dispatch
+failure tears the pool down, destroys the segment, and falls back to
+in-process thread sharding — the caller sees correct results either
+way, and the segment is unlinked on every path so ``/dev/shm`` never
+leaks (leak-checked by ``tests/simmpi/conftest.py``).  Per-block wall
+times measured inside the workers are recorded into the *parent's*
+telemetry collector as backdated spans (``sim.procshard.block``).
+"""
+
+from __future__ import annotations
+
+import atexit
+import gc
+import os
+import pickle
+import signal
+import time
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as _FuturesTimeout
+from dataclasses import dataclass, replace
+from multiprocessing import get_context, shared_memory
+from time import perf_counter
+
+import numpy as np
+
+import repro.telemetry as telemetry
+from repro.errors import ConfigurationError
+from repro.simmpi.sharding import ShardPlan, plan_shards
+from repro.simmpi.tracing import RankTrace
+from repro.util.shm import attach_block
+
+__all__ = [
+    "SharedPlane",
+    "export_plane",
+    "attach_plane",
+    "destroy_plane",
+    "run_fast_procshard",
+    "reset_pool",
+]
+
+#: Segment layout, in plane order: the read-only input plane, then the
+#: four trace accumulators workers fill (the
+#: :class:`~repro.simmpi.machine.BatchedBspMachine` state fields), then
+#: the pickled :class:`~repro.simmpi.fastpath.BspProgram` bytes.
+_PLANE_FIELDS = ("rates", "clock", "compute", "wait", "comm")
+
+#: Wall-clock budget for one pooled run before falling back in-process.
+_TIMEOUT_ENV = "REPRO_PROCSHARD_TIMEOUT_S"
+_DEFAULT_TIMEOUT_S = 900.0
+
+#: Test-only fault hook, read inside the worker: ``"kill"`` SIGKILLs the
+#: worker mid-block (exercises the BrokenProcessPool fallback), ``"hang"``
+#: sleeps past any timeout (exercises the timeout fallback).
+_FAULT_ENV = "REPRO_PROCSHARD_FAULT"
+
+
+def _timeout_s() -> float:
+    raw = os.environ.get(_TIMEOUT_ENV)
+    if raw is None:
+        return _DEFAULT_TIMEOUT_S
+    try:
+        timeout = float(raw)
+    except ValueError:
+        raise ConfigurationError(
+            f"{_TIMEOUT_ENV} must be a positive number of seconds; got {raw!r}"
+        ) from None
+    if timeout <= 0:
+        raise ConfigurationError(
+            f"{_TIMEOUT_ENV} must be a positive number of seconds; got {raw!r}"
+        )
+    return timeout
+
+
+@dataclass(frozen=True)
+class SharedPlane:
+    """Picklable handle for one exported ``(n_configs, n_ranks)`` plane.
+
+    Ownership contract (invariant 9): the exporting process owns the
+    segment — it creates it, is the only writer of the ``rates`` plane
+    and the program bytes, and must eventually call
+    :func:`destroy_plane`.  Workers attach read-only to ``rates``, and
+    each writes only its assigned row range of the four output planes.
+    """
+
+    shm_name: str
+    n_configs: int
+    n_ranks: int
+    prog_len: int
+
+    @property
+    def plane_bytes(self) -> int:
+        """Bytes of one ``(n_configs, n_ranks)`` float64 plane."""
+        return self.n_configs * self.n_ranks * np.dtype(np.float64).itemsize
+
+
+def _plane_view(
+    shm: shared_memory.SharedMemory, handle: SharedPlane, index: int
+) -> np.ndarray:
+    return np.ndarray(
+        (handle.n_configs, handle.n_ranks),
+        dtype=np.float64,
+        buffer=shm.buf,
+        offset=index * handle.plane_bytes,
+    )
+
+
+#: Exporter-side open segments: name -> (mapping, creator pid).  The pid
+#: keeps a fork-inherited copy of this registry from unlinking segments
+#: the child never owned.
+_OWNED: dict[str, tuple[shared_memory.SharedMemory, int]] = {}
+
+#: Worker-side attachments: one (mapping, rates, outputs, program) per
+#: segment name.  Every run exports a fresh segment, so stale entries
+#: are evicted as soon as a newer name attaches.
+_ATTACHED: dict[
+    str,
+    tuple[shared_memory.SharedMemory, np.ndarray, dict[str, np.ndarray], object],
+] = {}
+
+
+def export_plane(rates: np.ndarray, program) -> SharedPlane:
+    """Export a rates plane plus its program as one shared segment.
+
+    The four output planes start zero-filled (fresh POSIX segments are
+    zero pages) and are populated by the workers; the parent reads them
+    back through :func:`plane_views` once the pool has drained.
+    """
+    r = np.ascontiguousarray(rates, dtype=np.float64)
+    if r.ndim != 2 or r.size == 0:
+        raise ConfigurationError(
+            f"rates must be a non-empty (n_configs, n_ranks) array; got {r.shape}"
+        )
+    blob = pickle.dumps(program, protocol=pickle.HIGHEST_PROTOCOL)
+    plane = r.shape[0] * r.shape[1] * np.dtype(np.float64).itemsize
+    shm = shared_memory.SharedMemory(
+        create=True, size=len(_PLANE_FIELDS) * plane + len(blob)
+    )
+    try:
+        handle = SharedPlane(
+            shm_name=shm.name,
+            n_configs=int(r.shape[0]),
+            n_ranks=int(r.shape[1]),
+            prog_len=len(blob),
+        )
+        np.copyto(_plane_view(shm, handle, 0), r)
+        shm.buf[len(_PLANE_FIELDS) * plane:len(_PLANE_FIELDS) * plane + len(blob)] = blob
+    except BaseException:
+        shm.close()
+        shm.unlink()
+        raise
+    _OWNED[handle.shm_name] = (shm, os.getpid())
+    return handle
+
+
+def plane_views(handle: SharedPlane) -> dict[str, np.ndarray]:
+    """The exporter's views of every plane (rates + the four outputs)."""
+    owned = _OWNED.get(handle.shm_name)
+    if owned is None:
+        raise ConfigurationError(
+            f"plane {handle.shm_name!r} is not owned by this process"
+        )
+    shm = owned[0]
+    return {
+        field: _plane_view(shm, handle, i)
+        for i, field in enumerate(_PLANE_FIELDS)
+    }
+
+
+def attach_plane(
+    handle: SharedPlane,
+) -> tuple[np.ndarray, dict[str, np.ndarray], object]:
+    """Worker-side attach: (read-only rates, writable outputs, program).
+
+    Cached per segment name — a worker executing several row blocks of
+    one run maps and unpickles once.  Older segments (previous runs) are
+    evicted on the first attach of a newer one.
+    """
+    cached = _ATTACHED.get(handle.shm_name)
+    if cached is not None:
+        return cached[1], cached[2], cached[3]
+    shm = attach_block(handle.shm_name)
+    rates = _plane_view(shm, handle, 0)
+    rates.flags.writeable = False
+    outs = {
+        field: _plane_view(shm, handle, i)
+        for i, field in enumerate(_PLANE_FIELDS)
+        if field != "rates"
+    }
+    base = len(_PLANE_FIELDS) * handle.plane_bytes
+    program = pickle.loads(bytes(shm.buf[base:base + handle.prog_len]))
+    stale = [name for name in _ATTACHED if name != handle.shm_name]
+    while stale:
+        old_shm, old_rates, old_outs, old_prog = _ATTACHED.pop(stale.pop())
+        del old_rates, old_outs, old_prog
+        gc.collect()
+        try:
+            old_shm.close()
+        except BufferError:  # a view escaped; GC will finish the close
+            pass
+    _ATTACHED[handle.shm_name] = (shm, rates, outs, program)
+    return rates, outs, program
+
+
+def destroy_plane(handle: SharedPlane) -> None:
+    """Release the exporter's mapping and unlink the segment.
+
+    Safe while workers still hold mappings (POSIX keeps them valid);
+    new attaches fail afterwards, which is the point.  Idempotent.
+    """
+    owned = _OWNED.pop(handle.shm_name, None)
+    if owned is None:
+        return
+    shm = owned[0]
+    shm.close()
+    try:
+        shm.unlink()
+    except FileNotFoundError:  # already unlinked (double destroy)
+        pass
+
+
+# -- the worker side -----------------------------------------------------------
+
+#: Worker-process-local thread pool for column tiles, sized on demand.
+_W_POOL: ThreadPoolExecutor | None = None
+_W_POOL_WIDTH = 0
+
+
+def _worker_thread_pool(threads: int) -> ThreadPoolExecutor | None:
+    global _W_POOL, _W_POOL_WIDTH
+    if threads <= 1:
+        return None
+    if _W_POOL is None or _W_POOL_WIDTH < threads:
+        if _W_POOL is not None:
+            _W_POOL.shutdown(wait=True)
+        _W_POOL = ThreadPoolExecutor(
+            max_workers=threads, thread_name_prefix="repro-procshard"
+        )
+        _W_POOL_WIDTH = threads
+    return _W_POOL
+
+
+def _worker_init() -> None:
+    """Pool-process initializer.
+
+    A forked worker inherits the parent's telemetry collector and
+    shared-memory registries; recording into the former would be lost
+    (and could contend on inherited locks), and the latter describe
+    segments this process does not own.  Drop both.
+    """
+    telemetry.disable()
+    _OWNED.clear()
+    _ATTACHED.clear()
+
+
+def _run_block(
+    handle: SharedPlane,
+    latency_s: float,
+    bandwidth_gbps: float,
+    col_bounds: tuple[int, ...],
+    r0: int,
+    r1: int,
+    threads: int,
+) -> tuple[int, int, float, int]:
+    """Execute rows ``[r0, r1)`` in-place on the attached plane.
+
+    This is byte-for-byte the per-row-block body of
+    ``run_fast_sharded``: a machine over the block's rates rows, the
+    fused tile passes over the plan's column tiles (or the plain batched
+    walk for a single tile), then the four accumulators written into the
+    output planes.  Returns ``(r0, r1, wall_s, pid)`` for the parent's
+    backdated telemetry spans.
+    """
+    fault = os.environ.get(_FAULT_ENV)
+    if fault == "kill":
+        os.kill(os.getpid(), signal.SIGKILL)
+    elif fault == "hang":
+        time.sleep(3600.0)
+    t0 = perf_counter()
+    from repro.simmpi import fastpath
+
+    rates, outs, program = attach_plane(handle)
+    machine = fastpath.BatchedBspMachine(
+        rates[r0:r1], latency_s=latency_s, bandwidth_gbps=bandwidth_gbps
+    )
+    tiles = tuple(
+        (col_bounds[i], col_bounds[i + 1]) for i in range(len(col_bounds) - 1)
+    )
+    if len(tiles) == 1:
+        fastpath._exec_ops_batched(machine, program.ops)
+    else:
+        busy = [0.0] * len(tiles)
+        fastpath._exec_ops_sharded(
+            fastpath._ShardedExec(
+                machine, tiles, _worker_thread_pool(threads), busy
+            ),
+            program.ops,
+        )
+    outs["clock"][r0:r1] = machine.clock_s
+    outs["compute"][r0:r1] = machine._compute_s
+    outs["wait"][r0:r1] = machine._wait_s
+    outs["comm"][r0:r1] = machine._comm_s
+    return r0, r1, perf_counter() - t0, os.getpid()
+
+
+# -- the parent side -----------------------------------------------------------
+
+#: The persistent worker-process pool, grown (never shrunk) on demand.
+_POOL: ProcessPoolExecutor | None = None
+_POOL_WORKERS = 0
+
+
+def _get_pool(n_workers: int) -> ProcessPoolExecutor:
+    global _POOL, _POOL_WORKERS
+    if _POOL is not None and _POOL_WORKERS >= n_workers:
+        return _POOL
+    reset_pool()
+    try:
+        ctx = get_context("fork")
+    except ValueError:  # pragma: no cover - platforms without fork
+        ctx = get_context()
+    _POOL = ProcessPoolExecutor(
+        max_workers=n_workers, mp_context=ctx, initializer=_worker_init
+    )
+    _POOL_WORKERS = n_workers
+    return _POOL
+
+
+def reset_pool() -> None:
+    """Tear the worker pool down (it is rebuilt lazily on next use).
+
+    Called on every fallback so a broken or wedged pool cannot poison
+    later runs; hung workers are terminated best-effort rather than
+    waited on.
+    """
+    global _POOL, _POOL_WORKERS
+    if _POOL is None:
+        return
+    pool, _POOL, _POOL_WORKERS = _POOL, None, 0
+    # Snapshot before shutdown(): the executor drops its _processes
+    # reference there, and a wedged worker must still be terminated so
+    # neither it nor the executor's management thread outlives us.
+    procs = list((getattr(pool, "_processes", None) or {}).values())
+    pool.shutdown(wait=False, cancel_futures=True)
+    for proc in procs:
+        try:
+            proc.terminate()
+        except Exception:  # already dead / already reaped
+            pass
+
+
+@atexit.register
+def _cleanup() -> None:
+    reset_pool()
+    pid = os.getpid()
+    for name in [n for n, (_shm, owner) in _OWNED.items() if owner == pid]:
+        shm, _owner = _OWNED.pop(name)
+        shm.close()
+        try:
+            shm.unlink()
+        except FileNotFoundError:
+            pass
+
+
+def _process_layout(plan: ShardPlan) -> tuple[ShardPlan, int, int]:
+    """(refined plan, worker processes, threads per worker).
+
+    Row blocks are the distribution unit, so a plan whose config axis
+    was never split (the thread executor prefers whole-column tiling) is
+    refined to one that gives every worker a block — bit-identical by
+    row independence.  Leftover worker budget becomes each worker's
+    column-tile thread width.
+    """
+    workers = max(1, plan.n_workers)
+    if plan.n_row_blocks < workers and plan.n_configs > plan.n_row_blocks:
+        plan = replace(plan, row_block=max(1, -(-plan.n_configs // workers)))
+    n_procs = min(workers, plan.n_row_blocks)
+    inner = max(1, workers // n_procs) if plan.n_col_shards > 1 else 1
+    return plan, n_procs, inner
+
+
+def _pooled_traces(
+    program,
+    r: np.ndarray,
+    latency_s: float,
+    bandwidth_gbps: float,
+    plan: ShardPlan,
+    n_procs: int,
+    inner_threads: int,
+    timeout_s: float,
+) -> list[RankTrace]:
+    handle = export_plane(r, program)
+    try:
+        pool = _get_pool(n_procs)
+        futures = [
+            pool.submit(
+                _run_block,
+                handle,
+                latency_s,
+                bandwidth_gbps,
+                plan.col_bounds,
+                r0,
+                r1,
+                inner_threads,
+            )
+            for r0, r1 in plan.row_blocks()
+        ]
+        deadline = perf_counter() + timeout_s
+        results = [
+            f.result(timeout=max(0.001, deadline - perf_counter()))
+            for f in futures
+        ]
+        if telemetry.enabled():
+            for r0, r1, wall, pid in results:
+                telemetry.record_span(
+                    "sim.procshard.block", wall, rows=f"{r0}:{r1}", pid=pid
+                )
+        views = plane_views(handle)
+        return [
+            RankTrace(
+                total_s=views["clock"][c].copy(),
+                compute_s=views["compute"][c].copy(),
+                wait_s=views["wait"][c].copy(),
+                comm_s=views["comm"][c].copy(),
+            )
+            for c in range(handle.n_configs)
+        ]
+    finally:
+        destroy_plane(handle)
+
+
+def run_fast_procshard(
+    program,
+    rates: np.ndarray,
+    *,
+    latency_s: float = 5e-6,
+    bandwidth_gbps: float = 5.0,
+    plan: ShardPlan | None = None,
+) -> list[RankTrace]:
+    """Execute ``run_fast_batched``'s contract across worker processes.
+
+    Row blocks of ``plan`` (auto-tuned when ``None``) are dispatched to
+    the persistent pool; each worker runs the invariant-8 fused tile
+    passes for its block in-place on the shared plane, and the parent
+    assembles one :class:`RankTrace` per config row — bit-identical to
+    the unsharded and thread-sharded paths (invariant 9).
+
+    Any dispatch failure — a killed worker, a timeout, a pool that
+    cannot be built — falls back to in-process thread sharding on the
+    same plan, after tearing the pool down and unlinking the segment;
+    genuine program errors re-raise from the fallback unchanged.
+    """
+    r = np.ascontiguousarray(rates, dtype=float)
+    if r.ndim != 2 or r.shape[1] != program.n_ranks:
+        raise ConfigurationError(
+            f"rates shape {r.shape} != (n_configs, {program.n_ranks})"
+        )
+    if plan is None:
+        plan = plan_shards(r.shape[0], r.shape[1])
+    elif (plan.n_configs, plan.n_ranks) != r.shape:
+        raise ConfigurationError(
+            f"plan is for a {(plan.n_configs, plan.n_ranks)} plane; "
+            f"rates have shape {r.shape}"
+        )
+    plan, n_procs, inner_threads = _process_layout(plan)
+    # Resolved before the fallback guard: a malformed timeout env is a
+    # configuration error and must surface, not trigger a silent fallback.
+    timeout_s = _timeout_s()
+    with telemetry.span(
+        "sim.run_fast_procshard",
+        configs=int(r.shape[0]),
+        ranks=program.n_ranks,
+        row_blocks=plan.n_row_blocks,
+        workers=n_procs,
+    ):
+        try:
+            return _pooled_traces(
+                program, r, latency_s, bandwidth_gbps,
+                plan, n_procs, inner_threads, timeout_s,
+            )
+        except (Exception, _FuturesTimeout) as exc:
+            telemetry.count("sim.procshard.fallback")
+            telemetry.count(f"sim.procshard.fallback[{type(exc).__name__}]")
+            reset_pool()
+            from repro.simmpi import fastpath
+
+            return fastpath.run_fast_sharded(
+                program, r,
+                latency_s=latency_s, bandwidth_gbps=bandwidth_gbps,
+                plan=plan, mode="threads",
+            )

@@ -33,10 +33,19 @@ from repro.errors import ConfigurationError
 __all__ = [
     "BYTES_PER_ELEMENT",
     "DEFAULT_TARGET_BYTES",
+    "SHARD_MODES",
     "ShardPlan",
     "ShardSpec",
     "plan_shards",
 ]
+
+#: How a plan's shards execute: ``"threads"`` runs column tiles on an
+#: in-process thread pool (:func:`~repro.simmpi.fastpath.run_fast_sharded`);
+#: ``"processes"`` distributes row blocks over a persistent worker-process
+#: pool attached to the plane via shared memory
+#: (:mod:`repro.simmpi.procshard`).  A mode is execution layout only —
+#: results are bit-identical either way (ARCHITECTURE.md invariants 8/9).
+SHARD_MODES = ("threads", "processes")
 
 #: Per-plane-element working-set footprint of one sharded superstep:
 #: ~22 live float64 arrays (machine state ×4, rates, snapshot/delta/prev
@@ -215,11 +224,23 @@ class ShardSpec:
     so it must not change digests) and resolves to a concrete
     :class:`ShardPlan` per run via :meth:`plan`.  The default spec is
     pure auto-tuning.
+
+    ``mode`` picks the executor (:data:`SHARD_MODES`): ``"threads"``
+    (default) tiles within one process, ``"processes"`` spreads row
+    blocks across a worker-process pool over a shared-memory plane.
+    The geometry (:meth:`plan`) is mode-independent.
     """
 
     shard_ranks: int | None = None
     shard_workers: int | None = None
     target_bytes: int | None = None
+    mode: str = "threads"
+
+    def __post_init__(self) -> None:
+        if self.mode not in SHARD_MODES:
+            raise ConfigurationError(
+                f"shard mode must be one of {SHARD_MODES}; got {self.mode!r}"
+            )
 
     def plan(self, n_configs: int, n_ranks: int) -> ShardPlan:
         """The concrete plan for one plane shape."""

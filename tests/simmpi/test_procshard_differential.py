@@ -1,0 +1,313 @@
+"""Differential proof: the cross-process executor vs both in-process paths.
+
+:func:`~repro.simmpi.procshard.run_fast_procshard` distributes the row
+blocks of a :class:`~repro.simmpi.sharding.ShardPlan` over a persistent
+pool of worker processes that execute the fused tile pass in place on a
+shared-memory state plane.  The contract (ARCHITECTURE.md invariant 9)
+is bit-identity with *both* the unsharded 2-D machine and the
+thread-sharded executor: invariant 8's superstep reduction closes
+entirely within a worker, and workers write disjoint row ranges, so no
+floating-point operation is reordered by the process boundary.
+
+The suite reuses the random-program generators and adversarial plan
+shapes of the thread-sharding suite and adds the layouts that are
+adversarial specifically for processes: a single row block (one worker
+does everything), more workers than row blocks (the layout refiner
+splits rows), partial retirement straddling worker boundaries, and
+singleton config stacks.  The engine-level class proves
+``mode="processes"`` never reaches cached payloads or digests.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.simmpi import procshard
+from repro.simmpi.fastpath import (
+    run_fast_batched,
+    run_fast_sharded,
+    simulate_app_batched,
+)
+from repro.simmpi.sharding import SHARD_MODES, ShardPlan, ShardSpec, plan_shards
+
+from tests.simmpi.test_fastpath_batched import batched_cases
+from tests.simmpi.test_fastpath_differential import app_cases
+from tests.simmpi.test_fastpath_sharded import (
+    TestPartialRetirementSharded,
+    adversarial_plans,
+    assert_all_configs_identical,
+    fixed_width_plan,
+)
+
+
+def _three_way(program, rates2d, plan, latency_s=5e-6, bandwidth_gbps=5.0):
+    """Run unsharded / thread-sharded / process-sharded and return all
+    three trace lists."""
+    want = run_fast_batched(
+        program, rates2d, latency_s=latency_s, bandwidth_gbps=bandwidth_gbps
+    )
+    threads = run_fast_sharded(
+        program, rates2d,
+        latency_s=latency_s, bandwidth_gbps=bandwidth_gbps,
+        plan=plan, mode="threads",
+    )
+    procs = run_fast_sharded(
+        program, rates2d,
+        latency_s=latency_s, bandwidth_gbps=bandwidth_gbps,
+        plan=plan, mode="processes",
+    )
+    return want, threads, procs
+
+
+class TestRandomProcShardEquivalence:
+    @settings(max_examples=15, deadline=None)
+    @given(case=batched_cases(), data=st.data())
+    def test_mixed_programs(self, case, data):
+        program, rates2d, latency, bandwidth = case
+        plans = adversarial_plans(rates2d.shape[0], program.n_ranks)
+        plan = data.draw(st.sampled_from(plans), label="plan")
+        want, threads, procs = _three_way(
+            program, rates2d, plan,
+            latency_s=latency, bandwidth_gbps=bandwidth,
+        )
+        assert_all_configs_identical(threads, want, "threads: ")
+        assert_all_configs_identical(procs, want, "processes: ")
+
+    @settings(max_examples=10, deadline=None)
+    @given(case=batched_cases(force_sendrecv=True), data=st.data())
+    def test_sendrecv_programs(self, case, data):
+        """Halo gathers read other column tiles' clocks; that reduction
+        must close inside one worker, never across the process pool."""
+        program, rates2d, latency, bandwidth = case
+        plans = adversarial_plans(rates2d.shape[0], program.n_ranks)
+        plan = data.draw(st.sampled_from(plans), label="plan")
+        want, threads, procs = _three_way(
+            program, rates2d, plan,
+            latency_s=latency, bandwidth_gbps=bandwidth,
+        )
+        assert_all_configs_identical(threads, want, "threads: ")
+        assert_all_configs_identical(procs, want, "processes: ")
+
+
+class TestAdversarialLayouts:
+    def _case(self):
+        return TestPartialRetirementSharded()._case()
+
+    def test_partial_retirement_every_plan(self):
+        """Steady rows retire mid-loop in some workers while noisy rows
+        keep iterating in others — worker-local detector state must not
+        observe the difference."""
+        program, rates2d = self._case()
+        want = run_fast_batched(program, rates2d, latency_s=0.0)
+        for plan in adversarial_plans(rates2d.shape[0], program.n_ranks):
+            got = run_fast_sharded(
+                program, rates2d, latency_s=0.0, plan=plan, mode="processes"
+            )
+            assert_all_configs_identical(
+                got, want, f"plan {plan.col_bounds}/{plan.row_block}: "
+            )
+
+    def test_single_row_block(self):
+        """One row block: the whole plane runs in a single worker."""
+        program, rates2d = self._case()
+        want = run_fast_batched(program, rates2d, latency_s=0.0)
+        plan = fixed_width_plan(
+            rates2d.shape[0], program.n_ranks, 5,
+            row_block=rates2d.shape[0],
+        )
+        assert plan.n_row_blocks == 1
+        got = run_fast_sharded(
+            program, rates2d, latency_s=0.0, plan=plan, mode="processes"
+        )
+        assert_all_configs_identical(got, want)
+
+    def test_more_workers_than_row_blocks(self):
+        """The layout refiner splits rows so extra workers get work —
+        legal only because rows are independent (must stay bitwise)."""
+        program, rates2d = self._case()
+        want = run_fast_batched(program, rates2d, latency_s=0.0)
+        plan = fixed_width_plan(
+            rates2d.shape[0], program.n_ranks, 5,
+            row_block=rates2d.shape[0], workers=3,
+        )
+        refined, n_procs, inner = procshard._process_layout(plan)
+        assert refined.n_row_blocks > plan.n_row_blocks
+        assert n_procs <= plan.n_workers
+        got = run_fast_sharded(
+            program, rates2d, latency_s=0.0, plan=plan, mode="processes"
+        )
+        assert_all_configs_identical(got, want)
+
+    def test_singleton_config(self):
+        """n_configs == 1: a single row that cannot be split."""
+        program, rates2d = self._case()
+        rates1 = rates2d[1:2]
+        want = run_fast_batched(program, rates1, latency_s=0.0)
+        for workers in (1, 3):
+            plan = fixed_width_plan(
+                1, program.n_ranks, 4, workers=workers
+            )
+            got = run_fast_sharded(
+                program, rates1, latency_s=0.0, plan=plan, mode="processes"
+            )
+            assert_all_configs_identical(got, want, f"workers {workers}: ")
+
+    def test_row_block_of_one(self):
+        """Every config is its own worker task."""
+        program, rates2d = self._case()
+        want = run_fast_batched(program, rates2d, latency_s=0.0)
+        plan = fixed_width_plan(
+            rates2d.shape[0], program.n_ranks, 5, row_block=1, workers=2
+        )
+        got = run_fast_sharded(
+            program, rates2d, latency_s=0.0, plan=plan, mode="processes"
+        )
+        assert_all_configs_identical(got, want)
+
+    @settings(max_examples=8, deadline=None)
+    @given(case=app_cases())
+    def test_simulate_app_batched_process_mode(self, case):
+        app, rates, iters, latency, bandwidth, fmax = case
+        rates2d = np.stack([rates, rates * 0.75, np.full_like(rates, 2.0)])
+        want = simulate_app_batched(
+            app, rates2d, fmax,
+            n_iters=iters, latency_s=latency, bandwidth_gbps=bandwidth,
+        )
+        got = simulate_app_batched(
+            app, rates2d, fmax,
+            n_iters=iters, latency_s=latency, bandwidth_gbps=bandwidth,
+            shard=ShardSpec(shard_ranks=3, shard_workers=2, mode="processes"),
+        )
+        assert_all_configs_identical(got, want)
+
+
+class TestModeRouting:
+    def _case(self):
+        return TestPartialRetirementSharded()._case()
+
+    def test_shardspec_mode_routes_run_fast_batched(self):
+        program, rates2d = self._case()
+        want = run_fast_batched(program, rates2d, latency_s=0.0)
+        spec = ShardSpec(shard_ranks=5, shard_workers=2, mode="processes")
+        got = run_fast_batched(program, rates2d, latency_s=0.0, shard=spec)
+        assert_all_configs_identical(got, want)
+
+    def test_default_mode_is_threads(self):
+        assert ShardSpec().mode == "threads"
+        assert SHARD_MODES == ("threads", "processes")
+
+    def test_bad_mode_in_spec_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ShardSpec(mode="fibers")
+
+    def test_bad_mode_in_run_fast_sharded_rejected(self):
+        program, rates2d = self._case()
+        with pytest.raises(ConfigurationError):
+            run_fast_sharded(program, rates2d, mode="fibers")
+
+    def test_wrong_shape_plan_rejected_before_pool_spinup(self):
+        program, rates2d = self._case()
+        plan = plan_shards(rates2d.shape[0], program.n_ranks + 1, shard_ranks=5)
+        with pytest.raises(ConfigurationError):
+            run_fast_sharded(program, rates2d, plan=plan, mode="processes")
+
+
+class TestSharedPlaneLifecycle:
+    """The plane API itself: ownership, views, idempotent teardown."""
+
+    def _export(self):
+        program, rates2d = TestPartialRetirementSharded()._case()
+        return program, rates2d, procshard.export_plane(rates2d, program)
+
+    def test_round_trip_views(self):
+        program, rates2d, handle = self._export()
+        try:
+            views = procshard.plane_views(handle)
+            assert np.array_equal(views["rates"], rates2d)
+            assert not views["clock"].any()  # outputs start zeroed
+            rates_v, outs, prog = procshard.attach_plane(handle)
+            assert np.array_equal(rates_v, rates2d)
+            assert not rates_v.flags.writeable
+            assert prog.n_ranks == program.n_ranks
+            outs["clock"][0, 0] = 7.0
+            assert views["clock"][0, 0] == 7.0  # same backing segment
+        finally:
+            procshard.destroy_plane(handle)
+
+    def test_destroy_is_idempotent(self):
+        _, _, handle = self._export()
+        procshard.destroy_plane(handle)
+        procshard.destroy_plane(handle)  # second call is a no-op
+
+    def test_views_require_ownership(self):
+        _, _, handle = self._export()
+        procshard.destroy_plane(handle)
+        with pytest.raises(ConfigurationError):
+            procshard.plane_views(handle)
+
+    def test_reexported_from_exec(self):
+        from repro import exec as exec_pkg
+        from repro.exec import shared
+
+        for name in ("SharedPlane", "export_plane", "attach_plane",
+                     "destroy_plane"):
+            assert getattr(shared, name) is getattr(procshard, name)
+            assert getattr(exec_pkg, name) is getattr(procshard, name)
+
+
+@pytest.mark.slow
+class TestEngineDigestsUnchangedByProcessMode:
+    """``mode="processes"`` must never reach results, payloads, digests."""
+
+    N_MODULES = 64
+    N_ITERS = 5
+
+    def _sweep(self):
+        from repro.exec import RunKey
+        from repro.experiments.common import DEFAULT_SEED
+
+        return [
+            RunKey(
+                system="ha8k", n_modules=self.N_MODULES, seed=DEFAULT_SEED,
+                app="bt", scheme=scheme, budget_w=cm * self.N_MODULES,
+                n_iters=self.N_ITERS,
+            )
+            for cm in (60.0, 80.0)
+            for scheme in ("naive", "vapcor", "vafsor")
+        ]
+
+    def test_process_sharded_sweep_payloads_and_digests_identical(
+        self, tmp_path
+    ):
+        from repro.exec import ExperimentEngine
+
+        sweep = self._sweep()
+        plain_dir, proc_dir = tmp_path / "plain", tmp_path / "procshard"
+        ExperimentEngine(
+            batch=True, cache_dir=plain_dir, shard=None
+        ).submit_batched_sweep(sweep)
+        ExperimentEngine(
+            batch=True, cache_dir=proc_dir,
+            shard=ShardSpec(shard_ranks=13, shard_workers=2, mode="processes"),
+        ).submit_batched_sweep(sweep)
+        names = sorted(p.name for p in plain_dir.glob("*.npz"))
+        assert names == sorted(p.name for p in proc_dir.glob("*.npz"))
+        assert names == sorted(f"{k.digest()}.npz" for k in sweep)
+        for name in names:
+            with np.load(plain_dir / name, allow_pickle=True) as a, \
+                 np.load(proc_dir / name, allow_pickle=True) as b:
+                assert sorted(a.files) == sorted(b.files)
+                for entry in a.files:
+                    assert np.array_equal(a[entry], b[entry]), (name, entry)
+
+    def test_mode_not_in_group_signature_or_key(self):
+        from repro.exec import RunKey
+        from repro.exec.engine import _group_signature
+
+        key = self._sweep()[0]
+        assert "shard" not in RunKey.__annotations__
+        assert not any(
+            isinstance(part, (ShardPlan, ShardSpec))
+            for part in _group_signature(key)
+        )

@@ -197,3 +197,36 @@ class TestPlanValidation:
                 n_configs=2, n_ranks=10, row_block=3,
                 col_bounds=(0, 10), n_workers=1,
             )
+
+
+class TestShardMode:
+    """The spec's ``mode`` knob: validated early, never part of the
+    geometry (plans are executor-agnostic)."""
+
+    def test_modes_enumerated(self):
+        from repro.simmpi.sharding import SHARD_MODES
+
+        assert SHARD_MODES == ("threads", "processes")
+
+    def test_default_is_threads(self):
+        assert ShardSpec().mode == "threads"
+
+    def test_explicit_modes_accepted(self):
+        from repro.simmpi.sharding import SHARD_MODES
+
+        for mode in SHARD_MODES:
+            assert ShardSpec(mode=mode).mode == mode
+
+    def test_unknown_mode_rejected_at_construction(self):
+        with pytest.raises(ConfigurationError):
+            ShardSpec(mode="fibers")
+
+    def test_mode_does_not_change_the_plan(self):
+        """Geometry is mode-independent: the same knobs produce the
+        same ShardPlan whichever executor will run it."""
+        threads = ShardSpec(shard_ranks=3, shard_workers=2, mode="threads")
+        procs = ShardSpec(shard_ranks=3, shard_workers=2, mode="processes")
+        assert threads.plan(4, 10) == procs.plan(4, 10)
+
+    def test_plan_has_no_mode_field(self):
+        assert "mode" not in ShardPlan.__dataclass_fields__

@@ -20,18 +20,43 @@ from repro.telemetry.trace import TelemetryCollector
 N_THREADS = 8
 N_OPS = 2_000
 
+#: Generous bound on the start barrier: a wedged worker turns into a
+#: failed test instead of a hung suite.
+_BARRIER_TIMEOUT_S = 60.0
+
 
 def _hammer(n_threads, fn):
     """Run ``fn(thread_index)`` concurrently with a start barrier so all
-    threads contend from the first operation."""
+    threads contend from the first operation.
+
+    Deterministic regardless of test order or scheduling: the barrier
+    is bounded (a wedged thread fails the test rather than hanging it),
+    a failing thread aborts the barrier so peers are released, and the
+    first *real* exception in thread-index order is what propagates —
+    the secondary ``BrokenBarrierError`` every released peer sees can
+    never mask it.
+    """
     barrier = threading.Barrier(n_threads)
+    errors: list = [None] * n_threads
 
     def run(t):
-        barrier.wait()
-        fn(t)
+        try:
+            barrier.wait(timeout=_BARRIER_TIMEOUT_S)
+            fn(t)
+        except BaseException as exc:  # noqa: BLE001 — reported below
+            errors[t] = exc
+            barrier.abort()
 
     with ThreadPoolExecutor(max_workers=n_threads) as pool:
         list(pool.map(run, range(n_threads)))
+    real = [
+        e for e in errors
+        if e is not None and not isinstance(e, threading.BrokenBarrierError)
+    ]
+    if real:
+        raise real[0]
+    if any(errors):
+        raise next(e for e in errors if e is not None)
 
 
 class TestInstrumentExactness:
@@ -188,3 +213,79 @@ class TestShardedRunTelemetry:
         assert len(shard_spans) == plan.n_col_shards
         root = next(s for s in c.spans if s.name == "sim.run_fast_sharded")
         assert all(s.parent == root.id for s in shard_spans)
+
+
+class TestCrossProcessSpanBackdating:
+    """Worker-process walls are recorded parent-side via
+    :func:`repro.telemetry.record_span` after the block completes — the
+    span must backdate into the enclosing run span, not dangle at the
+    record time, and the path must hold up under thread contention."""
+
+    def test_record_span_backdates_under_open_frame(self):
+        import repro.telemetry as telemetry
+
+        c = telemetry.enable()
+        try:
+            with telemetry.span("driver"):
+                telemetry.record_span("worker.block", 0.25, pid=1234)
+        finally:
+            telemetry.disable()
+        driver = next(s for s in c.spans if s.name == "driver")
+        block = next(s for s in c.spans if s.name == "worker.block")
+        assert block.parent == driver.id
+        assert block.dur_s == 0.25
+        # Backdated start: the block ends where it was recorded.
+        assert block.t_start_s <= driver.t_start_s + driver.dur_s
+
+    def test_backdated_spans_parent_per_thread_under_contention(self):
+        c = TelemetryCollector()
+
+        def work(t):
+            with c.span(f"driver-{t}"):
+                for i in range(100):
+                    c.add_span("block", 0.001, {"t": t, "i": i})
+
+        _hammer(N_THREADS, work)
+        assert c.n_spans == N_THREADS * 101
+        drivers = {
+            s.name: s.id for s in c.spans if s.name.startswith("driver-")
+        }
+        for s in c.spans:
+            if s.name == "block":
+                # Each backdated span nests under *its own* thread's
+                # driver frame, never a concurrent thread's.
+                assert s.parent == drivers[f"driver-{s.attrs['t']}"]
+
+    def test_process_sharded_run_records_block_spans(self):
+        """End to end: a process-sharded run parents one backdated
+        ``sim.procshard.block`` span per row block under the run span."""
+        import repro.telemetry as telemetry
+        from repro.simmpi import procshard
+        from repro.simmpi.fastpath import (
+            BspProgram, VAllreduce, VCompute, VLoop, run_fast_sharded,
+        )
+        from repro.simmpi.sharding import plan_shards
+
+        program = BspProgram(
+            16, (VLoop((VCompute(1.0), VAllreduce(64.0)), iters=10),)
+        )
+        rng = np.random.default_rng(5)
+        rates = 1.0 + rng.uniform(0.0, 2.0, (3, 16))
+        plan = plan_shards(3, 16, shard_ranks=8, shard_workers=2)
+        refined, _n_procs, _inner = procshard._process_layout(plan)
+        c = telemetry.enable()
+        try:
+            run_fast_sharded(program, rates, plan=plan, mode="processes")
+        finally:
+            telemetry.disable()
+        root = next(s for s in c.spans if s.name == "sim.run_fast_procshard")
+        blocks = [s for s in c.spans if s.name == "sim.procshard.block"]
+        assert len(blocks) == refined.n_row_blocks
+        assert all(s.parent == root.id for s in blocks)
+        assert all(s.dur_s >= 0.0 for s in blocks)
+        assert all(
+            s.t_start_s <= root.t_start_s + root.dur_s for s in blocks
+        )
+        assert {s.attrs["rows"] for s in blocks} == {
+            f"{r0}:{r1}" for r0, r1 in refined.row_blocks()
+        }

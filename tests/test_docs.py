@@ -58,6 +58,26 @@ class TestArchitectureDoc:
             assert path.exists(), rel
 
 
+class TestReproducingDoc:
+    def test_shard_mode_block_runs(self):
+        """The §6 shard-mode snippet is a live differential check: it
+        must execute and its bit-identity asserts must hold."""
+        blocks = python_blocks(ROOT / "docs" / "REPRODUCING.md")
+        assert blocks, "REPRODUCING.md must contain the shard-mode snippet"
+        for i, code in enumerate(blocks):
+            namespace: dict = {}
+            exec(  # noqa: S102
+                compile(code, f"REPRODUCING.md[block {i}]", "exec"), namespace
+            )
+
+    def test_env_knobs_mentioned_exist(self):
+        text = (ROOT / "docs" / "REPRODUCING.md").read_text()
+        from repro.simmpi import procshard, sharding
+
+        assert sharding._TARGET_ENV in text
+        assert procshard._TIMEOUT_ENV in text
+
+
 class TestDesignDoc:
     def test_module_map_entries_exist(self):
         text = (ROOT / "DESIGN.md").read_text()

@@ -477,3 +477,63 @@ def test_batched_sweep_speedup_and_bit_identity(benchmark, tmp_path):
         f"(batched {bat_s:.3f} s vs sequential {seq_s:.3f} s, "
         f"min of {SWEEP_REPEATS}) -> {BENCH_FILE.name}"
     )
+
+
+# ---------------------------------------------------------------------------
+# Mixed CPU+GPU fleet (the device-generic core's acceptance workload)
+
+#: The hetero guard's fleet size — big enough that the per-type scatter
+#: paths dominate, small enough that the whole point stays sub-second.
+HETERO_MODULES = 16_384
+HETERO_REPEATS = 3
+
+#: Loose absolute floor on mixed-fleet evaluation throughput
+#: (modules x schemes per second).  The reference box holds ~400k/s;
+#: this is an order-of-magnitude guard, not a tight bound.
+MIN_HETERO_MODULES_PER_SEC = 40_000.0
+
+
+def test_hetero_fleet_throughput_recorded(benchmark):
+    """Mixed CPU+GPU fleet point: the typed-DeviceMap path must carry a
+    16k-module half-GPU fleet through all three schemes at fleet-path
+    throughput, with the variation-aware schemes actually winning.  The
+    measured rate is appended to ``BENCH_fleet.json`` (kind
+    ``hetero_fleet``) and ratcheted by
+    ``scripts/check_bench_regression.py``."""
+    from repro.experiments.hetero_fleet import HETERO_SCHEMES, run_hetero_point
+
+    run_hetero_point(HETERO_MODULES)  # warm caches and pages
+    points = [run_hetero_point(HETERO_MODULES) for _ in range(HETERO_REPEATS - 1)]
+    points.append(run_once(benchmark, run_hetero_point, HETERO_MODULES))
+    best = min(points, key=lambda p: p.wall_s)
+
+    rate = best.n_modules * len(HETERO_SCHEMES) / best.wall_s
+    assert rate > MIN_HETERO_MODULES_PER_SEC, (
+        f"mixed-fleet evaluation ran at {rate:,.0f} module-schemes/s "
+        f"(floor {MIN_HETERO_MODULES_PER_SEC:,.0f})"
+    )
+    # The physics, not just the plumbing: every scheme lands in budget
+    # and the variation-aware oracles beat Naive on the mixed pool.
+    assert all(best.within_budget.values())
+    assert best.speedup["vapcor"] > 1.3
+    assert best.vf_norm["vapcor"] < best.vf_norm["naive"]
+
+    _append_record(
+        {
+            "kind": "hetero_fleet",
+            "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+            "n_modules": best.n_modules,
+            "n_gpu": best.n_gpu,
+            "app": best.app,
+            "schemes": list(HETERO_SCHEMES),
+            "repeats": HETERO_REPEATS,
+            "wall_s": round(best.wall_s, 3),
+            "modules_per_sec": round(rate, 1),
+            "speedup_vapcor": round(best.speedup["vapcor"], 3),
+        }
+    )
+    print(
+        f"\nhetero fleet @ {HETERO_MODULES // 1000}k modules "
+        f"({best.n_gpu // 1000}k GPUs): {rate:,.0f} module-schemes/s, "
+        f"VaPcOr {best.speedup['vapcor']:.2f}x -> {BENCH_FILE.name}"
+    )

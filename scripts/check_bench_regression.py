@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Benchmark regression guard for the fleet fast path.
 
-Measures two throughput numbers fresh on the current checkout and
+Measures three throughput numbers fresh on the current checkout and
 compares each against the best *committed* baseline in
 ``BENCH_fleet.json``:
 
@@ -10,7 +10,11 @@ compares each against the best *committed* baseline in
 * **batched_sweep** — the config-batched sweep's speedup over the
   sequential per-config loop at 32 budgets × 50k modules (the batched
   evaluation layer), which must also clear its 3× acceptance floor
-  regardless of history.
+  regardless of history;
+* **hetero_fleet** — mixed CPU+GPU fleet evaluation rate
+  (modules × schemes per second) at 16k modules, guarding the typed
+  per-device scatter paths against creep the uniform-fleet guards
+  cannot see.
 
 A fresh number more than 25 % below its best committed baseline fails
 the check.
@@ -60,6 +64,12 @@ SWEEP_APP = "bt"
 SWEEP_CM_RANGE_W = (52.0, 72.0)
 SWEEP_ITERS = 20
 MIN_SWEEP_SPEEDUP = 3.0
+
+#: The mixed-fleet guard workload (mirrors
+#: ``benchmarks/test_fleet.py::test_hetero_fleet_throughput_recorded``).
+HETERO_MODULES = 16_384
+HETERO_REPEATS = 3
+MIN_HETERO_RATE = 40_000.0
 
 REPEATS = 2
 
@@ -126,16 +136,17 @@ def _latest_fleet_points() -> list[dict]:
     return []
 
 
-def _baselines() -> tuple[list[float], list[float]]:
-    """(fleet ranks/sec at GUARD_MODULES, batched-sweep speedups) from
-    every committed record; corrupt or missing files yield no baselines
-    (first run on a branch must still pass the absolute floors)."""
+def _baselines() -> tuple[list[float], list[float], list[float]]:
+    """(fleet ranks/sec at GUARD_MODULES, batched-sweep speedups,
+    hetero modules/sec at HETERO_MODULES) from every committed record;
+    corrupt or missing files yield no baselines (first run on a branch
+    must still pass the absolute floors)."""
     if not BENCH_FILE.exists():
-        return [], []
+        return [], [], []
     try:
         runs = json.loads(BENCH_FILE.read_text())["runs"]
     except (json.JSONDecodeError, KeyError, TypeError):
-        return [], []
+        return [], [], []
     fleet = [
         float(p["ranks_per_sec"])
         for r in runs
@@ -146,7 +157,13 @@ def _baselines() -> tuple[list[float], list[float]]:
     sweeps = [
         float(r["speedup"]) for r in runs if r.get("kind") == "batched_sweep"
     ]
-    return fleet, sweeps
+    hetero = [
+        float(r["modules_per_sec"])
+        for r in runs
+        if r.get("kind") == "hetero_fleet"
+        and r.get("n_modules") == HETERO_MODULES
+    ]
+    return fleet, sweeps, hetero
 
 
 def _fresh_fleet_rate() -> float:
@@ -158,6 +175,17 @@ def _fresh_fleet_rate() -> float:
         run_fleet_point(GUARD_MODULES).ranks_per_sec
         for _ in range(FLEET_REPEATS)
     )
+
+
+def _fresh_hetero_rate() -> float:
+    """Best-of-N mixed-fleet evaluation rate (modules x schemes / sec)."""
+    from repro.experiments.hetero_fleet import HETERO_SCHEMES, run_hetero_point
+
+    run_hetero_point(HETERO_MODULES)  # warm system/PVT caches and pages
+    wall = min(
+        run_hetero_point(HETERO_MODULES).wall_s for _ in range(HETERO_REPEATS)
+    )
+    return HETERO_MODULES * len(HETERO_SCHEMES) / wall
 
 
 def _fresh_sweep_speedup() -> float:
@@ -196,7 +224,7 @@ def main() -> int:
         print("bench guard: skipped (REPRO_BENCH_SKIP set)")
         return 0
 
-    fleet_base, sweep_base = _baselines()
+    fleet_base, sweep_base, hetero_base = _baselines()
     failures: list[str] = []
 
     latest = _latest_fleet_points()
@@ -243,6 +271,21 @@ def main() -> int:
         failures.append(
             f"batched-sweep speedup regressed: {speedup:.2f}x "
             f"vs floor {floor:.2f}x"
+        )
+
+    hetero_rate = _fresh_hetero_rate()
+    floors = [MIN_HETERO_RATE]
+    if hetero_base:
+        floors.append(max(hetero_base) * (1.0 - TOLERANCE))
+    floor = max(floors)
+    print(
+        f"hetero fleet @ {HETERO_MODULES // 1000}k modules: "
+        f"{hetero_rate:,.0f} module-schemes/s (floor {floor:,.0f})"
+    )
+    if hetero_rate < floor:
+        failures.append(
+            f"mixed-fleet evaluation regressed: {hetero_rate:,.0f} "
+            f"module-schemes/s vs floor {floor:,.0f}"
         )
 
     if failures:

@@ -113,6 +113,22 @@ ALLOWED: dict[str, set[str]] = {
     },
 }
 
+#: Intra-``hardware`` stack: ``devices.py`` (device types / the
+#: DeviceMap) sits at the *top* of the hardware layer, built on these
+#: foundation modules — none of them may import it back.  A reverse
+#: edge would make the generic physics depend on the concrete catalogue.
+DEVICE_FOUNDATION = ("dvfs", "variability", "microarch", "power_model")
+
+#: Concrete device names (ARCHITECTURE.md invariant 10): no module below
+#: ``experiments`` may branch on — or even mention — one.  Heterogeneity
+#: flows exclusively through DeviceType parameters and the DeviceMap
+#: index; a name literal in the core would be a hidden device branch.
+DEVICE_NAME_LITERALS = ("cpu-ivy-bridge-e5-2697v2", "gpu-v100-sxm2")
+
+#: Layers allowed to name concrete devices (plus hardware/devices.py
+#: itself, which defines them).
+DEVICE_NAME_LAYERS = {"experiments", "cli"}
+
 #: The edges this contract was written to forbid — reported with a
 #: louder message than a plain allowlist miss.
 FORBIDDEN: set[tuple[str, str]] = {
@@ -165,9 +181,72 @@ def collect_edges() -> list[tuple[str, str, str, int]]:
     return edges
 
 
+def check_device_rules() -> list[str]:
+    """Invariant 10: device types stay atop hardware, names stay out of
+    the core.
+
+    Two rules: (a) the hardware foundation modules
+    (:data:`DEVICE_FOUNDATION`) must not import
+    ``repro.hardware.devices``; (b) concrete device-name string literals
+    appear only in ``hardware/devices.py`` and the layers in
+    :data:`DEVICE_NAME_LAYERS`.  Docstrings are exempt — *mentioning* a
+    device in prose is documentation, not a branch.
+    """
+    violations = []
+    devices_py = PACKAGE_ROOT / "hardware" / "devices.py"
+    for py in sorted(PACKAGE_ROOT.rglob("*.py")):
+        layer = _layer_of(py)
+        tree = ast.parse(py.read_text(), filename=str(py))
+        rel = str(py.relative_to(REPO_ROOT))
+        if layer == "hardware" and py.stem in DEVICE_FOUNDATION:
+            for node in ast.walk(tree):
+                modules = []
+                if isinstance(node, ast.Import):
+                    modules = [(a.name, node.lineno) for a in node.names]
+                elif isinstance(node, ast.ImportFrom) and node.module:
+                    modules = [(node.module, node.lineno)]
+                for module, lineno in modules:
+                    if module.startswith("repro.hardware.devices"):
+                        violations.append(
+                            f"{rel}:{lineno}: hardware foundation module "
+                            f"{py.stem!r} imports hardware.devices — device "
+                            "types build ON the foundation, never the reverse"
+                        )
+        if py == devices_py or layer in DEVICE_NAME_LAYERS:
+            continue
+        docstrings = set()
+        for node in ast.walk(tree):
+            if isinstance(
+                node, (ast.Module, ast.ClassDef, ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                body = node.body
+                if (
+                    body
+                    and isinstance(body[0], ast.Expr)
+                    and isinstance(body[0].value, ast.Constant)
+                    and isinstance(body[0].value.value, str)
+                ):
+                    docstrings.add(id(body[0].value))
+        for node in ast.walk(tree):
+            if (
+                isinstance(node, ast.Constant)
+                and isinstance(node.value, str)
+                and id(node) not in docstrings
+            ):
+                for name in DEVICE_NAME_LITERALS:
+                    if name in node.value:
+                        violations.append(
+                            f"{rel}:{node.lineno}: concrete device name "
+                            f"{name!r} below the experiment layer — "
+                            "invariant 10: heterogeneity flows through "
+                            "DeviceType parameters, never name branches"
+                        )
+    return violations
+
+
 def check() -> list[str]:
     """Return a list of violation messages (empty = contract holds)."""
-    violations = []
+    violations = check_device_rules()
     for src, dst, path, lineno in collect_edges():
         if src not in ALLOWED:
             violations.append(

@@ -54,7 +54,7 @@ Telemetry observes any of the above without changing results::
 
 import repro.telemetry as telemetry
 from repro.apps import APPS, AppModel, get_app, list_apps
-from repro.cluster import JobScheduler, System, build_system
+from repro.cluster import JobScheduler, System, build_hetero_system, build_system
 from repro.core import (
     ALL_SCHEMES,
     BatchBudgetSolution,
@@ -92,12 +92,16 @@ from repro.errors import (
 )
 from repro.exec import ExperimentEngine, RunKey, configure, get_engine
 from repro.hardware import (
+    DeviceMap,
+    DeviceType,
     Microarchitecture,
     Module,
     ModuleArray,
     OperatingPoint,
     PowerSignature,
+    get_device_type,
     get_microarch,
+    list_device_types,
     list_microarchs,
 )
 
@@ -113,6 +117,7 @@ __all__ = [
     # cluster
     "System",
     "build_system",
+    "build_hetero_system",
     "JobScheduler",
     # core
     "ALL_SCHEMES",
@@ -142,12 +147,16 @@ __all__ = [
     "solve_alpha",
     "solve_alpha_batched",
     # hardware
+    "DeviceMap",
+    "DeviceType",
     "Microarchitecture",
     "Module",
     "ModuleArray",
     "OperatingPoint",
     "PowerSignature",
+    "get_device_type",
     "get_microarch",
+    "list_device_types",
     "list_microarchs",
     # exec (experiment engine)
     "ExperimentEngine",

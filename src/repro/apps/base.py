@@ -156,6 +156,7 @@ class AppModel:
         return ModuleArray(
             modules.arch,
             ModuleVariation(leak=var.leak, dyn=dyn, dram=dram, perf=var.perf),
+            modules.device_map,
         )
 
     # -- execution -----------------------------------------------------------------

@@ -85,6 +85,10 @@ EXPERIMENTS: dict[str, tuple[str, Callable[[], None]]] = {
     ),
     "binning": ("frequency vs power binning counterfactual", _lazy("binning")),
     "fleet": ("fleet-scale sweep: Vf/Vt/speedup at 10k-200k modules", _lazy("fleet")),
+    "hetero": (
+        "mixed CPU+GPU fleets under one global budget",
+        _lazy("hetero_fleet"),
+    ),
     "energy": ("energy-to-solution vs budget (race-to-fmax)", _lazy("energy")),
     "report": ("write reproduction_report.md", _lazy("report")),
     "uncertainty": ("headline speedups across variation draws", _lazy("uncertainty")),

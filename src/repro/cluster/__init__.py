@@ -12,7 +12,7 @@
   scheduler's module list as input, Fig 4).
 """
 
-from repro.cluster.configs import SYSTEM_FACTORIES, build_system
+from repro.cluster.configs import SYSTEM_FACTORIES, build_hetero_system, build_system
 from repro.cluster.scheduler import Allocation, JobScheduler
 from repro.cluster.system import System
 from repro.cluster.topology import (
@@ -24,6 +24,7 @@ from repro.cluster.topology import (
 __all__ = [
     "System",
     "build_system",
+    "build_hetero_system",
     "SYSTEM_FACTORIES",
     "JobScheduler",
     "Allocation",

@@ -20,18 +20,24 @@ HA8K).
 
 from __future__ import annotations
 
-from collections.abc import Callable
+from collections.abc import Callable, Sequence
+
+import numpy as np
 
 from repro.cluster.system import System
 from repro.errors import ConfigurationError
+from repro.hardware.devices import DeviceMap, DeviceType, get_device_type
 from repro.hardware.microarch import (
     BGQ_POWERPC_A2,
     IVY_BRIDGE_E5_2697V2,
     PILEDRIVER_A10_5800K,
     SANDY_BRIDGE_E5_2670,
 )
+from repro.hardware.module import ModuleArray
+from repro.hardware.variability import ModuleVariation, sample_variation
+from repro.util.rng import RngFactory
 
-__all__ = ["build_system", "SYSTEM_FACTORIES"]
+__all__ = ["build_system", "build_hetero_system", "SYSTEM_FACTORIES"]
 
 
 def _cab(n_modules: int | None, seed: int) -> System:
@@ -125,3 +131,69 @@ def build_system(
     if n_modules is not None and n_modules <= 0:
         raise ConfigurationError("n_modules must be positive")
     return factory(n_modules, seed)
+
+
+def build_hetero_system(
+    counts: Sequence[tuple[str | DeviceType, int]] | dict[str, int],
+    *,
+    name: str = "hetero",
+    seed: int = 2015,
+    procs_per_node: int = 1,
+    meter_kind: str = "rapl",
+) -> System:
+    """Assemble a heterogeneous fleet from per-device-type module counts.
+
+    ``counts`` maps device-type names (or :class:`DeviceType` instances)
+    to module counts, e.g. ``{"cpu-ivy-bridge-e5-2697v2": 512,
+    "gpu-v100-sxm2": 512}``.  Each type's manufacturing variation is
+    sampled from *its own* distribution under a per-type keyed RNG
+    stream (``device/<name>/variability``), so adding a type never
+    perturbs another type's draw.  Modules are laid out in contiguous
+    per-type blocks — the layout every contiguity-aware ``take`` rides —
+    and the first listed type is the fleet's *primary* (its arch becomes
+    ``system.arch`` and the shared-α frequency reference).
+    """
+    items = list(counts.items()) if isinstance(counts, dict) else list(counts)
+    if not items:
+        raise ConfigurationError("counts must name at least one device type")
+    types: list[DeviceType] = []
+    sizes: list[int] = []
+    for dt, n in items:
+        if isinstance(dt, str):
+            dt = get_device_type(dt)
+        if int(n) <= 0:
+            raise ConfigurationError(f"device count for {dt.name!r} must be positive")
+        types.append(dt)
+        sizes.append(int(n))
+    if len({dt.name for dt in types}) != len(types):
+        raise ConfigurationError("each device type may appear once in counts")
+
+    rng = RngFactory(seed).child(f"system/{name}")
+    parts = [
+        sample_variation(
+            dt.arch.variation,
+            n,
+            rng.rng(f"device/{dt.name}/variability"),
+            procs_per_node=procs_per_node,
+        )
+        for dt, n in zip(types, sizes)
+    ]
+    variation = ModuleVariation(
+        leak=np.concatenate([p.leak for p in parts]),
+        dyn=np.concatenate([p.dyn for p in parts]),
+        dram=np.concatenate([p.dram for p in parts]),
+        perf=np.concatenate([p.perf for p in parts]),
+    )
+    index = np.concatenate(
+        [np.full(n, pos, dtype=np.int8) for pos, n in enumerate(sizes)]
+    )
+    device_map = DeviceMap(tuple(types), index)
+    arch = types[0].arch
+    return System(
+        name=name,
+        arch=arch,
+        modules=ModuleArray(arch, variation, device_map),
+        procs_per_node=procs_per_node,
+        meter_kind=meter_kind,
+        rng=rng,
+    )

@@ -131,8 +131,27 @@ class System:
         return self.n_modules // self.procs_per_node
 
     @property
+    def device_map(self):
+        """Per-module device assignment (``None`` on homogeneous fleets)."""
+        return self.modules.device_map
+
+    @property
+    def is_mixed(self) -> bool:
+        """True when the fleet spans more than one device type."""
+        return self.modules.is_mixed
+
+    @property
     def supports_capping(self) -> bool:
-        """Whether hardware power caps can be enforced here."""
+        """Whether hardware power caps can be enforced here.
+
+        A mixed fleet is cappable when every device type present declares
+        a cap mechanism (RAPL, NVML, ...); the homogeneous check is the
+        paper's Table 1 rule, unchanged.
+        """
+        if self.modules.is_mixed:
+            return all(
+                dt.supports_capping for _pos, dt, _sel in self.device_map.groups()
+            )
         return self.arch.supports_capping and self.meter_kind == "rapl"
 
     def subset(self, indices: np.ndarray | list[int]) -> "System":

@@ -87,7 +87,18 @@ class RaplCapController:
         dither_loss_frac: float = 0.02,
         guardband_frac: float = 0.01,
     ):
-        if not modules.arch.supports_capping:
+        if modules.is_mixed:
+            unsupported = [
+                dt.name
+                for _pos, dt, _sel in modules.device_map.groups()
+                if not dt.supports_capping
+            ]
+            if unsupported:
+                raise CappingUnsupportedError(
+                    f"device types {', '.join(unsupported)} do not support "
+                    "hardware power capping"
+                )
+        elif not modules.arch.supports_capping:
             raise CappingUnsupportedError(
                 f"{modules.arch.name} does not support hardware power capping"
             )
@@ -115,8 +126,8 @@ class RaplCapController:
         effective = res.effective_freq_ghz
         if self._rng is not None and self._dither_loss_frac > 0.0:
             # Only modules whose cap is binding dither; an uncapped module
-            # sits at fmax all window long.
-            binding = res.freq_ghz < self.modules.arch.fmax - 1e-12
+            # sits at (its device type's) fmax all window long.
+            binding = res.freq_ghz < self.modules.fmax_by_module() - 1e-12
             loss = np.abs(self._rng.normal(0.0, self._dither_loss_frac, n))
             effective = effective * np.where(binding, 1.0 - np.clip(loss, 0.0, 0.05), 1.0)
 
@@ -146,6 +157,11 @@ class RaplCapController:
         """
         if n_windows <= 0:
             raise ConfigurationError("n_windows must be positive")
+        if self.modules.is_mixed:
+            raise ConfigurationError(
+                "frequency_trace is ladder-specific; take a per-type view of a "
+                "mixed fleet first"
+            )
         arch = self.modules.arch
         enforced = self.enforce(cap_w, sig)
         target = np.clip(enforced.effective_freq_ghz, arch.fmin, arch.fmax)

@@ -21,7 +21,6 @@ modules cannot be operated even at fmin (Table 4's "–" entries).
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass
 
 import numpy as np
@@ -35,7 +34,6 @@ __all__ = [
     "BatchBudgetSolution",
     "solve_alpha",
     "solve_alpha_batched",
-    "solve_alpha_chunked",
     "classify_constraint",
     "classify_constraint_batched",
 ]
@@ -263,24 +261,6 @@ def solve_alpha_batched(
             pdram_w=pdram,
             floor_w=floor_err,
         )
-
-
-def solve_alpha_chunked(
-    model: LinearPowerModel, budget_w: float, *, chunk_modules: int = 65536
-) -> BudgetSolution:
-    """Deprecated alias for ``solve_alpha(..., chunk_modules=...)``.
-
-    Kept for one release as a loud stub: every call raises a
-    :class:`DeprecationWarning` before forwarding.  It will be removed
-    in the next release — call :func:`solve_alpha` directly.
-    """
-    warnings.warn(
-        "solve_alpha_chunked is deprecated and will be removed; call "
-        "solve_alpha(model, budget_w, chunk_modules=...) instead",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return solve_alpha(model, budget_w, chunk_modules=chunk_modules)
 
 
 def classify_constraint(model: LinearPowerModel, budget_w: float) -> str:

@@ -16,9 +16,14 @@ rate under the budget is a *linear program*::
     subject to Σ (a_i + b_i f_i) ≤ P_budget,  fmin ≤ f_i ≤ fmax
 
 (Totoni's ILP is integral over P-states; the LP relaxation is the
-natural upper bound and is what we solve, via scipy.)  The optimum is a
-bang-bang assignment: power-efficient modules get fmax, expensive ones
-get fmin, one module lands in between.
+natural upper bound and is what we solve.)  With one coupling
+constraint and box bounds the LP is a fractional knapsack, so the
+optimum is closed-form bang-bang: raise modules from fmin to fmax in
+ascending order of marginal cost ``b_i`` (W per GHz) until the budget
+is spent, with at most one module landing in between.  The solve is a
+sort plus a cumulative sum over fleet-shaped arrays — no LP solver, no
+scalar loop — and handles per-module ladder endpoints, so it works
+unchanged on mixed device fleets.
 
 Two execution models are compared against VaFs:
 
@@ -34,7 +39,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
-from scipy.optimize import linprog
 
 from repro.apps.base import AppModel
 from repro.cluster.system import System
@@ -65,7 +69,15 @@ class HeteroAssignment:
 def solve_hetero_frequencies(
     model: LinearPowerModel, budget_w: float
 ) -> HeteroAssignment:
-    """Solve the throughput-maximising frequency LP.
+    """Solve the throughput-maximising frequency LP in closed form.
+
+    The LP is a fractional knapsack: starting from all-fmin, lifting
+    module *i* to its fmax buys ``span_i`` GHz of rate at ``b_i`` W per
+    GHz, so the optimum lifts modules in ascending-``b`` order until the
+    budget headroom is exhausted (one module may stop partway).  A sort
+    and a cumulative sum over fleet-shaped arrays — per-module ladder
+    endpoints come from the model's device map when present, so mixed
+    fleets solve identically.
 
     Raises :class:`InfeasibleBudgetError` when even all-fmin exceeds the
     budget (same feasibility boundary as the common-frequency solve).
@@ -74,26 +86,30 @@ def solve_hetero_frequencies(
     if budget_w < floor:
         raise InfeasibleBudgetError(budget_w, floor)
     n = model.n_modules
-    span_f = model.fmax - model.fmin
-    if span_f <= 0:
+    fmin_m = model.freqs_at(0.0)
+    fmax_m = model.freqs_at(1.0)
+    span = fmax_m - fmin_m
+    if np.any(span <= 0):
         raise ConfigurationError("heterogeneous assignment needs a DVFS range")
 
     # P_i(f) = a_i + b_i f from the endpoint parameters.
     p_min = model.module_power_at(0.0)
     p_max = model.module_power_at(1.0)
-    b = (p_max - p_min) / span_f
-    a = p_min - b * model.fmin
+    b = (p_max - p_min) / span
+    a = p_min - b * fmin_m
 
-    res = linprog(
-        c=-np.ones(n),  # maximise sum of f
-        A_ub=b.reshape(1, -1),
-        b_ub=np.array([budget_w - a.sum()]),
-        bounds=[(model.fmin, model.fmax)] * n,
-        method="highs",
-    )
-    if not res.success:  # pragma: no cover - LP is always feasible here
-        raise InfeasibleBudgetError(budget_w, floor, message=res.message)
-    freqs = np.asarray(res.x)
+    # Greedy fill in ascending W/GHz order; csum[k] is the power spent
+    # lifting the k+1 cheapest modules all the way to fmax.
+    order = np.argsort(b, kind="stable")
+    csum = np.cumsum((b * span)[order])
+    headroom = budget_w - p_min.sum()
+    k = int(np.searchsorted(csum, headroom * (1.0 + 1e-12), side="right"))
+    freqs = fmin_m.copy()
+    freqs[order[:k]] = fmax_m[order[:k]]
+    if k < n:
+        j = order[k]
+        spent = csum[k - 1] if k > 0 else 0.0
+        freqs[j] += np.clip((headroom - spent) / b[j], 0.0, span[j])
     power = a + b * freqs
     return HeteroAssignment(
         freq_ghz=freqs,

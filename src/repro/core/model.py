@@ -21,6 +21,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.hardware.devices import DeviceMap
 from repro.util.indexing import as_contiguous_slice
 
 __all__ = ["LinearPowerModel"]
@@ -31,7 +32,11 @@ class LinearPowerModel:
     """Per-module endpoint powers, vectorised over modules.
 
     All four arrays have shape ``(n_modules,)`` (scalars broadcast).
-    ``fmin``/``fmax`` are the architecture's frequency range in GHz.
+    ``fmin``/``fmax`` are the architecture's frequency range in GHz — the
+    *primary* device's range on a heterogeneous fleet, whose per-module
+    ladders come from ``device_map``.  The α arithmetic below is purely
+    power-domain and therefore device-agnostic: only the α→frequency
+    mapping (:meth:`freq_at` / :meth:`freqs_at`) touches a ladder.
     """
 
     fmin: float
@@ -40,6 +45,7 @@ class LinearPowerModel:
     p_cpu_min: np.ndarray
     p_dram_max: np.ndarray
     p_dram_min: np.ndarray
+    device_map: DeviceMap | None = None
 
     def __post_init__(self) -> None:
         if self.fmin > self.fmax:
@@ -66,6 +72,14 @@ class LinearPowerModel:
         ):
             raise ConfigurationError(
                 "endpoint powers must satisfy P_max >= P_min per component"
+            )
+        if (
+            self.device_map is not None
+            and self.device_map.n_modules != self.p_cpu_max.shape[0]
+        ):
+            raise ConfigurationError(
+                f"device_map covers {self.device_map.n_modules} modules, "
+                f"model covers {self.p_cpu_max.shape[0]}"
             )
 
     @property
@@ -94,6 +108,11 @@ class LinearPowerModel:
             p_cpu_min=self.p_cpu_min[start:stop],
             p_dram_max=self.p_dram_max[start:stop],
             p_dram_min=self.p_dram_min[start:stop],
+            device_map=(
+                None
+                if self.device_map is None
+                else self.device_map.take_slice(start, stop)
+            ),
         )
 
     def take(self, indices: np.ndarray | list[int]) -> "LinearPowerModel":
@@ -113,6 +132,9 @@ class LinearPowerModel:
             p_cpu_min=self.p_cpu_min[idx],
             p_dram_max=self.p_dram_max[idx],
             p_dram_min=self.p_dram_min[idx],
+            device_map=(
+                None if self.device_map is None else self.device_map.take(idx)
+            ),
         )
 
     # -- Equations (1)-(4) -------------------------------------------------------
@@ -127,6 +149,19 @@ class LinearPowerModel:
         if span == 0.0:
             return 1.0
         return (float(freq_ghz) - self.fmin) / span
+
+    def freqs_at(self, alpha: float) -> np.ndarray:
+        """Eq (1) per module: α mapped through each module's own ladder.
+
+        On a uniform fleet this is ``full(n, freq_at(alpha))``; on a
+        mixed fleet each device type realises the shared α on its own
+        frequency range — same power-domain knob, device-local clocks.
+        """
+        if self.device_map is None:
+            return np.full(self.n_modules, self.freq_at(alpha))
+        fmin = self.device_map.fmin_by_module()
+        fmax = self.device_map.fmax_by_module()
+        return alpha * (fmax - fmin) + fmin
 
     def cpu_power_at(self, alpha: float) -> np.ndarray:
         """Eq (2): predicted per-module CPU power at α."""

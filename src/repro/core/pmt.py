@@ -35,6 +35,7 @@ from repro.core.model import LinearPowerModel
 from repro.core.pvt import PowerVariationTable
 from repro.core.test_run import SingleModuleProfile
 from repro.errors import ConfigurationError
+from repro.hardware.devices import DeviceMap
 from repro.hardware.microarch import Microarchitecture
 from repro.hardware.module import ModuleArray, OperatingPoint
 from repro.measurement.rapl import RaplMeter
@@ -42,6 +43,7 @@ from repro.measurement.rapl import RaplMeter
 __all__ = [
     "PowerModelTable",
     "calibrate_pmt",
+    "calibrate_pmt_mixed",
     "uniform_pmt",
     "oracle_pmt",
     "naive_pmt",
@@ -101,6 +103,7 @@ def calibrate_pmt(
     *,
     fmin: float,
     fmax: float,
+    device_map: DeviceMap | None = None,
 ) -> PowerModelTable:
     """Power model calibration (paper Section 5.2, Fig 6).
 
@@ -124,9 +127,66 @@ def calibrate_pmt(
         p_cpu_min=avg_cpu_min * pvt.scale_cpu_min,
         p_dram_max=avg_dram_max * pvt.scale_dram_max,
         p_dram_min=avg_dram_min * pvt.scale_dram_min,
+        device_map=device_map,
     )
     return PowerModelTable(
         model=model, kind="calibrated", app_name=profile.app_name, test_module=k
+    )
+
+
+def calibrate_pmt_mixed(
+    pvt: PowerVariationTable,
+    profiles: list[SingleModuleProfile],
+    device_map: DeviceMap,
+    *,
+    fmin: float,
+    fmax: float,
+    uniform: bool = False,
+) -> PowerModelTable:
+    """Per-type PMT calibration over a heterogeneous fleet.
+
+    One single-module test run per device type: each profile's
+    measurements are divided by its test module's PVT scales to recover
+    the *type* average (the mixed PVT normalises per type), then spread
+    back over that type's modules — per-module scales when
+    ``uniform=False`` (VaPc/VaFs), the bare average otherwise (Pc).
+    ``fmin``/``fmax`` are the primary device's range; the per-module
+    ladders travel with ``device_map``.
+    """
+    groups = list(device_map.groups())
+    if len(groups) != len(profiles):
+        raise ConfigurationError(
+            f"need one profile per device type: got {len(profiles)} profiles "
+            f"for {len(groups)} types"
+        )
+    n = pvt.n_modules
+    scales = {
+        "p_cpu_max": pvt.scale_cpu_max,
+        "p_cpu_min": pvt.scale_cpu_min,
+        "p_dram_max": pvt.scale_dram_max,
+        "p_dram_min": pvt.scale_dram_min,
+    }
+    cols = {name: np.empty(n) for name in scales}
+    for (pos, dt, sel), profile in zip(groups, profiles):
+        k = profile.module_index
+        if not (0 <= k < n) or int(device_map.index[k]) != pos:
+            raise ConfigurationError(
+                f"test module {k} is not a {dt.name!r} module"
+            )
+        avg = {
+            "p_cpu_max": profile.p_cpu_max / pvt.scale_cpu_max[k],
+            "p_cpu_min": profile.p_cpu_min / pvt.scale_cpu_min[k],
+            "p_dram_max": profile.p_dram_max / pvt.scale_dram_max[k],
+            "p_dram_min": profile.p_dram_min / pvt.scale_dram_min[k],
+        }
+        for name in cols:
+            cols[name][sel] = avg[name] if uniform else avg[name] * scales[name][sel]
+    model = LinearPowerModel(fmin=fmin, fmax=fmax, device_map=device_map, **cols)
+    return PowerModelTable(
+        model=model,
+        kind="uniform" if uniform else "calibrated",
+        app_name=profiles[0].app_name,
+        test_module=profiles[0].module_index,
     )
 
 
@@ -136,6 +196,7 @@ def uniform_pmt(
     *,
     fmin: float,
     fmax: float,
+    device_map: DeviceMap | None = None,
 ) -> PowerModelTable:
     """Application-dependent, variation-unaware PMT (the Pc scheme).
 
@@ -155,6 +216,7 @@ def uniform_pmt(
         p_cpu_min=np.full(n, profile.p_cpu_min / pvt.scale_cpu_min[k]),
         p_dram_max=np.full(n, profile.p_dram_max / pvt.scale_dram_max[k]),
         p_dram_min=np.full(n, profile.p_dram_min / pvt.scale_dram_min[k]),
+        device_map=device_map,
     )
     return PowerModelTable(
         model=model, kind="uniform", app_name=profile.app_name, test_module=k
@@ -176,9 +238,17 @@ def oracle_pmt(
     n = system.n_modules
     cols = {}
     for label, freq in (("max", arch.fmax), ("min", arch.fmin)):
-        reading = meter.read(
-            OperatingPoint.uniform(n, freq, app.signature), duration_s=duration_s
-        )
+        if truth.is_mixed:
+            # Measure every module at its own ladder endpoint.
+            freqs = (
+                truth.fmax_by_module() if label == "max" else truth.fmin_by_module()
+            )
+            op = OperatingPoint(
+                freq_ghz=freqs, duty=np.ones(n), signature=app.signature
+            )
+        else:
+            op = OperatingPoint.uniform(n, freq, app.signature)
+        reading = meter.read(op, duration_s=duration_s)
         cols[f"cpu_{label}"] = reading.cpu_w
         cols[f"dram_{label}"] = reading.dram_w
     model = LinearPowerModel(
@@ -188,25 +258,43 @@ def oracle_pmt(
         p_cpu_min=cols["cpu_min"],
         p_dram_max=cols["dram_max"],
         p_dram_min=cols["dram_min"],
+        device_map=truth.device_map,
     )
     return PowerModelTable(model=model, kind="oracle", app_name=app.name)
 
 
-def naive_pmt(arch: Microarchitecture, n_modules: int) -> PowerModelTable:
+def naive_pmt(
+    arch: Microarchitecture,
+    n_modules: int,
+    device_map: DeviceMap | None = None,
+) -> PowerModelTable:
     """Application-independent, variation-unaware PMT (the Naïve baseline).
 
     P_max entries are the architecture TDPs; P_min entries are the
-    empirical 40 W CPU / 10 W DRAM floors (paper Section 6).
+    empirical 40 W CPU / 10 W DRAM floors (paper Section 6).  On a
+    heterogeneous fleet each device type contributes its own TDPs and
+    declared naive floors.
     """
     if n_modules <= 0:
         raise ConfigurationError("n_modules must be positive")
+    if device_map is not None and not device_map.is_single_type:
+        p_cpu_max = device_map.per_module(lambda dt: dt.arch.tdp_w)
+        p_cpu_min = device_map.per_module(lambda dt: dt.naive_cpu_floor_w)
+        p_dram_max = device_map.per_module(lambda dt: dt.arch.dram_tdp_w)
+        p_dram_min = device_map.per_module(lambda dt: dt.naive_dram_floor_w)
+    else:
+        p_cpu_max = np.full(n_modules, arch.tdp_w)
+        p_cpu_min = np.full(n_modules, NAIVE_CPU_FLOOR_W)
+        p_dram_max = np.full(n_modules, arch.dram_tdp_w)
+        p_dram_min = np.full(n_modules, NAIVE_DRAM_FLOOR_W)
     model = LinearPowerModel(
         fmin=arch.fmin,
         fmax=arch.fmax,
-        p_cpu_max=np.full(n_modules, arch.tdp_w),
-        p_cpu_min=np.full(n_modules, NAIVE_CPU_FLOOR_W),
-        p_dram_max=np.full(n_modules, arch.dram_tdp_w),
-        p_dram_min=np.full(n_modules, NAIVE_DRAM_FLOOR_W),
+        p_cpu_max=p_cpu_max,
+        p_cpu_min=p_cpu_min,
+        p_dram_max=p_dram_max,
+        p_dram_min=p_dram_min,
+        device_map=device_map,
     )
     return PowerModelTable(model=model, kind="naive", app_name="*")
 
@@ -227,8 +315,8 @@ def prediction_error(
     out: dict[str, float] = {}
     errs_all = []
     for label, freq, alpha in (
-        ("fmax", truth.arch.fmax, 1.0),
-        ("fmin", truth.arch.fmin, 0.0),
+        ("fmax", truth.fmax_by_module() if truth.is_mixed else truth.arch.fmax, 1.0),
+        ("fmin", truth.fmin_by_module() if truth.is_mixed else truth.arch.fmin, 0.0),
     ):
         actual = truth.module_power(freq, app.signature)
         predicted = pmt.model.module_power_at(alpha)

@@ -161,16 +161,37 @@ def generate_pvt(
     meter = RaplMeter(truth, rng=rng)
     arch = system.arch
     n = system.n_modules
+    mixed = truth.is_mixed
 
     columns: dict[str, np.ndarray] = {}
     for label, freq in (("max", arch.fmax), ("min", arch.fmin)):
-        op = OperatingPoint.uniform(n, freq, microbenchmark.signature)
+        if mixed:
+            # Each device type is characterised at its *own* ladder
+            # endpoints — a GPU's "fmax column" is measured at the GPU
+            # fmax, not the primary CPU's.
+            freqs = (
+                truth.fmax_by_module() if label == "max" else truth.fmin_by_module()
+            )
+            op = OperatingPoint(
+                freq_ghz=freqs,
+                duty=np.ones(n),
+                signature=microbenchmark.signature,
+            )
+        else:
+            op = OperatingPoint.uniform(n, freq, microbenchmark.signature)
         reading = meter.read(op, duration_s=duration_s)
         columns[f"cpu_{label}"] = reading.cpu_w
         columns[f"dram_{label}"] = reading.dram_w
 
     def normalise(col: np.ndarray) -> np.ndarray:
-        return col / col.mean()
+        if not mixed:
+            return col / col.mean()
+        # Scales are relative to the *type* average: a 300 W GPU next to
+        # a 100 W CPU is not "3x variation", it is a different device.
+        out = np.empty(n)
+        for _pos, _dt, sel in truth.device_map.groups():
+            out[sel] = col[sel] / col[sel].mean()
+        return out
 
     return PowerVariationTable(
         system_name=system.name,

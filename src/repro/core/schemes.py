@@ -37,6 +37,7 @@ from repro.core.budget import BudgetSolution, solve_alpha, solve_alpha_batched
 from repro.core.pmt import (
     PowerModelTable,
     calibrate_pmt,
+    calibrate_pmt_mixed,
     naive_pmt,
     oracle_pmt,
     uniform_pmt,
@@ -115,8 +116,9 @@ class Scheme:
         """
         with telemetry.span("scheme.build_pmt", kind=self.pmt_kind):
             arch = system.arch
+            device_map = system.modules.device_map
             if self.pmt_kind == "naive":
-                return naive_pmt(arch, system.n_modules)
+                return naive_pmt(arch, system.n_modules, device_map)
             if self.pmt_kind == "oracle":
                 return oracle_pmt(system, app, noisy=False)
             if pvt is None:
@@ -128,9 +130,31 @@ class Scheme:
                     f"PVT covers {pvt.n_modules} modules, system has "
                     f"{system.n_modules}"
                 )
+            if device_map is not None and not device_map.is_single_type:
+                # Mixed fleet: one single-module test run per device type
+                # (the caller's test module for its own type, each other
+                # type's first module), assembled into one per-type PMT.
+                profiles = []
+                for pos, _dt, sel in device_map.groups():
+                    k = sel.start if isinstance(sel, slice) else int(sel[0])
+                    if int(device_map.index[test_module]) == pos:
+                        k = int(test_module)
+                    profiles.append(
+                        single_module_test_run(system, app, k, noisy=noisy)
+                    )
+                return calibrate_pmt_mixed(
+                    pvt,
+                    profiles,
+                    device_map,
+                    fmin=arch.fmin,
+                    fmax=arch.fmax,
+                    uniform=self.pmt_kind == "uniform",
+                )
             profile = single_module_test_run(system, app, test_module, noisy=noisy)
             builder = calibrate_pmt if self.pmt_kind == "calibrated" else uniform_pmt
-            return builder(pvt, profile, fmin=arch.fmin, fmax=arch.fmax)
+            return builder(
+                pvt, profile, fmin=arch.fmin, fmax=arch.fmax, device_map=device_map
+            )
 
     def allocate(
         self,

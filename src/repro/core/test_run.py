@@ -76,7 +76,10 @@ def single_module_test_run(
         system.rng.rng(f"test-run/{app.name}/{module_index}") if noisy else None
     )
     meter = RaplMeter(sub, rng=meter_rng)
-    arch = system.arch
+    # The test run sweeps the *module's own* ladder — on a heterogeneous
+    # fleet a GPU test module is profiled at GPU fmax/fmin (== system.arch
+    # on every uniform fleet).
+    arch = specialized.device_arch(module_index)
 
     readings = {}
     for label, freq in (("max", arch.fmax), ("min", arch.fmin)):

@@ -40,6 +40,7 @@ import numpy as np
 
 from repro.cluster.system import System
 from repro.core.pvt import PowerVariationTable, generate_pvt
+from repro.hardware.devices import DeviceMap, DeviceType
 from repro.hardware.microarch import Microarchitecture
 from repro.hardware.module import ModuleArray
 from repro.hardware.variability import ModuleVariation
@@ -86,6 +87,12 @@ class SharedFleet:
     meter_kind: str
     dram_measurable: bool
     rng: RngFactory
+    #: Device-type table of a heterogeneous fleet; ``None`` keeps the
+    #: homogeneous block layout (4 float64 segments) byte-identical to
+    #: before device maps existed.  When set, one int8 index segment
+    #: follows the float64 segments and workers rebuild the
+    #: :class:`~repro.hardware.devices.DeviceMap` from it zero-copy.
+    device_types: tuple[DeviceType, ...] | None = None
 
 
 def export_fleet(system: System) -> SharedFleet:
@@ -95,13 +102,20 @@ def export_fleet(system: System) -> SharedFleet:
     must eventually call :func:`destroy_fleet`.
     """
     n = system.n_modules
+    device_map = system.device_map
     itemsize = np.dtype(np.float64).itemsize
-    shm = shared_memory.SharedMemory(create=True, size=len(_FIELDS) * n * itemsize)
+    size = len(_FIELDS) * n * itemsize + (n if device_map is not None else 0)
+    shm = shared_memory.SharedMemory(create=True, size=size)
     try:
         variation = system.modules.variation
         for seg, field in enumerate(_FIELDS):
             view = np.ndarray((n,), dtype=np.float64, buffer=shm.buf, offset=seg * n * itemsize)
             np.copyto(view, np.asarray(getattr(variation, field), dtype=np.float64))
+        if device_map is not None:
+            view = np.ndarray(
+                (n,), dtype=np.int8, buffer=shm.buf, offset=len(_FIELDS) * n * itemsize
+            )
+            np.copyto(view, device_map.index)
         handle = SharedFleet(
             shm_name=shm.name,
             n_modules=n,
@@ -111,6 +125,7 @@ def export_fleet(system: System) -> SharedFleet:
             meter_kind=system.meter_kind,
             dram_measurable=system.dram_measurable,
             rng=system.rng,
+            device_types=device_map.types if device_map is not None else None,
         )
     except BaseException:
         shm.close()
@@ -147,10 +162,17 @@ def attach_fleet(handle: SharedFleet) -> System:
         view = np.ndarray((n,), dtype=np.float64, buffer=shm.buf, offset=seg * n * itemsize)
         view.flags.writeable = False
         views[field] = view
+    device_map = None
+    if handle.device_types is not None:
+        idx = np.ndarray(
+            (n,), dtype=np.int8, buffer=shm.buf, offset=len(_FIELDS) * n * itemsize
+        )
+        idx.flags.writeable = False
+        device_map = DeviceMap(handle.device_types, idx)
     system = System(
         name=handle.name,
         arch=handle.arch,
-        modules=ModuleArray(handle.arch, ModuleVariation(**views)),
+        modules=ModuleArray(handle.arch, ModuleVariation(**views), device_map),
         procs_per_node=handle.procs_per_node,
         meter_kind=handle.meter_kind,
         rng=handle.rng,

@@ -13,8 +13,19 @@ This subpackage models everything below the software stack:
   models (validated by the paper's Fig 5, R² ≥ 0.99).
 * :mod:`repro.hardware.module` — the vectorised ``ModuleArray`` (the
   workhorse for 1,920-module experiments) and the scalar ``Module`` view.
+* :mod:`repro.hardware.devices` — device types (CPU/GPU) and the
+  per-module ``DeviceMap`` that makes a ``ModuleArray`` heterogeneous.
 """
 
+from repro.hardware.devices import (
+    CPU_IVY_BRIDGE,
+    GPU_V100_SXM2,
+    DeviceMap,
+    DeviceType,
+    get_device_type,
+    list_device_types,
+    register_device_type,
+)
 from repro.hardware.dvfs import FrequencyLadder
 from repro.hardware.microarch import (
     Microarchitecture,
@@ -27,6 +38,13 @@ from repro.hardware.power_model import PowerSignature
 from repro.hardware.variability import ModuleVariation, VariationModel, sample_variation
 
 __all__ = [
+    "CPU_IVY_BRIDGE",
+    "GPU_V100_SXM2",
+    "DeviceMap",
+    "DeviceType",
+    "get_device_type",
+    "list_device_types",
+    "register_device_type",
     "FrequencyLadder",
     "Microarchitecture",
     "get_microarch",

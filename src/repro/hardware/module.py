@@ -19,6 +19,7 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.hardware import power_model as pm
+from repro.hardware.devices import DeviceMap
 from repro.hardware.microarch import Microarchitecture
 from repro.hardware.power_model import PowerSignature
 from repro.hardware.variability import ModuleVariation
@@ -123,14 +124,44 @@ class ModuleArray:
     Parameters
     ----------
     arch:
-        The microarchitecture shared by every module.
+        The microarchitecture shared by every module (a heterogeneous
+        fleet passes its *primary* type's arch here; per-module types
+        come from ``device_map``).
     variation:
         Sampled manufacturing-variation factors (one entry per module).
+    device_map:
+        Optional per-module :class:`~repro.hardware.devices.DeviceMap`.
+        ``None`` (the default, and every homogeneous fleet) keeps the
+        array on the exact single-arch code paths it always had; a
+        single-type map routes through the same paths using that type's
+        arch; only a genuinely mixed map engages per-type group
+        dispatch.
     """
 
-    def __init__(self, arch: Microarchitecture, variation: ModuleVariation):
+    def __init__(
+        self,
+        arch: Microarchitecture,
+        variation: ModuleVariation,
+        device_map: DeviceMap | None = None,
+    ):
         self.arch = arch
         self.variation = variation
+        self.device_map = device_map
+        if device_map is None:
+            self._mixed = False
+            self._eff_arch: Microarchitecture | None = arch
+        else:
+            if device_map.n_modules != variation.n_modules:
+                raise ConfigurationError(
+                    f"device_map covers {device_map.n_modules} modules, "
+                    f"variation covers {variation.n_modules}"
+                )
+            if device_map.is_single_type:
+                self._mixed = False
+                self._eff_arch = device_map.primary.arch
+            else:
+                self._mixed = True
+                self._eff_arch = None
 
     # -- basic introspection ------------------------------------------------
 
@@ -142,6 +173,11 @@ class ModuleArray:
     def __len__(self) -> int:
         return self.n_modules
 
+    @property
+    def is_mixed(self) -> bool:
+        """True when the array spans more than one device type."""
+        return self._mixed
+
     def take(self, indices: np.ndarray | list[int]) -> "ModuleArray":
         """A new array restricted to the given module indices.
 
@@ -149,7 +185,8 @@ class ModuleArray:
         (see :meth:`~repro.hardware.variability.ModuleVariation.take`);
         scattered sets are fancy-index copies.
         """
-        return ModuleArray(self.arch, self.variation.take(indices))
+        dm = None if self.device_map is None else self.device_map.take(indices)
+        return ModuleArray(self.arch, self.variation.take(indices), dm)
 
     def take_slice(self, start: int, stop: int) -> "ModuleArray":
         """Zero-copy view of the contiguous module range ``[start, stop)``.
@@ -158,7 +195,8 @@ class ModuleArray:
         fleet-sized array in chunks costs no extra memory — the basis of
         the ``*_chunked`` evaluation methods.
         """
-        return ModuleArray(self.arch, self.variation.take_slice(start, stop))
+        dm = None if self.device_map is None else self.device_map.take_slice(start, stop)
+        return ModuleArray(self.arch, self.variation.take_slice(start, stop), dm)
 
     def iter_chunks(self, chunk_modules: int):
         """Yield ``(start, stop, view)`` triples covering the array.
@@ -177,18 +215,60 @@ class ModuleArray:
         """Zero-copy scalar view of one module (see :class:`Module`)."""
         return Module(self, index)
 
+    # -- heterogeneity helpers ----------------------------------------------
+
+    def fmax_by_module(self) -> np.ndarray:
+        """Per-module top-of-ladder frequency (GHz)."""
+        if self.device_map is not None:
+            return self.device_map.fmax_by_module()
+        return np.full(self.n_modules, self.arch.fmax)
+
+    def fmin_by_module(self) -> np.ndarray:
+        """Per-module bottom-of-ladder frequency (GHz)."""
+        if self.device_map is not None:
+            return self.device_map.fmin_by_module()
+        return np.full(self.n_modules, self.arch.fmin)
+
+    def device_arch(self, index: int) -> Microarchitecture:
+        """The microarchitecture governing module ``index``."""
+        if self.device_map is None:
+            return self.arch
+        return self.device_map.types[int(self.device_map.index[index])].arch
+
+    def _scatter_groups(self, fn, arg: np.ndarray | float) -> np.ndarray:
+        """Evaluate ``fn(group_view, group_arg)`` per device-type group.
+
+        Each group is evaluated as a plain single-arch :class:`ModuleArray`
+        over that type's own arch — the *same* vectorised body a uniform
+        fleet of the type would run — and scattered back into one
+        ``(n_modules,)`` result.  Contiguous groups ride zero-copy
+        variation slices.
+        """
+        a = np.asarray(arg, dtype=float)
+        out = np.empty(self.n_modules)
+        for _pos, dt, sel in self.device_map.groups():
+            if isinstance(sel, slice):
+                var = self.variation.take_slice(sel.start, sel.stop)
+            else:
+                var = self.variation.take(sel)
+            view = ModuleArray(dt.arch, var)
+            out[sel] = fn(view, a if a.ndim == 0 else a[sel])
+        return out
+
     # -- true power draw ----------------------------------------------------
 
     def cpu_power(
         self, freq_ghz: np.ndarray | float, sig: PowerSignature
     ) -> np.ndarray:
         """True per-module CPU power (W) at the given frequency/frequencies."""
+        if self._mixed:
+            return self._scatter_groups(lambda v, f: v.cpu_power(f, sig), freq_ghz)
         return np.asarray(
             pm.cpu_power(
                 freq_ghz,
-                fmax=self.arch.fmax,
-                static_w=self.arch.cpu_static_w,
-                dynamic_w=self.arch.cpu_dynamic_w,
+                fmax=self._eff_arch.fmax,
+                static_w=self._eff_arch.cpu_static_w,
+                dynamic_w=self._eff_arch.cpu_dynamic_w,
                 cpu_activity=sig.cpu_activity,
                 leak=self.variation.leak,
                 dyn=self.variation.dyn,
@@ -199,12 +279,14 @@ class ModuleArray:
         self, freq_ghz: np.ndarray | float, sig: PowerSignature
     ) -> np.ndarray:
         """True per-module DRAM power (W) at the given frequency/frequencies."""
+        if self._mixed:
+            return self._scatter_groups(lambda v, f: v.dram_power(f, sig), freq_ghz)
         return np.asarray(
             pm.dram_power(
                 freq_ghz,
-                fmax=self.arch.fmax,
-                static_w=self.arch.dram_static_w,
-                dynamic_w=self.arch.dram_dynamic_w,
+                fmax=self._eff_arch.fmax,
+                static_w=self._eff_arch.dram_static_w,
+                dynamic_w=self._eff_arch.dram_dynamic_w,
                 dram_activity=sig.dram_activity,
                 dram_freq_coupling=sig.dram_freq_coupling,
                 dram=self.variation.dram,
@@ -219,7 +301,10 @@ class ModuleArray:
 
     def static_cpu_power(self) -> np.ndarray:
         """Frequency-independent CPU power floor per module (W)."""
-        return self.variation.leak * self.arch.cpu_static_w
+        if self._mixed:
+            static_w = self.device_map.per_module(lambda dt: dt.arch.cpu_static_w)
+            return self.variation.leak * static_w
+        return self.variation.leak * self._eff_arch.cpu_static_w
 
     def module_power_chunked(
         self,
@@ -319,12 +404,16 @@ class ModuleArray:
         May return values outside the DVFS ladder; see
         :meth:`resolve_cpu_cap` for the physical behaviour.
         """
+        if self._mixed:
+            return self._scatter_groups(
+                lambda v, p: v.freq_for_cpu_power(p, sig), cpu_power_w
+            )
         return np.asarray(
             pm.cpu_freq_for_power(
                 cpu_power_w,
-                fmax=self.arch.fmax,
-                static_w=self.arch.cpu_static_w,
-                dynamic_w=self.arch.cpu_dynamic_w,
+                fmax=self._eff_arch.fmax,
+                static_w=self._eff_arch.cpu_static_w,
+                dynamic_w=self._eff_arch.cpu_dynamic_w,
                 cpu_activity=sig.cpu_activity,
                 leak=self.variation.leak,
                 dyn=self.variation.dyn,
@@ -351,33 +440,43 @@ class ModuleArray:
            hardware cannot meet it; the module pins at minimum duty and
            the cap is reported as not met.
         """
-        arch = self.arch
         cap = np.broadcast_to(np.asarray(cap_w, dtype=float), (self.n_modules,))
         if np.any(cap <= 0):
             raise ConfigurationError("power caps must be positive")
 
+        if self._mixed:
+            dm = self.device_map
+            fmin: np.ndarray | float = dm.fmin_by_module()
+            fmax: np.ndarray | float = dm.fmax_by_module()
+            min_duty = dm.per_module(lambda dt: dt.arch.min_duty)
+            sub_exp = dm.per_module(lambda dt: dt.arch.subfmin_exponent)
+        else:
+            arch = self._eff_arch
+            fmin, fmax = arch.fmin, arch.fmax
+            min_duty, sub_exp = arch.min_duty, arch.subfmin_exponent
+
         f_raw = self.freq_for_cpu_power(cap, sig)
-        freq = np.clip(f_raw, arch.fmin, arch.fmax)
+        freq = np.clip(f_raw, fmin, fmax)
 
         static = self.static_cpu_power()
-        dyn_at_fmin = self.cpu_power(arch.fmin, sig) - static  # ≥ 0
+        dyn_at_fmin = self.cpu_power(fmin, sig) - static  # ≥ 0
 
-        below_fmin = f_raw < arch.fmin
+        below_fmin = f_raw < fmin
         with np.errstate(divide="ignore", invalid="ignore"):
             duty_needed = np.where(
                 dyn_at_fmin > 0.0,
                 (cap - static) / np.where(dyn_at_fmin > 0.0, dyn_at_fmin, 1.0),
                 np.where(cap >= static, 1.0, 0.0),
             )
-        duty = np.where(below_fmin, np.clip(duty_needed, arch.min_duty, 1.0), 1.0)
-        cap_met = ~(below_fmin & (duty_needed < arch.min_duty))
+        duty = np.where(below_fmin, np.clip(duty_needed, min_duty, 1.0), 1.0)
+        cap_met = ~(below_fmin & (duty_needed < min_duty))
 
         cpu_power = np.where(
             below_fmin,
             static + duty * dyn_at_fmin,
             np.minimum(self.cpu_power(freq, sig), cap),
         )
-        effective = freq * np.power(duty, arch.subfmin_exponent)
+        effective = freq * np.power(duty, sub_exp)
         return CapResolution(
             freq_ghz=freq,
             duty=duty,
@@ -400,7 +499,9 @@ class ModuleArray:
         which is why the paper's Fig 1 shows flat performance with Turbo
         enabled.  Parts without Turbo return fmax.
         """
-        arch = self.arch
+        if self._mixed:
+            return self._scatter_groups(lambda v, _: v.turbo_frequency(sig), 0.0)
+        arch = self._eff_arch
         if not arch.turbo_ghz:
             return np.full(self.n_modules, arch.fmax)
         f_at_tdp = self.freq_for_cpu_power(arch.tdp_w, sig)
@@ -433,7 +534,9 @@ class Module:
             )
         self._array = array.take_slice(index, index + 1)
         self.index = index
-        self.arch = array.arch
+        # A length-1 view is always single-type, so its effective arch is
+        # this module's own device arch (== array.arch on uniform fleets).
+        self.arch = self._array._eff_arch
 
     # -- backing-slot scalars ---------------------------------------------------
 

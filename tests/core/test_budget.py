@@ -109,21 +109,15 @@ class TestSolveAlpha:
         assert 0.0 <= sol.alpha <= 1.0
 
 
-class TestChunkedShim:
-    def test_forwards_and_warns_every_call(self):
-        # Final-release stub: the shim now warns on *every* call (so no
-        # caller can miss the notice before removal) and forwards.
+class TestChunkedKnob:
+    def test_shim_removed(self):
+        # The solve_alpha_chunked deprecation shim completed its final
+        # warn-on-every-call release and is gone; the chunk knob lives on
+        # solve_alpha itself.
         import repro.core.budget as budget_mod
 
-        m = model(n=16, spread=0.05)
-        budget = (m.total_min_w() + m.total_max_w()) / 2
-        with pytest.warns(DeprecationWarning, match="solve_alpha_chunked"):
-            sol = budget_mod.solve_alpha_chunked(m, budget, chunk_modules=5)
-        unified = solve_alpha(m, budget, chunk_modules=5)
-        assert sol.alpha == unified.alpha
-        assert np.array_equal(sol.pmodule_w, unified.pmodule_w)
-        with pytest.warns(DeprecationWarning, match="solve_alpha_chunked"):
-            budget_mod.solve_alpha_chunked(m, budget, chunk_modules=5)
+        assert not hasattr(budget_mod, "solve_alpha_chunked")
+        assert "solve_alpha_chunked" not in budget_mod.__all__
 
     def test_chunk_knob_bit_identical_allocations(self):
         # Chunking is a memory knob: at a given α the per-element

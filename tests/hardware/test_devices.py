@@ -1,0 +1,247 @@
+"""Device types and mixed-fleet ModuleArray slicing (invariant 10).
+
+Property-based checks that the typed :class:`DeviceMap` behaves like
+every other fleet-shaped column — ``take``/``take_slice``/``iter_chunks``
+preserve per-type views — plus the refactor's load-bearing invariant:
+a single-type fleet (no map, or a uniform map) is *bit-identical* to the
+pre-refactor homogeneous code path.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import CappingUnsupportedError, ConfigurationError
+from repro.hardware import (
+    CPU_IVY_BRIDGE,
+    GPU_V100_SXM2,
+    DeviceMap,
+    DeviceType,
+    ModuleArray,
+    get_device_type,
+    list_device_types,
+)
+from repro.hardware.microarch import IVY_BRIDGE_E5_2697V2
+from repro.hardware.power_model import PowerSignature
+from repro.hardware.variability import sample_variation
+
+SIG = PowerSignature(cpu_activity=0.8, dram_activity=0.4)
+
+TYPES = (CPU_IVY_BRIDGE, GPU_V100_SXM2)
+
+index_st = st.lists(
+    st.integers(min_value=0, max_value=1), min_size=2, max_size=48
+).map(lambda xs: np.asarray(xs, dtype=np.int8))
+
+
+def _mixed_array(index: np.ndarray, seed: int = 0) -> ModuleArray:
+    rng = np.random.default_rng(seed)
+    n = index.size
+    # Sample each module's variation from its own type's distribution,
+    # like build_hetero_system does (order of draws differs; irrelevant
+    # for slicing properties).
+    var = sample_variation(CPU_IVY_BRIDGE.arch.variation, n, rng)
+    return ModuleArray(TYPES[0].arch, var, DeviceMap(TYPES, index))
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        assert CPU_IVY_BRIDGE.name in list_device_types()
+        assert GPU_V100_SXM2.name in list_device_types()
+        assert get_device_type(GPU_V100_SXM2.name) is GPU_V100_SXM2
+
+    def test_unknown_name(self):
+        with pytest.raises(ConfigurationError, match="unknown device type"):
+            get_device_type("tpu-v9000")
+
+    def test_bad_kind_and_cap_mechanism(self):
+        with pytest.raises(ConfigurationError, match="kind"):
+            DeviceType(name="x", kind="fpga", arch=IVY_BRIDGE_E5_2697V2)
+        with pytest.raises(ConfigurationError, match="cap mechanism"):
+            DeviceType(
+                name="x", kind="cpu", arch=IVY_BRIDGE_E5_2697V2,
+                cap_mechanism="telepathy",
+            )
+
+    def test_capping_requires_mechanism(self):
+        uncappable = DeviceType(
+            name="x", kind="cpu", arch=IVY_BRIDGE_E5_2697V2, cap_mechanism="none"
+        )
+        assert not uncappable.supports_capping
+        assert CPU_IVY_BRIDGE.supports_capping
+        assert GPU_V100_SXM2.supports_capping
+
+
+class TestDeviceMapValidation:
+    def test_empty_types(self):
+        with pytest.raises(ConfigurationError):
+            DeviceMap((), np.zeros(3, dtype=np.int8))
+
+    def test_out_of_range_index(self):
+        with pytest.raises(ConfigurationError, match=r"\[0, 2\)"):
+            DeviceMap(TYPES, np.array([0, 2], dtype=np.int8))
+
+    def test_non_1d_index(self):
+        with pytest.raises(ConfigurationError):
+            DeviceMap(TYPES, np.zeros((2, 2), dtype=np.int8))
+
+    def test_device_map_length_must_match_fleet(self):
+        var = sample_variation(
+            CPU_IVY_BRIDGE.arch.variation, 4, np.random.default_rng(0)
+        )
+        with pytest.raises(ConfigurationError):
+            ModuleArray(
+                CPU_IVY_BRIDGE.arch, var, DeviceMap.uniform(CPU_IVY_BRIDGE, 5)
+            )
+
+
+class TestDeviceMapSlicing:
+    @given(index=index_st, data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_take_slice_matches_index_slice(self, index, data):
+        dm = DeviceMap(TYPES, index)
+        a = data.draw(st.integers(0, index.size - 1))
+        b = data.draw(st.integers(a + 1, index.size))
+        sub = dm.take_slice(a, b)
+        assert np.array_equal(sub.index, index[a:b])
+        assert sub.types == dm.types
+        # Contiguous slices are zero-copy views of the parent's buffer.
+        assert sub.index.base is not None
+
+    @given(index=index_st, data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_take_scattered_matches_fancy_index(self, index, data):
+        picks = data.draw(
+            st.lists(
+                st.integers(0, index.size - 1), min_size=1, max_size=index.size
+            )
+        )
+        dm = DeviceMap(TYPES, index)
+        assert np.array_equal(dm.take(picks).index, index[np.asarray(picks)])
+
+    @given(index=index_st)
+    @settings(max_examples=60, deadline=None)
+    def test_groups_partition_the_fleet(self, index):
+        dm = DeviceMap(TYPES, index)
+        seen = np.zeros(index.size, dtype=int)
+        for pos, dt, sel in dm.groups():
+            covered = np.arange(index.size)[sel]
+            seen[covered] += 1
+            assert np.all(index[covered] == pos)
+            assert dt is TYPES[pos]
+        assert np.all(seen == 1)
+
+    @given(index=index_st)
+    @settings(max_examples=60, deadline=None)
+    def test_per_module_gathers_type_params(self, index):
+        dm = DeviceMap(TYPES, index)
+        expected = np.where(
+            index == 0, TYPES[0].arch.fmax, TYPES[1].arch.fmax
+        )
+        assert np.array_equal(dm.fmax_by_module(), expected)
+
+
+class TestMixedArraySlicing:
+    @given(index=index_st, data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_slice_power_equals_full_power_sliced(self, index, data):
+        """Per-type evaluation commutes with slicing (any sub-view of a
+        mixed fleet computes exactly what the full fleet computed for
+        those modules)."""
+        arr = _mixed_array(index)
+        a = data.draw(st.integers(0, index.size - 1))
+        b = data.draw(st.integers(a + 1, index.size))
+        freq = arr.fmin_by_module()  # valid on every type's ladder
+        full = arr.cpu_power(freq, SIG)
+        sub = arr.take_slice(a, b)
+        assert np.array_equal(sub.cpu_power(freq[a:b], SIG), full[a:b])
+        assert np.array_equal(sub.fmax_by_module(), arr.fmax_by_module()[a:b])
+
+    @given(index=index_st, chunk=st.integers(min_value=1, max_value=7))
+    @settings(max_examples=40, deadline=None)
+    def test_iter_chunks_preserves_per_type_views(self, index, chunk):
+        arr = _mixed_array(index)
+        freq = arr.fmin_by_module()
+        full = arr.cpu_power(freq, SIG)
+        parts, n_seen = [], 0
+        for start, stop, sub in arr.iter_chunks(chunk):
+            assert sub.device_map is not None
+            assert np.array_equal(sub.device_map.index, index[start:stop])
+            parts.append(sub.cpu_power(freq[start:stop], SIG))
+            n_seen += stop - start
+        assert n_seen == index.size
+        assert np.array_equal(np.concatenate(parts), full)
+
+    def test_single_type_slice_of_mixed_uses_own_arch(self):
+        # A GPU-only window of a mixed fleet must evaluate GPU physics.
+        index = np.array([0, 0, 1, 1], dtype=np.int8)
+        arr = _mixed_array(index)
+        gpu_view = arr.take_slice(2, 4)
+        assert not gpu_view.is_mixed
+        assert np.allclose(gpu_view.fmax_by_module(), GPU_V100_SXM2.arch.fmax)
+        f = np.full(2, GPU_V100_SXM2.arch.fmin)
+        assert np.array_equal(
+            gpu_view.cpu_power(f, SIG), arr.cpu_power(arr.fmin_by_module(), SIG)[2:4]
+        )
+
+
+class TestUniformMapBitIdentity:
+    """A uniform DeviceMap must not perturb a single bit of the
+    homogeneous fast path — the refactor's invariant."""
+
+    @pytest.fixture(scope="class")
+    def pair(self):
+        var = sample_variation(
+            CPU_IVY_BRIDGE.arch.variation, 32, np.random.default_rng(7)
+        )
+        bare = ModuleArray(CPU_IVY_BRIDGE.arch, var)
+        mapped = ModuleArray(
+            CPU_IVY_BRIDGE.arch, var, DeviceMap.uniform(CPU_IVY_BRIDGE, 32)
+        )
+        return bare, mapped
+
+    def test_not_mixed(self, pair):
+        bare, mapped = pair
+        assert not bare.is_mixed and not mapped.is_mixed
+
+    def test_power_bit_identical(self, pair):
+        bare, mapped = pair
+        freq = np.linspace(bare.arch.fmin, bare.arch.fmax, 32)
+        assert np.array_equal(bare.cpu_power(freq, SIG), mapped.cpu_power(freq, SIG))
+        assert np.array_equal(bare.dram_power(freq, SIG), mapped.dram_power(freq, SIG))
+        assert np.array_equal(bare.static_cpu_power(), mapped.static_cpu_power())
+
+    def test_cap_resolution_bit_identical(self, pair):
+        bare, mapped = pair
+        caps = np.linspace(40.0, 130.0, 32)
+        a = bare.resolve_cpu_cap(caps, SIG)
+        b = mapped.resolve_cpu_cap(caps, SIG)
+        assert np.array_equal(a.freq_ghz, b.freq_ghz)
+        assert np.array_equal(a.duty, b.duty)
+        assert np.array_equal(a.cpu_power_w, b.cpu_power_w)
+        assert np.array_equal(a.effective_freq_ghz, b.effective_freq_ghz)
+        assert np.array_equal(a.cap_met, b.cap_met)
+
+    def test_turbo_bit_identical(self, pair):
+        bare, mapped = pair
+        assert np.array_equal(bare.turbo_frequency(SIG), mapped.turbo_frequency(SIG))
+
+
+class TestMixedCapping:
+    def test_uncappable_type_refused(self):
+        from repro.control.rapl_cap import RaplCapController
+
+        uncappable = DeviceType(
+            name="gpu-nocap-test", kind="gpu",
+            arch=GPU_V100_SXM2.arch, cap_mechanism="none",
+        )
+        index = np.array([0, 1], dtype=np.int8)
+        var = sample_variation(
+            CPU_IVY_BRIDGE.arch.variation, 2, np.random.default_rng(0)
+        )
+        arr = ModuleArray(
+            CPU_IVY_BRIDGE.arch, var,
+            DeviceMap((CPU_IVY_BRIDGE, uncappable), index),
+        )
+        with pytest.raises(CappingUnsupportedError, match="gpu-nocap-test"):
+            RaplCapController(arr)

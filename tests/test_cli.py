@@ -36,8 +36,9 @@ class TestCli:
     def test_every_experiment_registered_is_importable(self):
         import importlib
 
+        aliases = {"fig6": "fig6_calibration", "hetero": "hetero_fleet"}
         for key in EXPERIMENTS:
-            mod = "fig6_calibration" if key == "fig6" else key
+            mod = aliases.get(key, key)
             m = importlib.import_module(f"repro.experiments.{mod}")
             assert hasattr(m, "main")
 

@@ -29,6 +29,7 @@ PUBLIC_API = [
     # cluster
     "System",
     "build_system",
+    "build_hetero_system",
     "JobScheduler",
     # core
     "ALL_SCHEMES",
@@ -58,12 +59,16 @@ PUBLIC_API = [
     "solve_alpha",
     "solve_alpha_batched",
     # hardware
+    "DeviceMap",
+    "DeviceType",
     "Microarchitecture",
     "Module",
     "ModuleArray",
     "OperatingPoint",
     "PowerSignature",
+    "get_device_type",
     "get_microarch",
+    "list_device_types",
     "list_microarchs",
     # exec (experiment engine)
     "ExperimentEngine",

@@ -14,7 +14,11 @@ compares each against the best *committed* baseline in
 * **hetero_fleet** — mixed CPU+GPU fleet evaluation rate
   (modules × schemes per second) at 16k modules, guarding the typed
   per-device scatter paths against creep the uniform-fleet guards
-  cannot see.
+  cannot see;
+* **service_qps** — allocation-service round trips per second against a
+  hot 100k-module fleet (committed baselines in ``BENCH_service.json``),
+  which must also clear its 1,000 qps acceptance floor regardless of
+  history.
 
 A fresh number more than 25 % below its best committed baseline fails
 the check.
@@ -49,6 +53,7 @@ REPO_ROOT = Path(__file__).resolve().parents[1]
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
 BENCH_FILE = REPO_ROOT / "BENCH_fleet.json"
+SERVICE_BENCH_FILE = REPO_ROOT / "BENCH_service.json"
 
 #: Allowed fractional drop from the best committed baseline.
 TOLERANCE = 0.25
@@ -70,6 +75,14 @@ MIN_SWEEP_SPEEDUP = 3.0
 HETERO_MODULES = 16_384
 HETERO_REPEATS = 3
 MIN_HETERO_RATE = 40_000.0
+
+#: The service-daemon guard workload (mirrors
+#: ``benchmarks/test_service.py::test_service_allocation_qps_recorded``,
+#: at a shorter duration — the guard is a smoke check, not the bench).
+SERVICE_MODULES = 100_000
+SERVICE_LOAD_SECONDS = 2.0
+SERVICE_CONCURRENCY = 4
+MIN_SERVICE_QPS = 1_000.0
 
 REPEATS = 2
 
@@ -164,6 +177,51 @@ def _baselines() -> tuple[list[float], list[float], list[float]]:
         and r.get("n_modules") == HETERO_MODULES
     ]
     return fleet, sweeps, hetero
+
+
+def _service_baselines() -> list[float]:
+    """Committed ``service_qps`` baselines at SERVICE_MODULES from
+    ``BENCH_service.json`` (missing/corrupt file yields none)."""
+    if not SERVICE_BENCH_FILE.exists():
+        return []
+    try:
+        runs = json.loads(SERVICE_BENCH_FILE.read_text())["runs"]
+    except (json.JSONDecodeError, KeyError, TypeError):
+        return []
+    return [
+        float(r["qps"])
+        for r in runs
+        if isinstance(r, dict)
+        and r.get("kind") == "service_qps"
+        and r.get("n_modules") == SERVICE_MODULES
+    ]
+
+
+def _fresh_service_qps() -> float:
+    """Best-of-2 allocation qps against a hot SERVICE_MODULES fleet,
+    measured through the real daemon + socket + loadgen stack."""
+    from repro.service.api import FleetSpec
+    from repro.service.daemon import BackgroundServer
+    from repro.service.loadgen import run_load
+
+    with BackgroundServer() as server:
+        server.service.open_fleet(
+            FleetSpec(system="ha8k", n_modules=SERVICE_MODULES, fleet_id="guard")
+        )
+        kwargs = dict(
+            fleet_id="guard",
+            concurrency=SERVICE_CONCURRENCY,
+            budgets_w=(80.0 * SERVICE_MODULES,),
+        )
+        run_load(server.address, duration_s=0.5, **kwargs)  # warm
+        reports = [
+            run_load(server.address, duration_s=SERVICE_LOAD_SECONDS, **kwargs)
+            for _ in range(2)
+        ]
+    for r in reports:
+        if r.n_error:
+            raise RuntimeError(f"service guard saw protocol errors: {r.summary()}")
+    return max(r.qps for r in reports)
 
 
 def _fresh_fleet_rate() -> float:
@@ -286,6 +344,22 @@ def main() -> int:
         failures.append(
             f"mixed-fleet evaluation regressed: {hetero_rate:,.0f} "
             f"module-schemes/s vs floor {floor:,.0f}"
+        )
+
+    qps = _fresh_service_qps()
+    floors = [MIN_SERVICE_QPS]
+    service_base = _service_baselines()
+    if service_base:
+        floors.append(max(service_base) * (1.0 - TOLERANCE))
+    floor = max(floors)
+    print(
+        f"service qps @ {SERVICE_MODULES // 1000}k modules: "
+        f"{qps:,.0f} allocations/s (floor {floor:,.0f})"
+    )
+    if qps < floor:
+        failures.append(
+            f"service throughput regressed: {qps:,.0f} allocations/s "
+            f"vs floor {floor:,.0f}"
         )
 
     if failures:

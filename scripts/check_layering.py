@@ -6,7 +6,7 @@ The array-first refactor depends on a one-way flow between layers:
     hardware  ->  (errors, util)                    ground truth; imports nothing above
     measurement, control, simmpi                    substrate; hardware only
     core, cluster, apps                             budgeting framework
-    exec, experiments, cli                          orchestration; may import anything
+    exec, service, experiments, cli                 orchestration; may import anything
     telemetry ->  (errors, util)                    pure leaf; importable from anywhere
 
 This script parses every module under ``src/repro`` with :mod:`ast`
@@ -81,6 +81,19 @@ ALLOWED: dict[str, set[str]] = {
         "telemetry",
         "util",
     },
+    # The allocation service: a front-end over exec/core — hosts fleets,
+    # serves typed requests.  Like exec it may reach down, never across
+    # into experiments/cli (those consume it).
+    "service": {
+        "apps",
+        "cluster",
+        "core",
+        "errors",
+        "exec",
+        "hardware",
+        "telemetry",
+        "util",
+    },
     "experiments": {
         "apps",
         "cluster",
@@ -90,10 +103,11 @@ ALLOWED: dict[str, set[str]] = {
         "exec",
         "hardware",
         "measurement",
+        "service",
         "telemetry",
         "util",
     },
-    "cli": {"experiments", "errors", "telemetry", "util", "repro"},
+    "cli": {"experiments", "errors", "service", "telemetry", "util", "repro"},
     # Leaves.  telemetry is observation-only: any layer may import it,
     # but it must never import the things it observes (see FORBIDDEN).
     "errors": set(),
@@ -108,6 +122,7 @@ ALLOWED: dict[str, set[str]] = {
         "errors",
         "exec",
         "hardware",
+        "service",
         "telemetry",
         "util",
     },

@@ -18,6 +18,8 @@ Manufacturing Variability in Power-Constrained Supercomputing"*
   calibration, the α-solve, six allocation schemes, and an end-to-end
   runner (:mod:`repro.core`),
 * a caching, parallel experiment execution engine (:mod:`repro.exec`),
+* a long-lived power-budget allocation service — daemon, typed
+  versioned wire API, and client (:mod:`repro.service`),
 * low-overhead structured tracing, metrics, and phase timelines
   (:mod:`repro.telemetry`),
 * an experiment harness regenerating every table and figure
@@ -91,6 +93,7 @@ from repro.errors import (
     ReproError,
 )
 from repro.exec import ExperimentEngine, RunKey, configure, get_engine
+from repro.service import ServiceClient, ServiceError, serve
 from repro.hardware import (
     DeviceMap,
     DeviceType,
@@ -163,6 +166,10 @@ __all__ = [
     "RunKey",
     "configure",
     "get_engine",
+    # service (allocation daemon: repro serve + typed client)
+    "ServiceClient",
+    "ServiceError",
+    "serve",
     # telemetry (submodule facade: telemetry.enable() / span() / report())
     "telemetry",
     # errors

@@ -8,6 +8,9 @@ Lists and runs the paper's tables/figures and the ablation studies::
     python -m repro table4 --modules 512
     python -m repro all --stats
     python -m repro fleet --telemetry
+    python -m repro fleet --modules 10000 --cm 80
+    python -m repro hetero --modules 2000 --gpu-fraction 0.5
+    python -m repro serve --fleet ha8k:100000 --socket /tmp/repro.sock
     python -m repro trace fig7
     python -m repro trace traces/fleet.jsonl
 
@@ -191,6 +194,85 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help="export the telemetry session as <DIR>/<experiment>.jsonl "
         "+ .npz (implies --telemetry)",
+    )
+    point = parser.add_argument_group(
+        "single-point mode (fleet / hetero)",
+        "run one fleet point instead of the full sweep; arguments are "
+        "validated through the same typed AllocationRequest builder the "
+        "allocation service uses on the wire",
+    )
+    point.add_argument(
+        "--modules",
+        type=int,
+        default=None,
+        metavar="N",
+        help="fleet size in modules (enables single-point mode)",
+    )
+    point.add_argument(
+        "--app", default="bt", metavar="NAME", help="benchmark (default: bt)"
+    )
+    point.add_argument(
+        "--cm",
+        type=float,
+        default=None,
+        metavar="W",
+        help="fleet: per-module budget in watts (default: 80)",
+    )
+    point.add_argument(
+        "--gpu-fraction",
+        type=float,
+        default=None,
+        metavar="F",
+        help="hetero: fraction of modules that are GPUs (default: 0.5)",
+    )
+    point.add_argument(
+        "--budget-frac",
+        type=float,
+        default=None,
+        metavar="F",
+        help="hetero: budget as a fraction of the uncapped draw "
+        "(default: 0.7)",
+    )
+    srv = parser.add_argument_group(
+        "service mode (repro serve)",
+        "run the power-budget allocation daemon (see docs/API.md)",
+    )
+    srv.add_argument(
+        "--socket",
+        default=None,
+        metavar="PATH",
+        help="unix-socket path to listen on (default: a per-process "
+        "path under $TMPDIR when no listener is given)",
+    )
+    srv.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        metavar="N",
+        help="also serve the NDJSON protocol on 127.0.0.1:N (0 = ephemeral)",
+    )
+    srv.add_argument(
+        "--http-port",
+        type=int,
+        default=None,
+        metavar="N",
+        help="also serve the HTTP adapter on 127.0.0.1:N (0 = ephemeral)",
+    )
+    srv.add_argument(
+        "--fleet",
+        action="append",
+        default=None,
+        metavar="SPEC",
+        help="pre-open a fleet, e.g. 'ha8k:100000' or 'ha8k:10000:7' "
+        "(repeatable)",
+    )
+    srv.add_argument(
+        "--max-pending",
+        type=int,
+        default=64,
+        metavar="N",
+        help="in-flight request bound before typed overload rejects "
+        "(default: 64)",
     )
     return parser
 
@@ -401,6 +483,81 @@ def _run_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_serve(args: argparse.Namespace) -> int:
+    """``repro serve``: the allocation-service daemon (blocks until a
+    SIGTERM/SIGINT drain completes)."""
+    from repro.service import ServiceError, serve
+
+    try:
+        serve(
+            socket_path=args.socket,
+            port=args.port,
+            http_port=args.http_port,
+            fleets=tuple(args.fleet or ()),
+            jobs=args.jobs,
+            max_pending=args.max_pending,
+        )
+    except ServiceError as exc:
+        print(f"serve failed [{exc.code}]: {exc.message}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _run_point(args: argparse.Namespace, name: str) -> int:
+    """Single-point mode for ``repro fleet``/``repro hetero``.
+
+    The knobs are normalised and validated through the typed
+    :meth:`AllocationRequest.build
+    <repro.service.api.AllocationRequest.build>` path — the exact
+    builder the service applies to wire requests — so a bad app or
+    scheme name fails here with the same typed error a client would
+    get, and CLI runs and service runs are one code path.
+    """
+    from repro.service import ServiceError
+
+    try:
+        if name == "fleet":
+            from repro.experiments.fleet import (
+                FLEET_CM_W,
+                format_fleet,
+                run_fleet_point,
+            )
+
+            point = run_fleet_point(
+                args.modules,
+                app=args.app,
+                cm_w=args.cm if args.cm is not None else FLEET_CM_W,
+            )
+            print(format_fleet([point]))
+        else:
+            from repro.experiments.hetero_fleet import (
+                HETERO_BUDGET_FRAC,
+                HETERO_GPU_FRACTION,
+                format_hetero,
+                run_hetero_point,
+            )
+
+            point = run_hetero_point(
+                args.modules,
+                app=args.app,
+                gpu_fraction=(
+                    args.gpu_fraction
+                    if args.gpu_fraction is not None
+                    else HETERO_GPU_FRACTION
+                ),
+                budget_frac=(
+                    args.budget_frac
+                    if args.budget_frac is not None
+                    else HETERO_BUDGET_FRAC
+                ),
+            )
+            print(format_hetero([point]))
+    except ServiceError as exc:
+        print(f"{name} point rejected [{exc.code}]: {exc.message}", file=sys.stderr)
+        return 2
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Run the CLI; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -421,6 +578,19 @@ def main(argv: list[str] | None = None) -> int:
 
     if name == "stats":
         return _run_stats(args)
+
+    if name == "serve":
+        return _run_serve(args)
+
+    if name in ("fleet", "hetero") and args.modules is not None:
+        engine_mod.configure(
+            jobs=args.jobs,
+            cache_dir=args.cache_dir,
+            use_cache=not args.no_cache,
+            batch=args.batch,
+            shard=_shard_arg(args),
+        )
+        return _run_point(args, name)
 
     if name != "all" and name not in EXPERIMENTS:
         known = ", ".join(EXPERIMENTS)

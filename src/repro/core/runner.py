@@ -44,7 +44,44 @@ from repro.simmpi.fastpath import simulate_app, simulate_app_batched
 from repro.simmpi.tracing import RankTrace
 from repro.util.stats import worst_case_variation
 
-__all__ = ["RunResult", "run_budgeted", "run_budgeted_batched", "run_uncapped"]
+__all__ = [
+    "RunResult",
+    "WITHIN_BUDGET_RTOL",
+    "UNIFORM_BUDGET_RTOL",
+    "run_budgeted",
+    "run_budgeted_batched",
+    "run_uncapped",
+]
+
+#: Relative tolerance for the :attr:`RunResult.within_budget` check.
+#:
+#: An oracle PC plan lands *exactly* on the budget, and RAPL pins each
+#: module's realised CPU power onto its cap bit-for-bit (the controller
+#: clamps, so that sum reproduces the planned one identically).  What
+#: the realised total adds on top is the DRAM re-evaluation: actuation
+#: inverts each cap back to a frequency (a divide by the module's
+#: dynamic-power term, condition number ~p/(p − p_static)), and the DRAM
+#: curve re-read at that inverted frequency does not reproduce the
+#: planned per-module pdram exactly.  The per-module error is a
+#: few-hundred-ulp affair (~6e-7 relative) with a coherent sign, so it
+#: does *not* average out with fleet size: measured ≈8e-8 of the budget
+#: at 2048 modules and roughly size-independent.  1e-7 covers that
+#: mechanism while staying ≥4 decades below any real violation (FS
+#: calibration error and Naïve's DRAM underestimate are >= 1e-3).
+#: ``tests/core/test_within_budget.py`` pins the measured drift so the
+#: margin cannot erode silently.
+WITHIN_BUDGET_RTOL = 1e-7
+
+#: The genuinely tight bound, valid for the quantities that *don't* go
+#: through the DRAM re-evaluation above: on a uniform fleet the planned
+#: Eq (7) aggregate of a binding oracle plan sits exactly on the budget
+#: (measured error 0.0 at 2048 modules — the solver allocates the
+#: residual explicitly), and the realised CPU sum reproduces the planned
+#: cap sum bit-for-bit.  1e-9 bounds both with room for benign
+#: reduction-order changes.  ``tests/core`` asserts this tight path
+#: separately from :data:`WITHIN_BUDGET_RTOL`, so a future widening of
+#: the wire tolerance cannot paper over a planning-side regression.
+UNIFORM_BUDGET_RTOL = 1e-9
 
 
 @dataclass(frozen=True)
@@ -99,16 +136,17 @@ class RunResult:
         """Whether realised total power stayed within the budget
         (None for uncapped runs).
 
-        The tolerance absorbs floating-point accumulation noise only: an
-        oracle PC plan lands *exactly* on the budget, and re-evaluating
-        realised power at the cap-inverted frequencies (per device group
-        on mixed fleets) reorders the arithmetic by ~1e-8 relative.
-        Real violations — FS calibration error, Naïve's DRAM
-        underestimate — are orders of magnitude larger.
+        The tolerance (:data:`WITHIN_BUDGET_RTOL`, derivation at its
+        definition) absorbs actuation round-trip noise only: an oracle
+        PC plan lands *exactly* on the budget and RAPL reproduces the
+        CPU caps bit-for-bit, but DRAM power is re-evaluated at the
+        cap-inverted frequencies and drifts ~1e-7 of the budget.  Real
+        violations — FS calibration error, Naïve's DRAM underestimate —
+        are orders of magnitude larger.
         """
         if self.budget_w is None:
             return None
-        return self.total_power_w <= self.budget_w * (1.0 + 1e-7)
+        return self.total_power_w <= self.budget_w * (1.0 + WITHIN_BUDGET_RTOL)
 
     def speedup_over(self, baseline: "RunResult") -> float:
         """Speedup of this run relative to ``baseline`` (>1 = faster)."""

@@ -25,6 +25,9 @@ be order- and schedule-independent rather than silently racy.
 
 from __future__ import annotations
 
+import multiprocessing
+import os
+import signal
 from collections.abc import Callable, Iterable, Sequence
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import replace
@@ -164,10 +167,27 @@ def _execute_key(key: RunKey) -> RunResult:
     )
 
 
+#: Fault-injection hook for the worker wrappers, mirroring
+#: ``REPRO_PROCSHARD_FAULT`` in :mod:`repro.simmpi.procshard`: set to
+#: ``"kill"`` to SIGKILL a pool worker at task start.  Only fires in
+#: actual pool children (``_pool_run`` also executes inline when
+#: ``jobs == 1``, where dying would kill the caller, not simulate a
+#: worker crash).  Used by the overload/fault tests to prove callers
+#: get a typed retryable error rather than a hang.
+_FAULT_ENV = "REPRO_ENGINE_FAULT"
+
+
+def _maybe_inject_fault() -> None:
+    if os.environ.get(_FAULT_ENV) == "kill":
+        if multiprocessing.parent_process() is not None:
+            os.kill(os.getpid(), signal.SIGKILL)
+
+
 def _pool_run(key: RunKey) -> tuple[str, object, float]:
     """Worker-side wrapper: never lets an InfeasibleBudgetError cross the
     process boundary (its multi-argument ``__init__`` does not survive
     pickling); returns a tagged tuple plus the measured wall time."""
+    _maybe_inject_fault()
     t0 = perf_counter()
     try:
         result = execute_key(key)
@@ -243,6 +263,7 @@ def _pool_run_group(
     handle: SharedFleet | None, keys: tuple[RunKey, ...], shard="auto"
 ) -> tuple[list[tuple[str, object]], float]:
     """Worker-side group wrapper: tagged per-key outcomes + group wall."""
+    _maybe_inject_fault()
     t0 = perf_counter()
     tagged = _run_group(keys, handle=handle, shard=shard)
     return tagged, perf_counter() - t0

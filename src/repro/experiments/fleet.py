@@ -41,6 +41,7 @@ from repro.core.runner import run_budgeted, run_budgeted_batched
 from repro.core.schemes import get_scheme
 from repro.exec import get_engine
 from repro.experiments.common import DEFAULT_SEED
+from repro.service.api import AllocationRequest
 from repro.util.tables import render_table
 
 __all__ = [
@@ -132,9 +133,25 @@ def run_fleet_point(
     with telemetry.run_scope(
         f"fleet-{n_modules}", f"fleet {app} n={n_modules:,} Cm={cm_w:.0f}W"
     ), telemetry.span("fleet.point", modules=n_modules, app=app):
+        # One typed request per scheme, through the exact builder the
+        # allocation service applies to wire requests: app and scheme
+        # names are registry-validated and normalised here, so a bad
+        # name fails with the same typed ServiceError a service client
+        # gets — CLI, wire, and experiment runs are one code path.
+        requests = [
+            AllocationRequest.build(
+                fleet_id=f"fleet-{n_modules}",
+                app=app,
+                scheme=scheme,
+                budgets_w=[cm_w * n_modules],
+                noisy=False,
+            )
+            for scheme in FLEET_SCHEMES
+        ]
+        app = requests[0].app
+        budget_w = requests[0].budgets_w[0]
         system = build_system("ha8k", n_modules=n_modules, seed=seed)
         model = get_app(app)
-        budget_w = cm_w * n_modules
 
         if batch:
             # One vectorised pass over all schemes: planning is still one
@@ -143,7 +160,7 @@ def run_fleet_point(
             outs = run_budgeted_batched(
                 system,
                 model,
-                [(scheme, budget_w) for scheme in FLEET_SCHEMES],
+                [(r.scheme, r.budgets_w[0]) for r in requests],
                 n_iters=n_iters,
                 noisy=False,
                 chunk_modules=chunk_modules,

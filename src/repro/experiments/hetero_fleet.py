@@ -37,6 +37,7 @@ from repro.apps import get_app
 from repro.cluster.configs import build_hetero_system
 from repro.core.runner import run_budgeted_batched, run_uncapped
 from repro.experiments.common import DEFAULT_SEED
+from repro.service.api import AllocationRequest
 from repro.util.stats import worst_case_variation
 from repro.util.tables import render_table
 
@@ -129,12 +130,26 @@ def run_hetero_point(
         fmax_per_module = system.modules.fmax_by_module()
 
         base = run_uncapped(system, model, n_iters=n_iters)
-        budget_w = budget_frac * base.total_power_w
+        # The global budget is relative to the uncapped draw, so the
+        # typed requests are built only now — same shared
+        # AllocationRequest.build path as the CLI and the service wire
+        # (registry-validated app/scheme, typed errors on bad names).
+        requests = [
+            AllocationRequest.build(
+                fleet_id=f"hetero-{n_modules}",
+                app=app,
+                scheme=scheme,
+                budgets_w=[budget_frac * base.total_power_w],
+                noisy=False,
+            )
+            for scheme in HETERO_SCHEMES
+        ]
+        budget_w = requests[0].budgets_w[0]
 
         outs = run_budgeted_batched(
             system,
             model,
-            [(scheme, budget_w) for scheme in HETERO_SCHEMES],
+            [(r.scheme, r.budgets_w[0]) for r in requests],
             n_iters=n_iters,
             noisy=False,
             shard=shard,

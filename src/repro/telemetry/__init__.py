@@ -53,6 +53,7 @@ __all__ = [
     "count",
     "gauge",
     "observe",
+    "snapshot",
     "timeline",
     "record_arrays",
     "run_scope",
@@ -174,6 +175,24 @@ def observe(name: str, value: float) -> None:
     c = _collector
     if c is not None:
         c.metrics.histogram(name).observe(value)
+
+
+def snapshot() -> dict[str, float] | None:
+    """Point-in-time counter and gauge values, or ``None`` when disabled.
+
+    A flat ``{name: value}`` copy safe to serialise and to read while
+    recording continues — the allocation service's telemetry stream
+    samples this each tick instead of reaching into live instruments.
+    """
+    c = _collector
+    if c is None:
+        return None
+    out: dict[str, float] = {}
+    for name, counter in c.metrics.counters.items():
+        out[name] = float(counter.value)
+    for name, g in c.metrics.gauges.items():
+        out[name] = float(g.value)
+    return out
 
 
 def timeline(kind: str) -> PhaseTimeline | None:

@@ -75,6 +75,10 @@ PUBLIC_API = [
     "RunKey",
     "configure",
     "get_engine",
+    # service (allocation daemon: repro serve + typed client)
+    "ServiceClient",
+    "ServiceError",
+    "serve",
     # telemetry (submodule facade)
     "telemetry",
     # errors

@@ -38,6 +38,7 @@ trace shows the cache traffic itself.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import traceback
 from collections.abc import Callable
@@ -109,7 +110,8 @@ def build_parser() -> argparse.ArgumentParser:
         "experiment",
         help="experiment name, 'list' to enumerate, 'schemes' to show the "
         "power-allocation scheme registry, 'all' to run everything, "
-        "'trace' to render telemetry, or 'stats' to run an experiment "
+        "'trace' to render telemetry, 'topo' to print the probed "
+        "CPU/NUMA topology, or 'stats' to run an experiment "
         "and report batching/amortisation counters (see 'target')",
     )
     parser.add_argument(
@@ -175,6 +177,14 @@ def build_parser() -> argparse.ArgumentParser:
         "(default), 'processes' spreads row blocks over a worker-process "
         "pool via shared memory — execution layout only, results are "
         "bit-identical either way",
+    )
+    parser.add_argument(
+        "--pin",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        help="pin pool workers to CPU slices from the process-wide core "
+        "budget (default: auto — pin whenever the platform supports "
+        "affinity; placement only, results are bit-identical either way)",
     )
     parser.add_argument(
         "--stats",
@@ -275,6 +285,25 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: 64)",
     )
     return parser
+
+
+def _configure_engine(args: argparse.Namespace):
+    """Install the process-global engine from the parsed flags.
+
+    An explicit ``--pin``/``--no-pin`` is also exported as
+    ``REPRO_PROCSHARD_PIN`` so the process-sharded simulation executor
+    (which resolves its own pinning default) follows the same choice.
+    """
+    if args.pin is not None:
+        os.environ[engine_mod.PROCSHARD_PIN_ENV] = "1" if args.pin else "0"
+    return engine_mod.configure(
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        use_cache=not args.no_cache,
+        batch=args.batch,
+        shard=_shard_arg(args),
+        pin=args.pin,
+    )
 
 
 def _shard_arg(args: argparse.Namespace):
@@ -392,13 +421,7 @@ def _run_trace(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    engine_mod.configure(
-        jobs=args.jobs,
-        cache_dir=args.cache_dir,
-        use_cache=not args.no_cache,
-        batch=args.batch,
-        shard=_shard_arg(args),
-    )
+    _configure_engine(args)
     telemetry.enable()
     _, runner = EXPERIMENTS[name]
     runner()
@@ -466,13 +489,7 @@ def _run_stats(args: argparse.Namespace) -> int:
         )
         return 2
     name = target.lower()
-    eng = engine_mod.configure(
-        jobs=args.jobs,
-        cache_dir=args.cache_dir,
-        use_cache=not args.no_cache,
-        batch=args.batch,
-        shard=_shard_arg(args),
-    )
+    eng = _configure_engine(args)
     telemetry.enable()
     _, runner = EXPERIMENTS[name]
     runner()
@@ -558,6 +575,57 @@ def _run_point(args: argparse.Namespace, name: str) -> int:
     return 0
 
 
+def _format_cpulist(cpus: tuple[int, ...]) -> str:
+    """Compact kernel-style cpulist (``"0-3,8"``) for a sorted tuple."""
+    parts: list[str] = []
+    i = 0
+    while i < len(cpus):
+        j = i
+        while j + 1 < len(cpus) and cpus[j + 1] == cpus[j] + 1:
+            j += 1
+        parts.append(str(cpus[i]) if i == j else f"{cpus[i]}-{cpus[j]}")
+        i = j + 1
+    return ",".join(parts)
+
+
+def _run_topo() -> int:
+    """``repro topo``: print the probed CPU/NUMA topology and the
+    process-wide core budget the pools draw on."""
+    from repro.util.topology import cpu_budget, effective_cpu_count
+
+    budget = cpu_budget()
+    topo = budget.topology
+    rows = [
+        [f"node{n.node_id}", n.n_cpus, _format_cpulist(n.cpus)]
+        for n in topo.nodes
+    ]
+    print(
+        render_table(
+            ["Node", "CPUs", "CPU list"],
+            rows,
+            title=f"topology (source: {topo.source})",
+        )
+    )
+    llc = (
+        "unknown"
+        if topo.llc_bytes is None
+        else f"{topo.llc_bytes // 1024} KiB"
+    )
+    try:
+        pin = "on" if engine_mod.procshard_pin_default() else "off"
+    except ConfigurationError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    print(f"effective CPUs  : {effective_cpu_count()}")
+    print(f"last-level cache: {llc}")
+    print(
+        f"core budget     : {budget.total} total, "
+        f"{budget.claimed_cpus} claimed in {budget.n_leases} lease(s)"
+    )
+    print(f"worker pinning  : {pin} (override: {engine_mod.PROCSHARD_PIN_ENV})")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Run the CLI; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -573,6 +641,9 @@ def main(argv: list[str] | None = None) -> int:
         print(format_schemes())
         return 0
 
+    if name == "topo":
+        return _run_topo()
+
     if name == "trace":
         return _run_trace(args)
 
@@ -583,13 +654,7 @@ def main(argv: list[str] | None = None) -> int:
         return _run_serve(args)
 
     if name in ("fleet", "hetero") and args.modules is not None:
-        engine_mod.configure(
-            jobs=args.jobs,
-            cache_dir=args.cache_dir,
-            use_cache=not args.no_cache,
-            batch=args.batch,
-            shard=_shard_arg(args),
-        )
+        _configure_engine(args)
         return _run_point(args, name)
 
     if name != "all" and name not in EXPERIMENTS:
@@ -597,13 +662,7 @@ def main(argv: list[str] | None = None) -> int:
         print(f"unknown experiment {name!r}; known: list, all, {known}", file=sys.stderr)
         return 2
 
-    engine_mod.configure(
-        jobs=args.jobs,
-        cache_dir=args.cache_dir,
-        use_cache=not args.no_cache,
-        batch=args.batch,
-        shard=_shard_arg(args),
-    )
+    _configure_engine(args)
     with_telemetry = args.telemetry or args.telemetry_dir is not None
     if with_telemetry:
         telemetry.enable()

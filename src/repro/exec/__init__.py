@@ -27,6 +27,8 @@ from repro.exec.metrics import BatchRecord, RunRecord, RunStats
 # Re-exported so front-ends (the CLI) can pin shard layout and mode
 # without a direct cli -> simmpi import edge; the engine owns the knob.
 from repro.simmpi.sharding import SHARD_MODES, ShardPlan, ShardSpec
+from repro.simmpi.procshard import _PIN_ENV as PROCSHARD_PIN_ENV
+from repro.simmpi.procshard import _pin_default as procshard_pin_default
 from repro.exec.shared import (
     SharedFleet,
     SharedPlane,
@@ -52,6 +54,8 @@ __all__ = [
     "BatchRecord",
     "RunRecord",
     "RunStats",
+    "PROCSHARD_PIN_ENV",
+    "procshard_pin_default",
     "SHARD_MODES",
     "ShardPlan",
     "ShardSpec",

@@ -30,6 +30,7 @@ import os
 import signal
 from collections.abc import Callable, Iterable, Sequence
 from concurrent.futures import ProcessPoolExecutor
+from contextlib import contextmanager
 from dataclasses import replace
 from functools import lru_cache
 from time import perf_counter
@@ -58,6 +59,7 @@ from repro.exec.shared import (
     fleet_pvt,
 )
 from repro.hardware.microarch import Microarchitecture, get_microarch
+from repro.util.topology import cpu_budget, effective_cpu_count
 
 __all__ = [
     "ExperimentEngine",
@@ -183,6 +185,27 @@ def _maybe_inject_fault() -> None:
             os.kill(os.getpid(), signal.SIGKILL)
 
 
+def _pin_worker(pin_q=None) -> None:
+    """Pool-worker initializer: pin to the CPU slice shipped via
+    ``pin_q`` (one slice per worker, claimed from the process-wide
+    :func:`~repro.util.topology.cpu_budget`).  Only CPUs inside the
+    inherited affinity mask are used, and any failure skips pinning —
+    placement may never fail a run."""
+    if pin_q is None:
+        return
+    try:
+        cpus = tuple(pin_q.get(timeout=10.0))
+        allowed = set(os.sched_getaffinity(0))
+    except Exception:  # queue drained / no affinity support
+        return
+    target = set(cpus) & allowed
+    if target:
+        try:
+            os.sched_setaffinity(0, target)
+        except OSError:  # pragma: no cover - mask raced with a cgroup change
+            pass
+
+
 def _pool_run(key: RunKey) -> tuple[str, object, float]:
     """Worker-side wrapper: never lets an InfeasibleBudgetError cross the
     process boundary (its multi-argument ``__init__`` does not survive
@@ -276,7 +299,21 @@ class ExperimentEngine:
     ----------
     jobs:
         Worker processes for :meth:`submit_sweep` / :meth:`map` fan-out;
-        ``1`` (the default) executes in-process, sequentially.
+        ``1`` (the default) executes in-process, sequentially.  ``0`` or
+        ``None`` sizes the pool to the *effective* CPU count
+        (:func:`~repro.util.topology.effective_cpu_count` — the
+        affinity mask, not ``os.cpu_count()``, so ``taskset``/cgroup
+        restricted environments are not oversubscribed).
+    pin:
+        Pin pool workers to CPU slices claimed from the process-wide
+        :func:`~repro.util.topology.cpu_budget`.  ``None`` (default)
+        pins whenever the platform supports affinity and the pool is
+        actually parallel; ``False`` disables.  Placement only — results
+        and digests are unaffected (ARCHITECTURE.md invariant 11), but
+        pinning makes composed pools (engine workers × process-sharded
+        simulation × inner tile threads) partition the machine instead
+        of oversubscribing it, because children derive their own worker
+        counts from the shrunken affinity mask they inherit.
     cache_dir:
         Cache directory; ``None`` uses the default
         (``$REPRO_CACHE_DIR`` or ``~/.cache/repro``) when caching is on.
@@ -306,14 +343,18 @@ class ExperimentEngine:
 
     def __init__(
         self,
-        jobs: int = 1,
+        jobs: int | None = 1,
         cache_dir: str | None = None,
         use_cache: bool | None = None,
         stats: RunStats | None = None,
         batch: bool = True,
         shard="auto",
+        pin: bool | None = None,
     ):
-        self.jobs = max(1, int(jobs))
+        self.jobs = (
+            effective_cpu_count() if not jobs else max(1, int(jobs))
+        )
+        self.pin = pin
         if use_cache is None:
             use_cache = cache_dir is not None
         self.cache: ResultCache | None = (
@@ -322,6 +363,56 @@ class ExperimentEngine:
         self.stats = stats if stats is not None else RunStats()
         self.batch = bool(batch)
         self.shard = shard
+
+    # -- pool construction ---------------------------------------------------
+
+    def _resolve_pin(self, workers: int) -> bool:
+        if not hasattr(os, "sched_setaffinity"):
+            return False
+        if self.pin is not None:
+            return bool(self.pin)
+        return workers > 1
+
+    @contextmanager
+    def _pool(self, workers: int):
+        """A :class:`ProcessPoolExecutor` drawing on the CPU budget.
+
+        Claims one node-aware CPU slice per worker from the
+        process-wide ledger (released when the pool exits) and records
+        the placement gauges the composition tests audit:
+        ``engine.cpu_budget.total``, ``engine.pool.workers``, and
+        ``engine.pool.cpus_granted`` (distinct CPUs granted — never
+        above the budget total, by construction).
+        """
+        budget = cpu_budget()
+        lease = None
+        init = None
+        initargs: tuple = ()
+        kwargs: dict = {}
+        if self._resolve_pin(workers):
+            lease = budget.claim(workers, label="engine")
+            ctx = multiprocessing.get_context()
+            pin_q = ctx.Queue()
+            for s in lease.slices:
+                pin_q.put(tuple(s))
+            init, initargs = _pin_worker, (pin_q,)
+            kwargs["mp_context"] = ctx
+        telemetry.gauge("engine.cpu_budget.total", budget.total)
+        telemetry.gauge("engine.pool.workers", workers)
+        telemetry.gauge(
+            "engine.pool.cpus_granted",
+            len(lease.cpus) if lease is not None
+            else min(workers, budget.total),
+        )
+        pool = ProcessPoolExecutor(
+            max_workers=workers, initializer=init, initargs=initargs, **kwargs
+        )
+        try:
+            yield pool
+        finally:
+            pool.shutdown(wait=True)
+            if lease is not None:
+                budget.release(lease)
 
     # -- single runs ---------------------------------------------------------
 
@@ -381,7 +472,7 @@ class ExperimentEngine:
 
         if self.jobs > 1 and len(pending) > 1:
             workers = min(self.jobs, len(pending))
-            with ProcessPoolExecutor(max_workers=workers) as pool:
+            with self._pool(workers) as pool:
                 outcomes = list(pool.map(_pool_run, [k for _, k in pending]))
         else:
             outcomes = [_pool_run(k) for _, k in pending]
@@ -495,7 +586,7 @@ class ExperimentEngine:
                     if spec not in handles:
                         handles[spec] = export_fleet(_system_for(spec))
                 workers = min(self.jobs, n_tasks)
-                with ProcessPoolExecutor(max_workers=workers) as pool:
+                with self._pool(workers) as pool:
                     group_futs = [
                         pool.submit(
                             _pool_run_group,
@@ -557,7 +648,7 @@ class ExperimentEngine:
         t0 = perf_counter()
         if self.jobs > 1 and len(items) > 1:
             workers = min(self.jobs, len(items))
-            with ProcessPoolExecutor(max_workers=workers) as pool:
+            with self._pool(workers) as pool:
                 out = list(pool.map(fn, items))
         else:
             out = [fn(item) for item in items]
@@ -572,17 +663,18 @@ _engine: ExperimentEngine | None = None
 
 def configure(
     *,
-    jobs: int = 1,
+    jobs: int | None = 1,
     cache_dir: str | None = None,
     use_cache: bool | None = None,
     batch: bool = True,
     shard="auto",
+    pin: bool | None = None,
 ) -> ExperimentEngine:
     """Install the process-global engine (called by the CLI front-end)."""
     global _engine
     _engine = ExperimentEngine(
         jobs=jobs, cache_dir=cache_dir, use_cache=use_cache, batch=batch,
-        shard=shard,
+        shard=shard, pin=pin,
     )
     return _engine
 

@@ -27,6 +27,7 @@ from time import perf_counter
 
 from repro.service.api import AllocationRequest, FleetSpec, ServiceError
 from repro.service.client import ServiceClient
+from repro.util.topology import effective_cpu_count
 
 __all__ = ["LoadReport", "run_load", "main"]
 
@@ -66,18 +67,31 @@ def _percentile(sorted_ms: list[float], q: float) -> float:
     return sorted_ms[idx]
 
 
+def _default_concurrency() -> int:
+    """Affinity-derived worker-thread default: two closed loops per
+    effective CPU, capped at the historical default of 4 so small
+    ``taskset``/cgroup-restricted environments are not oversubscribed."""
+    return max(1, min(4, 2 * effective_cpu_count()))
+
+
 def run_load(
     address,
     *,
     fleet_id: str,
     duration_s: float = 5.0,
-    concurrency: int = 4,
+    concurrency: int | None = None,
     app: str = "bt",
     scheme: str = "vafsor",
     budgets_w=(800_000.0,),
     timeout: float = 30.0,
 ) -> LoadReport:
-    """Closed-loop ``allocate`` load against a running service."""
+    """Closed-loop ``allocate`` load against a running service.
+
+    ``concurrency=None`` (the default) resolves via
+    :func:`_default_concurrency`.
+    """
+    if concurrency is None:
+        concurrency = _default_concurrency()
     request = AllocationRequest.build(
         fleet_id=fleet_id, app=app, scheme=scheme, budgets_w=budgets_w
     )
@@ -166,7 +180,12 @@ def main(argv: list[str] | None = None) -> int:
         help="use an already-open fleet id instead of opening --fleet",
     )
     parser.add_argument("--duration", type=float, default=5.0, help="seconds")
-    parser.add_argument("--concurrency", type=int, default=4)
+    parser.add_argument(
+        "--concurrency",
+        type=int,
+        default=None,
+        help="worker threads (default: affinity-derived, at most 4)",
+    )
     parser.add_argument("--app", default="bt")
     parser.add_argument("--scheme", default="vafsor")
     parser.add_argument(

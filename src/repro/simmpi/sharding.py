@@ -29,6 +29,7 @@ import os
 from dataclasses import dataclass
 
 from repro.errors import ConfigurationError
+from repro.util.topology import NumaTopology, effective_cpu_count
 
 __all__ = [
     "BYTES_PER_ELEMENT",
@@ -62,20 +63,39 @@ DEFAULT_TARGET_BYTES = 8 * 1024 * 1024
 _TARGET_ENV = "REPRO_SHARD_TARGET_BYTES"
 
 
-def _resolve_target_bytes(target_bytes: int | None) -> int:
+def _resolve_target_bytes(
+    target_bytes: int | None, topology: NumaTopology | None = None
+) -> int:
     if target_bytes is None:
         raw = os.environ.get(_TARGET_ENV)
         if raw is None:
-            return DEFAULT_TARGET_BYTES
+            return _default_target_bytes(topology)
         try:
             target_bytes = int(raw)
         except ValueError:
             raise ConfigurationError(
                 f"{_TARGET_ENV} must be an integer byte count; got {raw!r}"
             ) from None
+        if target_bytes <= 0:
+            raise ConfigurationError(
+                f"{_TARGET_ENV} must be a positive byte count; got {raw!r}"
+            )
     if target_bytes <= 0:
         raise ConfigurationError("shard working-set budget must be positive")
     return int(target_bytes)
+
+
+def _default_target_bytes(topology: NumaTopology | None) -> int:
+    """The auto tiling budget: :data:`DEFAULT_TARGET_BYTES`, shrunk when
+    a probed per-node LLC says even that would thrash.  The default is a
+    *cap*, never raised, so machines whose LLC sysfs is absent (or huge)
+    plan exactly as before."""
+    if topology is None or topology.llc_bytes is None:
+        return DEFAULT_TARGET_BYTES
+    # Budget for the per-node working set: half the node's LLC, leaving
+    # the other half for the interpreter, rate planes, and neighbours.
+    per_node = max(BYTES_PER_ELEMENT, topology.llc_bytes // 2)
+    return min(DEFAULT_TARGET_BYTES, per_node)
 
 
 @dataclass(frozen=True)
@@ -163,6 +183,7 @@ def plan_shards(
     shard_ranks: int | None = None,
     shard_workers: int | None = None,
     target_bytes: int | None = None,
+    topology: NumaTopology | None = None,
 ) -> ShardPlan:
     """Tile a plane to the working-set budget (or explicit knobs).
 
@@ -175,7 +196,16 @@ def plan_shards(
     ``[1, n_ranks]``; the last tile takes the remainder) — the
     deterministic shape the differential suite drives through adversarial
     boundaries.  ``shard_workers`` caps the thread-pool width; it
-    defaults to ``min(cpu_count, column tiles)``.
+    defaults to ``min(effective CPUs, column tiles)`` (the affinity-aware
+    count — a ``taskset``/cgroup-restricted process plans for the cores
+    it may actually use).
+
+    ``topology`` makes the auto geometry locality-aware: the tiling
+    budget is sized to the probed per-node LLC (never above the default)
+    and, on multi-node machines, the config axis is split so every node
+    can own whole row blocks.  Like every shard knob this changes
+    execution layout only — the plan's tiles still cover the plane
+    exactly once and results are bit-identical (invariants 8/9/11).
     """
     if n_configs <= 0 or n_ranks <= 0:
         raise ConfigurationError("plane dimensions must be positive")
@@ -189,7 +219,7 @@ def plan_shards(
         bounds = tuple(range(0, n_ranks, width)) + (n_ranks,)
         row_block = n_configs
     else:
-        budget = _resolve_target_bytes(target_bytes) // BYTES_PER_ELEMENT
+        budget = _resolve_target_bytes(target_bytes, topology) // BYTES_PER_ELEMENT
         budget = max(1, budget)
         if n_configs * n_ranks <= budget:
             row_block, bounds = n_configs, (0, n_ranks)
@@ -200,12 +230,25 @@ def plan_shards(
                 bounds = (0, n_ranks)
             else:
                 bounds = _balanced_bounds(n_ranks, width_cap)
+        if (
+            topology is not None
+            and topology.n_nodes > 1
+            and n_configs >= topology.n_nodes
+            and -(-n_configs // row_block) < topology.n_nodes
+        ):
+            # Node alignment: enough row blocks that each NUMA node can
+            # own at least one whole block (rows are independent, so
+            # splitting them finer is free — invariant 7).
+            row_block = max(1, -(-n_configs // topology.n_nodes))
 
     n_tiles = len(bounds) - 1
     if shard_workers is not None:
         workers = min(int(shard_workers), n_tiles)
     else:
-        workers = min(os.cpu_count() or 1, n_tiles)
+        available = (
+            topology.n_cpus if topology is not None else effective_cpu_count()
+        )
+        workers = min(available, n_tiles)
     return ShardPlan(
         n_configs=n_configs,
         n_ranks=n_ranks,

@@ -256,6 +256,138 @@ class TestSharedPlaneLifecycle:
             assert getattr(exec_pkg, name) is getattr(procshard, name)
 
 
+class TestPinnedAndSplitPlane:
+    """ARCHITECTURE.md invariant 11: placement — worker pinning and
+    per-NUMA-node plane splitting — never changes a bit of the result."""
+
+    def _case(self):
+        return TestPartialRetirementSharded()._case()
+
+    @staticmethod
+    def _two_node():
+        from repro.util.topology import NumaNode, NumaTopology
+
+        return NumaTopology(
+            nodes=(NumaNode(0, (0, 1)), NumaNode(1, (2, 3))),
+            source="sysfs",
+        )
+
+    def test_pinned_vs_unpinned_bitwise(self):
+        program, rates2d = self._case()
+        want = run_fast_batched(program, rates2d, latency_s=0.0)
+        plan = fixed_width_plan(
+            rates2d.shape[0], program.n_ranks, 5, row_block=2, workers=2
+        )
+        for pin in (False, True):
+            got = procshard.run_fast_procshard(
+                program, rates2d, latency_s=0.0, plan=plan, pin=pin
+            )
+            assert_all_configs_identical(got, want, f"pin={pin}: ")
+        procshard.reset_pool()
+
+    def test_split_plane_on_synthetic_two_node_topology(self):
+        """A forced multi-node topology splits the plane into node-local
+        segments; traces stay bit-identical, pinned or not."""
+        program, rates2d = self._case()
+        topo = self._two_node()
+        want = run_fast_batched(program, rates2d, latency_s=0.0)
+        plan = fixed_width_plan(
+            rates2d.shape[0], program.n_ranks, 5, row_block=1, workers=2
+        )
+        bounds = procshard._node_row_bounds(plan, topo)
+        assert len(bounds) == 3  # genuinely split across both nodes
+        for pin in (False, True):
+            got = procshard.run_fast_procshard(
+                program, rates2d, latency_s=0.0, plan=plan,
+                pin=pin, topology=topo,
+            )
+            assert_all_configs_identical(got, want, f"split pin={pin}: ")
+        procshard.reset_pool()
+
+    def test_node_row_bounds_align_to_row_blocks(self):
+        program, rates2d = self._case()
+        plan = fixed_width_plan(
+            rates2d.shape[0], program.n_ranks, 5, row_block=2
+        )
+        bounds = procshard._node_row_bounds(plan, self._two_node())
+        assert bounds[0] == 0 and bounds[-1] == plan.n_configs
+        edges = {0} | {r1 for _r0, r1 in plan.row_blocks()}
+        assert set(bounds) <= edges
+        assert list(bounds) == sorted(set(bounds))
+
+    def test_single_node_topology_does_not_split(self):
+        from repro.util.topology import NumaNode, NumaTopology
+
+        program, rates2d = self._case()
+        plan = fixed_width_plan(
+            rates2d.shape[0], program.n_ranks, 5, row_block=1
+        )
+        flat = NumaTopology(nodes=(NumaNode(0, (0,)),), source="flat")
+        assert procshard._node_row_bounds(plan, flat) == (
+            0, plan.n_configs,
+        )
+
+    def test_export_plane_split_round_trip(self):
+        program, rates2d = self._case()
+        n = rates2d.shape[0]
+        handles = procshard.export_plane_split(
+            rates2d, program, (0, 2, n)
+        )
+        try:
+            assert [h.row0 for h in handles] == [0, 2]
+            assert [h.n_configs for h in handles] == [2, n - 2]
+            assert len({h.group for h in handles}) == 1
+            for h in handles:
+                views = procshard.plane_views(h)
+                assert np.array_equal(
+                    views["rates"], rates2d[h.row0:h.row0 + h.n_configs]
+                )
+                assert not views["clock"].any()
+        finally:
+            for h in handles:
+                procshard.destroy_plane(h)
+
+    def test_export_plane_split_validates_bounds(self):
+        program, rates2d = self._case()
+        n = rates2d.shape[0]
+        for bad in ((1, n), (0, n - 1), (0, 3, 3, n), (0,)):
+            with pytest.raises(ConfigurationError):
+                procshard.export_plane_split(rates2d, program, bad)
+
+    def test_same_group_segments_share_worker_cache(self):
+        """Attaching a sibling segment must not evict its group mates
+        (a worker serving two node-local segments of one run keeps both
+        mapped); a new group evicts all of the old one."""
+        program, rates2d = self._case()
+        n = rates2d.shape[0]
+        first = procshard.export_plane_split(rates2d, program, (0, 2, n))
+        second = procshard.export_plane(rates2d, program)
+        saved_owned = dict(procshard._OWNED)
+        saved_attached = dict(procshard._ATTACHED)
+        try:
+            procshard._ATTACHED.clear()
+            for h in first:
+                procshard.attach_plane(h)
+            assert set(procshard._ATTACHED) == {h.shm_name for h in first}
+            procshard.attach_plane(second)
+            assert set(procshard._ATTACHED) == {second.shm_name}
+        finally:
+            procshard._ATTACHED.clear()
+            procshard._ATTACHED.update(saved_attached)
+            procshard._OWNED.clear()
+            procshard._OWNED.update(saved_owned)
+            for h in first:
+                procshard.destroy_plane(h)
+            procshard.destroy_plane(second)
+
+    def test_placement_kwargs_not_in_plan(self):
+        """Pin/topology ride the call, never the geometry — nothing
+        placement-shaped may reach digests through a plan repr."""
+        assert "pin" not in ShardPlan.__dataclass_fields__
+        assert "topology" not in ShardPlan.__dataclass_fields__
+        assert "pin" not in ShardSpec.__dataclass_fields__
+
+
 @pytest.mark.slow
 class TestEngineDigestsUnchangedByProcessMode:
     """``mode="processes"`` must never reach results, payloads, digests."""
@@ -297,6 +429,35 @@ class TestEngineDigestsUnchangedByProcessMode:
         for name in names:
             with np.load(plain_dir / name, allow_pickle=True) as a, \
                  np.load(proc_dir / name, allow_pickle=True) as b:
+                assert sorted(a.files) == sorted(b.files)
+                for entry in a.files:
+                    assert np.array_equal(a[entry], b[entry]), (name, entry)
+
+    def test_pinned_process_sweep_payloads_and_digests_identical(
+        self, tmp_path, monkeypatch
+    ):
+        """The pinned, split-plane executor leg of the engine proof:
+        forcing worker pinning on cannot change an NPZ payload or a
+        digest-addressed cache name (invariant 11)."""
+        from repro.exec import ExperimentEngine
+
+        sweep = self._sweep()[:3]
+        plain_dir, pin_dir = tmp_path / "plain", tmp_path / "pinned"
+        monkeypatch.setenv(procshard._PIN_ENV, "0")
+        ExperimentEngine(
+            batch=True, cache_dir=plain_dir, shard=None
+        ).submit_batched_sweep(sweep)
+        monkeypatch.setenv(procshard._PIN_ENV, "1")
+        ExperimentEngine(
+            batch=True, cache_dir=pin_dir,
+            shard=ShardSpec(shard_ranks=13, shard_workers=2, mode="processes"),
+        ).submit_batched_sweep(sweep)
+        procshard.reset_pool()
+        names = sorted(p.name for p in plain_dir.glob("*.npz"))
+        assert names == sorted(p.name for p in pin_dir.glob("*.npz"))
+        for name in names:
+            with np.load(plain_dir / name, allow_pickle=True) as a, \
+                 np.load(pin_dir / name, allow_pickle=True) as b:
                 assert sorted(a.files) == sorted(b.files)
                 for entry in a.files:
                     assert np.array_equal(a[entry], b[entry]), (name, entry)

@@ -190,6 +190,48 @@ class TestGenuineErrorsStillRaise:
             )
 
 
+class TestNestedPoolGuard:
+    def test_nested_call_degrades_without_forking(
+        self, monkeypatch, fresh_pool
+    ):
+        """From inside a multiprocessing child, processes-mode must not
+        fork a nested pool (the fork inherits the outer pool's feeder
+        threads and can wedge on a dead futex); it degrades to the
+        in-process path, bit-identically, and counts the degrade."""
+        program, rates2d, plan = _case()
+        want = run_fast_batched(program, rates2d, latency_s=0.0)
+        monkeypatch.setattr(
+            procshard, "parent_process", lambda: object()
+        )
+        collector = telemetry.enable()
+        try:
+            got = run_fast_sharded(
+                program, rates2d, latency_s=0.0, plan=plan,
+                mode="processes",
+            )
+        finally:
+            telemetry.disable()
+        assert_all_configs_identical(got, want)
+        assert procshard._POOL is None  # no nested pool was ever forked
+        counters = collector.metrics.counters
+        assert counters["sim.procshard.nested_fallback"].value == 1
+        assert "sim.procshard.fallback" not in counters
+
+    def test_env_errors_still_surface_when_nested(
+        self, monkeypatch, fresh_pool
+    ):
+        program, rates2d, plan = _case()
+        monkeypatch.setattr(
+            procshard, "parent_process", lambda: object()
+        )
+        monkeypatch.setenv(procshard._PIN_ENV, "banana")
+        with pytest.raises(ConfigurationError, match=procshard._PIN_ENV):
+            run_fast_sharded(
+                program, rates2d, latency_s=0.0, plan=plan,
+                mode="processes",
+            )
+
+
 class TestEnvValidation:
     def test_bad_timeout_rejected(self, monkeypatch, fresh_pool):
         program, rates2d, plan = _case()
@@ -206,3 +248,39 @@ class TestEnvValidation:
             run_fast_sharded(
                 program, rates2d, latency_s=0.0, plan=plan, mode="processes"
             )
+
+    def test_timeout_rejections_name_the_variable(self, monkeypatch,
+                                                  fresh_pool):
+        """Both rejection paths (unparseable, non-positive) must name
+        REPRO_PROCSHARD_TIMEOUT_S so the error is actionable."""
+        program, rates2d, plan = _case()
+        for raw in ("not-a-number", "0", "-3"):
+            monkeypatch.setenv(procshard._TIMEOUT_ENV, raw)
+            with pytest.raises(
+                ConfigurationError, match=procshard._TIMEOUT_ENV
+            ):
+                run_fast_sharded(
+                    program, rates2d, latency_s=0.0, plan=plan,
+                    mode="processes",
+                )
+
+    def test_bad_pin_env_rejected_naming_the_variable(self, monkeypatch,
+                                                      fresh_pool):
+        """REPRO_PROCSHARD_PIN accepts only '0'/'1'; junk surfaces as a
+        typed error (never a silent fallback) naming the variable."""
+        program, rates2d, plan = _case()
+        for raw in ("yes", "2", ""):
+            monkeypatch.setenv(procshard._PIN_ENV, raw)
+            with pytest.raises(
+                ConfigurationError, match=procshard._PIN_ENV
+            ):
+                run_fast_sharded(
+                    program, rates2d, latency_s=0.0, plan=plan,
+                    mode="processes",
+                )
+
+    def test_pin_env_values_accepted(self, monkeypatch):
+        monkeypatch.setenv(procshard._PIN_ENV, "1")
+        assert procshard._pin_default() is True
+        monkeypatch.setenv(procshard._PIN_ENV, "0")
+        assert procshard._pin_default() is False

@@ -170,6 +170,21 @@ class TestEnvOverride:
         with pytest.raises(ConfigurationError):
             plan_shards(1, 100)
 
+    def test_non_integer_env_names_the_variable(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHARD_TARGET_BYTES", "lots")
+        with pytest.raises(
+            ConfigurationError, match="REPRO_SHARD_TARGET_BYTES"
+        ):
+            plan_shards(1, 100)
+
+    def test_nonpositive_env_names_the_variable(self, monkeypatch):
+        for raw in ("0", "-4"):
+            monkeypatch.setenv("REPRO_SHARD_TARGET_BYTES", raw)
+            with pytest.raises(
+                ConfigurationError, match="REPRO_SHARD_TARGET_BYTES"
+            ):
+                plan_shards(1, 100)
+
 
 class TestPlanValidation:
     def test_bounds_must_start_at_zero_and_end_at_n_ranks(self):
@@ -230,3 +245,91 @@ class TestShardMode:
 
     def test_plan_has_no_mode_field(self):
         assert "mode" not in ShardPlan.__dataclass_fields__
+
+
+class TestTopologyAwarePlans:
+    """Degenerate and multi-node topologies all yield valid exact-cover
+    plans — topology informs layout, never correctness (invariant 11)."""
+
+    @staticmethod
+    def _topo(*node_cpus, source="sysfs", llc=None):
+        from repro.util.topology import NumaNode, NumaTopology
+
+        return NumaTopology(
+            nodes=tuple(
+                NumaNode(i, cpus) for i, cpus in enumerate(node_cpus)
+            ),
+            source=source,
+            llc_bytes=llc,
+        )
+
+    def test_single_core_topology(self):
+        topo = self._topo((0,), source="flat")
+        plan = plan_shards(8, 5000, topology=topo)
+        assert plan.n_workers == 1
+        assert_exact_partition(plan)
+
+    def test_workers_exceed_cores(self):
+        topo = self._topo((0,), source="flat")
+        plan = plan_shards(8, 5000, shard_ranks=100, shard_workers=64,
+                           topology=topo)
+        assert plan.n_workers <= plan.n_col_shards
+        assert_exact_partition(plan)
+
+    def test_forced_flat_fallback(self, monkeypatch, tmp_path):
+        """REPRO_TOPOLOGY=flat (the empty-affinity-intersection path
+        collapses to the same single-node shape) still plans exactly."""
+        from repro.util.topology import probe_topology
+
+        monkeypatch.setenv("REPRO_TOPOLOGY", "flat")
+        topo = probe_topology(tmp_path)
+        assert topo.source == "flat"
+        plan = plan_shards(16, 4000, topology=topo)
+        assert_exact_partition(plan)
+
+    def test_empty_affinity_intersection_plan(self, tmp_path):
+        """A mask disjoint from every sysfs node degrades to flat and
+        the resulting plan still covers the plane exactly."""
+        from repro.util.topology import probe_topology
+
+        sysfs = tmp_path / "devices/system/node/node0"
+        sysfs.mkdir(parents=True)
+        (sysfs / "cpulist").write_text("0-3\n")
+        topo = probe_topology(tmp_path, affinity={9, 10})
+        assert topo.source == "flat"
+        plan = plan_shards(8, 3000, topology=topo)
+        assert plan.n_workers <= 2
+        assert_exact_partition(plan)
+
+    def test_multi_node_row_alignment(self):
+        """On a multi-node topology a big plane gets at least one row
+        block per node (so each node can own whole blocks) and still
+        covers exactly."""
+        topo = self._topo((0, 1, 2, 3), (4, 5, 6, 7))
+        plan = plan_shards(8, 200_000, topology=topo)
+        assert plan.n_row_blocks >= topo.n_nodes
+        assert_exact_partition(plan)
+
+    def test_fewer_configs_than_nodes_stays_valid(self):
+        topo = self._topo((0,), (1,), (2,), (3,))
+        plan = plan_shards(2, 100_000, topology=topo)
+        assert_exact_partition(plan)
+
+    def test_llc_caps_budget_never_raises_it(self):
+        """A tiny probed LLC shrinks the auto budget (more tiles); a
+        huge one leaves the default cap untouched."""
+        small = self._topo((0,), llc=64 * 1024)
+        huge = self._topo((0,), llc=1 << 40)
+        base = plan_shards(8, 50_000)
+        capped = plan_shards(8, 50_000, topology=small)
+        unchanged = plan_shards(8, 50_000, topology=huge)
+        assert capped.n_col_shards >= base.n_col_shards
+        assert unchanged.col_bounds == base.col_bounds
+        assert_exact_partition(capped)
+
+    def test_topology_never_changes_plan_fields(self):
+        """Plans carry geometry only — no topology/placement field may
+        leak in (it would end up inside digests via repr)."""
+        assert set(ShardPlan.__dataclass_fields__) == {
+            "n_configs", "n_ranks", "row_block", "col_bounds", "n_workers"
+        }

@@ -1,0 +1,195 @@
+"""Tests for :mod:`repro.util.topology`: the sysfs prober, the flat
+fallback, and the process-wide CPU budget ledger.
+
+Synthetic sysfs trees (``tmp_path``) drive the multi-node paths so the
+suite behaves identically on 1-core CI containers and multi-socket
+hosts; the live-machine assertions only check shape invariants.
+"""
+
+import os
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.util.topology import (
+    CpuBudget,
+    NumaNode,
+    NumaTopology,
+    _parse_cpulist,
+    _parse_size,
+    _TOPOLOGY_ENV,
+    cpu_budget,
+    effective_cpu_count,
+    probe_topology,
+    reset_topology,
+)
+
+
+def make_sysfs(tmp_path, nodes, llc_k=None):
+    """A minimal sysfs tree: node cpulists plus an optional cpu0 LLC."""
+    for node_id, cpulist in nodes.items():
+        d = tmp_path / "devices/system/node" / f"node{node_id}"
+        d.mkdir(parents=True)
+        (d / "cpulist").write_text(cpulist + "\n")
+    if llc_k is not None:
+        cache = tmp_path / "devices/system/cpu/cpu0/cache/index3"
+        cache.mkdir(parents=True)
+        (cache / "level").write_text("3\n")
+        (cache / "size").write_text(f"{llc_k}K\n")
+    return tmp_path
+
+
+class TestCpulistParsing:
+    def test_ranges_and_singles(self):
+        assert _parse_cpulist("0-3,8,10-11") == (0, 1, 2, 3, 8, 10, 11)
+
+    def test_empty(self):
+        assert _parse_cpulist("") == ()
+        assert _parse_cpulist(" \n") == ()
+
+    def test_junk_rejected(self):
+        with pytest.raises(ConfigurationError):
+            _parse_cpulist("0-3,zebra")
+
+    def test_sizes(self):
+        assert _parse_size("266240K") == 266240 * 1024
+        assert _parse_size("32M") == 32 * 1024 * 1024
+        assert _parse_size("123") == 123
+        assert _parse_size("huge") is None
+
+
+class TestProbe:
+    def test_synthetic_two_node(self, tmp_path):
+        sysfs = make_sysfs(tmp_path, {0: "0-3", 1: "4-7"}, llc_k=1024)
+        topo = probe_topology(sysfs, affinity=set(range(8)))
+        assert topo.source == "sysfs"
+        assert topo.n_nodes == 2
+        assert topo.cpus == tuple(range(8))
+        assert topo.llc_bytes == 1024 * 1024
+        assert topo.node_of(5) == 1
+        assert topo.node_of(99) == -1
+
+    def test_affinity_restricts_nodes(self, tmp_path):
+        sysfs = make_sysfs(tmp_path, {0: "0-3", 1: "4-7"})
+        topo = probe_topology(sysfs, affinity={1, 2, 5})
+        assert topo.source == "sysfs"
+        assert [n.cpus for n in topo.nodes] == [(1, 2), (5,)]
+
+    def test_missing_sysfs_falls_flat(self, tmp_path):
+        topo = probe_topology(tmp_path, affinity={0, 1})
+        assert topo.source == "flat"
+        assert topo.n_nodes == 1
+        assert topo.cpus == (0, 1)
+
+    def test_uncovered_mask_falls_flat(self, tmp_path):
+        # Affinity includes a CPU no node file accounts for.
+        sysfs = make_sysfs(tmp_path, {0: "0-3"})
+        topo = probe_topology(sysfs, affinity={0, 17})
+        assert topo.source == "flat"
+        assert topo.cpus == (0, 17)
+
+    def test_empty_intersection_falls_flat(self, tmp_path):
+        sysfs = make_sysfs(tmp_path, {0: "0-3"})
+        topo = probe_topology(sysfs, affinity={8, 9})
+        assert topo.source == "flat"
+        assert topo.cpus == (8, 9)
+
+    def test_env_forces_flat(self, tmp_path, monkeypatch):
+        sysfs = make_sysfs(tmp_path, {0: "0-1", 1: "2-3"})
+        monkeypatch.setenv(_TOPOLOGY_ENV, "flat")
+        topo = probe_topology(sysfs, affinity={0, 1, 2, 3})
+        assert topo.source == "flat"
+        assert topo.n_nodes == 1
+
+    def test_bad_env_rejected(self, monkeypatch):
+        monkeypatch.setenv(_TOPOLOGY_ENV, "numa-please")
+        with pytest.raises(ConfigurationError, match=_TOPOLOGY_ENV):
+            probe_topology()
+
+    def test_live_machine_probe_is_sane(self):
+        topo = probe_topology()
+        assert topo.n_cpus == effective_cpu_count()
+        assert topo.n_cpus >= 1
+        assert sorted(topo.cpus) == list(topo.cpus) or topo.n_nodes > 1
+
+
+class TestTopologyValidation:
+    def test_empty_nodes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            NumaTopology(nodes=(), source="flat")
+
+    def test_node_without_cpus_rejected(self):
+        with pytest.raises(ConfigurationError):
+            NumaTopology(nodes=(NumaNode(0, ()),), source="flat")
+
+    def test_overlapping_nodes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            NumaTopology(
+                nodes=(NumaNode(0, (0, 1)), NumaNode(1, (1, 2))),
+                source="sysfs",
+            )
+
+
+def two_node_topology():
+    return NumaTopology(
+        nodes=(NumaNode(0, (0, 1, 2, 3)), NumaNode(1, (4, 5, 6, 7))),
+        source="sysfs",
+    )
+
+
+class TestCpuBudget:
+    def test_slices_partition_node_major(self):
+        budget = CpuBudget(two_node_topology())
+        slices = budget.slices(2)
+        assert slices == ((0, 1, 2, 3), (4, 5, 6, 7))
+
+    def test_slices_exact_cover_when_uneven(self):
+        budget = CpuBudget(two_node_topology())
+        slices = budget.slices(3)
+        flat = [c for s in slices for c in s]
+        assert sorted(flat) == list(range(8))
+        assert len(flat) == len(set(flat))
+
+    def test_more_workers_than_cpus_wraps(self):
+        topo = NumaTopology(nodes=(NumaNode(0, (0,)),), source="flat")
+        budget = CpuBudget(topo)
+        slices = budget.slices(4)
+        assert slices == ((0,), (0,), (0,), (0,))
+
+    def test_nonpositive_workers_rejected(self):
+        budget = CpuBudget(two_node_topology())
+        with pytest.raises(ConfigurationError):
+            budget.slices(0)
+
+    def test_claim_release_ledger(self):
+        budget = CpuBudget(two_node_topology())
+        assert budget.claimed_cpus == 0
+        lease = budget.claim(2, label="test")
+        assert budget.n_leases == 1
+        assert budget.claimed_cpus == 8
+        assert lease.cpus == tuple(range(8))
+        assert lease.n_workers == 2
+        budget.release(lease)
+        budget.release(lease)  # idempotent
+        assert budget.n_leases == 0
+        assert budget.claimed_cpus == 0
+
+    def test_total_matches_topology(self):
+        budget = CpuBudget(two_node_topology())
+        assert budget.total == 8
+
+
+class TestProcessGlobals:
+    def test_singleton_and_reset(self):
+        reset_topology()
+        a = cpu_budget()
+        assert cpu_budget() is a
+        reset_topology()
+        assert cpu_budget() is not a
+        reset_topology()
+
+    def test_effective_count_matches_affinity(self):
+        if hasattr(os, "sched_getaffinity"):
+            assert effective_cpu_count() == len(os.sched_getaffinity(0))
+        else:  # pragma: no cover - non-Linux
+            assert effective_cpu_count() >= 1
